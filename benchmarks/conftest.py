@@ -1,0 +1,13 @@
+"""Pytest configuration for the benches.
+
+Every bench prints the rows of the paper artefact it regenerates
+(run ``pytest benchmarks/ --benchmark-only -s`` to see them) and makes
+shape assertions — who wins, which regions are suppressed, how trends
+move — rather than matching absolute numbers from the authors' 2008
+testbed.
+
+Set ``REPRO_BENCH_FULL=1`` to run every benchmark circuit including the
+multi-thousand-junction ISCAS classes; the default keeps the suite in
+laptop territory, exactly the way the paper extrapolated its largest
+runs from shorter ones.
+"""

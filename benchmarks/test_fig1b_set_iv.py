@@ -1,0 +1,66 @@
+"""Fig. 1b — SET I-V characteristics versus gate voltage.
+
+Paper: T = 5 K, R1 = R2 = 1 MOhm, C1 = C2 = 1 aF, Cg = 3 aF, symmetric
+bias swept over +-40 mV for Vg in {0, 10, 20, 30} mV.  Expected shape:
+current suppressed near Vds = 0 (Coulomb blockade up to e/C = 32 mV at
+Vg = 0), the suppressed window shrinking as the gate approaches the
+charge degeneracy, with currents on the 1e-8 A scale at full bias.
+"""
+
+import numpy as np
+
+from repro import SimulationConfig, build_set, sweep_iv
+from repro.analysis import format_table
+from repro.physics import threshold_voltage
+
+from _harness import run_once
+
+GATE_VOLTAGES = (0.0, 0.01, 0.02, 0.03)
+BIAS_POINTS = np.linspace(-0.04, 0.04, 17)
+
+
+def simulate_curves():
+    config = SimulationConfig(temperature=5.0, solver="adaptive", seed=10)
+    return {
+        vg: sweep_iv(build_set(vg=vg), BIAS_POINTS, config, jumps_per_point=4000)
+        for vg in GATE_VOLTAGES
+    }
+
+
+def test_fig1b_set_iv(benchmark):
+    curves = run_once(benchmark, simulate_curves)
+
+    rows = [
+        [f"{v * 1e3:+5.0f}"] + [f"{curves[vg].currents[i]:+.3e}" for vg in GATE_VOLTAGES]
+        for i, v in enumerate(BIAS_POINTS)
+    ]
+    print()
+    print(format_table(
+        ["Vds(mV)"] + [f"Vg={vg*1e3:.0f}mV" for vg in GATE_VOLTAGES], rows,
+        title="Fig. 1b: SET current (A) at T = 5 K",
+    ))
+
+    vg0 = curves[0.0].currents
+    vg30 = curves[0.03].currents
+    centre = len(BIAS_POINTS) // 2
+
+    # (1) Coulomb blockade at Vg = 0: inner +-10 mV carries essentially
+    # nothing compared with the +-40 mV endpoints
+    inner = np.abs(vg0[centre - 2:centre + 3])
+    assert np.max(inner) < 1e-3 * abs(vg0[0])
+
+    # (2) the paper's threshold: blockade ends near e/C_sigma = 32 mV
+    conducting = np.abs(vg0) > 0.05 * abs(vg0[0])
+    onset = np.min(np.abs(BIAS_POINTS[conducting]))
+    assert abs(onset - threshold_voltage(5e-18)) < 0.006
+
+    # (3) the gate lifts the blockade: at Vds = 10 mV, Vg = 30 mV flows
+    # where Vg = 0 does not
+    probe = centre + 2  # +10 mV
+    assert abs(vg30[probe]) > 1e3 * max(abs(vg0[probe]), 1e-16)
+
+    # (4) currents reach the paper's 1e-8 A scale at full bias
+    assert 2e-9 < abs(vg0[0]) < 2e-8
+
+    # (5) antisymmetry of the I-V
+    np.testing.assert_allclose(vg0[0], -vg0[-1], rtol=0.25)

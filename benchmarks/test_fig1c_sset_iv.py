@@ -1,0 +1,70 @@
+"""Fig. 1c — superconducting SET I-V at T = 50 mK.
+
+Paper: same SET as Fig. 1b with Delta(0) = 0.2 meV and Tc = 1.2 K.
+Expected shape: the suppressed-current region is *enlarged* relative to
+the normal SET because quasi-particle tunneling pays the gap 2 Delta on
+top of the charging energy; above the widened threshold the I-V climbs
+back to the same nano-ampere scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, Superconductor, build_set, sweep_iv
+from repro.analysis import format_table
+from repro.constants import MEV
+
+from _harness import run_once
+
+# 2.5 mV steps resolve the ~0.5-1 mV widening of the blockade edge
+# caused by the 2 Delta quasi-particle cost
+BIAS_POINTS = np.linspace(-0.04, 0.04, 33)
+SC = Superconductor(delta0=0.2 * MEV, tc=1.2)
+
+
+def simulate():
+    normal = sweep_iv(
+        build_set(),
+        BIAS_POINTS,
+        SimulationConfig(temperature=0.05, solver="adaptive", seed=11),
+        jumps_per_point=3000,
+    )
+    curves = {}
+    for vg in (0.0, 0.01, 0.02, 0.03):
+        curves[vg] = sweep_iv(
+            build_set(vg=vg, superconductor=SC),
+            BIAS_POINTS,
+            SimulationConfig(temperature=0.05, solver="adaptive", seed=12),
+            jumps_per_point=3000,
+        )
+    return normal, curves
+
+
+def test_fig1c_sset_iv(benchmark):
+    normal, curves = run_once(benchmark, simulate)
+
+    rows = [
+        [f"{v * 1e3:+5.0f}", f"{normal.currents[i]:+.3e}"]
+        + [f"{curves[vg].currents[i]:+.3e}" for vg in curves]
+        for i, v in enumerate(BIAS_POINTS)
+    ]
+    print()
+    print(format_table(
+        ["Vds(mV)", "normal Vg=0"] + [f"SSET Vg={vg*1e3:.0f}mV" for vg in curves],
+        rows,
+        title="Fig. 1c: SSET current (A) at T = 50 mK vs the normal SET",
+    ))
+
+    sset0 = curves[0.0].currents
+
+    # (1) the suppressed region is enlarged: count near-zero points
+    def suppressed(currents):
+        return int(np.sum(np.abs(currents) < 0.02 * np.max(np.abs(currents))))
+
+    assert suppressed(sset0) > suppressed(normal.currents)
+
+    # (2) full-bias current recovers the same scale as the normal SET
+    assert abs(sset0[0]) == pytest.approx(abs(normal.currents[0]), rel=0.5)
+
+    # (3) the gate still modulates the SSET blockade edge
+    assert suppressed(curves[0.03].currents) < suppressed(sset0)

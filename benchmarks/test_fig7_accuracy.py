@@ -1,0 +1,120 @@
+"""Fig. 7 — propagation-delay accuracy of SEMSIM versus the
+non-adaptive reference.
+
+Paper: the averaged non-adaptive MC delay is taken as truth; SEMSIM is
+run nine times with different seeds (average error 3.30%), the SPICE
+model once (average error 9.18%, with three benchmarks failing on
+non-convergence or incorrect logic outputs).  Expected shape: SEMSIM's
+delays agree with the reference within the trajectory noise on every
+benchmark; the SPICE model is worse where it works and fails outright
+on some circuits.
+
+Single-electron switching is heavy-tailed (metastable charge traps),
+so the comparison uses medians over seeds x cycles; our absolute
+percentage errors are larger than the paper's 3.3% because the same
+sample budget meets a noisier logic substrate — EXPERIMENTS.md
+discusses the difference.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import SimulationConfig
+from repro.errors import SemsimError
+from repro.logic import build_benchmark, find_validated_stimulus, measure_cyclic_delay
+from repro.spice import SpiceSimulator
+
+from _harness import full_scale, run_once
+
+QUICK_SET = ["2-to-10 decoder", "Full-Adder", "74LS138", "74154"]
+FULL_SET = QUICK_SET + ["s27a", "74148", "74LS47", "74LS280"]
+
+SEEDS = (1, 2, 3)
+CYCLES = 3
+
+
+def _median_delay(mapped, stimulus, solver: str) -> float:
+    samples = []
+    for seed in SEEDS:
+        config = SimulationConfig(
+            temperature=mapped.params.temperature, solver=solver, seed=seed
+        )
+        samples += measure_cyclic_delay(
+            mapped, stimulus, config, cycles=CYCLES, max_jumps=250_000
+        )
+    return float(np.median(samples))
+
+
+def run_measurements():
+    rows = []
+    for name in (FULL_SET if full_scale() else QUICK_SET):
+        mapped = build_benchmark(name)
+        stimulus = find_validated_stimulus(
+            mapped, rng_seed=1, probe_stability=True
+        )
+        reference = _median_delay(mapped, stimulus, "nonadaptive")
+        semsim = _median_delay(mapped, stimulus, "adaptive")
+        try:
+            sim = SpiceSimulator(mapped)
+            spice = sim.propagation_delay(stimulus, settle=2e-9, budget=40e-9)
+            spice_status = "ok"
+        except SemsimError as exc:
+            spice = float("nan")
+            spice_status = type(exc).__name__
+        rows.append({
+            "name": name,
+            "junctions": mapped.n_junctions,
+            "reference": reference,
+            "semsim": semsim,
+            "spice": spice,
+            "spice_status": spice_status,
+        })
+    return rows
+
+
+def test_fig7_accuracy(benchmark):
+    rows = run_once(benchmark, run_measurements)
+
+    table = []
+    errors = []
+    for entry in rows:
+        error = 100.0 * abs(entry["semsim"] - entry["reference"]) / entry["reference"]
+        errors.append(error)
+        spice_cell = (
+            f"{entry['spice'] * 1e9:.2f}" if not np.isnan(entry["spice"])
+            else entry["spice_status"]
+        )
+        table.append([
+            entry["name"], entry["junctions"],
+            f"{entry['reference'] * 1e9:.2f}",
+            f"{entry['semsim'] * 1e9:.2f}",
+            f"{error:.1f}%",
+            spice_cell,
+        ])
+    print()
+    print(format_table(
+        ["benchmark", "junctions", "ref delay(ns)", "SEMSIM(ns)",
+         "SEMSIM err", "SPICE(ns)"],
+        table,
+        title=(
+            "Fig. 7: propagation delay, median over "
+            f"{len(SEEDS)} seeds x {CYCLES} cycles"
+        ),
+    ))
+    mean_error = float(np.mean(errors))
+    print(f"\nSEMSIM mean delay error: {mean_error:.1f}% "
+          "(paper: 3.30% with its tighter substrate)")
+
+    # (1) SEMSIM tracks the reference within the trajectory noise
+    assert mean_error < 45.0
+    assert max(errors) < 80.0
+
+    # (2) the SPICE model is the least reliable method: at least one
+    # benchmark fails outright (the paper lost three of fifteen) or
+    # shows a large deviation
+    spice_failures = [e for e in rows if np.isnan(e["spice"])]
+    spice_errors = [
+        100.0 * abs(e["spice"] - e["reference"]) / e["reference"]
+        for e in rows if not np.isnan(e["spice"])
+    ]
+    assert spice_failures or (spice_errors and max(spice_errors) > mean_error)

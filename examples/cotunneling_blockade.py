@@ -1,0 +1,65 @@
+"""Cotunneling: transport deep inside the Coulomb blockade.
+
+A two-junction array in blockade carries essentially no sequential
+current; second-order inelastic cotunneling provides the famous
+``I proportional to V^3`` channel instead (Sec. II / IV-A of the
+paper).  This example compares Monte Carlo with and without the
+cotunneling model and against the analytic zero-temperature law.
+
+Run:  python examples/cotunneling_blockade.py
+"""
+
+import numpy as np
+
+from repro import MonteCarloEngine, SimulationConfig, build_junction_array
+from repro.master import MasterEquationSolver
+
+
+def main() -> None:
+    # stay well below the ~40 mV threshold: the V^3 law assumes the
+    # virtual-state energies are bias-independent, which fails as the
+    # blockade edge is approached
+    biases = [0.006, 0.008, 0.010, 0.014]
+    print("two-junction array, T = 0.5 K, blockade threshold ~ 40 mV\n")
+    print("   Vds (mV)   I_sequential (A)   I_with_cotunneling (A)   ratio")
+    ratios = []
+    for bias in biases:
+        circuit = build_junction_array(
+            2, resistance=1e6, capacitance=1e-18, gate_capacitance=2e-18,
+            bias=bias,
+        )
+        seq = MasterEquationSolver(circuit, temperature=0.5).steady_state()
+        cot = MasterEquationSolver(
+            circuit, temperature=0.5, include_cotunneling=True
+        ).steady_state()
+        i_seq = float(seq.junction_currents[0])
+        i_cot = float(cot.junction_currents[0])
+        ratios.append(i_cot)
+        print(
+            f"   {bias * 1e3:7.1f}   {i_seq:+.3e}          {i_cot:+.3e}"
+            f"      {abs(i_cot) / max(abs(i_seq), 1e-30):10.1f}x"
+        )
+
+    # V^3 check on the cotunneling channel
+    exponent = np.polyfit(np.log(biases), np.log(np.abs(ratios)), 1)[0]
+    print(
+        f"\nfitted power law: I ~ V^{exponent:.2f}   (ideal V^3; the "
+        "shrinking virtual-state energies steepen it slightly)"
+    )
+
+    # the same physics through the Monte Carlo engine
+    circuit = build_junction_array(
+        2, resistance=1e6, capacitance=1e-18, gate_capacitance=2e-18,
+        bias=0.02,
+    )
+    engine = MonteCarloEngine(
+        circuit,
+        SimulationConfig(temperature=0.5, include_cotunneling=True,
+                         solver="nonadaptive", seed=3),
+    )
+    mc = engine.measure_current([0], jumps=20000)
+    print(f"MC with cotunneling at 20 mV: {mc:+.3e} A")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for environments without the `wheel` package, where pip's
+PEP 660 editable path (bdist_wheel) is unavailable."""
+from setuptools import setup
+
+setup()

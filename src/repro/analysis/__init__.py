@@ -1,0 +1,51 @@
+"""Result analysis: metrics, timing, noise statistics, resonances."""
+
+from repro.analysis.metrics import (
+    crossover_index,
+    mean_percent_error,
+    percent_error,
+    relative_spread,
+)
+from repro.analysis.iv_features import (
+    BlockadeRegion,
+    blockade_extent,
+    differential_conductance,
+    oscillation_period,
+)
+from repro.analysis.noise import CountingStatistics, fano_factor, windowed_counts
+from repro.analysis.resonances import (
+    AffineEnergy,
+    affine_free_energy,
+    blockade_threshold_bias,
+    ground_state_occupation,
+    jqp_resonance_biases,
+    singularity_matching_bias,
+    singularity_matching_biases,
+)
+from repro.analysis.tables import format_table
+from repro.analysis.timing import TimedRun, measure_engine_run, time_call
+
+__all__ = [
+    "AffineEnergy",
+    "BlockadeRegion",
+    "CountingStatistics",
+    "TimedRun",
+    "affine_free_energy",
+    "blockade_extent",
+    "blockade_threshold_bias",
+    "differential_conductance",
+    "oscillation_period",
+    "crossover_index",
+    "fano_factor",
+    "format_table",
+    "ground_state_occupation",
+    "jqp_resonance_biases",
+    "singularity_matching_biases",
+    "mean_percent_error",
+    "measure_engine_run",
+    "percent_error",
+    "relative_spread",
+    "singularity_matching_bias",
+    "time_call",
+    "windowed_counts",
+]

@@ -1,0 +1,87 @@
+"""Feature extraction from simulated I-V data.
+
+Device papers read their transport maps through a small set of derived
+quantities: differential conductance, blockade extent, oscillation
+period.  These helpers compute them from the sweep results the engine
+produces, so Fig. 1-style data can be reduced to the numbers the text
+quotes (threshold ~ e/C, gate period e/Cg, peak positions).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def differential_conductance(
+    voltages: np.ndarray, currents: np.ndarray
+) -> np.ndarray:
+    """Central-difference ``dI/dV`` on a (possibly non-uniform) sweep."""
+    voltages = np.asarray(voltages, dtype=float)
+    currents = np.asarray(currents, dtype=float)
+    if voltages.shape != currents.shape or len(voltages) < 3:
+        raise SimulationError("need matching arrays of >= 3 sweep points")
+    return np.gradient(currents, voltages)
+
+
+@dataclasses.dataclass
+class BlockadeRegion:
+    """The suppressed-current window of an I-V curve."""
+
+    lower: float
+    upper: float
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def blockade_extent(
+    voltages: np.ndarray,
+    currents: np.ndarray,
+    threshold_fraction: float = 0.02,
+) -> BlockadeRegion:
+    """Voltage window where ``|I|`` stays below a fraction of its max.
+
+    Applied to Fig. 1b/1c sweeps this measures the blockade width the
+    paper describes qualitatively (and the gap-induced widening of the
+    superconducting device).
+    """
+    voltages = np.asarray(voltages, dtype=float)
+    currents = np.asarray(currents, dtype=float)
+    scale = float(np.max(np.abs(currents)))
+    if scale == 0.0:
+        raise SimulationError("flat I-V: no conduction anywhere in the sweep")
+    suppressed = np.abs(currents) < threshold_fraction * scale
+    if not suppressed.any():
+        raise SimulationError("no suppressed region at this threshold")
+    indices = np.flatnonzero(suppressed)
+    return BlockadeRegion(
+        lower=float(voltages[indices[0]]), upper=float(voltages[indices[-1]])
+    )
+
+
+def oscillation_period(
+    gate_voltages: np.ndarray, currents: np.ndarray
+) -> float:
+    """Period of Coulomb oscillations from the two strongest peaks.
+
+    For an ideal SET this returns ``e / Cg`` (the paper's "periodic
+    current-voltage relationship ... with period e/Cg").
+    """
+    gate_voltages = np.asarray(gate_voltages, dtype=float)
+    currents = np.abs(np.asarray(currents, dtype=float))
+    if len(gate_voltages) < 5:
+        raise SimulationError("need >= 5 gate points to find two peaks")
+    peaks = [
+        i for i in range(1, len(currents) - 1)
+        if currents[i] >= currents[i - 1] and currents[i] >= currents[i + 1]
+        and currents[i] > 0.1 * currents.max()
+    ]
+    if len(peaks) < 2:
+        raise SimulationError("fewer than two oscillation peaks in the sweep")
+    positions = gate_voltages[peaks]
+    return float(np.min(np.diff(positions)))

@@ -1,0 +1,51 @@
+"""Error metrics used by the accuracy evaluation (Fig. 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def percent_error(measured: float, reference: float) -> float:
+    """``100 * |measured - reference| / |reference|``.
+
+    This is the paper's propagation-delay error metric, with the
+    averaged non-adaptive result as the reference.
+    """
+    if reference == 0.0:
+        raise SimulationError("percent error undefined for a zero reference")
+    return 100.0 * abs(measured - reference) / abs(reference)
+
+
+def mean_percent_error(measured, reference) -> float:
+    """Average percent error over paired sequences."""
+    measured = np.asarray(measured, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if measured.shape != reference.shape:
+        raise SimulationError("paired sequences must have matching shapes")
+    if np.any(reference == 0.0):
+        raise SimulationError("percent error undefined for a zero reference")
+    return float(np.mean(100.0 * np.abs(measured - reference) / np.abs(reference)))
+
+
+def relative_spread(values) -> float:
+    """Std/mean of a sample — how reproducible a stochastic estimate is."""
+    values = np.asarray(values, dtype=float)
+    mean = values.mean()
+    if mean == 0.0:
+        raise SimulationError("relative spread undefined for a zero mean")
+    return float(values.std() / abs(mean))
+
+
+def crossover_index(series_a, series_b) -> int | None:
+    """Index where series ``a`` first drops below series ``b``.
+
+    Used to locate where the adaptive method starts beating the
+    non-adaptive one in Fig. 6-style size sweeps; ``None`` when there
+    is no crossover.
+    """
+    a = np.asarray(series_a, dtype=float)
+    b = np.asarray(series_b, dtype=float)
+    below = np.flatnonzero(a < b)
+    return int(below[0]) if len(below) else None

@@ -1,0 +1,234 @@
+"""Analytic feature positions for single-electron I-V maps.
+
+Fig. 5 of the paper overlays the measured map with *theoretical feature
+positions*: the Coulomb threshold (dotted), the singularity-matching
+line (dashed) and the JQP resonance line (solid).  This module computes
+those positions for arbitrary circuits directly from the electrostatics:
+every free-energy change is affine in any source voltage, so the bias
+at which a channel opens (``dW = -offset``) follows from two
+evaluations of Eq. 2.
+
+These predictions are what the Fig. 5 bench checks its simulated ridges
+against — the positions depend only on capacitances, charges and gaps,
+not on any rate model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.electrostatics import Electrostatics
+from repro.constants import E_CHARGE
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass(frozen=True)
+class AffineEnergy:
+    """``dW(V) = offset + slope * V`` along a bias axis."""
+
+    offset: float
+    slope: float
+
+    def bias_where(self, value: float) -> float:
+        """Bias at which ``dW = value`` (raises for a flat channel)."""
+        if self.slope == 0.0:
+            raise SimulationError(
+                "free energy does not depend on this bias axis"
+            )
+        return (value - self.offset) / self.slope
+
+
+def _apply_bias(
+    circuit: Circuit, bias_setter: Callable[[float], Mapping[str, float]],
+    bias: float,
+) -> np.ndarray:
+    return circuit.with_source_voltages(
+        dict(bias_setter(bias))
+    ).external_voltages()
+
+
+def affine_free_energy(
+    circuit: Circuit,
+    stat: Electrostatics,
+    junction: int,
+    bias_setter: Callable[[float], Mapping[str, float]],
+    occupation: np.ndarray | None = None,
+    direction: int = +1,
+    dq: float = -E_CHARGE,
+) -> AffineEnergy:
+    """Free-energy change of a junction event as a function of a bias.
+
+    ``bias_setter`` maps the scalar bias to source voltages (the same
+    convention as :func:`repro.core.sweep_iv`); ``direction`` +1 moves
+    ``dq`` from ``node_a`` to ``node_b``.
+    """
+    if occupation is None:
+        occupation = np.zeros(circuit.n_islands, dtype=np.int64)
+    rj = circuit.resolved_junctions()[junction]
+    ref_a, ref_b = (rj.ref_a, rj.ref_b) if direction > 0 else (rj.ref_b, rj.ref_a)
+
+    def dw_at(bias: float) -> float:
+        vext = _apply_bias(circuit, bias_setter, bias)
+        v = stat.potentials(occupation, vext)
+        return stat.free_energy_change(ref_a, ref_b, v, vext, dq=dq)
+
+    w0 = dw_at(0.0)
+    w1 = dw_at(1e-3)
+    return AffineEnergy(offset=w0, slope=(w1 - w0) / 1e-3)
+
+
+def ground_state_occupation(
+    circuit: Circuit,
+    stat: Electrostatics,
+    vext: np.ndarray | None = None,
+    search_range: int = 2,
+) -> np.ndarray:
+    """Electrostatic ground-state occupation (exhaustive scan).
+
+    Background charges move the ground state away from neutrality
+    (Fig. 5's ``Qb = 0.65 e`` device sits in its ``n = 1`` valley), and
+    feature positions must be computed from the state the device
+    actually occupies.  Intended for few-island devices.
+    """
+    if vext is None:
+        vext = circuit.external_voltages()
+    n = circuit.n_islands
+    if n > 4:
+        raise SimulationError(
+            "exhaustive ground-state search is for few-island devices"
+        )
+    import itertools
+
+    best = None
+    best_energy = None
+    for combo in itertools.product(
+        range(-search_range, search_range + 1), repeat=n
+    ):
+        occupation = np.array(combo, dtype=np.int64)
+        energy = stat.total_free_energy(occupation, vext)
+        if best_energy is None or energy < best_energy:
+            best_energy = energy
+            best = occupation
+    return best
+
+
+def blockade_threshold_bias(
+    circuit: Circuit,
+    stat: Electrostatics,
+    bias_setter: Callable[[float], Mapping[str, float]],
+    occupation: np.ndarray | None = None,
+    gap_cost: float = 0.0,
+) -> float:
+    """Smallest positive bias at which *any* sequential channel opens
+    out of the zero-bias ground state.
+
+    ``gap_cost`` shifts the opening condition to ``dW = -gap_cost``
+    (``2 Delta`` for a fully superconducting circuit — the dotted
+    threshold line of Fig. 5 sits at the quasi-particle cost).
+    """
+    if occupation is None and circuit.n_islands <= 4:
+        occupation = ground_state_occupation(circuit, stat)
+    candidates = []
+    for junction in range(circuit.n_junctions):
+        for direction in (+1, -1):
+            affine = affine_free_energy(
+                circuit, stat, junction, bias_setter, occupation, direction
+            )
+            if affine.slope == 0.0:
+                continue
+            bias = affine.bias_where(-gap_cost)
+            if bias > 0.0:
+                candidates.append(bias)
+    if not candidates:
+        raise SimulationError("no channel opens at positive bias")
+    return min(candidates)
+
+
+def jqp_resonance_biases(
+    circuit: Circuit,
+    stat: Electrostatics,
+    bias_setter: Callable[[float], Mapping[str, float]],
+    occupations: list[np.ndarray] | None = None,
+    max_bias: float | None = None,
+) -> list[float]:
+    """Bias positions where a Cooper-pair transfer is resonant.
+
+    A JQP cycle ignites where the 2e free-energy change vanishes for
+    some junction and accessible charge state; the solid lines of
+    Fig. 5 are these positions as the gate shifts the offsets.
+    """
+    if occupations is None:
+        occupations = [
+            np.full(circuit.n_islands, n, dtype=np.int64) for n in (-2, -1, 0, 1, 2)
+        ]
+    biases: list[float] = []
+    for occupation in occupations:
+        for junction in range(circuit.n_junctions):
+            for direction in (+1, -1):
+                affine = affine_free_energy(
+                    circuit, stat, junction, bias_setter, occupation,
+                    direction, dq=-2.0 * E_CHARGE,
+                )
+                if affine.slope == 0.0:
+                    continue
+                bias = affine.bias_where(0.0)
+                if bias > 0.0 and (max_bias is None or bias <= max_bias):
+                    biases.append(bias)
+    return sorted(set(round(b, 12) for b in biases))
+
+
+def singularity_matching_bias(
+    circuit: Circuit,
+    stat: Electrostatics,
+    bias_setter: Callable[[float], Mapping[str, float]],
+    gap: float,
+    occupation: np.ndarray | None = None,
+) -> float:
+    """Bias of the first singularity-matching feature.
+
+    Thermally excited quasi-particles above one gap edge align with
+    empty states above the other when the single-electron channel
+    reaches ``dW = 0`` (the gap edges coincide); at finite temperature
+    a current peak appears there, ``2 Delta`` *before* the full
+    quasi-particle threshold [14, 17].
+    """
+    return blockade_threshold_bias(
+        circuit, stat, bias_setter, occupation, gap_cost=0.0
+    )
+
+
+def singularity_matching_biases(
+    circuit: Circuit,
+    stat: Electrostatics,
+    bias_setter: Callable[[float], Mapping[str, float]],
+    occupations: list[np.ndarray] | None = None,
+    max_bias: float | None = None,
+) -> list[float]:
+    """All gap-edge alignment positions (the dashed lines of Fig. 5).
+
+    Like :func:`jqp_resonance_biases` but for the single-electron
+    channel: each charge state and junction contributes a line where
+    its quasi-particle ``dW`` crosses zero.
+    """
+    if occupations is None:
+        occupations = [
+            np.full(circuit.n_islands, n, dtype=np.int64) for n in (-2, -1, 0, 1, 2)
+        ]
+    biases: list[float] = []
+    for occupation in occupations:
+        for junction in range(circuit.n_junctions):
+            for direction in (+1, -1):
+                affine = affine_free_energy(
+                    circuit, stat, junction, bias_setter, occupation,
+                    direction, dq=-E_CHARGE,
+                )
+                if affine.slope == 0.0:
+                    continue
+                bias = affine.bias_where(0.0)
+                if bias > 0.0 and (max_bias is None or bias <= max_bias):
+                    biases.append(bias)
+    return sorted(set(round(b, 12) for b in biases))

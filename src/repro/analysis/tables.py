@@ -1,0 +1,39 @@
+"""Plain-text result tables for the benchmark harness.
+
+Every figure-reproducing bench prints its rows through these helpers
+so EXPERIMENTS.md and the bench output share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table with a separator line, ready to print."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0.0:
+            return "0"
+        magnitude = abs(cell)
+        if 1e-3 <= magnitude < 1e5:
+            return f"{cell:.4g}"
+        return f"{cell:.3e}"
+    return str(cell)

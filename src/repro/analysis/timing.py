@@ -1,0 +1,55 @@
+"""Wall-clock measurement and extrapolation for Fig. 6.
+
+The paper extrapolates the five largest benchmarks from shorter runs
+("the running times … were extrapolated from shorter running times,
+and were adjusted for a circuit simulation time of 10 us"); this
+module provides the same machinery: time a bounded run, then scale to
+the full event/time budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass
+class TimedRun:
+    """A measured simulation segment and its extrapolation basis."""
+
+    wall_seconds: float
+    events: int
+    simulated_seconds: float
+
+    def extrapolate_to_events(self, target_events: int) -> float:
+        """Projected wall time for ``target_events`` tunnel events."""
+        if self.events <= 0:
+            raise SimulationError("cannot extrapolate from a zero-event run")
+        return self.wall_seconds * target_events / self.events
+
+    def extrapolate_to_time(self, target_simulated: float) -> float:
+        """Projected wall time for a simulated-time budget (the paper's
+        10 us adjustment)."""
+        if self.simulated_seconds <= 0.0:
+            raise SimulationError("cannot extrapolate from zero simulated time")
+        return self.wall_seconds * target_simulated / self.simulated_seconds
+
+
+def time_call(fn, *args, **kwargs) -> tuple[float, object]:
+    """``(wall_seconds, result)`` of one call."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def measure_engine_run(engine, max_jumps: int) -> TimedRun:
+    """Run a Monte Carlo engine for ``max_jumps`` and time it."""
+    t_before = engine.solver.time
+    wall, result = time_call(engine.run, max_jumps=max_jumps)
+    return TimedRun(
+        wall_seconds=wall,
+        events=result.jumps,
+        simulated_seconds=engine.solver.time - t_before,
+    )

@@ -1,0 +1,46 @@
+"""Circuit substrate: components, builder, electrostatics, charge state."""
+
+from repro.circuit.builder import CircuitBuilder, build_junction_array, build_set
+from repro.circuit.circuit import Circuit, ResolvedJunction
+from repro.circuit.devices import (
+    build_electron_pump,
+    build_electron_trap,
+    build_single_electron_box,
+    pump_cycle_voltages,
+)
+from repro.circuit.components import (
+    GROUND,
+    BackgroundCharge,
+    Capacitor,
+    NodeKind,
+    NodeRef,
+    Superconductor,
+    TunnelJunction,
+    VoltageSource,
+)
+from repro.circuit.electrostatics import Electrostatics
+from repro.circuit.junction_table import JunctionTable
+from repro.circuit.state import ChargeState
+
+__all__ = [
+    "GROUND",
+    "BackgroundCharge",
+    "Capacitor",
+    "ChargeState",
+    "Circuit",
+    "CircuitBuilder",
+    "Electrostatics",
+    "JunctionTable",
+    "NodeKind",
+    "NodeRef",
+    "ResolvedJunction",
+    "Superconductor",
+    "TunnelJunction",
+    "VoltageSource",
+    "build_electron_pump",
+    "build_electron_trap",
+    "build_junction_array",
+    "build_set",
+    "build_single_electron_box",
+    "pump_cycle_voltages",
+]

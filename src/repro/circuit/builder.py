@@ -1,0 +1,247 @@
+"""Incremental construction of single-electron circuits.
+
+:class:`CircuitBuilder` accumulates components referenced by node
+labels, then :meth:`CircuitBuilder.build` resolves labels to dense
+indices and returns an immutable :class:`~repro.circuit.circuit.Circuit`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.circuit.components import (
+    GROUND,
+    BackgroundCharge,
+    Capacitor,
+    NodeKind,
+    NodeRef,
+    Superconductor,
+    TunnelJunction,
+    VoltageSource,
+    canonical_label,
+)
+from repro.circuit.circuit import Circuit
+from repro.errors import CircuitError
+
+
+class CircuitBuilder:
+    """Builds a :class:`~repro.circuit.circuit.Circuit` incrementally.
+
+    Example
+    -------
+    A symmetric SET (the paper's Fig. 1b device)::
+
+        b = CircuitBuilder()
+        b.add_junction("j1", "src", "isl", resistance=1e6, capacitance=1e-18)
+        b.add_junction("j2", "drn", "isl", resistance=1e6, capacitance=1e-18)
+        b.add_capacitor("cg", "gate", "isl", 3e-18)
+        b.add_voltage_source("vs", "src", +0.01)
+        b.add_voltage_source("vd", "drn", -0.01)
+        b.add_voltage_source("vg", "gate", 0.0)
+        circuit = b.build()
+    """
+
+    def __init__(self) -> None:
+        self._junctions: list[TunnelJunction] = []
+        self._capacitors: list[Capacitor] = []
+        self._sources: list[VoltageSource] = []
+        self._charges: list[BackgroundCharge] = []
+        self._superconductor: Superconductor | None = None
+        self._names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # component addition
+    # ------------------------------------------------------------------
+    def _claim_name(self, name: str) -> None:
+        if name in self._names:
+            raise CircuitError(f"duplicate component name {name!r}")
+        self._names.add(name)
+
+    def add_junction(
+        self,
+        name: str,
+        node_a: Hashable,
+        node_b: Hashable,
+        resistance: float,
+        capacitance: float,
+    ) -> "CircuitBuilder":
+        """Add a tunnel junction; returns ``self`` for chaining."""
+        self._claim_name(name)
+        self._junctions.append(
+            TunnelJunction(name, canonical_label(node_a), canonical_label(node_b),
+                           resistance, capacitance)
+        )
+        return self
+
+    def add_capacitor(
+        self, name: str, node_a: Hashable, node_b: Hashable, capacitance: float
+    ) -> "CircuitBuilder":
+        """Add an ordinary capacitor; returns ``self`` for chaining."""
+        self._claim_name(name)
+        self._capacitors.append(
+            Capacitor(name, canonical_label(node_a), canonical_label(node_b), capacitance)
+        )
+        return self
+
+    def add_voltage_source(
+        self, name: str, node: Hashable, voltage: float
+    ) -> "CircuitBuilder":
+        """Pin ``node`` to ``voltage`` volts with an ideal source."""
+        self._claim_name(name)
+        node = canonical_label(node)
+        if any(s.node == node for s in self._sources):
+            raise CircuitError(f"node {node!r} is already driven by a source")
+        self._sources.append(VoltageSource(name, node, voltage))
+        return self
+
+    def add_background_charge(self, node: Hashable, charge_e: float) -> "CircuitBuilder":
+        """Place a fractional background charge (units of ``e``) on an island."""
+        self._charges.append(BackgroundCharge(canonical_label(node), charge_e))
+        return self
+
+    def set_superconductor(self, superconductor: Superconductor | None) -> "CircuitBuilder":
+        """Declare the whole circuit superconducting (or normal for ``None``)."""
+        self._superconductor = superconductor
+        return self
+
+    # ------------------------------------------------------------------
+    # freezing
+    # ------------------------------------------------------------------
+    def _collect_labels(self) -> list[Hashable]:
+        """Labels of nodes touched by junctions or capacitors.
+
+        Sources deliberately do not contribute: a source must drive a
+        node some component actually touches.
+        """
+        labels: list[Hashable] = []
+        seen: set[Hashable] = set()
+
+        def visit(label: Hashable) -> None:
+            if label not in seen and label != GROUND:
+                seen.add(label)
+                labels.append(label)
+
+        for junction in self._junctions:
+            visit(junction.node_a)
+            visit(junction.node_b)
+        for capacitor in self._capacitors:
+            visit(capacitor.node_a)
+            visit(capacitor.node_b)
+        return labels
+
+    def build(self) -> Circuit:
+        """Validate and freeze the circuit.
+
+        Raises :class:`~repro.errors.CircuitError` for empty circuits,
+        sources on unknown nodes, background charge on non-islands, or
+        islands with no capacitive path (singular capacitance matrix).
+        """
+        if not self._junctions:
+            raise CircuitError("circuit has no tunnel junctions")
+
+        labels = self._collect_labels()
+        driven = {s.node for s in self._sources}
+        for source in self._sources:
+            if source.node not in labels:
+                raise CircuitError(
+                    f"source {source.name!r} drives node {source.node!r}, "
+                    "which no component touches"
+                )
+
+        island_labels = [lbl for lbl in labels if lbl not in driven]
+        # ground occupies external slot 0; sources follow in insertion order
+        external_labels = [GROUND] + [s.node for s in self._sources]
+
+        refs: dict[Hashable, NodeRef] = {GROUND: NodeRef(NodeKind.EXTERNAL, 0)}
+        for i, lbl in enumerate(island_labels):
+            refs[lbl] = NodeRef(NodeKind.ISLAND, i)
+        for k, source in enumerate(self._sources):
+            refs[source.node] = NodeRef(NodeKind.EXTERNAL, k + 1)
+
+        for charge in self._charges:
+            ref = refs.get(charge.node)
+            if ref is None:
+                raise CircuitError(
+                    f"background charge on unknown node {charge.node!r}"
+                )
+            if not ref.is_island:
+                raise CircuitError(
+                    f"background charge on node {charge.node!r}, which is "
+                    "externally driven (only islands can hold offset charge)"
+                )
+
+        return Circuit(
+            junctions=tuple(self._junctions),
+            capacitors=tuple(self._capacitors),
+            sources=tuple(self._sources),
+            background_charges=tuple(self._charges),
+            island_labels=tuple(island_labels),
+            external_labels=tuple(external_labels),
+            node_refs=dict(refs),
+            superconductor=self._superconductor,
+        )
+
+
+def build_set(
+    r1: float = 1e6,
+    r2: float = 1e6,
+    c1: float = 1e-18,
+    c2: float = 1e-18,
+    cg: float = 3e-18,
+    vs: float = 0.0,
+    vd: float = 0.0,
+    vg: float = 0.0,
+    background_charge_e: float = 0.0,
+    superconductor: Superconductor | None = None,
+) -> Circuit:
+    """Build the canonical single-electron transistor of Fig. 1a.
+
+    Junction 1 connects the source lead to the island, junction 2 the
+    drain lead to the island, and ``cg`` couples the gate.  Defaults
+    match the paper's Fig. 1b device (1 MOhm, 1 aF, ``Cg = 3`` aF).
+    """
+    builder = CircuitBuilder()
+    builder.add_junction("j1", "source", "island", r1, c1)
+    builder.add_junction("j2", "drain", "island", r2, c2)
+    builder.add_capacitor("cg", "gate", "island", cg)
+    builder.add_voltage_source("vs", "source", vs)
+    builder.add_voltage_source("vd", "drain", vd)
+    builder.add_voltage_source("vg", "gate", vg)
+    if background_charge_e:
+        builder.add_background_charge("island", background_charge_e)
+    builder.set_superconductor(superconductor)
+    return builder.build()
+
+
+def build_junction_array(
+    n_junctions: int,
+    resistance: float = 1e6,
+    capacitance: float = 1e-18,
+    gate_capacitance: float = 0.0,
+    bias: float = 0.0,
+) -> Circuit:
+    """Build a 1-D array of ``n_junctions`` junctions between two leads.
+
+    Arrays are the standard cotunneling testbed: with ``n_junctions >= 2``
+    the interior nodes are islands and sequential transport is blockaded
+    at low bias, leaving cotunneling as the only channel.
+    """
+    if n_junctions < 1:
+        raise CircuitError("array needs at least one junction")
+    builder = CircuitBuilder()
+    nodes: list[Hashable] = ["lead_l"]
+    nodes += [f"isl{i}" for i in range(1, n_junctions)]
+    nodes.append("lead_r")
+    for i in range(n_junctions):
+        builder.add_junction(f"j{i+1}", nodes[i], nodes[i + 1], resistance, capacitance)
+    if gate_capacitance > 0.0:
+        for i in range(1, n_junctions):
+            builder.add_capacitor(f"cg{i}", GROUND, f"isl{i}", gate_capacitance)
+    builder.add_voltage_source("vl", "lead_l", +bias / 2.0)
+    builder.add_voltage_source("vr", "lead_r", -bias / 2.0)
+    return builder.build()
+
+
+def chain_labels(prefix: str, count: int) -> Iterable[str]:
+    """Yield ``count`` node labels ``prefix0 .. prefix{count-1}``."""
+    return (f"{prefix}{i}" for i in range(count))

@@ -1,0 +1,157 @@
+"""Circuit component definitions.
+
+A single-electron circuit is a graph of *nodes* connected by tunnel
+junctions and ordinary capacitors.  Nodes come in two flavours:
+
+* **islands** — floating conductors whose charge changes only by
+  discrete tunnel events (``q = -e * n + q0``);
+* **external nodes** — nodes whose potential is pinned by an ideal
+  voltage source (including ground, which is the external node ``"0"``).
+
+Components reference nodes by *label* (any hashable, conventionally an
+``int`` or ``str``); :class:`~repro.circuit.builder.CircuitBuilder`
+resolves labels into dense indices when the circuit is frozen.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Hashable
+
+from repro.errors import CircuitError
+
+#: Label of the ground node.  Ground is always an external node at 0 V.
+GROUND: str = "0"
+
+
+def canonical_label(label: Hashable) -> Hashable:
+    """Normalise a node label: integer zero becomes the ground label."""
+    if label == 0 or label == "0":
+        return GROUND
+    return label
+
+
+class NodeKind(enum.Enum):
+    """Discriminates island nodes from externally driven nodes."""
+
+    ISLAND = "island"
+    EXTERNAL = "external"
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeRef:
+    """Resolved reference to a node: its kind plus a dense index.
+
+    Islands index into the island arrays (charge state, potentials);
+    external nodes index into the external-voltage vector.  Ground is
+    external index 0 by construction.
+    """
+
+    kind: NodeKind
+    index: int
+
+    @property
+    def is_island(self) -> bool:
+        return self.kind is NodeKind.ISLAND
+
+
+@dataclasses.dataclass(frozen=True)
+class TunnelJunction:
+    """A tunnel junction between ``node_a`` and ``node_b``.
+
+    The junction behaves electrostatically as a capacitor of value
+    ``capacitance`` and supports stochastic electron transfer with the
+    normal-state ``resistance`` entering the orthodox rate (Eq. 1 with
+    ``I(V) = V/R``).  For superconducting circuits the same resistance
+    is the normal-state conductance ``G_nn = 1/R`` of Eq. 3.
+    """
+
+    name: str
+    node_a: Hashable
+    node_b: Hashable
+    resistance: float
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise CircuitError(
+                f"junction {self.name!r}: resistance must be > 0, got {self.resistance}"
+            )
+        if self.capacitance <= 0.0:
+            raise CircuitError(
+                f"junction {self.name!r}: capacitance must be > 0, got {self.capacitance}"
+            )
+        if canonical_label(self.node_a) == canonical_label(self.node_b):
+            raise CircuitError(f"junction {self.name!r} connects a node to itself")
+
+
+@dataclasses.dataclass(frozen=True)
+class Capacitor:
+    """An ordinary (non-tunneling) capacitor between two nodes."""
+
+    name: str
+    node_a: Hashable
+    node_b: Hashable
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise CircuitError(
+                f"capacitor {self.name!r}: capacitance must be > 0, got {self.capacitance}"
+            )
+        if canonical_label(self.node_a) == canonical_label(self.node_b):
+            raise CircuitError(f"capacitor {self.name!r} connects a node to itself")
+
+
+@dataclasses.dataclass(frozen=True)
+class VoltageSource:
+    """An ideal DC voltage source pinning ``node`` to ``voltage`` volts.
+
+    Sources are node-to-ground, matching the ``vdc`` directive of the
+    SEMSIM input format.  The driven node becomes an external node.
+    """
+
+    name: str
+    node: Hashable
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if canonical_label(self.node) == GROUND:
+            raise CircuitError(f"source {self.name!r} may not drive the ground node")
+
+
+@dataclasses.dataclass(frozen=True)
+class BackgroundCharge:
+    """A fractional offset charge ``q0 = charge_e * e`` on an island.
+
+    Background charges model stray charge in the substrate (the ``charge``
+    directive; Fig. 5 uses ``Qb = 0.65 e``).
+    """
+
+    node: Hashable
+    charge_e: float
+
+    def __post_init__(self) -> None:
+        if canonical_label(self.node) == GROUND:
+            raise CircuitError("background charge may not sit on the ground node")
+
+
+@dataclasses.dataclass(frozen=True)
+class Superconductor:
+    """Superconducting material parameters shared by a whole circuit.
+
+    ``delta0`` is the zero-temperature gap in joules and ``tc`` the
+    critical temperature in kelvin.  The paper's circuits are either
+    fully superconducting or fully normal (Sec. III); mixing is rejected
+    by the builder.
+    """
+
+    delta0: float
+    tc: float
+
+    def __post_init__(self) -> None:
+        if self.delta0 <= 0.0:
+            raise CircuitError(f"superconducting gap must be > 0, got {self.delta0}")
+        if self.tc <= 0.0:
+            raise CircuitError(f"critical temperature must be > 0, got {self.tc}")

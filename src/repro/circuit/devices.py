@@ -1,0 +1,136 @@
+"""Library of canonical single-electron devices.
+
+Beyond the SET of Fig. 1, the paper's introduction motivates the whole
+device family this simulator serves: electron boxes (charge counting),
+traps and memory cells [5, 6], and pumps/turnstiles.  Each builder
+returns a frozen :class:`~repro.circuit.circuit.Circuit` with
+conventional node and source names, ready for the Monte Carlo engine or
+the master-equation solver.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import GROUND, Superconductor
+from repro.errors import CircuitError
+
+
+def build_single_electron_box(
+    resistance: float = 1e6,
+    junction_capacitance: float = 1e-18,
+    gate_capacitance: float = 2e-18,
+    gate_voltage: float = 0.0,
+    background_charge_e: float = 0.0,
+    superconductor: Superconductor | None = None,
+) -> Circuit:
+    """A single-electron box: one junction, one island, one gate.
+
+    The box has no transport, only charge state: sweeping the gate
+    produces the Coulomb staircase — island occupancy jumps by one
+    electron each time the induced charge crosses a half-integer.
+    """
+    builder = CircuitBuilder()
+    builder.add_junction("j1", "reservoir", "island", resistance,
+                         junction_capacitance)
+    builder.add_capacitor("cg", "gate", "island", gate_capacitance)
+    builder.add_voltage_source("vres", "reservoir", 0.0)
+    builder.add_voltage_source("vg", "gate", gate_voltage)
+    if background_charge_e:
+        builder.add_background_charge("island", background_charge_e)
+    builder.set_superconductor(superconductor)
+    return builder.build()
+
+
+def build_electron_trap(
+    n_junctions: int = 3,
+    resistance: float = 1e6,
+    junction_capacitance: float = 1e-18,
+    trap_capacitance: float = 20e-18,
+    island_gate_capacitance: float = 0.5e-18,
+    gate_voltage: float = 0.0,
+    bias_voltage: float = 0.0,
+) -> Circuit:
+    """A multi-junction electron trap / memory cell [5, 6].
+
+    A chain of small islands separates a reservoir from a large storage
+    island.  The chain's charging energy forms a barrier, so the trap
+    holds its electron count metastably — write operations need a gate
+    pulse that tilts the energy landscape.  Node names: ``res``
+    (reservoir lead), ``m1..m{n-1}`` (barrier islands), ``trap``.
+    """
+    if n_junctions < 2:
+        raise CircuitError("a trap needs at least 2 junctions for a barrier")
+    builder = CircuitBuilder()
+    nodes = ["res"] + [f"m{i}" for i in range(1, n_junctions)] + ["trap"]
+    for i in range(n_junctions):
+        builder.add_junction(
+            f"j{i+1}", nodes[i], nodes[i + 1], resistance, junction_capacitance
+        )
+    for i in range(1, n_junctions):
+        builder.add_capacitor(
+            f"cm{i}", GROUND, f"m{i}", island_gate_capacitance
+        )
+    builder.add_capacitor("ct", "gate", "trap", trap_capacitance)
+    builder.add_voltage_source("vres", "res", bias_voltage)
+    builder.add_voltage_source("vg", "gate", gate_voltage)
+    return builder.build()
+
+
+def build_electron_pump(
+    resistance: float = 1e6,
+    junction_capacitance: float = 1e-18,
+    gate_capacitance: float = 2e-18,
+    bias_voltage: float = 0.0,
+) -> Circuit:
+    """A three-junction, two-island electron pump.
+
+    Driving the two island gates with phase-shifted signals moves
+    exactly one electron per cycle from ``lead_l`` to ``lead_r`` — the
+    classic quantised-current experiment.  Gates are the sources
+    ``vg1``/``vg2``; the engine's ``set_sources`` steps them through a
+    pumping cycle.
+    """
+    builder = CircuitBuilder()
+    builder.add_junction("j1", "lead_l", "isl1", resistance, junction_capacitance)
+    builder.add_junction("j2", "isl1", "isl2", resistance, junction_capacitance)
+    builder.add_junction("j3", "isl2", "lead_r", resistance, junction_capacitance)
+    builder.add_capacitor("cg1", "gate1", "isl1", gate_capacitance)
+    builder.add_capacitor("cg2", "gate2", "isl2", gate_capacitance)
+    builder.add_voltage_source("vl", "lead_l", +bias_voltage / 2.0)
+    builder.add_voltage_source("vr", "lead_r", -bias_voltage / 2.0)
+    builder.add_voltage_source("vg1", "gate1", 0.0)
+    builder.add_voltage_source("vg2", "gate2", 0.0)
+    return builder.build()
+
+
+def pump_cycle_voltages(
+    gate_capacitance: float = 2e-18,
+    n_points: int = 12,
+    center: tuple[float, float] = (0.4, 0.4),
+    radius: float = 0.25,
+) -> list[dict[str, float]]:
+    """Gate-voltage sequence for one quasi-static pump cycle.
+
+    The two island gate charges trace a circle in the ``(q1, q2)``
+    stability plane (units of ``e``).  Quantised pumping requires the
+    orbit to encircle exactly one triple point of the double-dot
+    honeycomb; the default orbit rings the lower triple point of the
+    default pump and moves **one electron per cycle** from the left
+    lead to the right one at zero bias (reverse the orbit to reverse
+    the current).
+    """
+    if n_points < 4:
+        raise CircuitError("a pump cycle needs at least 4 points")
+    import math
+
+    from repro.constants import E_CHARGE
+
+    e_over_cg = E_CHARGE / gate_capacitance
+    points = []
+    for k in range(n_points):
+        phase = 2.0 * math.pi * k / n_points
+        q1 = center[0] + radius * math.cos(phase)
+        q2 = center[1] + radius * math.sin(phase)
+        points.append({"vg1": q1 * e_over_cg, "vg2": q2 * e_over_cg})
+    return points

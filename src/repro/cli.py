@@ -1,0 +1,137 @@
+"""Command-line front end (``python -m repro``).
+
+The original SEMSIM was driven from input decks on the command line;
+this CLI reproduces that workflow:
+
+``python -m repro run deck.txt``
+    Parse a SEMSIM input deck, run the simulation it describes (sweep
+    or single operating point) and print/save the I-V results.
+``python -m repro info deck.txt``
+    Parse and validate a deck, reporting the circuit statistics.
+``python -m repro benchmark 74LS138``
+    Build one of the paper's logic benchmarks and report its size.
+``python -m repro benchmarks``
+    List all fifteen paper benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import SemsimError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SEMSIM reproduction: single-electron circuit simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a SEMSIM input deck")
+    run.add_argument("deck", type=Path, help="path to the input deck")
+    run.add_argument(
+        "--solver", choices=("adaptive", "nonadaptive"), default="adaptive"
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--output", type=Path, default=None,
+        help="write the sweep as CSV instead of printing it",
+    )
+
+    info = sub.add_parser("info", help="parse and describe a deck")
+    info.add_argument("deck", type=Path)
+
+    bench = sub.add_parser("benchmark", help="build a paper logic benchmark")
+    bench.add_argument("name", help="benchmark name, e.g. '74LS138'")
+
+    sub.add_parser("benchmarks", help="list the paper's 15 benchmarks")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from repro.netlist import parse_semsim
+
+    deck = parse_semsim(args.deck.read_text())
+    curve = deck.run(solver=args.solver, seed=args.seed)
+    lines = ["sweep_voltage_V,current_A"]
+    lines += [f"{v:.9g},{i:.9g}" for v, i in zip(curve.voltages, curve.currents)]
+    text = "\n".join(lines) + "\n"
+    if args.output is not None:
+        args.output.write_text(text)
+        print(f"wrote {len(curve.voltages)} points to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.netlist import parse_semsim
+
+    deck = parse_semsim(args.deck.read_text())
+    circuit = deck.build_circuit()
+    print(f"deck: {args.deck}")
+    print(f"  junctions:      {circuit.n_junctions}")
+    print(f"  islands:        {circuit.n_islands}")
+    print(f"  sources:        {len(circuit.sources)}")
+    print(f"  temperature:    {deck.temperature} K")
+    print(f"  cotunneling:    {'on' if deck.cotunnel else 'off'}")
+    print(f"  superconductor: "
+          f"{'yes' if deck.superconductor is not None else 'no'}")
+    if deck.sweep is not None:
+        print(
+            f"  sweep:          node {deck.sweep.node} "
+            f"+-{deck.sweep.maximum} V step {deck.sweep.step} V"
+        )
+    return 0
+
+
+def _cmd_benchmark(args) -> int:
+    from repro.logic import build_benchmark
+
+    mapped = build_benchmark(args.name)
+    print(f"benchmark: {mapped.netlist.name}")
+    print(f"  SET devices: {mapped.n_sets}")
+    print(f"  junctions:   {mapped.n_junctions}")
+    print(f"  islands:     {mapped.circuit.n_islands}")
+    print(f"  gates:       {len(mapped.netlist.gates)} (after mapping)")
+    print(f"  inputs:      {len(mapped.netlist.inputs)}")
+    print(f"  outputs:     {len(mapped.netlist.outputs)}")
+    return 0
+
+
+def _cmd_benchmarks() -> int:
+    from repro.logic import BENCHMARKS
+
+    print("paper benchmarks (Figs. 6-7):")
+    for spec in BENCHMARKS:
+        print(f"  {spec.name:18s} {spec.junctions:5d} junctions  "
+              f"({spec.description})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "info":
+            return _cmd_info(args)
+        if args.command == "benchmark":
+            return _cmd_benchmark(args)
+        if args.command == "benchmarks":
+            return _cmd_benchmarks()
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SemsimError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

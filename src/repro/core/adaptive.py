@@ -1,0 +1,435 @@
+"""The adaptive Monte Carlo solver (Algorithm 1 — the paper's
+contribution).
+
+After a tunnel event only the junctions whose electrostatic environment
+changed appreciably have their rates recomputed:
+
+1. the potential change ``dv`` caused by the event is known in closed
+   form (``C^-1`` columns), so island potentials stay *exact*;
+2. starting from the junctions nearest the event, each tested junction
+   ``i`` accumulates the potential change across it into a testing
+   factor ``b(i) = b0(i) + dP_n1 - dP_n2``;
+3. if ``e*|b(i)|`` exceeds ``lambda`` times the magnitude of either
+   reference free-energy change stored when the junction's rate was
+   last computed — additionally capped at ``lambda * cap * kT``, which
+   bounds the *log-rate* staleness of thermally activated junctions
+   (see :class:`~repro.core.config.SimulationConfig`) — the junction is
+   flagged for recalculation and its neighbours are tested too
+   (breadth-first), otherwise the accumulated factor is kept for next
+   time;
+4. every ``full_refresh_interval`` events all rates are recomputed,
+   bounding the cumulative error.
+
+Secondary channels (cotunneling, Cooper pairs) are recomputed every
+iteration from the exact potentials, exactly as the paper prescribes
+("a non-adaptive solver is used to calculate the tunnel rate
+information specific to these effects").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.electrostatics import Electrostatics
+from repro.circuit.junction_table import JunctionTable
+from repro.constants import E_CHARGE, K_B
+from repro.core.base import BaseSolver
+from repro.core.config import SimulationConfig
+from repro.core.event_solver import draw_time
+from repro.core.events import EventKind, TunnelEvent
+from repro.core.pairtree import PairRateTree
+from repro.physics.orthodox import orthodox_rates_both
+from repro.physics.rates import TunnelingModel
+
+
+class AdaptiveSolver(BaseSolver):
+    """Selective-update MC solver (the paper's Algorithm 1)."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        electrostatics: Electrostatics,
+        junction_table: JunctionTable,
+        model: TunnelingModel,
+        config: SimulationConfig,
+        rng: np.random.Generator,
+        initial_occupation: np.ndarray | None = None,
+    ):
+        super().__init__(
+            circuit, electrostatics, junction_table, model, config, rng,
+            initial_occupation,
+        )
+        self._neighbors = circuit.junction_neighbors()
+        self._neighbor_arrays = [
+            np.asarray(nbrs, dtype=np.intp) for nbrs in self._neighbors
+        ]
+        self._zero_ext = np.zeros(circuit.n_external)
+        # plain-Python endpoint views for the scalar hot path (numpy
+        # element access is several times slower than list access)
+        self._a_isl_list = junction_table.a_is_island.tolist()
+        self._a_idx_list = junction_table.a_index.tolist()
+        self._b_isl_list = junction_table.b_is_island.tolist()
+        self._b_idx_list = junction_table.b_index.tolist()
+        self._resistance_list = junction_table.resistance.tolist()
+        self._charging_list = (
+            0.5 * E_CHARGE * E_CHARGE * junction_table.charging
+        ).tolist()
+        # O(log J) sampling tree, usable when the only channels are the
+        # sequential pairs (secondary channels are recomputed globally
+        # every iteration anyway, so they keep the plain path)
+        self._fast = not (
+            model.include_cooper_pairs or model.include_cotunneling
+        )
+        self._tree: PairRateTree | None = None
+        # cap on the testing threshold (energy): bounds the log-rate
+        # staleness of thermally activated junctions at lambda * cap
+        self._energy_cap = (
+            config.adaptive_thermal_cap * K_B * model.temperature
+            if model.temperature > 0.0
+            else float("inf")
+        )
+        self._a_is_island = junction_table.a_is_island
+        self._a_index = junction_table.a_index
+        self._b_is_island = junction_table.b_is_island
+        self._b_index = junction_table.b_index
+        self._b0 = np.zeros(self.n_junctions)
+        self._events_since_refresh = 0
+        self._v = np.zeros(circuit.n_islands)
+        self._dw_fw = np.zeros(self.n_junctions)
+        self._dw_bw = np.zeros(self.n_junctions)
+        self._seq_fw = np.zeros(self.n_junctions)
+        self._seq_bw = np.zeros(self.n_junctions)
+        self._full_refresh()
+
+    # ------------------------------------------------------------------
+    # cache maintenance
+    # ------------------------------------------------------------------
+    def _full_refresh(self) -> None:
+        """Recompute potentials, free energies and all sequential rates."""
+        self._v = self.stat.potentials(self.occupation, self.vext)
+        self.stats.potential_solves += 1
+        self._dw_fw, self._dw_bw = self.table.free_energy_changes(self._v, self.vext)
+        self._seq_fw, self._seq_bw = self.model.sequential_rates(
+            self._dw_fw, self._dw_bw
+        )
+        self.stats.sequential_rate_evaluations += 2 * self.n_junctions
+        self.stats.full_refreshes += 1
+        self._b0[:] = 0.0
+        self._events_since_refresh = 0
+        if self._fast:
+            if self._tree is None:
+                self._tree = PairRateTree(self._seq_fw, self._seq_bw)
+            else:
+                self._tree.rebuild(self._seq_fw, self._seq_bw)
+
+    def _recompute_junctions(self, indices) -> None:
+        """Recompute free energies and rates for flagged junctions only."""
+        if (
+            not self.model.superconducting
+            and isinstance(indices, list)
+            and len(indices) <= 64
+        ):
+            self._recompute_scalar(indices)
+            return
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size == 0:
+            return
+        phi_a = np.where(
+            self._a_is_island[idx],
+            self._v[np.minimum(self._a_index[idx], len(self._v) - 1)],
+            self.vext[np.minimum(self._a_index[idx], len(self.vext) - 1)],
+        )
+        phi_b = np.where(
+            self._b_is_island[idx],
+            self._v[np.minimum(self._b_index[idx], len(self._v) - 1)],
+            self.vext[np.minimum(self._b_index[idx], len(self.vext) - 1)],
+        )
+        drop = phi_b - phi_a
+        self_energy = 0.5 * E_CHARGE * E_CHARGE * self.table.charging[idx]
+        dw_fw = -E_CHARGE * drop + self_energy
+        dw_bw = +E_CHARGE * drop + self_energy
+        self._dw_fw[idx] = dw_fw
+        self._dw_bw[idx] = dw_bw
+        if not self.model.superconducting:
+            fw, bw = orthodox_rates_both(
+                dw_fw, dw_bw, self.table.resistance[idx], self.model.temperature
+            )
+            self._seq_fw[idx] = fw
+            self._seq_bw[idx] = bw
+        else:
+            for pos, j in enumerate(idx):
+                j = int(j)
+                self._seq_fw[j] = self.model.sequential_rate_single(j, dw_fw[pos])
+                self._seq_bw[j] = self.model.sequential_rate_single(j, dw_bw[pos])
+        self._b0[idx] = 0.0
+        if self._tree is not None:
+            fw_arr, bw_arr = self._seq_fw, self._seq_bw
+            update = self._tree.update
+            for j in idx:
+                j = int(j)
+                update(j, fw_arr[j] + bw_arr[j])
+        self.stats.sequential_rate_evaluations += 2 * idx.size
+        self.stats.flagged_recalculations += idx.size
+
+    def _recompute_scalar(self, indices: list) -> None:
+        """Scalar-math recompute for the few junctions a tunnel event
+        flags (normal-state circuits); avoids numpy's small-array
+        overhead in the hot path."""
+        kt = K_B * self.model.temperature
+        e = E_CHARGE
+        v = self._v
+        vext = self.vext
+        a_isl, a_idx = self._a_isl_list, self._a_idx_list
+        b_isl, b_idx = self._b_isl_list, self._b_idx_list
+        charging = self._charging_list
+        resistance = self._resistance_list
+        fw_arr, bw_arr = self._seq_fw, self._seq_bw
+        dwf_arr, dwb_arr = self._dw_fw, self._dw_bw
+        tree = self._tree
+        e2 = e * e
+
+        for i in indices:
+            phi_a = v[a_idx[i]] if a_isl[i] else vext[a_idx[i]]
+            phi_b = v[b_idx[i]] if b_isl[i] else vext[b_idx[i]]
+            drop = phi_b - phi_a
+            self_energy = charging[i]
+            dwf = -e * drop + self_energy
+            dwb = +e * drop + self_energy
+            denominator = e2 * resistance[i]
+            if kt > 0.0:
+                x = dwf / kt
+                if x > 500.0:
+                    fw = 0.0
+                elif -1e-12 < x < 1e-12:
+                    fw = kt / denominator
+                else:
+                    fw = dwf / math.expm1(x) / denominator
+                x = dwb / kt
+                if x > 500.0:
+                    bw = 0.0
+                elif -1e-12 < x < 1e-12:
+                    bw = kt / denominator
+                else:
+                    bw = dwb / math.expm1(x) / denominator
+            else:
+                fw = -dwf / denominator if dwf < 0.0 else 0.0
+                bw = -dwb / denominator if dwb < 0.0 else 0.0
+            dwf_arr[i] = dwf
+            dwb_arr[i] = dwb
+            fw_arr[i] = fw
+            bw_arr[i] = bw
+            self._b0[i] = 0.0
+            if tree is not None:
+                tree.update(i, fw + bw)
+        self.stats.sequential_rate_evaluations += 2 * len(indices)
+        self.stats.flagged_recalculations += len(indices)
+
+    def _frontier_potential_change(
+        self, frontier: np.ndarray, dv: np.ndarray, dvext: np.ndarray
+    ) -> np.ndarray:
+        """Change of ``phi_b - phi_a`` across each frontier junction."""
+        b_isl = self._b_is_island[frontier]
+        a_isl = self._a_is_island[frontier]
+        b_idx = self._b_index[frontier]
+        a_idx = self._a_index[frontier]
+        change = np.where(
+            b_isl, dv[np.minimum(b_idx, len(dv) - 1)],
+            dvext[np.minimum(b_idx, len(dvext) - 1)],
+        )
+        change -= np.where(
+            a_isl, dv[np.minimum(a_idx, len(dv) - 1)],
+            dvext[np.minimum(a_idx, len(dvext) - 1)],
+        )
+        return change
+
+    def _adaptive_update(
+        self, dv: np.ndarray, dvext: np.ndarray | None, seeds
+    ) -> None:
+        """Algorithm 1: test, flag, and selectively recompute.
+
+        The per-event walk touches a few dozen junctions; a tightly
+        bound scalar loop beats vectorisation at that size.  Large
+        seed sets (stimulus changes test every junction) take the
+        vectorised frontier path instead.
+        """
+        if len(seeds) > 256:
+            self._adaptive_update_vector(dv, dvext, seeds)
+            return
+        lam = self.config.adaptive_threshold
+        scale = lam / E_CHARGE
+        cap = self._energy_cap
+        b0 = self._b0
+        dw_fw, dw_bw = self._dw_fw, self._dw_bw
+        a_isl, a_idx = self._a_isl_list, self._a_idx_list
+        b_isl, b_idx = self._b_isl_list, self._b_idx_list
+        neighbors = self._neighbors
+        dv_list = dv  # numpy scalar access; dv is dense and small-ish
+        ext = dvext
+        visited: set[int] = set()
+        flagged: list[int] = []
+        queue = list(seeds)
+        head = 0
+        while head < len(queue):
+            i = queue[head]
+            head += 1
+            if i in visited:
+                continue
+            visited.add(i)
+            change = 0.0
+            if b_isl[i]:
+                change += dv_list[b_idx[i]]
+            elif ext is not None:
+                change += ext[b_idx[i]]
+            if a_isl[i]:
+                change -= dv_list[a_idx[i]]
+            elif ext is not None:
+                change -= ext[a_idx[i]]
+            b = b0[i] + change
+            fw = dw_fw[i]
+            bw = dw_bw[i]
+            limit = fw if fw >= 0 else -fw
+            other = bw if bw >= 0 else -bw
+            if other < limit:
+                limit = other
+            if cap < limit:
+                limit = cap
+            if abs(b) >= scale * limit:
+                flagged.append(i)
+                queue.extend(neighbors[i])
+            else:
+                b0[i] = b
+        if flagged:
+            self._recompute_junctions(flagged)
+
+    def _adaptive_update_vector(
+        self, dv: np.ndarray, dvext: np.ndarray | None, seeds
+    ) -> None:
+        """Vectorised variant for wide fronts (source/stimulus changes)."""
+        lam = self.config.adaptive_threshold
+        if dvext is None:
+            dvext = self._zero_ext
+        visited = np.zeros(self.n_junctions, dtype=bool)
+        flagged_parts: list[np.ndarray] = []
+        frontier = np.unique(np.asarray(seeds, dtype=np.intp))
+        while frontier.size:
+            frontier = frontier[~visited[frontier]]
+            if not frontier.size:
+                break
+            visited[frontier] = True
+            b = self._b0[frontier] + self._frontier_potential_change(
+                frontier, dv, dvext
+            )
+            threshold = lam * np.minimum(
+                np.minimum(
+                    np.abs(self._dw_fw[frontier]),
+                    np.abs(self._dw_bw[frontier]),
+                ),
+                self._energy_cap,
+            )
+            flag_mask = E_CHARGE * np.abs(b) >= threshold
+            flagged = frontier[flag_mask]
+            kept = frontier[~flag_mask]
+            self._b0[kept] = b[~flag_mask]
+            if flagged.size:
+                flagged_parts.append(flagged)
+                frontier = np.unique(
+                    np.concatenate(
+                        [self._neighbor_arrays[j] for j in flagged]
+                    )
+                )
+            else:
+                break
+        if flagged_parts:
+            self._recompute_junctions(np.concatenate(flagged_parts))
+
+    # ------------------------------------------------------------------
+    # solver interface
+    # ------------------------------------------------------------------
+    def step(self, deadline: float | None = None) -> TunnelEvent | None:
+        if self._fast:
+            event = self._select_fast(deadline)
+        else:
+            secondary_rates, payloads = self._secondary_rates(self._v)
+            event = self._select_and_apply(
+                self._seq_fw, self._seq_bw, secondary_rates, payloads,
+                self._dw_fw, self._dw_bw, deadline=deadline,
+            )
+        if event is None:
+            return None
+        ref_a, ref_b = self._event_endpoints(event)
+        dq = -E_CHARGE * event.n_electrons
+        dv = self.stat.potential_update(ref_a, ref_b, dq)
+        self._v += dv
+
+        self._events_since_refresh += 1
+        if self._events_since_refresh >= self.config.full_refresh_interval:
+            self._full_refresh()
+            return event
+
+        seeds = self._event_seeds(event)
+        self._adaptive_update(dv, None, seeds)
+        return event
+
+    def _select_fast(self, deadline: float | None = None) -> TunnelEvent | None:
+        """Sequential-only event draw through the O(log J) pair tree."""
+        tree = self._tree
+        total = tree.total
+        if deadline is not None and total <= 0.0:
+            self._advance_time(deadline - self.time)
+            return None
+        dt = draw_time(total, self.rng)
+        if deadline is not None and self.time + dt > deadline:
+            self._advance_time(deadline - self.time)
+            return None
+        target = self.rng.random() * total
+        j, residual = tree.sample(target)
+        if residual < self._seq_fw[j]:
+            event = TunnelEvent(
+                EventKind.SEQUENTIAL, j, +1, 1, float(self._dw_fw[j])
+            )
+        else:
+            event = TunnelEvent(
+                EventKind.SEQUENTIAL, j, -1, 1, float(self._dw_bw[j])
+            )
+        self._advance_time(dt)
+        self.stats.events += 1
+        self._apply_event(event)
+        return event
+
+    def _event_seeds(self, event: TunnelEvent) -> list[int]:
+        """Junctions nearest the tunnel event: the event junction(s)
+        themselves plus their immediate neighbours (Fig. 4)."""
+        if event.path is not None:
+            starts = [event.path.junction_in, event.path.junction_out]
+        else:
+            starts = [event.junction]
+        seeds = list(starts)
+        for j in starts:
+            seeds.extend(self._neighbors[j])
+        return seeds
+
+    def set_external_voltages(self, vext: np.ndarray) -> None:
+        """React to a stimulus/sweep change of the source voltages.
+
+        The island potential response is exact (``dv = C^-1 C_x dV``).
+        Every junction is *tested* against its accumulated threshold —
+        an input can perturb junctions it only touches capacitively
+        (logic inputs drive gate capacitors, not junctions), so seeding
+        from junction-connected nodes alone would leave stale rates
+        behind.  Testing is the cheap part of Algorithm 1; only the
+        junctions that fail the test are recomputed.
+        """
+        vext = np.asarray(vext, dtype=float)
+        dvext = vext - self.vext
+        if not np.any(dvext):
+            return
+        dv = self.stat.source_potential_update(dvext)
+        self._v += dv
+        self.vext = vext.copy()
+        self._adaptive_update(dv, dvext, list(range(self.n_junctions)))
+
+    def potentials(self) -> np.ndarray:
+        return self._v

@@ -1,0 +1,280 @@
+"""Shared machinery of the adaptive and non-adaptive MC solvers."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.electrostatics import Electrostatics
+from repro.circuit.junction_table import JunctionTable
+from repro.constants import E_CHARGE
+from repro.core.config import SimulationConfig
+from repro.core.event_solver import draw_time
+from repro.core.events import EventKind, TunnelEvent
+from repro.errors import SimulationError
+from repro.physics.rates import TunnelingModel
+
+
+@dataclasses.dataclass
+class SolverStats:
+    """Work counters used by the performance benches (Fig. 6).
+
+    ``sequential_rate_evaluations`` counts single-electron tunnel-rate
+    computations — the quantity the adaptive algorithm exists to reduce;
+    ``secondary_rate_evaluations`` counts cotunneling/Cooper-pair rate
+    computations, which are always performed non-adaptively (Sec. III-B).
+    """
+
+    events: int = 0
+    sequential_rate_evaluations: int = 0
+    secondary_rate_evaluations: int = 0
+    potential_solves: int = 0
+    full_refreshes: int = 0
+    flagged_recalculations: int = 0
+
+
+class BaseSolver:
+    """State and helpers common to both Monte Carlo solvers.
+
+    Subclasses implement :meth:`step` (simulate one tunnel event) and
+    :meth:`set_external_voltages` (react to stimulus changes).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        electrostatics: Electrostatics,
+        junction_table: JunctionTable,
+        model: TunnelingModel,
+        config: SimulationConfig,
+        rng: np.random.Generator,
+        initial_occupation: np.ndarray | None = None,
+    ):
+        self.circuit = circuit
+        self.stat = electrostatics
+        self.table = junction_table
+        self.model = model
+        self.config = config
+        self.rng = rng
+        self.resolved = circuit.resolved_junctions()
+        self.n_junctions = circuit.n_junctions
+
+        if initial_occupation is None:
+            self.occupation = np.zeros(circuit.n_islands, dtype=np.int64)
+        else:
+            occ = np.asarray(initial_occupation)
+            if occ.shape != (circuit.n_islands,):
+                raise SimulationError(
+                    f"initial occupation must have shape ({circuit.n_islands},), "
+                    f"got {occ.shape}"
+                )
+            self.occupation = occ.astype(np.int64).copy()
+        self.vext = circuit.external_voltages()
+        self.time = 0.0
+        # Kahan compensation for the simulated clock: a sweep can dwell
+        # ~1e5 simulated seconds in deep blockade and then resolve
+        # ~1e-11 s steps at high bias — naive accumulation would round
+        # those steps away and corrupt every windowed current estimate.
+        self._time_compensation = 0.0
+        # measurement stopwatch: after an astronomically long blockade
+        # dwell the absolute clock cannot represent nanosecond windows
+        # at all, so windowed estimates accumulate their own elapsed
+        # time from zero
+        self.window_elapsed = 0.0
+        self._window_compensation = 0.0
+        #: signed electron count through each junction (+ = node_a -> node_b)
+        self.flux = np.zeros(self.n_junctions, dtype=np.int64)
+        self.stats = SolverStats()
+
+    # ------------------------------------------------------------------
+    # secondary (always non-adaptive) channels
+    # ------------------------------------------------------------------
+    def _secondary_rates(self, v: np.ndarray) -> tuple[np.ndarray, list]:
+        """Rates and payloads for Cooper-pair and cotunneling events.
+
+        Returns a rate vector plus a parallel list of
+        ``(kind, junction_or_path, direction, dw)`` payload tuples.
+        """
+        rates: list[np.ndarray] = []
+        payloads: list = []
+        if self.model.include_cooper_pairs:
+            dw_fw, dw_bw = self.table.free_energy_changes(
+                v, self.vext, dq=-2.0 * E_CHARGE
+            )
+            cp_fw, cp_bw = self.model.cooper_pair_rates(dw_fw, dw_bw)
+            rates.append(cp_fw)
+            rates.append(cp_bw)
+            payloads.extend(
+                (EventKind.COOPER_PAIR, j, +1, dw_fw[j])
+                for j in range(self.n_junctions)
+            )
+            payloads.extend(
+                (EventKind.COOPER_PAIR, j, -1, dw_bw[j])
+                for j in range(self.n_junctions)
+            )
+            self.stats.secondary_rate_evaluations += 2 * self.n_junctions
+        if self.model.include_cotunneling and self.model.paths:
+            cot = np.empty(len(self.model.paths))
+            for k, path in enumerate(self.model.paths):
+                dw_total = self.stat.free_energy_change(
+                    path.ref_a, path.ref_b, v, self.vext
+                )
+                e1 = self.stat.free_energy_change(
+                    path.ref_a, path.ref_m, v, self.vext
+                )
+                e2 = self.stat.free_energy_change(
+                    path.ref_m, path.ref_b, v, self.vext
+                )
+                cot[k] = self.model.cotunneling_rate_for_path(path, dw_total, e1, e2)
+                payloads.append((EventKind.COTUNNELING, path, +1, dw_total))
+            rates.append(cot)
+            self.stats.secondary_rate_evaluations += len(self.model.paths)
+        if rates:
+            return np.concatenate(rates), payloads
+        return np.zeros(0), payloads
+
+    # ------------------------------------------------------------------
+    # event realisation
+    # ------------------------------------------------------------------
+    def _select_and_apply(
+        self,
+        seq_fw: np.ndarray,
+        seq_bw: np.ndarray,
+        secondary_rates: np.ndarray,
+        secondary_payloads: list,
+        seq_dw_fw: np.ndarray,
+        seq_dw_bw: np.ndarray,
+        deadline: float | None = None,
+    ) -> TunnelEvent | None:
+        """Draw the residence time and the event, then mutate the state.
+
+        Selection runs over junction *pairs* first (forward/backward
+        resolved inside the chosen pair) and secondary channels after —
+        the same ordering the adaptive solver's sampling tree uses, so
+        the two solvers walk identical trajectories at a zero adaptive
+        threshold.
+
+        With a ``deadline`` (piecewise-constant AC drive), an event
+        drawn beyond it is *discarded* and the clock advances to the
+        deadline instead — valid because the exponential residence time
+        is memoryless, and required because the rates change there.
+        """
+        pair = seq_fw + seq_bw
+        pair_total = float(np.sum(pair))
+        secondary_total = float(np.sum(secondary_rates)) if len(
+            secondary_rates
+        ) else 0.0
+        total = pair_total + secondary_total
+        if deadline is not None and total <= 0.0:
+            # frozen under the current drive: nothing can happen until
+            # the sources move again
+            self._advance_time(deadline - self.time)
+            return None
+        dt = draw_time(total, self.rng)
+        if deadline is not None and self.time + dt > deadline:
+            self._advance_time(deadline - self.time)
+            return None
+        target = self.rng.random() * total
+
+        if target < pair_total or not secondary_payloads:
+            cumulative = np.cumsum(pair)
+            j = int(np.searchsorted(cumulative, target, side="right"))
+            j = min(j, self.n_junctions - 1)
+            residual = target - (cumulative[j - 1] if j else 0.0)
+            if residual < seq_fw[j]:
+                event = TunnelEvent(
+                    EventKind.SEQUENTIAL, j, +1, 1, float(seq_dw_fw[j])
+                )
+            else:
+                event = TunnelEvent(
+                    EventKind.SEQUENTIAL, j, -1, 1, float(seq_dw_bw[j])
+                )
+        else:
+            cumulative = np.cumsum(secondary_rates)
+            index = int(
+                np.searchsorted(cumulative, target - pair_total, side="right")
+            )
+            index = min(index, len(secondary_payloads) - 1)
+            kind, payload, direction, dw = secondary_payloads[index]
+            if kind is EventKind.COTUNNELING:
+                event = TunnelEvent(
+                    kind, payload.junction_in, payload.direction_in, 1,
+                    float(dw), path=payload,
+                )
+            else:
+                event = TunnelEvent(kind, payload, direction, 2, float(dw))
+
+        self._advance_time(dt)
+        self.stats.events += 1
+        self._apply_event(event)
+        return event
+
+    def _advance_time(self, dt: float) -> None:
+        """Kahan-compensated advance of both clocks."""
+        y = dt - self._time_compensation
+        t = self.time + y
+        self._time_compensation = (t - self.time) - y
+        self.time = t
+        y = dt - self._window_compensation
+        t = self.window_elapsed + y
+        self._window_compensation = (t - self.window_elapsed) - y
+        self.window_elapsed = t
+
+    def reset_window(self) -> None:
+        """Restart the measurement stopwatch."""
+        self.window_elapsed = 0.0
+        self._window_compensation = 0.0
+
+    def _event_endpoints(self, event: TunnelEvent):
+        """Source and destination node refs of the net charge transfer."""
+        if event.kind is EventKind.COTUNNELING:
+            assert event.path is not None
+            return event.path.ref_a, event.path.ref_b
+        rj = self.resolved[event.junction]
+        if event.direction > 0:
+            return rj.ref_a, rj.ref_b
+        return rj.ref_b, rj.ref_a
+
+    def _apply_event(self, event: TunnelEvent) -> None:
+        """Update occupations and junction flux counters."""
+        ref_a, ref_b = self._event_endpoints(event)
+        if ref_a.is_island:
+            self.occupation[ref_a.index] -= event.n_electrons
+        if ref_b.is_island:
+            self.occupation[ref_b.index] += event.n_electrons
+        for junction, electrons in event.flux_contributions():
+            self.flux[junction] += electrons
+
+    # ------------------------------------------------------------------
+    # interface for subclasses
+    # ------------------------------------------------------------------
+    def step(self, deadline: float | None = None) -> TunnelEvent | None:
+        """Simulate one tunnel event (or advance to ``deadline``).
+
+        Returns ``None`` when a deadline was given and the next event
+        would have fallen beyond it — the clock then sits exactly at
+        the deadline with no state change.
+        """
+        raise NotImplementedError
+
+    def set_external_voltages(self, vext: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def potentials(self) -> np.ndarray:
+        """Current island potentials (exact)."""
+        raise NotImplementedError
+
+    def junction_current(self, junction: int, flux_start: int, time_start: float
+                         ) -> float:
+        """Mean conventional current (A) through ``junction`` since a
+        reference point, positive in the ``node_a -> node_b`` direction.
+
+        Electrons carry charge ``-e``, so the conventional current is
+        minus the electron flux rate.
+        """
+        elapsed = self.time - time_start
+        if elapsed <= 0.0:
+            raise SimulationError("no simulated time elapsed for current estimate")
+        return -E_CHARGE * float(self.flux[junction] - flux_start) / elapsed

@@ -1,0 +1,95 @@
+"""Simulation configuration."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import SimulationError
+
+#: Default adaptive threshold (the paper's lambda).
+DEFAULT_THRESHOLD = 0.05
+#: Default period (in tunnel events) of the full rate refresh that
+#: bounds the adaptive solver's accumulated error.
+DEFAULT_REFRESH_INTERVAL = 1000
+
+
+@dataclasses.dataclass
+class SimulationConfig:
+    """All knobs of a Monte Carlo run.
+
+    Attributes
+    ----------
+    temperature:
+        Bath temperature in kelvin.
+    solver:
+        ``"adaptive"`` (the paper's contribution) or ``"nonadaptive"``
+        (the conventional MC baseline).
+    adaptive_threshold:
+        The paper's ``lambda``: a junction's rate is recomputed when its
+        accumulated potential perturbation (times ``e``) exceeds
+        ``lambda`` times the smaller of its reference free-energy
+        changes.  Smaller is more accurate and slower; 0 recomputes
+        everything flagged by any perturbation.
+    adaptive_thermal_cap:
+        Additional cap on the testing threshold in units of
+        ``k_B T``: a junction is also recomputed once its accumulated
+        perturbation exceeds ``lambda * cap * k_B T``.  Near-threshold
+        (thermally activated) rates depend *exponentially* on the free
+        energy, so the paper's pure ``lambda * |dW|`` criterion lets
+        their logarithm drift by ``lambda * |dW| / k_B T`` — enormous
+        deep in blockade; the cap bounds the log-rate staleness at
+        ``lambda * cap``.  Set to ``inf`` to recover the paper's
+        criterion exactly.
+    full_refresh_interval:
+        Every this many tunnel events all rates are recomputed from
+        scratch, bounding the cumulative approximation error
+        (Sec. III-B).
+    include_cotunneling:
+        Enable second-order inelastic cotunneling (normal circuits).
+    include_cooper_pairs:
+        ``None`` enables 2e events automatically for superconducting
+        circuits; booleans force the choice.
+    cooper_linewidth, cotunneling_energy_floor:
+        Optional physics overrides, in joules (see
+        :class:`repro.physics.TunnelingModel`).
+    qp_table_points:
+        Resolution of quasi-particle rate tables.
+    seed:
+        Seed for the ``numpy.random.Generator`` driving the run.
+    """
+
+    temperature: float = 4.2
+    solver: str = "adaptive"
+    adaptive_threshold: float = DEFAULT_THRESHOLD
+    adaptive_thermal_cap: float = 4.0
+    full_refresh_interval: int = DEFAULT_REFRESH_INTERVAL
+    include_cotunneling: bool = False
+    include_cooper_pairs: bool | None = None
+    cooper_linewidth: float | None = None
+    cotunneling_energy_floor: float | None = None
+    qp_table_points: int = 4001
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.temperature < 0.0:
+            raise SimulationError(f"temperature must be >= 0, got {self.temperature}")
+        if self.solver not in ("adaptive", "nonadaptive"):
+            raise SimulationError(
+                f"solver must be 'adaptive' or 'nonadaptive', got {self.solver!r}"
+            )
+        if self.adaptive_threshold < 0.0:
+            raise SimulationError(
+                f"adaptive_threshold must be >= 0, got {self.adaptive_threshold}"
+            )
+        if self.adaptive_thermal_cap <= 0.0:
+            raise SimulationError(
+                f"adaptive_thermal_cap must be > 0, got {self.adaptive_thermal_cap}"
+            )
+        if self.full_refresh_interval < 1:
+            raise SimulationError(
+                f"full_refresh_interval must be >= 1, got {self.full_refresh_interval}"
+            )
+
+    def replace(self, **kwargs) -> "SimulationConfig":
+        """Return a copy with the given fields changed."""
+        return dataclasses.replace(self, **kwargs)

@@ -1,0 +1,184 @@
+"""The Monte Carlo engine orchestrating solvers, recorders and budgets.
+
+This is the public entry point for simulation (Fig. 3's outer loop):
+it prepares the electrostatics and rate models once, runs the chosen
+solver until a jump or simulated-time budget is exhausted, and exposes
+current measurement helpers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time as _time
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.electrostatics import Electrostatics
+from repro.circuit.junction_table import JunctionTable
+from repro.constants import E_CHARGE
+from repro.core.adaptive import AdaptiveSolver
+from repro.core.base import BaseSolver, SolverStats
+from repro.core.config import SimulationConfig
+from repro.core.nonadaptive import NonAdaptiveSolver
+from repro.core.recording import Recorder
+from repro.errors import SimulationError
+from repro.physics.rates import TunnelingModel
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Summary of one :meth:`MonteCarloEngine.run` call."""
+
+    jumps: int
+    simulated_time: float
+    wall_time: float
+    stats: SolverStats
+    occupation: np.ndarray
+
+
+class MonteCarloEngine:
+    """Prepares a circuit for Monte Carlo simulation and runs it.
+
+    Parameters
+    ----------
+    circuit:
+        The frozen circuit.
+    config:
+        Simulation knobs; defaults to :class:`SimulationConfig`'s
+        defaults (adaptive solver at 4.2 K).
+    initial_occupation:
+        Optional starting electron occupation per island.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        config: SimulationConfig | None = None,
+        initial_occupation: np.ndarray | None = None,
+    ):
+        self.circuit = circuit
+        self.config = config if config is not None else SimulationConfig()
+        self.electrostatics = Electrostatics(circuit)
+        self.junction_table = JunctionTable(circuit, self.electrostatics)
+        self.model = TunnelingModel(
+            circuit,
+            self.electrostatics,
+            self.junction_table,
+            temperature=self.config.temperature,
+            include_cotunneling=self.config.include_cotunneling,
+            include_cooper_pairs=self.config.include_cooper_pairs,
+            cooper_linewidth=self.config.cooper_linewidth,
+            cotunneling_energy_floor=self.config.cotunneling_energy_floor,
+            qp_table_points=self.config.qp_table_points,
+        )
+        self.rng = np.random.default_rng(self.config.seed)
+        solver_cls = (
+            AdaptiveSolver if self.config.solver == "adaptive" else NonAdaptiveSolver
+        )
+        self.solver: BaseSolver = solver_cls(
+            circuit,
+            self.electrostatics,
+            self.junction_table,
+            self.model,
+            self.config,
+            self.rng,
+            initial_occupation,
+        )
+        self.recorders: list[Recorder] = []
+
+    # ------------------------------------------------------------------
+    def add_recorder(self, recorder: Recorder) -> Recorder:
+        """Attach a recorder; returns it for convenient chaining."""
+        self.recorders.append(recorder)
+        return recorder
+
+    def set_sources(self, voltages: Mapping[str, float]) -> None:
+        """Retarget named DC sources mid-run (sweeps, logic stimuli)."""
+        index_of = {s.name: k + 1 for k, s in enumerate(self.circuit.sources)}
+        unknown = set(voltages) - set(index_of)
+        if unknown:
+            raise SimulationError(f"unknown source(s): {sorted(unknown)}")
+        vext = self.solver.vext.copy()
+        for name, value in voltages.items():
+            vext[index_of[name]] = value
+        self.solver.set_external_voltages(vext)
+
+    def run(
+        self, max_jumps: int | None = None, max_time: float | None = None
+    ) -> RunResult:
+        """Simulate until ``max_jumps`` events or ``max_time`` seconds of
+        *simulated* time have elapsed (whichever comes first).
+
+        Mirrors the paper's termination criterion ("jumps simulated >
+        desired amount? or time simulated > desired amount?").
+        """
+        if max_jumps is None and max_time is None:
+            raise SimulationError("specify max_jumps and/or max_time")
+        if max_jumps is not None and max_jumps < 0:
+            raise SimulationError(f"max_jumps must be >= 0, got {max_jumps}")
+        deadline = self.solver.time + max_time if max_time is not None else None
+
+        for recorder in self.recorders:
+            recorder.on_start(self.solver)
+
+        start_wall = _time.perf_counter()
+        start_jumps = self.solver.stats.events
+        jumps = 0
+        while True:
+            if max_jumps is not None and jumps >= max_jumps:
+                break
+            if deadline is not None and self.solver.time >= deadline:
+                break
+            event = self.solver.step()
+            jumps += 1
+            for recorder in self.recorders:
+                recorder.on_event(self.solver, event)
+        wall = _time.perf_counter() - start_wall
+
+        return RunResult(
+            jumps=self.solver.stats.events - start_jumps,
+            simulated_time=self.solver.time,
+            wall_time=wall,
+            stats=dataclasses.replace(self.solver.stats),
+            occupation=self.solver.occupation.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    def measure_current(
+        self,
+        junctions: Sequence[int] | int,
+        jumps: int,
+        warmup_fraction: float = 0.2,
+        orientations: Sequence[int] | None = None,
+    ) -> float:
+        """Mean current through one or more junctions (A).
+
+        Runs ``warmup_fraction * jumps`` events to relax the charge
+        state, then measures the net electron flux over the remaining
+        events.  Multiple junctions are averaged after applying
+        ``orientations`` (each +-1), which lets series junctions with
+        opposite ``node_a -> node_b`` senses reinforce instead of
+        cancel — the paper's ``record 1 2`` idiom.
+        """
+        if isinstance(junctions, int):
+            junctions = [junctions]
+        if not junctions:
+            raise SimulationError("measure_current needs at least one junction")
+        if orientations is None:
+            orientations = [1] * len(junctions)
+        if len(orientations) != len(junctions):
+            raise SimulationError("orientations must match junctions in length")
+        warmup = int(jumps * warmup_fraction)
+        if warmup:
+            self.run(max_jumps=warmup)
+        flux0 = self.solver.flux[list(junctions)].copy()
+        self.solver.reset_window()
+        self.run(max_jumps=jumps - warmup)
+        elapsed = self.solver.window_elapsed
+        if elapsed <= 0.0:
+            raise SimulationError("no simulated time elapsed during measurement")
+        flux1 = self.solver.flux[list(junctions)]
+        currents = -E_CHARGE * (flux1 - flux0) * np.asarray(orientations) / elapsed
+        return float(np.mean(currents))

@@ -1,0 +1,47 @@
+"""Tunnel event descriptions shared by the solvers and recorders."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.physics.cotunneling import CotunnelingPath
+
+
+class EventKind(enum.Enum):
+    """The three transport channels SEMSIM models."""
+
+    SEQUENTIAL = "sequential"
+    COOPER_PAIR = "cooper_pair"
+    COTUNNELING = "cotunneling"
+
+
+@dataclasses.dataclass(frozen=True)
+class TunnelEvent:
+    """One realised tunnel event.
+
+    ``direction`` is +1 when electrons traverse the junction from its
+    ``node_a`` to its ``node_b`` and -1 for the reverse; for
+    cotunneling events ``path`` carries the per-junction directions and
+    ``junction``/``direction`` describe the *entry* junction.
+    ``n_electrons`` is 1 for sequential/cotunneling and 2 for Cooper
+    pairs.
+    """
+
+    kind: EventKind
+    junction: int
+    direction: int
+    n_electrons: int
+    dw: float
+    path: CotunnelingPath | None = None
+
+    def flux_contributions(self) -> list[tuple[int, int]]:
+        """``(junction, signed electron count)`` pairs for current
+        bookkeeping."""
+        if self.kind is EventKind.COTUNNELING:
+            assert self.path is not None
+            return [
+                (self.path.junction_in, self.path.direction_in),
+                (self.path.junction_out, self.path.direction_out),
+            ]
+        return [(self.junction, self.direction * self.n_electrons)]

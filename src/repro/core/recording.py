@@ -1,0 +1,145 @@
+"""Observation of running simulations.
+
+Recorders subscribe to the engine and sample the solver after events.
+They deliberately read only public solver state (time, flux,
+potentials), so custom recorders can be written by users without
+touching solver internals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.constants import E_CHARGE
+from repro.core.base import BaseSolver
+from repro.core.events import TunnelEvent
+
+
+class Recorder:
+    """Base class; ``on_event`` fires after every realised tunnel event."""
+
+    def on_start(self, solver: BaseSolver) -> None:
+        """Called once when the engine starts (or resumes) a run."""
+
+    def on_event(self, solver: BaseSolver, event: TunnelEvent) -> None:
+        raise NotImplementedError
+
+
+@dataclasses.dataclass
+class CurrentSample:
+    """Windowed current estimate ending at ``time``."""
+
+    time: float
+    current: float
+
+
+class CurrentRecorder(Recorder):
+    """Windowed-average current through a junction.
+
+    Every ``interval`` events the net electron flux accumulated since
+    the previous sample is converted to a conventional current
+    (positive in the junction's ``node_a -> node_b`` direction).
+    """
+
+    def __init__(self, junction: int, interval: int = 100):
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.junction = junction
+        self.interval = interval
+        self.samples: list[CurrentSample] = []
+        self._count = 0
+        self._last_flux = 0
+        self._last_time = 0.0
+
+    def on_start(self, solver: BaseSolver) -> None:
+        self._last_flux = int(solver.flux[self.junction])
+        self._last_time = solver.time
+
+    def on_event(self, solver: BaseSolver, event: TunnelEvent) -> None:
+        self._count += 1
+        if self._count % self.interval:
+            return
+        elapsed = solver.time - self._last_time
+        if elapsed <= 0.0:
+            return
+        flux = int(solver.flux[self.junction])
+        current = -E_CHARGE * (flux - self._last_flux) / elapsed
+        self.samples.append(CurrentSample(solver.time, current))
+        self._last_flux = flux
+        self._last_time = solver.time
+
+    def mean_current(self) -> float:
+        """Time-weighted mean of the recorded samples."""
+        if not self.samples:
+            raise ValueError("no current samples recorded yet")
+        return float(np.mean([s.current for s in self.samples]))
+
+
+@dataclasses.dataclass
+class VoltageSample:
+    time: float
+    voltage: float
+
+
+class NodeVoltageRecorder(Recorder):
+    """Samples an island's potential every ``interval`` events.
+
+    Logic benches use this on gate-output wire nodes to extract
+    propagation delays.
+    """
+
+    def __init__(self, island: int, interval: int = 1):
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.island = island
+        self.interval = interval
+        self.samples: list[VoltageSample] = []
+        self._count = 0
+
+    def on_start(self, solver: BaseSolver) -> None:
+        self.samples.append(
+            VoltageSample(solver.time, float(solver.potentials()[self.island]))
+        )
+
+    def on_event(self, solver: BaseSolver, event: TunnelEvent) -> None:
+        self._count += 1
+        if self._count % self.interval:
+            return
+        self.samples.append(
+            VoltageSample(solver.time, float(solver.potentials()[self.island]))
+        )
+
+    def times(self) -> np.ndarray:
+        return np.array([s.time for s in self.samples])
+
+    def voltages(self) -> np.ndarray:
+        return np.array([s.voltage for s in self.samples])
+
+
+@dataclasses.dataclass
+class LoggedEvent:
+    time: float
+    kind: str
+    junction: int
+    direction: int
+    dw: float
+
+
+class EventLogRecorder(Recorder):
+    """Keeps the last ``max_events`` realised events for inspection."""
+
+    def __init__(self, max_events: int = 100000):
+        self.max_events = max_events
+        self.events: list[LoggedEvent] = []
+
+    def on_event(self, solver: BaseSolver, event: TunnelEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.events.pop(0)
+        self.events.append(
+            LoggedEvent(
+                solver.time, event.kind.value, event.junction,
+                event.direction, event.dw,
+            )
+        )

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the SEMSIM reproduction.
+
+Every error raised deliberately by this package derives from
+:class:`SemsimError`, so callers can catch one type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class SemsimError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CircuitError(SemsimError):
+    """Raised for malformed circuits (bad topology, values, indices)."""
+
+
+class NetlistError(SemsimError):
+    """Raised when parsing a SEMSIM input file or logic netlist fails."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(SemsimError):
+    """Raised when a simulation cannot proceed (no events, bad config)."""
+
+
+class ConvergenceError(SemsimError):
+    """Raised by the SPICE-style solver when Newton iteration diverges.
+
+    The paper reports exactly this failure mode for three of the fifteen
+    benchmarks (74LS153, 54LS181, c1908); we surface it the same way.
+    """
+
+
+class PhysicsError(SemsimError):
+    """Raised for physically inconsistent model parameters."""

@@ -1,0 +1,60 @@
+"""SET logic front end: gates, mapping, benchmarks, delay extraction."""
+
+from repro.logic.benchmarks import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_by_name,
+    build_benchmark,
+)
+from repro.logic.cells import LogicParameters
+from repro.logic.delay import (
+    DelayResult,
+    average_delay,
+    find_validated_stimulus,
+    measure_cyclic_delay,
+    measure_propagation_delay,
+)
+from repro.logic.mapping import (
+    MappedCircuit,
+    count_sets,
+    decompose,
+    map_to_circuit,
+    pad_to_set_count,
+)
+from repro.logic.netlist import Gate, GateKind, LogicNetlist, NetNamer
+from repro.logic.stimuli import (
+    StepStimulus,
+    exhaustive_vectors,
+    find_step_stimulus,
+    random_vector,
+)
+from repro.logic.timing import TimingReport, analyze_mapped, analyze_timing
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "DelayResult",
+    "Gate",
+    "GateKind",
+    "LogicNetlist",
+    "LogicParameters",
+    "MappedCircuit",
+    "NetNamer",
+    "StepStimulus",
+    "TimingReport",
+    "analyze_mapped",
+    "analyze_timing",
+    "average_delay",
+    "benchmark_by_name",
+    "build_benchmark",
+    "count_sets",
+    "decompose",
+    "exhaustive_vectors",
+    "find_step_stimulus",
+    "find_validated_stimulus",
+    "map_to_circuit",
+    "measure_cyclic_delay",
+    "measure_propagation_delay",
+    "pad_to_set_count",
+    "random_vector",
+]

@@ -1,0 +1,164 @@
+"""Reusable gate-level building blocks for the benchmark generators.
+
+Each block appends gates to a caller-supplied list and returns the
+names of its output nets.  All blocks are pure structure — boolean
+correctness is checked against reference Python implementations in the
+tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.logic.netlist import Gate, GateKind, NetNamer
+
+
+def inverters(
+    gates: list[Gate], namer: NetNamer, nets: list[str], tag: str
+) -> list[str]:
+    """One inverter per net; returns the complemented net names."""
+    outs = []
+    for i, net in enumerate(nets):
+        out = namer.fresh(f"{tag}_n{i}")
+        gates.append(Gate(f"{tag}.inv{i}", GateKind.INV, (net,), out))
+        outs.append(out)
+    return outs
+
+
+def gate_tree(
+    gates: list[Gate],
+    namer: NetNamer,
+    nets: list[str],
+    kind: GateKind,
+    tag: str,
+) -> str:
+    """Balanced binary tree of 2-input gates (for XOR/AND/OR trees)."""
+    if not nets:
+        raise NetlistError("gate_tree needs at least one net")
+    level = list(nets)
+    round_ = 0
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            out = namer.fresh(f"{tag}_t{round_}_{i}")
+            gates.append(
+                Gate(
+                    f"{tag}.t{round_}_{i}", kind,
+                    (level[i], level[i + 1]), out,
+                )
+            )
+            nxt.append(out)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+        round_ += 1
+    return level[0]
+
+
+def xor_tree(gates: list[Gate], namer: NetNamer, nets: list[str], tag: str) -> str:
+    """Parity of ``nets``."""
+    return gate_tree(gates, namer, nets, GateKind.XOR2, tag)
+
+
+def and_tree(gates: list[Gate], namer: NetNamer, nets: list[str], tag: str) -> str:
+    return gate_tree(gates, namer, nets, GateKind.AND2, tag)
+
+
+def or_tree(gates: list[Gate], namer: NetNamer, nets: list[str], tag: str) -> str:
+    return gate_tree(gates, namer, nets, GateKind.OR2, tag)
+
+
+def mux2(
+    gates: list[Gate],
+    namer: NetNamer,
+    d0: str,
+    d1: str,
+    select: str,
+    select_n: str,
+    tag: str,
+) -> str:
+    """2:1 multiplexer from three NAND2 gates (select inverter shared
+    by the caller)."""
+    t0 = namer.fresh(f"{tag}_m0")
+    t1 = namer.fresh(f"{tag}_m1")
+    out = namer.fresh(f"{tag}_mo")
+    gates.append(Gate(f"{tag}.m0", GateKind.NAND2, (d0, select_n), t0))
+    gates.append(Gate(f"{tag}.m1", GateKind.NAND2, (d1, select), t1))
+    gates.append(Gate(f"{tag}.mo", GateKind.NAND2, (t0, t1), out))
+    return out
+
+
+def mux4(
+    gates: list[Gate],
+    namer: NetNamer,
+    data: list[str],
+    selects: list[str],
+    selects_n: list[str],
+    tag: str,
+) -> str:
+    """4:1 multiplexer as a tree of 2:1 muxes."""
+    if len(data) != 4 or len(selects) != 2:
+        raise NetlistError("mux4 needs 4 data nets and 2 selects")
+    lo = mux2(gates, namer, data[0], data[1], selects[0], selects_n[0], f"{tag}a")
+    hi = mux2(gates, namer, data[2], data[3], selects[0], selects_n[0], f"{tag}b")
+    return mux2(gates, namer, lo, hi, selects[1], selects_n[1], f"{tag}c")
+
+
+def full_adder(
+    gates: list[Gate],
+    namer: NetNamer,
+    a: str,
+    b: str,
+    cin: str,
+    tag: str,
+) -> tuple[str, str]:
+    """Full adder; returns ``(sum, carry_out)`` nets.
+
+    Uses the classic 2-XOR / 3-NAND structure.
+    """
+    p = namer.fresh(f"{tag}_p")
+    s = namer.fresh(f"{tag}_s")
+    g1 = namer.fresh(f"{tag}_g1")
+    g2 = namer.fresh(f"{tag}_g2")
+    cout = namer.fresh(f"{tag}_co")
+    gates.append(Gate(f"{tag}.x0", GateKind.XOR2, (a, b), p))
+    gates.append(Gate(f"{tag}.x1", GateKind.XOR2, (p, cin), s))
+    gates.append(Gate(f"{tag}.n0", GateKind.NAND2, (a, b), g1))
+    gates.append(Gate(f"{tag}.n1", GateKind.NAND2, (p, cin), g2))
+    gates.append(Gate(f"{tag}.n2", GateKind.NAND2, (g1, g2), cout))
+    return s, cout
+
+
+def half_decoder(
+    gates: list[Gate],
+    namer: NetNamer,
+    a: str,
+    b: str,
+    tag: str,
+) -> list[str]:
+    """2-to-4 line decoder (active high); returns the 4 minterm nets."""
+    an, bn = inverters(gates, namer, [a, b], f"{tag}c")
+    outs = []
+    for i, (x, y) in enumerate([(an, bn), (a, bn), (an, b), (a, b)]):
+        out = namer.fresh(f"{tag}_d{i}")
+        gates.append(Gate(f"{tag}.d{i}", GateKind.AND2, (x, y), out))
+        outs.append(out)
+    return outs
+
+
+def ripple_adder(
+    gates: list[Gate],
+    namer: NetNamer,
+    a_bits: list[str],
+    b_bits: list[str],
+    cin: str,
+    tag: str,
+) -> tuple[list[str], str]:
+    """Ripple-carry adder over bit vectors; returns (sums, carry_out)."""
+    if len(a_bits) != len(b_bits):
+        raise NetlistError("ripple_adder operand widths differ")
+    sums = []
+    carry = cin
+    for i, (a, b) in enumerate(zip(a_bits, b_bits)):
+        s, carry = full_adder(gates, namer, a, b, carry, f"{tag}_fa{i}")
+        sums.append(s)
+    return sums, carry

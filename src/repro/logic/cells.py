@@ -1,0 +1,218 @@
+"""nSET/pSET standard-cell library (voltage-state SET logic).
+
+The paper implements its benchmarks with "nSETs and pSETs … ordinary
+SETs with a second gate added that has a constant gate voltage, which
+shifts the current-voltage characteristic curve in a desired direction"
+(Sec. IV-B, Fig. 4b).  This module provides the three physical cells —
+inverter, NAND2, NOR2 — built from such devices.
+
+Bias implementation
+-------------------
+Shifting a SET's transfer curve by a constant gate charge ``q_b`` can
+be done with a bias gate ``C_b`` at voltage ``V_b = q_b / C_b`` or,
+identically, with a fixed background charge ``q0 = q_b`` on the island
+(the electrostatics only sees the induced charge).  The cells keep the
+physical ``C_b`` capacitor in the circuit (so the island's total
+capacitance matches a two-gate device) and apply the shift as a
+background charge, which keeps the source count down on 7000-junction
+benchmarks.
+
+Operating point
+---------------
+The default :class:`LogicParameters` were selected with the
+master-equation solver plus Monte Carlo switching-speed scans (see
+``tests/test_logic_cells.py``): an inverter regenerates logic levels to
+a stable pair of roughly ``0.2 Vdd`` / ``0.9 Vdd``, and the NAND truth
+table holds with millivolt margins at 1.5 K.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.components import GROUND
+from repro.errors import CircuitError
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceRecord:
+    """One nSET/pSET instance, recorded for the SPICE baseline.
+
+    The analytical SPICE flow models each SET as a lumped three-plus-
+    terminal device; this record carries the structural information it
+    needs without re-deriving devices from the circuit graph.
+    """
+
+    island: str
+    source: str
+    drain: str
+    gate: str
+    bias_e: float
+    kind: str  # "nset" | "pset"
+
+
+@dataclasses.dataclass(frozen=True)
+class LogicParameters:
+    """Electrical parameters of the SET logic family.
+
+    Attributes
+    ----------
+    junction_capacitance, junction_resistance:
+        Tunnel junction ``C``/``R`` (the paper's 1 aF / 1 MOhm scale).
+    gate_capacitance:
+        Input gate capacitor per SET.
+    bias_capacitance:
+        The constant-voltage second gate of the nSET/pSET devices.
+    load_capacitance:
+        Wire capacitance of every logic net.  Being much larger than
+        the junction capacitance, it electrically isolates circuit
+        stages — exactly the property the adaptive algorithm exploits
+        (Fig. 4's ``C1``).
+    stack_capacitance:
+        Ground capacitor on the internal node of series device stacks
+        (NAND/NOR); moderates that node's charging energy so the stack
+        conducts.
+    vdd:
+        Supply voltage.
+    nset_bias, pset_bias:
+        Constant bias charges (units of ``e``) applied to nSET/pSET
+        islands.
+    temperature:
+        Intended operating temperature (K).
+    """
+
+    junction_capacitance: float = 1e-18
+    junction_resistance: float = 1e6
+    gate_capacitance: float = 5e-18
+    bias_capacitance: float = 2e-18
+    load_capacitance: float = 50e-18
+    stack_capacitance: float = 40e-18
+    vdd: float = 16e-3
+    nset_bias: float = 0.30
+    pset_bias: float = 0.05
+    #: bias charge (units of e) on NAND/NOR stack nodes; half an
+    #: electron puts the stack node at charge degeneracy so the series
+    #: path conducts without a thermally activated first hop
+    stack_bias: float = 0.5
+    temperature: float = 1.5
+
+    #: fraction of ``vdd`` regarded as the logic threshold when a
+    #: calibrated midpoint is unavailable
+    threshold_fraction: float = 0.55
+    #: steady logic levels as fractions of ``vdd`` (measured with the
+    #: master-equation solver at the default operating point); used for
+    #: DC initialisation of wire-node charges
+    high_fraction: float = 0.91
+    low_fraction: float = 0.20
+
+    def __post_init__(self) -> None:
+        for field in (
+            "junction_capacitance", "junction_resistance", "gate_capacitance",
+            "bias_capacitance", "load_capacitance", "stack_capacitance", "vdd",
+        ):
+            if getattr(self, field) <= 0.0:
+                raise CircuitError(f"LogicParameters.{field} must be > 0")
+
+    @property
+    def logic_threshold(self) -> float:
+        """Voltage separating logic 0 from logic 1."""
+        return self.threshold_fraction * self.vdd
+
+
+#: node label of the shared supply rail in mapped circuits
+VDD_NET = "__vdd__"
+
+
+class CellEmitter:
+    """Emits nSET/pSET cells into a :class:`CircuitBuilder`.
+
+    Node-label conventions: logic nets keep their netlist names; SET
+    islands are ``{gate}.p0`` / ``{gate}.n1`` etc.; stack nodes are
+    ``{gate}.mid``.
+    """
+
+    def __init__(self, builder: CircuitBuilder, params: LogicParameters):
+        self.builder = builder
+        self.params = params
+        self.n_sets = 0
+        self.n_junctions = 0
+        self.devices: list[DeviceRecord] = []
+
+    # ------------------------------------------------------------------
+    # devices
+    # ------------------------------------------------------------------
+    def _set_device(
+        self, island: str, source: str, drain: str, gate_net: str, bias: float,
+        kind: str = "nset",
+    ) -> None:
+        """One SET: two junctions, an input gate, and a bias gate."""
+        p = self.params
+        self.devices.append(
+            DeviceRecord(island, source, drain, gate_net, bias, kind)
+        )
+        self.builder.add_junction(
+            f"{island}.j1", source, island, p.junction_resistance,
+            p.junction_capacitance,
+        )
+        self.builder.add_junction(
+            f"{island}.j2", island, drain, p.junction_resistance,
+            p.junction_capacitance,
+        )
+        self.builder.add_capacitor(f"{island}.cg", gate_net, island, p.gate_capacitance)
+        self.builder.add_capacitor(f"{island}.cb", GROUND, island, p.bias_capacitance)
+        if bias:
+            self.builder.add_background_charge(island, bias)
+        self.n_sets += 1
+        self.n_junctions += 2
+
+    def nset(self, island: str, source: str, drain: str, gate_net: str) -> None:
+        """nSET: conducts when its input is logic high."""
+        self._set_device(
+            island, source, drain, gate_net, self.params.nset_bias, "nset"
+        )
+
+    def pset(self, island: str, source: str, drain: str, gate_net: str) -> None:
+        """pSET: conducts when its input is logic low."""
+        self._set_device(
+            island, source, drain, gate_net, self.params.pset_bias, "pset"
+        )
+
+    # ------------------------------------------------------------------
+    # cells
+    # ------------------------------------------------------------------
+    def inverter(self, name: str, input_net: str, output_net: str) -> None:
+        """Complementary inverter: pSET pull-up, nSET pull-down."""
+        self.pset(f"{name}.p0", VDD_NET, output_net, input_net)
+        self.nset(f"{name}.n0", output_net, GROUND, input_net)
+
+    def _stack_node(self, mid: str) -> None:
+        self.builder.add_capacitor(
+            f"{mid}.c", mid, GROUND, self.params.stack_capacitance
+        )
+        if self.params.stack_bias:
+            self.builder.add_background_charge(mid, self.params.stack_bias)
+
+    def nand2(self, name: str, in_a: str, in_b: str, output_net: str) -> None:
+        """NAND2: parallel pSET pull-up, series nSET pull-down."""
+        self.pset(f"{name}.p0", VDD_NET, output_net, in_a)
+        self.pset(f"{name}.p1", VDD_NET, output_net, in_b)
+        mid = f"{name}.mid"
+        self.nset(f"{name}.n0", output_net, mid, in_a)
+        self.nset(f"{name}.n1", mid, GROUND, in_b)
+        self._stack_node(mid)
+
+    def nor2(self, name: str, in_a: str, in_b: str, output_net: str) -> None:
+        """NOR2: series pSET pull-up, parallel nSET pull-down."""
+        mid = f"{name}.mid"
+        self.pset(f"{name}.p0", VDD_NET, mid, in_a)
+        self.pset(f"{name}.p1", mid, output_net, in_b)
+        self._stack_node(mid)
+        self.nset(f"{name}.n0", output_net, GROUND, in_a)
+        self.nset(f"{name}.n1", output_net, GROUND, in_b)
+
+    def wire(self, net: str) -> None:
+        """The load capacitor that makes ``net`` a logic wire node."""
+        self.builder.add_capacitor(
+            f"{net}.cl", net, GROUND, self.params.load_capacitance
+        )

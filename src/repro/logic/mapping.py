@@ -1,0 +1,283 @@
+"""Technology mapping: logic netlists to single-electron circuits.
+
+Two stages, as in any synthesis flow:
+
+1. :func:`decompose` rewrites arbitrary gates into the physical
+   primitive set {INV, NAND2, NOR2};
+2. :func:`map_to_circuit` instantiates one nSET/pSET cell per primitive
+   gate, one wire node per net, the shared supply and one voltage
+   source per primary input.
+
+The result carries enough bookkeeping (net -> island index, device
+counts) for stimulus driving and delay extraction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.circuit import Circuit
+from repro.errors import NetlistError
+from repro.logic.cells import VDD_NET, CellEmitter, LogicParameters
+from repro.logic.netlist import Gate, GateKind, LogicNetlist, NetNamer
+
+#: SET devices per primitive gate.
+SETS_PER_GATE = {GateKind.INV: 2, GateKind.NAND2: 4, GateKind.NOR2: 4}
+
+#: default physical target library (NAND-only; see the NOR2 note in
+#: ``_expand``)
+DEFAULT_TARGETS = frozenset({GateKind.INV, GateKind.NAND2})
+
+
+def _expand(gate: Gate, namer: NetNamer) -> list[Gate]:
+    """One decomposition step for a non-primitive gate."""
+    k, ins, out, g = gate.kind, gate.inputs, gate.output, gate.name
+    t = namer.fresh
+
+    if k is GateKind.NOR2:
+        # NOR(a,b) = INV(NAND(INV a, INV b)).  The direct series-pSET
+        # NOR cell exists (CellEmitter.nor2) but its pull-up stack does
+        # not restore degraded input levels reliably, so the default
+        # flow is NAND-only — standard practice in restricted-library
+        # synthesis.
+        a_n, b_n, mid = t(g), t(g), t(g)
+        return [
+            Gate(f"{g}.ia", GateKind.INV, (ins[0],), a_n),
+            Gate(f"{g}.ib", GateKind.INV, (ins[1],), b_n),
+            Gate(f"{g}.nd", GateKind.NAND2, (a_n, b_n), mid),
+            Gate(f"{g}.iv", GateKind.INV, (mid,), out),
+        ]
+    if k is GateKind.BUF:
+        mid = t(g)
+        return [
+            Gate(f"{g}.i0", GateKind.INV, (ins[0],), mid),
+            Gate(f"{g}.i1", GateKind.INV, (mid,), out),
+        ]
+    if k is GateKind.AND2:
+        mid = t(g)
+        return [
+            Gate(f"{g}.nd", GateKind.NAND2, ins, mid),
+            Gate(f"{g}.iv", GateKind.INV, (mid,), out),
+        ]
+    if k is GateKind.OR2:
+        a_n, b_n = t(g), t(g)
+        return [
+            Gate(f"{g}.ia", GateKind.INV, (ins[0],), a_n),
+            Gate(f"{g}.ib", GateKind.INV, (ins[1],), b_n),
+            Gate(f"{g}.nd", GateKind.NAND2, (a_n, b_n), out),
+        ]
+    if k is GateKind.XOR2:
+        a, b = ins
+        t1, t2, t3 = t(g), t(g), t(g)
+        return [
+            Gate(f"{g}.x0", GateKind.NAND2, (a, b), t1),
+            Gate(f"{g}.x1", GateKind.NAND2, (a, t1), t2),
+            Gate(f"{g}.x2", GateKind.NAND2, (b, t1), t3),
+            Gate(f"{g}.x3", GateKind.NAND2, (t2, t3), out),
+        ]
+    if k is GateKind.XNOR2:
+        mid = t(g)
+        return [
+            Gate(f"{g}.xo", GateKind.XOR2, ins, mid),
+            Gate(f"{g}.iv", GateKind.INV, (mid,), out),
+        ]
+    if k in (GateKind.AND3, GateKind.NAND3, GateKind.OR3, GateKind.NOR3):
+        pair = {
+            GateKind.AND3: (GateKind.AND2, GateKind.AND2),
+            GateKind.NAND3: (GateKind.AND2, GateKind.NAND2),
+            GateKind.OR3: (GateKind.OR2, GateKind.OR2),
+            GateKind.NOR3: (GateKind.OR2, GateKind.NOR2),
+        }[k]
+        mid = t(g)
+        return [
+            Gate(f"{g}.a", pair[0], ins[:2], mid),
+            Gate(f"{g}.b", pair[1], (mid, ins[2]), out),
+        ]
+    if k in (GateKind.AND4, GateKind.NAND4, GateKind.OR4):
+        pair = {
+            GateKind.AND4: (GateKind.AND2, GateKind.AND2, GateKind.AND2),
+            GateKind.NAND4: (GateKind.AND2, GateKind.AND2, GateKind.NAND2),
+            GateKind.OR4: (GateKind.OR2, GateKind.OR2, GateKind.OR2),
+        }[k]
+        m1, m2 = t(g), t(g)
+        return [
+            Gate(f"{g}.a", pair[0], ins[:2], m1),
+            Gate(f"{g}.b", pair[1], ins[2:], m2),
+            Gate(f"{g}.c", pair[2], (m1, m2), out),
+        ]
+    raise NetlistError(f"no decomposition rule for gate kind {k}")
+
+
+def decompose(
+    netlist: LogicNetlist, targets: frozenset = DEFAULT_TARGETS
+) -> LogicNetlist:
+    """Rewrite ``netlist`` into the physical target library.
+
+    The default library is {INV, NAND2}; pass a ``targets`` set
+    including :data:`GateKind.NOR2` to keep direct NOR cells.  Logic
+    function is preserved (the tests check random vectors through
+    :meth:`LogicNetlist.evaluate` on both versions).
+    """
+    namer = NetNamer(prefix=f"{netlist.name}.d")
+    pending = list(netlist.gates)
+    primitive: list[Gate] = []
+    while pending:
+        gate = pending.pop()
+        if gate.kind in targets:
+            primitive.append(gate)
+        else:
+            pending.extend(_expand(gate, namer))
+    return LogicNetlist(netlist.name, netlist.inputs, netlist.outputs, primitive)
+
+
+def count_sets(netlist: LogicNetlist, targets: frozenset = DEFAULT_TARGETS) -> int:
+    """SET devices needed by the (decomposed) netlist."""
+    decomposed = (
+        netlist
+        if all(g.kind in targets for g in netlist.gates)
+        else decompose(netlist, targets)
+    )
+    return sum(SETS_PER_GATE[g.kind] for g in decomposed.gates)
+
+
+def pad_to_set_count(netlist: LogicNetlist, target_sets: int) -> LogicNetlist:
+    """Append inverter chains until the mapped circuit has exactly
+    ``target_sets`` devices.
+
+    The paper's benchmarks have fixed published junction counts; our
+    structural generators reproduce the function first and are then
+    padded (with inverter chains hanging off the primary inputs, which
+    adds realistic load without changing any output) to match the
+    published size exactly.
+    """
+    base = decompose(netlist)
+    # padding below adds only INV gates, which are in every target set
+    deficit = target_sets - count_sets(base)
+    if deficit < 0:
+        raise NetlistError(
+            f"{netlist.name}: base netlist already uses {count_sets(base)} SETs "
+            f"> target {target_sets}"
+        )
+    if deficit % 2:
+        raise NetlistError(
+            f"{netlist.name}: cannot pad an odd SET deficit ({deficit})"
+        )
+    gates = list(base.gates)
+    n_inverters = deficit // 2
+    sources = list(base.inputs)
+    chain_length = 7  # inverters per pad chain before restarting at an input
+    for i in range(n_inverters):
+        if i % chain_length == 0:
+            source = sources[(i // chain_length) % len(sources)]
+        else:
+            source = f"{netlist.name}.pad{i - 1}"
+        gates.append(
+            Gate(
+                f"{netlist.name}.padinv{i}",
+                GateKind.INV,
+                (source,),
+                f"{netlist.name}.pad{i}",
+            )
+        )
+    return LogicNetlist(netlist.name, base.inputs, base.outputs, gates)
+
+
+@dataclasses.dataclass
+class MappedCircuit:
+    """A logic netlist realised as a single-electron circuit."""
+
+    circuit: Circuit
+    netlist: LogicNetlist
+    params: LogicParameters
+    n_sets: int
+    n_junctions: int
+    #: source name per primary input net
+    input_sources: dict[str, str]
+    #: per-device structural records for the SPICE baseline
+    devices: list = dataclasses.field(default_factory=list)
+
+    def island_of(self, net: str) -> int:
+        """Island index of a logic net's wire node."""
+        return self.circuit.island_index(net)
+
+    def input_voltages(self, values: dict[str, bool]) -> dict[str, float]:
+        """Source-voltage dict realising a boolean input assignment."""
+        unknown = set(values) - set(self.netlist.inputs)
+        if unknown:
+            raise NetlistError(f"unknown inputs: {sorted(unknown)}")
+        return {
+            self.input_sources[net]: (self.params.vdd if value else 0.0)
+            for net, value in values.items()
+        }
+
+    def initial_occupation(self, values: dict[str, bool]):
+        """DC-initialised island occupation for a boolean input vector.
+
+        Settling a large benchmark from the all-neutral state is slow
+        (every wire node must charge through blockaded devices), so we
+        seed each wire node with the electron count matching its
+        boolean steady level — the MC run then only has to relax the
+        residual.  SET islands and stack nodes start neutral.
+        """
+        import numpy as np
+
+        from repro.constants import E_CHARGE
+
+        net_values = self.netlist.evaluate(values)
+        occupation = np.zeros(self.circuit.n_islands, dtype=np.int64)
+        p = self.params
+        for gate in self.netlist.gates:
+            net = gate.output
+            level = p.high_fraction if net_values[net] else p.low_fraction
+            target_v = level * p.vdd
+            island = self.circuit.island_index(net)
+            # q = -e*n sets v ~ q / C_load  =>  n = -C*v/e
+            occupation[island] = -int(round(p.load_capacitance * target_v / E_CHARGE))
+        return occupation
+
+
+def map_to_circuit(
+    netlist: LogicNetlist,
+    params: LogicParameters | None = None,
+    targets: frozenset = DEFAULT_TARGETS,
+) -> MappedCircuit:
+    """Instantiate the netlist as an nSET/pSET circuit.
+
+    Every net becomes a wire node with the family's load capacitance;
+    primary inputs are driven rail-to-rail by ideal sources (the
+    paper's input stimulus).
+    """
+    if params is None:
+        params = LogicParameters()
+    primitive = decompose(netlist, targets)
+    builder = CircuitBuilder()
+    emitter = CellEmitter(builder, params)
+
+    builder.add_voltage_source("vdd", VDD_NET, params.vdd)
+    input_sources: dict[str, str] = {}
+    for net in primitive.inputs:
+        source_name = f"vin_{net}"
+        builder.add_voltage_source(source_name, net, 0.0)
+        input_sources[net] = source_name
+
+    for gate in primitive.gates:
+        emitter.wire(gate.output)
+        if gate.kind is GateKind.INV:
+            emitter.inverter(gate.name, gate.inputs[0], gate.output)
+        elif gate.kind is GateKind.NAND2:
+            emitter.nand2(gate.name, gate.inputs[0], gate.inputs[1], gate.output)
+        elif gate.kind is GateKind.NOR2:
+            emitter.nor2(gate.name, gate.inputs[0], gate.inputs[1], gate.output)
+        else:  # pragma: no cover - decompose() guarantees primitives
+            raise NetlistError(f"unmapped gate kind {gate.kind}")
+
+    return MappedCircuit(
+        circuit=builder.build(),
+        netlist=primitive,
+        params=params,
+        n_sets=emitter.n_sets,
+        n_junctions=emitter.n_junctions,
+        input_sources=input_sources,
+        devices=emitter.devices,
+    )

@@ -1,0 +1,237 @@
+"""Gate-level logic netlists.
+
+The paper's large-scale evaluation converts logic benchmarks into
+single-electron circuits "using CMOS interpretations of the logic
+circuits" (Sec. IV-B).  This module is the gate-level representation
+those conversions start from: a named directed acyclic network of
+standard combinational gates with boolean evaluation (used both to
+generate stimulus/expected-response pairs and to sanity-check the
+benchmark generators).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from repro.errors import NetlistError
+
+
+class GateKind(enum.Enum):
+    """Supported combinational gate types.
+
+    ``INV``, ``NAND2`` and ``NOR2`` are *primitive* (they map directly
+    to nSET/pSET cells); everything else is decomposed by
+    :func:`repro.logic.mapping.decompose`.
+    """
+
+    INV = "inv"
+    BUF = "buf"
+    NAND2 = "nand2"
+    NOR2 = "nor2"
+    AND2 = "and2"
+    OR2 = "or2"
+    XOR2 = "xor2"
+    XNOR2 = "xnor2"
+    NAND3 = "nand3"
+    NOR3 = "nor3"
+    AND3 = "and3"
+    OR3 = "or3"
+    NAND4 = "nand4"
+    AND4 = "and4"
+    OR4 = "or4"
+
+
+ARITY = {
+    GateKind.INV: 1,
+    GateKind.BUF: 1,
+    GateKind.NAND2: 2,
+    GateKind.NOR2: 2,
+    GateKind.AND2: 2,
+    GateKind.OR2: 2,
+    GateKind.XOR2: 2,
+    GateKind.XNOR2: 2,
+    GateKind.NAND3: 3,
+    GateKind.NOR3: 3,
+    GateKind.AND3: 3,
+    GateKind.OR3: 3,
+    GateKind.NAND4: 4,
+    GateKind.AND4: 4,
+    GateKind.OR4: 4,
+}
+
+#: Gate kinds with a direct nSET/pSET implementation.
+PRIMITIVE_KINDS = frozenset({GateKind.INV, GateKind.NAND2, GateKind.NOR2})
+
+
+def _gate_function(kind: GateKind, values: list[bool]) -> bool:
+    if kind is GateKind.INV:
+        return not values[0]
+    if kind is GateKind.BUF:
+        return values[0]
+    if kind in (GateKind.NAND2, GateKind.NAND3, GateKind.NAND4):
+        return not all(values)
+    if kind in (GateKind.NOR2, GateKind.NOR3):
+        return not any(values)
+    if kind in (GateKind.AND2, GateKind.AND3, GateKind.AND4):
+        return all(values)
+    if kind in (GateKind.OR2, GateKind.OR3, GateKind.OR4):
+        return any(values)
+    if kind is GateKind.XOR2:
+        return values[0] != values[1]
+    if kind is GateKind.XNOR2:
+        return values[0] == values[1]
+    raise NetlistError(f"no evaluation rule for gate kind {kind}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Gate:
+    """One gate instance: ``output = kind(inputs)``."""
+
+    name: str
+    kind: GateKind
+    inputs: tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        expected = ARITY[self.kind]
+        if len(self.inputs) != expected:
+            raise NetlistError(
+                f"gate {self.name!r} ({self.kind.value}) needs {expected} "
+                f"inputs, got {len(self.inputs)}"
+            )
+        if self.output in self.inputs:
+            raise NetlistError(f"gate {self.name!r} drives one of its own inputs")
+
+
+class LogicNetlist:
+    """A combinational logic network.
+
+    Parameters
+    ----------
+    name:
+        Benchmark/netlist name.
+    inputs:
+        Primary input net names, in order.
+    outputs:
+        Primary output net names (each must be driven by a gate).
+    gates:
+        Gate instances; every internal net must have exactly one driver.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        gates: Iterable[Gate],
+    ):
+        self.name = name
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self.gates = tuple(gates)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if len(set(self.inputs)) != len(self.inputs):
+            raise NetlistError(f"{self.name}: duplicate primary inputs")
+        drivers: dict[str, Gate] = {}
+        for gate in self.gates:
+            if gate.output in drivers:
+                raise NetlistError(
+                    f"{self.name}: net {gate.output!r} driven by both "
+                    f"{drivers[gate.output].name!r} and {gate.name!r}"
+                )
+            if gate.output in self.inputs:
+                raise NetlistError(
+                    f"{self.name}: gate {gate.name!r} drives primary input "
+                    f"{gate.output!r}"
+                )
+            drivers[gate.output] = gate
+        self._drivers = drivers
+
+        known = set(self.inputs) | set(drivers)
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in known:
+                    raise NetlistError(
+                        f"{self.name}: gate {gate.name!r} reads undriven net {net!r}"
+                    )
+        for net in self.outputs:
+            if net not in known:
+                raise NetlistError(f"{self.name}: output net {net!r} is undriven")
+
+        graph = nx.DiGraph()
+        for gate in self.gates:
+            for net in gate.inputs:
+                graph.add_edge(net, gate.output)
+        if not nx.is_directed_acyclic_graph(graph):
+            cycle = nx.find_cycle(graph)
+            raise NetlistError(f"{self.name}: combinational loop through {cycle}")
+        self._graph = graph
+
+    # ------------------------------------------------------------------
+    @property
+    def nets(self) -> tuple[str, ...]:
+        """All nets: primary inputs then gate outputs (topological)."""
+        return self.inputs + tuple(g.output for g in self.topological_gates())
+
+    def driver_of(self, net: str) -> Gate | None:
+        """The gate driving ``net`` (``None`` for primary inputs)."""
+        return self._drivers.get(net)
+
+    def fanout_of(self, net: str) -> list[Gate]:
+        """Gates reading ``net``."""
+        return [g for g in self.gates if net in g.inputs]
+
+    def topological_gates(self) -> list[Gate]:
+        """Gates in evaluation order."""
+        order = {net: i for i, net in enumerate(nx.topological_sort(self._graph))}
+        return sorted(self.gates, key=lambda g: order[g.output])
+
+    def evaluate(self, input_values: Mapping[str, bool]) -> dict[str, bool]:
+        """Boolean simulation; returns the value of every net."""
+        missing = set(self.inputs) - set(input_values)
+        if missing:
+            raise NetlistError(f"{self.name}: missing input values for {sorted(missing)}")
+        values: dict[str, bool] = {n: bool(input_values[n]) for n in self.inputs}
+        for gate in self.topological_gates():
+            values[gate.output] = _gate_function(
+                gate.kind, [values[n] for n in gate.inputs]
+            )
+        return values
+
+    def output_values(self, input_values: Mapping[str, bool]) -> dict[str, bool]:
+        """Boolean values of the primary outputs only."""
+        values = self.evaluate(input_values)
+        return {net: values[net] for net in self.outputs}
+
+    def gate_count(self) -> dict[GateKind, int]:
+        counts: dict[GateKind, int] = {}
+        for gate in self.gates:
+            counts[gate.kind] = counts.get(gate.kind, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"LogicNetlist({self.name!r}, {len(self.inputs)} in, "
+            f"{len(self.outputs)} out, {len(self.gates)} gates)"
+        )
+
+
+class NetNamer:
+    """Generates unique net/gate names with a common prefix."""
+
+    def __init__(self, prefix: str = "n"):
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: str = "") -> str:
+        self._counter += 1
+        if hint:
+            return f"{self._prefix}_{hint}_{self._counter}"
+        return f"{self._prefix}_{self._counter}"

@@ -1,0 +1,85 @@
+"""Stimulus generation for logic benchmarks.
+
+The Fig. 6/7 experiments apply an input step to a benchmark and watch
+an output switch.  These helpers pick input vector pairs that provably
+toggle at least one primary output (checked with boolean simulation),
+so a delay is always defined.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.logic.netlist import LogicNetlist
+
+
+@dataclasses.dataclass(frozen=True)
+class StepStimulus:
+    """An input step: drive ``before``, settle, then drive ``after``.
+
+    ``toggled_outputs`` lists the primary outputs whose boolean value
+    changes, together with their final value.
+    """
+
+    before: dict[str, bool]
+    after: dict[str, bool]
+    toggled_outputs: tuple[tuple[str, bool], ...]
+
+
+def random_vector(
+    netlist: LogicNetlist, rng: np.random.Generator
+) -> dict[str, bool]:
+    """A uniformly random input assignment."""
+    return {net: bool(rng.integers(0, 2)) for net in netlist.inputs}
+
+
+def find_step_stimulus(
+    netlist: LogicNetlist,
+    rng: np.random.Generator | int = 0,
+    max_tries: int = 200,
+    flip_bits: int = 1,
+) -> StepStimulus:
+    """Find an input step that toggles at least one primary output.
+
+    Flips ``flip_bits`` random input bit(s) of a random base vector and
+    keeps the pair if any output changes; deterministic for a fixed
+    seed.
+    """
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
+    for _ in range(max_tries):
+        before = random_vector(netlist, rng)
+        after = dict(before)
+        inputs = list(netlist.inputs)
+        for index in rng.choice(len(inputs), size=min(flip_bits, len(inputs)),
+                                replace=False):
+            net = inputs[int(index)]
+            after[net] = not after[net]
+        out_before = netlist.output_values(before)
+        out_after = netlist.output_values(after)
+        toggled = tuple(
+            (net, out_after[net])
+            for net in netlist.outputs
+            if out_before[net] != out_after[net]
+        )
+        if toggled:
+            return StepStimulus(before, after, toggled)
+    raise SimulationError(
+        f"{netlist.name}: no output-toggling step found in {max_tries} tries"
+    )
+
+
+def exhaustive_vectors(netlist: LogicNetlist) -> list[dict[str, bool]]:
+    """All input assignments (only sensible for small benchmarks)."""
+    n = len(netlist.inputs)
+    if n > 16:
+        raise SimulationError(f"{netlist.name}: too many inputs ({n}) to enumerate")
+    vectors = []
+    for code in range(2**n):
+        vectors.append(
+            {net: bool((code >> i) & 1) for i, net in enumerate(netlist.inputs)}
+        )
+    return vectors

@@ -1,0 +1,97 @@
+"""Static timing analysis for mapped SET logic.
+
+A Monte Carlo delay measurement is expensive; designers first want a
+*static* estimate — which outputs are deep, which input is the critical
+path, roughly how slow a benchmark will switch.  This module walks the
+mapped netlist with per-cell delay weights (calibrated once against
+Monte Carlo measurements of the standard cells) and reports logic
+depth and estimated arrival times.
+
+The estimates are deliberately simple (topological longest path, no
+slope/ fanout modelling beyond a linear load term): their job is
+ranking and budgeting, with the MC engine as the sign-off tool — the
+same division of labour the paper draws between its SPICE model and
+SEMSIM.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import NetlistError
+from repro.logic.mapping import MappedCircuit
+from repro.logic.netlist import GateKind, LogicNetlist
+
+#: nominal per-cell delays (seconds) for the default LogicParameters,
+#: calibrated with Monte Carlo rise/fall measurements of isolated cells
+DEFAULT_CELL_DELAYS = {
+    GateKind.INV: 1.0e-9,
+    GateKind.NAND2: 2.5e-9,
+    GateKind.NOR2: 2.5e-9,
+}
+
+#: extra delay per fanout gate input driven (load term)
+DEFAULT_FANOUT_PENALTY = 0.3e-9
+
+
+@dataclasses.dataclass
+class TimingReport:
+    """Result of a static timing pass."""
+
+    #: arrival time estimate per net (seconds)
+    arrival: dict
+    #: logic depth (gate count) per net
+    depth: dict
+    #: primary outputs sorted by decreasing arrival time
+    critical_outputs: list
+
+    @property
+    def critical_path_delay(self) -> float:
+        """Estimated delay of the slowest primary output."""
+        return self.arrival[self.critical_outputs[0]]
+
+    def critical_path(self, netlist: LogicNetlist) -> list[str]:
+        """Nets along the slowest path, from input to output."""
+        path = [self.critical_outputs[0]]
+        while True:
+            driver = netlist.driver_of(path[-1])
+            if driver is None:
+                break
+            slowest = max(driver.inputs, key=lambda n: self.arrival[n])
+            path.append(slowest)
+        return list(reversed(path))
+
+
+def analyze_timing(
+    netlist: LogicNetlist,
+    cell_delays: dict | None = None,
+    fanout_penalty: float = DEFAULT_FANOUT_PENALTY,
+) -> TimingReport:
+    """Topological longest-path timing over a (primitive) netlist."""
+    if cell_delays is None:
+        cell_delays = DEFAULT_CELL_DELAYS
+    arrival: dict = {net: 0.0 for net in netlist.inputs}
+    depth: dict = {net: 0 for net in netlist.inputs}
+    for gate in netlist.topological_gates():
+        if gate.kind not in cell_delays:
+            raise NetlistError(
+                f"no cell delay for {gate.kind}; run on a mapped "
+                "(primitive) netlist"
+            )
+        load = len(netlist.fanout_of(gate.output))
+        gate_delay = cell_delays[gate.kind] + fanout_penalty * load
+        arrival[gate.output] = gate_delay + max(
+            (arrival[n] for n in gate.inputs), default=0.0
+        )
+        depth[gate.output] = 1 + max(
+            (depth[n] for n in gate.inputs), default=0
+        )
+    ordered = sorted(
+        netlist.outputs, key=lambda n: arrival.get(n, 0.0), reverse=True
+    )
+    return TimingReport(arrival=arrival, depth=depth, critical_outputs=ordered)
+
+
+def analyze_mapped(mapped: MappedCircuit, **kwargs) -> TimingReport:
+    """Static timing of a mapped benchmark (its primitive netlist)."""
+    return analyze_timing(mapped.netlist, **kwargs)

@@ -1,0 +1,16 @@
+"""Master-equation reference solver (exact for small devices)."""
+
+from repro.master.solver import (
+    MasterEquationResult,
+    MasterEquationSolver,
+    TransientResult,
+)
+from repro.master.transitions import Transition, enumerate_transitions
+
+__all__ = [
+    "MasterEquationResult",
+    "MasterEquationSolver",
+    "Transition",
+    "TransientResult",
+    "enumerate_transitions",
+]

@@ -1,0 +1,15 @@
+"""SEMSIM input decks and logic netlist text I/O."""
+
+from repro.netlist.logic_text import parse_logic, write_logic
+from repro.netlist.semsim import RecordSpec, SemsimDeck, SweepSpec, parse_semsim
+from repro.netlist.writer import write_semsim
+
+__all__ = [
+    "RecordSpec",
+    "SemsimDeck",
+    "SweepSpec",
+    "parse_logic",
+    "parse_semsim",
+    "write_logic",
+    "write_semsim",
+]

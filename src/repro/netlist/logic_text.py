@@ -1,0 +1,80 @@
+"""Text format for logic netlists.
+
+The paper mentions "a parser which supports logic representation of
+circuit netlist, such as NAND and NOR network, allowing circuit
+designers to describe large-scale circuits" — this is that front end.
+Format::
+
+    # comment
+    name half_adder
+    input a b
+    output s c
+    xor2 g1 a b s
+    and2 g2 a b c
+
+Gate lines are ``<kind> <gate-name> <inputs...> <output>``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.logic.netlist import ARITY, Gate, GateKind, LogicNetlist
+
+_KIND_BY_NAME = {kind.value: kind for kind in GateKind}
+
+
+def parse_logic(text: str) -> LogicNetlist:
+    """Parse a logic netlist from text."""
+    name = "netlist"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: list[Gate] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword = fields[0].lower()
+        if keyword == "name":
+            if len(fields) < 2:
+                raise NetlistError("'name' needs a value", line_number)
+            name = fields[1]
+        elif keyword == "input":
+            inputs.extend(fields[1:])
+        elif keyword == "output":
+            outputs.extend(fields[1:])
+        elif keyword in _KIND_BY_NAME:
+            kind = _KIND_BY_NAME[keyword]
+            arity = ARITY[kind]
+            if len(fields) != 2 + arity + 1:
+                raise NetlistError(
+                    f"{keyword} expects a gate name, {arity} input(s) and an "
+                    f"output, got {len(fields) - 1} fields",
+                    line_number,
+                )
+            gate_name = fields[1]
+            gates.append(
+                Gate(gate_name, kind, tuple(fields[2:2 + arity]), fields[-1])
+            )
+        else:
+            raise NetlistError(f"unknown gate or directive {keyword!r}", line_number)
+    if not inputs:
+        raise NetlistError("netlist declares no inputs")
+    try:
+        return LogicNetlist(name, inputs, outputs, gates)
+    except NetlistError:
+        raise
+
+
+def write_logic(netlist: LogicNetlist) -> str:
+    """Render a logic netlist as text (inverse of :func:`parse_logic`)."""
+    lines = [f"name {netlist.name.replace(' ', '_')}"]
+    lines.append("input " + " ".join(netlist.inputs))
+    lines.append("output " + " ".join(netlist.outputs))
+    for gate in netlist.topological_gates():
+        lines.append(
+            f"{gate.kind.value} {gate.name.replace(' ', '_')} "
+            + " ".join(gate.inputs) + f" {gate.output}"
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,289 @@
+"""The SEMSIM SPICE-like input format (Example Input File 1).
+
+The paper drives the simulator from a text deck::
+
+    #SET component definitions
+    junc 1 1 4 1e-6 1e-18
+    junc 2 2 4 1e-6 1e-18
+    cap 3 4 3e-18
+    charge 4 0.0
+
+    #Input source information
+    vdc 1 0.02
+    vdc 2 -0.02
+    vdc 3 0.0
+    symm 1
+
+    #Overall node information
+    num j 2
+    num ext 3
+    num nodes 4
+
+    #Simulation specific information
+    temp 5
+    cotunnel
+    record 1 2 2
+    jumps 100000 1
+    sweep 2 0.02 0.00005
+
+Directive semantics (documented here because the paper only shows the
+example):
+
+``junc <id> <node1> <node2> <G_S> <C_F>``
+    Tunnel junction with conductance in siemens (the example's ``1e-6``
+    for a 1 MOhm junction) and capacitance in farads.
+``cap <node1> <node2> <C_F>`` / ``charge <node> <q/e>`` / ``vdc <node> <V>``
+    Capacitor, island background charge, DC source.
+``symm <node>``
+    Symmetric-bias mode: when the sweep drives its target node to
+    ``V``, node ``<node>`` is driven to ``-V`` (the paper's Fig. 1
+    setup, giving a total drain-source swing of twice the sweep range).
+``super <delta0_eV> <tc_K>``
+    Declare the whole circuit superconducting.
+``num j|ext|nodes <n>``
+    Declared counts, validated against the parsed component lists.
+``temp <K>`` / ``cotunnel``
+    Temperature and second-order cotunneling enable.
+``record <j_first> <j_last> <interval>``
+    Junctions (1-based id range) whose current is recorded, sampled
+    every ``interval`` events.
+``jumps <count> <runs>``
+    Tunnel events per operating point and number of independent runs.
+``sweep <node> <max_V> <step_V>``
+    Sweep the source on ``node`` from ``-max`` to ``+max`` inclusive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import Superconductor
+from repro.constants import EV
+from repro.core.config import SimulationConfig
+from repro.core.engine import MonteCarloEngine
+from repro.core.sweep import IVCurve
+from repro.errors import NetlistError
+
+
+@dataclasses.dataclass
+class SweepSpec:
+    node: str
+    maximum: float
+    step: float
+
+    def values(self) -> np.ndarray:
+        n = int(round(2.0 * self.maximum / self.step)) + 1
+        return np.linspace(-self.maximum, self.maximum, n)
+
+
+@dataclasses.dataclass
+class RecordSpec:
+    first_junction: int
+    last_junction: int
+    interval: int
+
+
+@dataclasses.dataclass
+class SemsimDeck:
+    """Parsed SEMSIM input file."""
+
+    junctions: list[tuple[str, str, str, float, float]]
+    capacitors: list[tuple[str, str, float]]
+    charges: list[tuple[str, float]]
+    sources: list[tuple[str, float]]
+    symmetric_node: str | None = None
+    superconductor: Superconductor | None = None
+    temperature: float = 4.2
+    cotunnel: bool = False
+    record: RecordSpec | None = None
+    jumps: int = 100_000
+    runs: int = 1
+    sweep: SweepSpec | None = None
+    declared_junctions: int | None = None
+    declared_external: int | None = None
+    declared_nodes: int | None = None
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Cross-check declared counts against the parsed components."""
+        if not self.junctions:
+            raise NetlistError("deck contains no junctions")
+        if self.declared_junctions is not None and (
+            self.declared_junctions != len(self.junctions)
+        ):
+            raise NetlistError(
+                f"'num j {self.declared_junctions}' but {len(self.junctions)} "
+                "junctions defined"
+            )
+        if self.declared_external is not None and (
+            self.declared_external != len(self.sources)
+        ):
+            raise NetlistError(
+                f"'num ext {self.declared_external}' but {len(self.sources)} "
+                "sources defined"
+            )
+        nodes = set()
+        for name, a, b, _, _ in self.junctions:
+            nodes.update((a, b))
+        for a, b, _ in self.capacitors:
+            nodes.update((a, b))
+        nodes.discard("0")
+        if self.declared_nodes is not None and self.declared_nodes != len(nodes):
+            raise NetlistError(
+                f"'num nodes {self.declared_nodes}' but {len(nodes)} "
+                "non-ground nodes referenced"
+            )
+
+    def build_circuit(self) -> Circuit:
+        """Materialise the deck as a frozen circuit."""
+        self.validate()
+        builder = CircuitBuilder()
+        for name, a, b, conductance, capacitance in self.junctions:
+            builder.add_junction(f"j{name}", a, b, 1.0 / conductance, capacitance)
+        for i, (a, b, capacitance) in enumerate(self.capacitors):
+            builder.add_capacitor(f"c{i+1}", a, b, capacitance)
+        for node, q in self.charges:
+            if q:
+                builder.add_background_charge(node, q)
+        for node, voltage in self.sources:
+            builder.add_voltage_source(f"v{node}", node, voltage)
+        builder.set_superconductor(self.superconductor)
+        return builder.build()
+
+    def config(self, solver: str = "adaptive", seed: int = 0) -> SimulationConfig:
+        return SimulationConfig(
+            temperature=self.temperature,
+            solver=solver,
+            include_cotunneling=self.cotunnel,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def recorded_junctions(self, circuit: Circuit) -> list[int]:
+        """Indices of the junctions named by the record directive."""
+        if self.record is None:
+            return [0]
+        out = []
+        for jid in range(self.record.first_junction, self.record.last_junction + 1):
+            out.append(circuit.junction_index(f"j{jid}"))
+        return out
+
+    def run(self, solver: str = "adaptive", seed: int = 0) -> IVCurve:
+        """Execute the deck: sweep if requested, one point otherwise."""
+        circuit = self.build_circuit()
+        config = self.config(solver, seed)
+        junctions = self.recorded_junctions(circuit)
+        # series junctions through one island alternate orientation;
+        # infer each junction's sign from its position relative to the
+        # first recorded junction's island
+        orientations = _series_orientations(circuit, junctions)
+        engine = MonteCarloEngine(circuit, config)
+        if self.sweep is None:
+            current = engine.measure_current(
+                junctions, self.jumps, orientations=orientations
+            )
+            return IVCurve(np.zeros(1), np.array([current]), "operating point")
+        values = self.sweep.values()
+        currents = np.empty_like(values)
+        for i, v in enumerate(values):
+            targets = {f"v{self.sweep.node}": float(v)}
+            if self.symmetric_node is not None:
+                targets[f"v{self.symmetric_node}"] = -float(v)
+            engine.set_sources(targets)
+            currents[i] = engine.measure_current(
+                junctions, self.jumps, orientations=orientations
+            )
+        return IVCurve(values, currents, f"sweep node {self.sweep.node}")
+
+
+def _series_orientations(circuit: Circuit, junctions: list[int]) -> list[int]:
+    """Orient series junctions so their device currents add coherently.
+
+    Walks the recorded junctions as a transport chain starting from the
+    first junction's ``node_a``: a junction traversed ``a -> b`` along
+    the chain keeps +1, one traversed ``b -> a`` gets -1.  For the
+    paper's ``record 1 2`` SET idiom this yields (+1, -1), so both
+    series junctions measure the same device current instead of
+    cancelling.
+    """
+    resolved = circuit.resolved_junctions()
+    orientations: list[int] = []
+    current = resolved[junctions[0]].ref_a
+    for j in junctions:
+        rj = resolved[j]
+        if rj.ref_a == current:
+            orientations.append(+1)
+            current = rj.ref_b
+        elif rj.ref_b == current:
+            orientations.append(-1)
+            current = rj.ref_a
+        else:
+            # not chained to the previous junction; measure it as-is
+            orientations.append(+1)
+            current = rj.ref_b
+    return orientations
+
+
+def parse_semsim(text: str) -> SemsimDeck:
+    """Parse a SEMSIM input deck from text."""
+    deck = SemsimDeck([], [], [], [])
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword, args = fields[0].lower(), fields[1:]
+        try:
+            _dispatch(deck, keyword, args)
+        except (ValueError, IndexError) as exc:
+            raise NetlistError(f"bad {keyword!r} directive: {exc}", line_number)
+        except NetlistError as exc:
+            raise NetlistError(str(exc), line_number) from None
+    deck.validate()
+    return deck
+
+
+def _dispatch(deck: SemsimDeck, keyword: str, args: list[str]) -> None:
+    if keyword == "junc":
+        name, a, b = args[0], args[1], args[2]
+        conductance, capacitance = float(args[3]), float(args[4])
+        if conductance <= 0.0:
+            raise NetlistError(f"junction {name}: conductance must be > 0")
+        deck.junctions.append((name, a, b, conductance, capacitance))
+    elif keyword == "cap":
+        deck.capacitors.append((args[0], args[1], float(args[2])))
+    elif keyword == "charge":
+        deck.charges.append((args[0], float(args[1])))
+    elif keyword == "vdc":
+        deck.sources.append((args[0], float(args[1])))
+    elif keyword == "symm":
+        deck.symmetric_node = args[0]
+    elif keyword == "super":
+        deck.superconductor = Superconductor(float(args[0]) * EV, float(args[1]))
+    elif keyword == "num":
+        value = int(args[1])
+        if args[0] == "j":
+            deck.declared_junctions = value
+        elif args[0] == "ext":
+            deck.declared_external = value
+        elif args[0] == "nodes":
+            deck.declared_nodes = value
+        else:
+            raise NetlistError(f"unknown 'num' kind {args[0]!r}")
+    elif keyword == "temp":
+        deck.temperature = float(args[0])
+    elif keyword == "cotunnel":
+        deck.cotunnel = True
+    elif keyword == "record":
+        deck.record = RecordSpec(int(args[0]), int(args[1]), int(args[2]))
+    elif keyword == "jumps":
+        deck.jumps = int(args[0])
+        deck.runs = int(args[1]) if len(args) > 1 else 1
+    elif keyword == "sweep":
+        deck.sweep = SweepSpec(args[0], float(args[1]), float(args[2]))
+    else:
+        raise NetlistError(f"unknown directive {keyword!r}")

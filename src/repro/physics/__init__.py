@@ -1,0 +1,43 @@
+"""Tunneling physics: orthodox theory, cotunneling, superconductivity."""
+
+from repro.physics.bcs import bcs_gap, reduced_dos
+from repro.physics.cooper import (
+    cooper_pair_rate,
+    default_linewidth,
+    josephson_energy,
+    validate_regime,
+)
+from repro.physics.cotunneling import (
+    CotunnelingPath,
+    cotunneling_current_t0,
+    cotunneling_rate,
+    default_energy_floor,
+    enumerate_paths,
+)
+from repro.physics.fermi import bose_weight, fermi
+from repro.physics.orthodox import orthodox_rate, orthodox_rates_both, threshold_voltage
+from repro.physics.quasiparticle import QuasiparticleRateTable, qp_current, qp_rate
+from repro.physics.rates import TunnelingModel
+
+__all__ = [
+    "CotunnelingPath",
+    "QuasiparticleRateTable",
+    "TunnelingModel",
+    "bcs_gap",
+    "bose_weight",
+    "cooper_pair_rate",
+    "cotunneling_current_t0",
+    "cotunneling_rate",
+    "default_energy_floor",
+    "default_linewidth",
+    "enumerate_paths",
+    "fermi",
+    "josephson_energy",
+    "orthodox_rate",
+    "orthodox_rates_both",
+    "qp_current",
+    "qp_rate",
+    "reduced_dos",
+    "threshold_voltage",
+    "validate_regime",
+]

@@ -1,0 +1,12 @@
+"""Analytical SPICE-style baseline (compact SET model + MNA transient)."""
+
+from repro.spice.model import SETDeviceModel, nset_model
+from repro.spice.transient import BatchedSETModel, SpiceSimulator, TransientResult
+
+__all__ = [
+    "BatchedSETModel",
+    "SETDeviceModel",
+    "SpiceSimulator",
+    "TransientResult",
+    "nset_model",
+]

@@ -1,0 +1,386 @@
+"""Nodal transient solver for the analytical SPICE baseline.
+
+This is the paper's third simulation method: every SET is an analytical
+device model (:mod:`repro.spice.model`) and the circuit is solved as a
+continuous nodal network — backward-Euler time stepping with Newton
+iteration, exactly the structure of a SPICE transient analysis.  It is
+fast (no stochastic events) but ignores everything the paper says the
+SPICE approach ignores: charge quantisation on wires, device-device
+coupling and all secondary effects.  On some large benchmarks Newton
+fails to converge — the same failure mode the paper reports for
+74LS153, 54LS181 and c1908 (Fig. 6's missing bars).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.circuit.components import GROUND
+from repro.constants import E_CHARGE
+from repro.errors import ConvergenceError, SimulationError
+from repro.logic.mapping import MappedCircuit
+from repro.logic.stimuli import StepStimulus
+from repro.physics.fermi import bose_weight
+
+#: occupation window half-width for the batched device model
+_WINDOW = 4
+
+
+class BatchedSETModel:
+    """Vectorised analytical model for all SETs of one logic family.
+
+    Evaluates the stationary birth-death current of every device in a
+    single set of numpy operations — the SPICE baseline spends nearly
+    all its time here, so this must not be a Python loop.
+    """
+
+    def __init__(self, mapped: MappedCircuit):
+        p = mapped.params
+        d = len(mapped.devices)
+        self.n_devices = d
+        self.resistance = p.junction_resistance
+        self.cj = p.junction_capacitance
+        self.cg = p.gate_capacitance
+        self.cb = p.bias_capacitance
+        self.csig = 2.0 * self.cj + self.cg + self.cb
+        self.temperature = p.temperature
+        self.bias_charge = np.array(
+            [dev.bias_e * E_CHARGE for dev in mapped.devices]
+        )
+        self._offsets = np.arange(-_WINDOW, _WINDOW + 1)
+
+    def currents(
+        self, vs: np.ndarray, vd: np.ndarray, vg: np.ndarray
+    ) -> np.ndarray:
+        """Device currents (A), positive ``source -> drain`` terminal.
+
+        All arguments are per-device terminal voltages.
+        """
+        e = E_CHARGE
+        induced = self.bias_charge + self.cj * (vs + vd) + self.cg * vg
+        n0 = np.round(induced / e)
+        states = n0[:, None] + self._offsets[None, :]          # (D, 9)
+        v_isl = (induced[:, None] - states * e) / self.csig
+        charging = 0.5 * e * e / self.csig
+
+        denom = e * e * self.resistance
+        dw_in1 = -e * (v_isl - vs[:, None]) + charging
+        dw_out1 = -e * (vs[:, None] - v_isl) + charging
+        dw_in2 = -e * (v_isl - vd[:, None]) + charging
+        dw_out2 = -e * (vd[:, None] - v_isl) + charging
+        in1 = bose_weight(dw_in1, self.temperature) / denom
+        out1 = bose_weight(dw_out1, self.temperature) / denom
+        in2 = bose_weight(dw_in2, self.temperature) / denom
+        out2 = bose_weight(dw_out2, self.temperature) / denom
+
+        up = in1 + in2                                          # n -> n+1
+        down = out1 + out2                                      # n -> n-1
+        tiny = 1e-300
+        ratios = np.log(np.maximum(up[:, :-1], tiny)) - np.log(
+            np.maximum(down[:, 1:], tiny)
+        )
+        log_pi = np.concatenate(
+            [np.zeros((len(vs), 1)), np.cumsum(ratios, axis=1)], axis=1
+        )
+        log_pi -= log_pi.max(axis=1, keepdims=True)
+        pi = np.exp(log_pi)
+        pi /= pi.sum(axis=1, keepdims=True)
+        return e * np.sum(pi * (out1 - in1), axis=1)
+
+
+@dataclasses.dataclass
+class TransientResult:
+    """Recorded transient traces."""
+
+    times: np.ndarray
+    #: net label -> voltage trace
+    traces: dict
+
+
+class SpiceSimulator:
+    """Backward-Euler/Newton transient solver over a mapped benchmark.
+
+    Unknowns are the continuous voltages of all *wire* nodes (logic
+    nets and stack nodes); device islands are abstracted into the
+    analytical models.  Capacitors touching a device island are
+    approximated as grounded loading on their other terminal, the
+    standard lumping in compact-model flows.
+    """
+
+    def __init__(
+        self,
+        mapped: MappedCircuit,
+        dt: float = 2e-11,
+        newton_tol: float = 1e-6,
+        max_newton: int = 40,
+        max_step_voltage: float = 8e-3,
+    ):
+        self.mapped = mapped
+        self.dt = dt
+        self.newton_tol = newton_tol
+        self.max_newton = max_newton
+        self.max_step_voltage = max_step_voltage
+        self.model = BatchedSETModel(mapped)
+
+        circuit = mapped.circuit
+        device_islands = {dev.island for dev in mapped.devices}
+        self.unknown_nets = [
+            label for label in circuit.island_labels if label not in device_islands
+        ]
+        self._unknown_index = {net: i for i, net in enumerate(self.unknown_nets)}
+        n = len(self.unknown_nets)
+        self.n_unknowns = n
+
+        # known (source-driven) nets
+        self.known_nets = [s.node for s in circuit.sources]
+        self._known_index = {net: i for i, net in enumerate(self.known_nets)}
+
+        # node capacitance matrices
+        diag = np.zeros(n)
+        rows, cols, vals = [], [], []
+        krows, kcols, kvals = [], [], []
+
+        def stamp(net_a, net_b, c):
+            a_u = self._unknown_index.get(net_a)
+            b_u = self._unknown_index.get(net_b)
+            a_known = net_a in self._known_index
+            b_known = net_b in self._known_index
+            # caps to device islands or ground contribute only loading
+            if a_u is not None:
+                diag[a_u] += c
+            if b_u is not None:
+                diag[b_u] += c
+            if a_u is not None and b_u is not None:
+                rows.extend((a_u, b_u))
+                cols.extend((b_u, a_u))
+                vals.extend((-c, -c))
+            elif a_u is not None and b_known:
+                krows.append(a_u)
+                kcols.append(self._known_index[net_b])
+                kvals.append(c)
+            elif b_u is not None and a_known:
+                krows.append(b_u)
+                kcols.append(self._known_index[net_a])
+                kvals.append(c)
+
+        for cap in circuit.capacitors:
+            stamp(cap.node_a, cap.node_b, cap.capacitance)
+        for junction in circuit.junctions:
+            # junction capacitance loads the non-island terminal
+            stamp(junction.node_a, junction.node_b, junction.capacitance)
+
+        self._cn = sp.coo_matrix(
+            (
+                np.concatenate([diag, np.array(vals)]) if vals else diag,
+                (
+                    np.concatenate([np.arange(n), np.array(rows, dtype=int)])
+                    if rows else np.arange(n),
+                    np.concatenate([np.arange(n), np.array(cols, dtype=int)])
+                    if cols else np.arange(n),
+                ),
+            ),
+            shape=(n, n),
+        ).tocsc()
+        self._csrc = sp.coo_matrix(
+            (np.array(kvals), (np.array(krows, dtype=int), np.array(kcols, dtype=int)))
+            if kvals
+            else (np.zeros(0), (np.zeros(0, dtype=int), np.zeros(0, dtype=int))),
+            shape=(n, len(self.known_nets)),
+        ).tocsr()
+
+        # terminal resolution per device: (kind, index); kind 0 =
+        # unknown node, 1 = known source, 2 = ground
+        def resolve(net):
+            if net in self._unknown_index:
+                return (0, self._unknown_index[net])
+            if net in self._known_index:
+                return (1, self._known_index[net])
+            if net == GROUND:
+                return (2, 0)
+            raise SimulationError(f"device terminal {net!r} is a device island")
+
+        self._src_terms = [resolve(dev.source) for dev in mapped.devices]
+        self._drn_terms = [resolve(dev.drain) for dev in mapped.devices]
+        self._gate_terms = [resolve(dev.gate) for dev in mapped.devices]
+
+    # ------------------------------------------------------------------
+    def _gather(self, terms, x: np.ndarray, vknown: np.ndarray) -> np.ndarray:
+        out = np.empty(len(terms))
+        for i, (kind, idx) in enumerate(terms):
+            if kind == 0:
+                out[i] = x[idx]
+            elif kind == 1:
+                out[i] = vknown[idx]
+            else:
+                out[i] = 0.0
+        return out
+
+    def _device_currents(self, x, vknown):
+        vs = self._gather(self._src_terms, x, vknown)
+        vd = self._gather(self._drn_terms, x, vknown)
+        vg = self._gather(self._gate_terms, x, vknown)
+        return self.model.currents(vs, vd, vg), (vs, vd, vg)
+
+    def _inject(self, currents: np.ndarray) -> np.ndarray:
+        """KCL injection: +I leaves the source node, -I leaves drain."""
+        f = np.zeros(self.n_unknowns)
+        for i, (kind, idx) in enumerate(self._src_terms):
+            if kind == 0:
+                f[idx] += currents[i]
+        for i, (kind, idx) in enumerate(self._drn_terms):
+            if kind == 0:
+                f[idx] -= currents[i]
+        return f
+
+    def _jacobian(self, x, vknown, vs, vd, vg, base_currents):
+        """Numeric device transconductances assembled sparsely."""
+        h = 1e-6
+        rows, cols, vals = [], [], []
+
+        def add_partials(terms, dI):
+            for i, (kind, idx) in enumerate(terms):
+                if kind != 0:
+                    continue
+                skind, sidx = self._src_terms[i]
+                dkind, didx = self._drn_terms[i]
+                if skind == 0:
+                    rows.append(sidx)
+                    cols.append(idx)
+                    vals.append(dI[i])
+                if dkind == 0:
+                    rows.append(didx)
+                    cols.append(idx)
+                    vals.append(-dI[i])
+
+        d_vs = (self.model.currents(vs + h, vd, vg) - base_currents) / h
+        add_partials(self._src_terms, d_vs)
+        d_vd = (self.model.currents(vs, vd + h, vg) - base_currents) / h
+        add_partials(self._drn_terms, d_vd)
+        d_vg = (self.model.currents(vs, vd, vg + h) - base_currents) / h
+        add_partials(self._gate_terms, d_vg)
+        return sp.coo_matrix(
+            (np.array(vals), (np.array(rows, dtype=int), np.array(cols, dtype=int))),
+            shape=(self.n_unknowns, self.n_unknowns),
+        ).tocsc()
+
+    # ------------------------------------------------------------------
+    def _known_voltages(self, input_values: Mapping[str, bool]) -> np.ndarray:
+        vdd = self.mapped.params.vdd
+        v = np.zeros(len(self.known_nets))
+        input_nets = set(self.mapped.netlist.inputs)
+        for i, net in enumerate(self.known_nets):
+            if net in input_nets:
+                v[i] = vdd if input_values[net] else 0.0
+            else:
+                v[i] = vdd  # the supply rail
+        return v
+
+    def initial_voltages(self, input_values: Mapping[str, bool]) -> np.ndarray:
+        """Boolean-informed starting point (mirrors the MC DC init)."""
+        p = self.mapped.params
+        values = self.mapped.netlist.evaluate(input_values)
+        x = np.full(self.n_unknowns, 0.5 * p.vdd)
+        for net, i in self._unknown_index.items():
+            if net in values:
+                level = p.high_fraction if values[net] else p.low_fraction
+                x[i] = level * p.vdd
+        return x
+
+    def solve_step(
+        self, x_prev: np.ndarray, vknown: np.ndarray, vknown_prev: np.ndarray
+    ) -> np.ndarray:
+        """One backward-Euler step with Newton iteration."""
+        dt = self.dt
+        x = x_prev.copy()
+        dq_src = self._csrc @ (vknown - vknown_prev)
+        for _ in range(self.max_newton):
+            currents, (vs, vd, vg) = self._device_currents(x, vknown)
+            f = (self._cn @ (x - x_prev) - dq_src) / dt + self._inject(currents)
+            jac = self._cn / dt + self._jacobian(x, vknown, vs, vd, vg, currents)
+            try:
+                delta = spla.spsolve(jac, -f)
+            except RuntimeError as exc:
+                raise ConvergenceError(f"linear solve failed: {exc}") from exc
+            if not np.all(np.isfinite(delta)):
+                raise ConvergenceError("Newton update is not finite")
+            step = np.max(np.abs(delta))
+            if step > self.max_step_voltage:
+                delta *= self.max_step_voltage / step
+            x = x + delta
+            if step < self.newton_tol:
+                return x
+        raise ConvergenceError(
+            f"Newton did not converge in {self.max_newton} iterations "
+            f"(residual step {step:.3g} V)"
+        )
+
+    # ------------------------------------------------------------------
+    def transient(
+        self,
+        schedule: Sequence[tuple[Mapping[str, bool], float]],
+        record_nets: Sequence[str] = (),
+        initial: np.ndarray | None = None,
+    ) -> TransientResult:
+        """Run a piecewise-constant input schedule.
+
+        ``schedule`` is a list of ``(input_vector, duration_seconds)``
+        segments; sources step instantaneously between segments.
+        """
+        if not schedule:
+            raise SimulationError("transient needs a non-empty schedule")
+        first_vector = schedule[0][0]
+        x = (
+            initial.copy()
+            if initial is not None
+            else self.initial_voltages(first_vector)
+        )
+        vknown = self._known_voltages(first_vector)
+        times = [0.0]
+        traces = {net: [x[self._unknown_index[net]]] for net in record_nets}
+        t = 0.0
+        for vector, duration in schedule:
+            vknown_new = self._known_voltages(vector)
+            steps = max(1, int(round(duration / self.dt)))
+            for k in range(steps):
+                x = self.solve_step(x, vknown_new, vknown)
+                vknown = vknown_new
+                t += self.dt
+                times.append(t)
+                for net in record_nets:
+                    traces[net].append(x[self._unknown_index[net]])
+        return TransientResult(
+            np.array(times), {net: np.array(v) for net, v in traces.items()}
+        )
+
+    def propagation_delay(
+        self,
+        stimulus: StepStimulus,
+        output_net: str | None = None,
+        settle: float = 2e-9,
+        budget: float = 60e-9,
+    ) -> float:
+        """Input-step to output-threshold-crossing delay (seconds)."""
+        if output_net is None:
+            output_net, final_high = stimulus.toggled_outputs[0]
+        else:
+            final_high = dict(stimulus.toggled_outputs)[output_net]
+        result = self.transient(
+            [(stimulus.before, settle), (stimulus.after, budget)],
+            record_nets=[output_net],
+        )
+        threshold = self.mapped.params.logic_threshold
+        trace = result.traces[output_net]
+        after = result.times >= settle
+        past = (trace > threshold) if final_high else (trace < threshold)
+        hits = np.flatnonzero(after & past)
+        if len(hits) == 0:
+            raise ConvergenceError(
+                f"SPICE output {output_net!r} never crossed the threshold — "
+                "incorrect logic output (the paper reports this failure mode)"
+            )
+        return float(result.times[hits[0]] - settle)

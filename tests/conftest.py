@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    CircuitBuilder,
+    Electrostatics,
+    JunctionTable,
+    Superconductor,
+    build_set,
+)
+from repro.constants import MEV
+
+
+@pytest.fixture
+def set_circuit():
+    """The paper's Fig. 1b SET at a 20 mV symmetric bias."""
+    return build_set(vs=+0.01, vd=-0.01, vg=0.0)
+
+
+@pytest.fixture
+def set_stat(set_circuit):
+    return Electrostatics(set_circuit)
+
+
+@pytest.fixture
+def set_table(set_circuit, set_stat):
+    return JunctionTable(set_circuit, set_stat)
+
+
+@pytest.fixture
+def sset_circuit():
+    """The paper's Fig. 1c superconducting SET."""
+    return build_set(
+        vs=+0.01, vd=-0.01, vg=0.0,
+        superconductor=Superconductor(delta0=0.2 * MEV, tc=1.2),
+    )
+
+
+@pytest.fixture
+def double_dot_circuit():
+    """Two coupled islands in series — the smallest multi-island case."""
+    builder = CircuitBuilder()
+    builder.add_junction("j1", "lead_l", "dot1", 1e6, 1e-18)
+    builder.add_junction("j2", "dot1", "dot2", 1e6, 1e-18)
+    builder.add_junction("j3", "dot2", "lead_r", 1e6, 1e-18)
+    builder.add_capacitor("cg1", "gate1", "dot1", 2e-18)
+    builder.add_capacitor("cg2", "gate2", "dot2", 2e-18)
+    builder.add_voltage_source("vl", "lead_l", +0.005)
+    builder.add_voltage_source("vr", "lead_r", -0.005)
+    builder.add_voltage_source("vg1", "gate1", 0.0)
+    builder.add_voltage_source("vg2", "gate2", 0.0)
+    return builder.build()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

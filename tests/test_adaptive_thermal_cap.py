@@ -1,0 +1,68 @@
+"""Tests for the thermal cap on the adaptive testing threshold."""
+
+import numpy as np
+import pytest
+
+from repro.core import MonteCarloEngine, SimulationConfig
+from repro.errors import SimulationError
+from repro.logic import build_benchmark, find_step_stimulus
+
+
+class TestConfigValidation:
+    def test_nonpositive_cap_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(adaptive_thermal_cap=0.0)
+        with pytest.raises(SimulationError):
+            SimulationConfig(adaptive_thermal_cap=-1.0)
+
+    def test_default_cap(self):
+        assert SimulationConfig().adaptive_thermal_cap == 4.0
+
+    def test_infinite_cap_allowed(self):
+        cfg = SimulationConfig(adaptive_thermal_cap=float("inf"))
+        assert np.isinf(cfg.adaptive_thermal_cap)
+
+
+class TestCapBehaviour:
+    @pytest.fixture(scope="class")
+    def mapped(self):
+        return build_benchmark("74LS138")
+
+    def _evals_per_event(self, mapped, cap: float) -> float:
+        stim = find_step_stimulus(mapped.netlist, 0)
+        engine = MonteCarloEngine(
+            mapped.circuit,
+            SimulationConfig(
+                temperature=mapped.params.temperature, solver="adaptive",
+                seed=3, adaptive_thermal_cap=cap,
+            ),
+            initial_occupation=mapped.initial_occupation(stim.before),
+        )
+        engine.set_sources(mapped.input_voltages(stim.before))
+        engine.run(max_jumps=2000)
+        stats = engine.solver.stats
+        return stats.sequential_rate_evaluations / stats.events
+
+    def test_tighter_cap_means_more_recomputation(self, mapped):
+        tight = self._evals_per_event(mapped, 1.0)
+        default = self._evals_per_event(mapped, 4.0)
+        loose = self._evals_per_event(mapped, float("inf"))
+        assert tight >= default >= loose
+
+    def test_cap_still_far_below_nonadaptive_cost(self, mapped):
+        default = self._evals_per_event(mapped, 4.0)
+        nonadaptive_cost = 2 * mapped.n_junctions
+        assert default < nonadaptive_cost / 5
+
+    def test_zero_temperature_disables_cap(self):
+        """At T = 0 every rate is a sharp threshold, so the log-rate
+        argument does not apply and the cap must not divide by zero."""
+        from repro.circuit import build_set
+
+        circuit = build_set(vs=0.04, vd=-0.04)
+        engine = MonteCarloEngine(
+            circuit,
+            SimulationConfig(temperature=0.0, solver="adaptive", seed=1),
+        )
+        engine.run(max_jumps=200)  # must simply not crash
+        assert engine.solver.stats.events == 200

@@ -1,0 +1,70 @@
+"""Tests for metrics, timing and table formatting."""
+
+import pytest
+
+from repro.analysis import (
+    TimedRun,
+    crossover_index,
+    format_table,
+    mean_percent_error,
+    percent_error,
+    relative_spread,
+)
+from repro.errors import SimulationError
+
+
+class TestMetrics:
+    def test_percent_error(self):
+        assert percent_error(11.0, 10.0) == pytest.approx(10.0)
+        assert percent_error(9.0, 10.0) == pytest.approx(10.0)
+
+    def test_percent_error_zero_reference(self):
+        with pytest.raises(SimulationError):
+            percent_error(1.0, 0.0)
+
+    def test_mean_percent_error(self):
+        assert mean_percent_error([11, 9], [10, 10]) == pytest.approx(10.0)
+
+    def test_mean_percent_error_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            mean_percent_error([1.0], [1.0, 2.0])
+
+    def test_relative_spread(self):
+        assert relative_spread([1.0, 1.0, 1.0]) == 0.0
+        assert relative_spread([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_crossover_index(self):
+        assert crossover_index([5, 4, 2, 1], [3, 3, 3, 3]) == 2
+        assert crossover_index([5, 4], [3, 3]) is None
+
+
+class TestTimedRun:
+    def test_extrapolate_events(self):
+        run = TimedRun(wall_seconds=2.0, events=1000, simulated_seconds=1e-8)
+        assert run.extrapolate_to_events(10000) == pytest.approx(20.0)
+
+    def test_extrapolate_time(self):
+        run = TimedRun(wall_seconds=2.0, events=1000, simulated_seconds=1e-8)
+        # the paper's "adjusted for a circuit simulation time of 10 us"
+        assert run.extrapolate_to_time(1e-5) == pytest.approx(2000.0)
+
+    def test_zero_basis_rejected(self):
+        run = TimedRun(wall_seconds=2.0, events=0, simulated_seconds=0.0)
+        with pytest.raises(SimulationError):
+            run.extrapolate_to_events(10)
+        with pytest.raises(SimulationError):
+            run.extrapolate_to_time(1e-5)
+
+
+class TestTables:
+    def test_format_contains_rows_and_title(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["b", 2e-9]], title="T"
+        )
+        assert text.splitlines()[0] == "T"
+        assert "a" in text and "2.000e-09" in text
+
+    def test_columns_aligned(self):
+        text = format_table(["x", "longer"], [["aa", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert len(set(line.index("longer") for line in lines[:1])) == 1

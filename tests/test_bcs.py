@@ -1,0 +1,89 @@
+"""Tests for the BCS gap function and reduced density of states."""
+
+import numpy as np
+import pytest
+
+from repro.constants import MEV
+from repro.errors import PhysicsError
+from repro.physics.bcs import bcs_gap, reduced_dos
+
+DELTA0 = 0.2 * MEV
+TC = 1.2
+
+
+class TestGap:
+    def test_zero_temperature_returns_delta0(self):
+        assert bcs_gap(0.0, DELTA0, TC) == DELTA0
+
+    def test_above_tc_gap_closes(self):
+        assert bcs_gap(TC, DELTA0, TC) == 0.0
+        assert bcs_gap(2 * TC, DELTA0, TC) == 0.0
+
+    def test_low_temperature_gap_nearly_full(self):
+        # Delta(T) is exponentially flat below ~0.3 Tc
+        assert bcs_gap(0.1 * TC, DELTA0, TC) == pytest.approx(DELTA0, rel=1e-3)
+
+    def test_gap_decreases_monotonically(self):
+        temps = np.linspace(0.05, 0.99, 20) * TC
+        gaps = [bcs_gap(t, DELTA0, TC) for t in temps]
+        assert all(g1 >= g2 for g1, g2 in zip(gaps, gaps[1:]))
+
+    def test_gap_near_tc_is_small(self):
+        assert bcs_gap(0.98 * TC, DELTA0, TC) < 0.3 * DELTA0
+
+    def test_selfconsistent_close_to_tanh_form(self):
+        # the closed form is a few-percent approximation of the full
+        # solution through the middle of the range
+        for t in (0.3, 0.5, 0.7, 0.9):
+            exact = bcs_gap(t * TC, DELTA0, TC, method="selfconsistent")
+            approx = bcs_gap(t * TC, DELTA0, TC, method="tanh")
+            assert approx == pytest.approx(exact, rel=0.08)
+
+    def test_fig5_device_gap(self):
+        # Fig. 5's SSET: Delta(0.52 K) = 0.21 meV was measured; with
+        # Tc ~ 1.4 K the gap at 0.52 K is still close to Delta(0)
+        gap = bcs_gap(0.52, 0.21 * MEV, 1.4)
+        assert gap > 0.9 * 0.21 * MEV
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(PhysicsError):
+            bcs_gap(0.5, DELTA0, TC, method="magic")
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(PhysicsError):
+            bcs_gap(-0.1, DELTA0, TC)
+
+    def test_nonpositive_gap_rejected(self):
+        with pytest.raises(PhysicsError):
+            bcs_gap(0.5, 0.0, TC)
+
+
+class TestReducedDos:
+    def test_inside_gap_is_zero(self):
+        assert reduced_dos(0.5 * DELTA0, DELTA0) == 0.0
+        assert reduced_dos(-0.5 * DELTA0, DELTA0) == 0.0
+
+    def test_diverges_at_gap_edge(self):
+        just_outside = DELTA0 * (1.0 + 1e-6)
+        assert reduced_dos(just_outside, DELTA0) > 100.0
+
+    def test_far_outside_gap_approaches_one(self):
+        assert reduced_dos(50 * DELTA0, DELTA0) == pytest.approx(1.0, rel=1e-3)
+
+    def test_even_in_energy(self):
+        e = 1.7 * DELTA0
+        assert reduced_dos(e, DELTA0) == reduced_dos(-e, DELTA0)
+
+    def test_normal_state_is_unity(self):
+        energies = np.linspace(-1e-22, 1e-22, 7)
+        assert np.all(reduced_dos(energies, 0.0) == 1.0)
+
+    def test_exact_value(self):
+        # N(2 Delta)/N(0) = 2/sqrt(3)
+        assert reduced_dos(2 * DELTA0, DELTA0) == pytest.approx(
+            2.0 / np.sqrt(3.0)
+        )
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(PhysicsError):
+            reduced_dos(1e-22, -1e-23)

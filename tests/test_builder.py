@@ -1,0 +1,99 @@
+"""Tests for circuit construction and freezing."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, build_junction_array, build_set
+from repro.errors import CircuitError
+
+
+class TestCircuitBuilder:
+    def test_set_structure(self, set_circuit):
+        assert set_circuit.n_islands == 1
+        assert set_circuit.n_junctions == 2
+        assert set_circuit.n_external == 4  # ground + 3 sources
+
+    def test_ground_is_external_slot_zero(self, set_circuit):
+        assert set_circuit.external_labels[0] == "0"
+
+    def test_duplicate_component_name_rejected(self):
+        b = CircuitBuilder()
+        b.add_junction("j1", "a", "b", 1e6, 1e-18)
+        with pytest.raises(CircuitError):
+            b.add_junction("j1", "b", "c", 1e6, 1e-18)
+
+    def test_double_driving_a_node_rejected(self):
+        b = CircuitBuilder()
+        b.add_junction("j1", "a", "b", 1e6, 1e-18)
+        b.add_voltage_source("v1", "a", 0.1)
+        with pytest.raises(CircuitError):
+            b.add_voltage_source("v2", "a", 0.2)
+
+    def test_source_on_untouched_node_rejected(self):
+        b = CircuitBuilder()
+        b.add_junction("j1", "a", "b", 1e6, 1e-18)
+        b.add_voltage_source("v1", "nowhere", 0.1)
+        with pytest.raises(CircuitError):
+            b.build()
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError):
+            CircuitBuilder().build()
+
+    def test_background_charge_on_driven_node_rejected(self):
+        b = CircuitBuilder()
+        b.add_junction("j1", "a", "b", 1e6, 1e-18)
+        b.add_voltage_source("v1", "a", 0.1)
+        b.add_background_charge("a", 0.5)
+        with pytest.raises(CircuitError):
+            b.build()
+
+    def test_background_charge_on_unknown_node_rejected(self):
+        b = CircuitBuilder()
+        b.add_junction("j1", "a", "b", 1e6, 1e-18)
+        b.add_background_charge("ghost", 0.5)
+        with pytest.raises(CircuitError):
+            b.build()
+
+    def test_chaining_returns_builder(self):
+        b = CircuitBuilder()
+        assert b.add_junction("j1", "a", "b", 1e6, 1e-18) is b
+
+
+class TestBuildSet:
+    def test_defaults_match_fig1b(self):
+        c = build_set()
+        j1 = c.junctions[0]
+        assert j1.resistance == 1e6
+        assert j1.capacitance == 1e-18
+        assert c.capacitors[0].capacitance == 3e-18
+
+    def test_background_charge_applied(self):
+        c = build_set(background_charge_e=0.65)
+        assert c.background_charges[0].charge_e == 0.65
+
+    def test_superconducting_variant(self, sset_circuit):
+        assert sset_circuit.is_superconducting
+
+
+class TestBuildJunctionArray:
+    def test_interior_nodes_are_islands(self):
+        c = build_junction_array(4)
+        assert c.n_islands == 3
+        assert c.n_junctions == 4
+
+    def test_single_junction_has_no_islands_rejected(self):
+        # one junction between two driven leads leaves no islands
+        with pytest.raises(CircuitError):
+            from repro.circuit import Electrostatics
+
+            Electrostatics(build_junction_array(1))
+
+    def test_rejects_zero_junctions(self):
+        with pytest.raises(CircuitError):
+            build_junction_array(0)
+
+    def test_gate_capacitors_optional(self):
+        bare = build_junction_array(3)
+        gated = build_junction_array(3, gate_capacitance=1e-18)
+        assert len(bare.capacitors) == 0
+        assert len(gated.capacitors) == 2

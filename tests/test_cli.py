@@ -1,0 +1,82 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+DECK = """
+junc 1 1 3 1e-6 1e-18
+junc 2 2 3 1e-6 1e-18
+cap 4 3 3e-18
+vdc 1 0.02
+vdc 2 -0.02
+vdc 4 0.0
+temp 5
+record 1 2 1
+jumps 2000
+sweep 1 0.02 0.02
+symm 2
+"""
+
+
+@pytest.fixture
+def deck_file(tmp_path):
+    path = tmp_path / "set.deck"
+    path.write_text(DECK)
+    return path
+
+
+class TestInfo:
+    def test_reports_circuit_stats(self, deck_file, capsys):
+        assert main(["info", str(deck_file)]) == 0
+        out = capsys.readouterr().out
+        assert "junctions:      2" in out
+        assert "islands:        1" in out
+        assert "temperature:    5.0 K" in out
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        code = main(["info", str(tmp_path / "nope.deck")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_deck_is_an_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.deck"
+        bad.write_text("frobnicate 7\n")
+        assert main(["info", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_prints_csv(self, deck_file, capsys):
+        assert main(["run", str(deck_file), "--solver", "nonadaptive",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0] == "sweep_voltage_V,current_A"
+        assert len(lines) == 4  # header + 3 sweep points
+
+    def test_writes_csv_file(self, deck_file, tmp_path, capsys):
+        out_path = tmp_path / "iv.csv"
+        assert main([
+            "run", str(deck_file), "--solver", "nonadaptive",
+            "--output", str(out_path),
+        ]) == 0
+        assert out_path.exists()
+        assert out_path.read_text().startswith("sweep_voltage_V")
+
+
+class TestBenchmarks:
+    def test_lists_all_fifteen(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "c1908" in out and "6988" in out
+        assert out.count("junctions") == 15
+
+    def test_benchmark_detail(self, capsys):
+        assert main(["benchmark", "74LS138"]) == 0
+        out = capsys.readouterr().out
+        assert "junctions:   168" in out
+
+    def test_unknown_benchmark_is_an_error(self, capsys):
+        assert main(["benchmark", "c6288"]) == 1
+        assert "error" in capsys.readouterr().err

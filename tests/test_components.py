@@ -1,0 +1,104 @@
+"""Tests for component definitions and validation."""
+
+import pytest
+
+from repro.circuit.components import (
+    GROUND,
+    BackgroundCharge,
+    Capacitor,
+    NodeKind,
+    NodeRef,
+    Superconductor,
+    TunnelJunction,
+    VoltageSource,
+    canonical_label,
+)
+from repro.errors import CircuitError
+
+
+class TestCanonicalLabel:
+    def test_integer_zero_is_ground(self):
+        assert canonical_label(0) == GROUND
+
+    def test_string_zero_is_ground(self):
+        assert canonical_label("0") == GROUND
+
+    def test_other_labels_untouched(self):
+        assert canonical_label("island") == "island"
+        assert canonical_label(7) == 7
+
+
+class TestTunnelJunction:
+    def test_valid_junction(self):
+        j = TunnelJunction("j1", "a", "b", 1e6, 1e-18)
+        assert j.resistance == 1e6
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(CircuitError):
+            TunnelJunction("j1", "a", "b", 0.0, 1e-18)
+
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(CircuitError):
+            TunnelJunction("j1", "a", "b", 1e6, -1e-18)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(CircuitError):
+            TunnelJunction("j1", "a", "a", 1e6, 1e-18)
+
+    def test_rejects_self_loop_via_ground_aliases(self):
+        with pytest.raises(CircuitError):
+            TunnelJunction("j1", 0, "0", 1e6, 1e-18)
+
+
+class TestCapacitor:
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(CircuitError):
+            Capacitor("c1", "a", "b", 0.0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(CircuitError):
+            Capacitor("c1", "x", "x", 1e-18)
+
+
+class TestVoltageSource:
+    def test_rejects_driving_ground(self):
+        with pytest.raises(CircuitError):
+            VoltageSource("v1", 0, 0.1)
+
+    def test_negative_voltage_allowed(self):
+        assert VoltageSource("v1", "n", -0.02).voltage == -0.02
+
+
+class TestBackgroundCharge:
+    def test_rejects_ground(self):
+        with pytest.raises(CircuitError):
+            BackgroundCharge("0", 0.5)
+
+    def test_fractional_charge_allowed(self):
+        assert BackgroundCharge("island", 0.65).charge_e == 0.65
+
+
+class TestSuperconductor:
+    def test_valid(self):
+        sc = Superconductor(delta0=3e-23, tc=1.2)
+        assert sc.tc == 1.2
+
+    def test_rejects_nonpositive_gap(self):
+        with pytest.raises(CircuitError):
+            Superconductor(delta0=0.0, tc=1.2)
+
+    def test_rejects_nonpositive_tc(self):
+        with pytest.raises(CircuitError):
+            Superconductor(delta0=3e-23, tc=0.0)
+
+
+class TestNodeRef:
+    def test_island_flag(self):
+        assert NodeRef(NodeKind.ISLAND, 3).is_island
+        assert not NodeRef(NodeKind.EXTERNAL, 0).is_island
+
+    def test_frozen_and_hashable(self):
+        a = NodeRef(NodeKind.ISLAND, 1)
+        b = NodeRef(NodeKind.ISLAND, 1)
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,58 @@
+"""Tests for simulation configuration and event bookkeeping."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.events import EventKind, TunnelEvent
+from repro.errors import SimulationError
+from repro.physics.cotunneling import enumerate_paths
+
+
+class TestSimulationConfig:
+    def test_defaults(self):
+        cfg = SimulationConfig()
+        assert cfg.solver == "adaptive"
+        assert cfg.adaptive_threshold == 0.05
+        assert cfg.full_refresh_interval == 1000
+
+    def test_invalid_solver_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(solver="magic")
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(temperature=-1.0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(adaptive_threshold=-0.1)
+
+    def test_zero_refresh_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(full_refresh_interval=0)
+
+    def test_replace(self):
+        cfg = SimulationConfig(seed=1)
+        cfg2 = cfg.replace(seed=2, solver="nonadaptive")
+        assert cfg.seed == 1
+        assert cfg2.seed == 2
+        assert cfg2.solver == "nonadaptive"
+
+
+class TestTunnelEvent:
+    def test_sequential_flux(self):
+        event = TunnelEvent(EventKind.SEQUENTIAL, 3, -1, 1, -1e-22)
+        assert event.flux_contributions() == [(3, -1)]
+
+    def test_cooper_pair_flux_counts_two_electrons(self):
+        event = TunnelEvent(EventKind.COOPER_PAIR, 0, +1, 2, 0.0)
+        assert event.flux_contributions() == [(0, 2)]
+
+    def test_cotunneling_flux_covers_both_junctions(self, set_circuit):
+        path = enumerate_paths(set_circuit)[0]
+        event = TunnelEvent(
+            EventKind.COTUNNELING, path.junction_in, path.direction_in, 1,
+            -1e-22, path=path,
+        )
+        flux = dict(event.flux_contributions())
+        assert set(flux) == {path.junction_in, path.junction_out}

@@ -1,0 +1,45 @@
+"""Tests for physical constants and helpers."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+def test_elementary_charge_value():
+    assert constants.E_CHARGE == pytest.approx(1.602176634e-19)
+
+
+def test_boltzmann_value():
+    assert constants.K_B == pytest.approx(1.380649e-23)
+
+
+def test_hbar_consistent_with_h():
+    assert constants.HBAR == pytest.approx(constants.H_PLANCK / (2 * math.pi))
+
+
+def test_resistance_quantum_is_about_6_45_kohm():
+    assert constants.R_QUANTUM == pytest.approx(6453.2, rel=1e-3)
+
+
+def test_mev_is_one_thousandth_of_ev():
+    assert constants.MEV == pytest.approx(constants.EV / 1000.0)
+
+
+def test_thermal_energy_at_one_kelvin():
+    assert constants.thermal_energy(1.0) == pytest.approx(constants.K_B)
+
+
+def test_thermal_energy_zero_temperature():
+    assert constants.thermal_energy(0.0) == 0.0
+
+
+def test_thermal_energy_rejects_negative_temperature():
+    with pytest.raises(ValueError):
+        constants.thermal_energy(-0.1)
+
+
+def test_bcs_ratio_weak_coupling():
+    # Delta(0) = 1.764 k_B Tc is the weak-coupling BCS universal ratio
+    assert constants.BCS_RATIO == pytest.approx(1.764, abs=1e-3)

@@ -1,0 +1,116 @@
+"""Tests for Cooper-pair tunneling (Josephson energy + Lorentzian rate)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import E_CHARGE, H_PLANCK, HBAR, K_B, MEV, R_QUANTUM
+from repro.errors import PhysicsError
+from repro.physics.cooper import (
+    cooper_pair_rate,
+    default_linewidth,
+    josephson_energy,
+    validate_regime,
+)
+
+DELTA = 0.21 * MEV
+
+
+class TestJosephsonEnergy:
+    def test_zero_temperature_ambegaokar_baratoff(self):
+        r = 2.1e5
+        expected = H_PLANCK * DELTA / (8 * E_CHARGE**2 * r)
+        assert josephson_energy(r, DELTA, 0.0) == pytest.approx(expected)
+
+    def test_finite_temperature_reduces_ej(self):
+        r = 2.1e5
+        cold = josephson_energy(r, DELTA, 0.0)
+        warm = josephson_energy(r, DELTA, DELTA / K_B)  # kT = Delta
+        assert warm < cold
+
+    def test_low_temperature_tanh_correction_negligible(self):
+        r = 2.1e5
+        cold = josephson_energy(r, DELTA, 0.0)
+        nearly_cold = josephson_energy(r, DELTA, 0.05 * DELTA / K_B)
+        assert nearly_cold == pytest.approx(cold, rel=1e-6)
+
+    def test_scales_inversely_with_resistance(self):
+        assert josephson_energy(1e5, DELTA, 0.0) == pytest.approx(
+            2 * josephson_energy(2e5, DELTA, 0.0)
+        )
+
+    def test_normal_junction_has_zero_ej(self):
+        assert josephson_energy(1e5, 0.0, 0.0) == 0.0
+
+    def test_rejects_bad_resistance(self):
+        with pytest.raises(PhysicsError):
+            josephson_energy(0.0, DELTA, 0.0)
+
+
+class TestRegimeValidation:
+    def test_accepts_high_resistance_small_ej(self):
+        validate_regime(1e6, 1e-26, 1e-22)
+
+    def test_rejects_low_resistance(self):
+        with pytest.raises(PhysicsError):
+            validate_regime(0.5 * R_QUANTUM, 1e-26, 1e-22)
+
+    def test_rejects_large_josephson_energy(self):
+        with pytest.raises(PhysicsError):
+            validate_regime(1e6, 1e-22, 1e-23)
+
+
+class TestCooperPairRate:
+    EJ = 5e-25
+    GAMMA = 4e-24
+
+    def test_peak_at_zero_detuning(self):
+        on_peak = cooper_pair_rate(0.0, self.EJ, self.GAMMA)
+        off_peak = cooper_pair_rate(10 * self.GAMMA, self.EJ, self.GAMMA)
+        assert on_peak > off_peak
+
+    def test_peak_value(self):
+        expected = 2.0 * self.EJ**2 / (HBAR * self.GAMMA)
+        assert cooper_pair_rate(0.0, self.EJ, self.GAMMA) == pytest.approx(expected)
+
+    def test_half_width_at_half_maximum(self):
+        peak = cooper_pair_rate(0.0, self.EJ, self.GAMMA)
+        at_hwhm = cooper_pair_rate(self.GAMMA / 2.0, self.EJ, self.GAMMA)
+        assert at_hwhm == pytest.approx(peak / 2.0)
+
+    def test_symmetric_lorentzian(self):
+        dw = 2.7 * self.GAMMA
+        assert cooper_pair_rate(dw, self.EJ, self.GAMMA) == pytest.approx(
+            cooper_pair_rate(-dw, self.EJ, self.GAMMA)
+        )
+
+    def test_scales_with_ej_squared(self):
+        assert cooper_pair_rate(0.0, 2 * self.EJ, self.GAMMA) == pytest.approx(
+            4 * cooper_pair_rate(0.0, self.EJ, self.GAMMA)
+        )
+
+    def test_vector_input(self):
+        dw = np.linspace(-5 * self.GAMMA, 5 * self.GAMMA, 21)
+        rates = cooper_pair_rate(dw, self.EJ, self.GAMMA)
+        assert rates.shape == dw.shape
+        assert rates.argmax() == 10
+
+    def test_rejects_nonpositive_linewidth(self):
+        with pytest.raises(PhysicsError):
+            cooper_pair_rate(0.0, self.EJ, 0.0)
+
+
+class TestDefaultLinewidth:
+    def test_cold_limit_is_small_fraction_of_gap(self):
+        assert default_linewidth(DELTA, 0.0) == pytest.approx(0.02 * DELTA)
+
+    def test_thermal_broadening_takes_over_when_warm(self):
+        t = 0.52
+        assert default_linewidth(DELTA, t) == pytest.approx(K_B * t)
+
+    def test_rejects_zero_gap(self):
+        with pytest.raises(PhysicsError):
+            default_linewidth(0.0)
+
+    def test_rejects_negative_temperature(self):
+        with pytest.raises(PhysicsError):
+            default_linewidth(DELTA, -1.0)

@@ -1,0 +1,125 @@
+"""Tests for second-order inelastic cotunneling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_junction_array, build_set
+from repro.constants import E_CHARGE, HBAR, K_B
+from repro.errors import PhysicsError
+from repro.physics.cotunneling import (
+    cotunneling_current_t0,
+    cotunneling_rate,
+    default_energy_floor,
+    enumerate_paths,
+)
+
+R1 = R2 = 1e6
+E1 = E2 = 1e-21  # virtual state costs
+FLOOR = 1e-24
+
+
+class TestRate:
+    def test_zero_temperature_cubic_law(self):
+        # Gamma ~ W^3 at T = 0 (the famous V^3 cotunneling current)
+        w1, w2 = 1e-22, 2e-22
+        g1 = cotunneling_rate(-w1, E1, E2, R1, R2, 0.0, FLOOR)
+        g2 = cotunneling_rate(-w2, E1, E2, R1, R2, 0.0, FLOOR)
+        assert g2 / g1 == pytest.approx((w2 / w1) ** 3, rel=1e-9)
+
+    def test_zero_temperature_unfavourable_is_zero(self):
+        assert cotunneling_rate(+1e-22, E1, E2, R1, R2, 0.0, FLOOR) == 0.0
+
+    def test_exact_t0_prefactor(self):
+        w = 1e-22
+        expected = (
+            HBAR / (2 * math.pi * E_CHARGE**4 * R1 * R2)
+            * (1 / E1 + 1 / E2) ** 2
+            * w**3 / 6.0
+        )
+        assert cotunneling_rate(-w, E1, E2, R1, R2, 0.0, FLOOR) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_detailed_balance(self):
+        t, w = 1.0, 3e-23
+        fw = cotunneling_rate(-w, E1, E2, R1, R2, t, FLOOR)
+        bw = cotunneling_rate(+w, E1, E2, R1, R2, t, FLOOR)
+        assert bw / fw == pytest.approx(math.exp(-w / (K_B * t)), rel=1e-9)
+
+    def test_virtual_energy_floor_regularises(self):
+        # an energetically allowed intermediate state must not diverge
+        unfloored = cotunneling_rate(-1e-22, -1e-25, E2, R1, R2, 0.0, FLOOR)
+        assert math.isfinite(unfloored)
+        assert unfloored == cotunneling_rate(-1e-22, FLOOR, E2, R1, R2, 0.0, FLOOR)
+
+    def test_smaller_virtual_energy_means_faster_cotunneling(self):
+        fast = cotunneling_rate(-1e-22, E1 / 10, E2 / 10, R1, R2, 0.0, FLOOR)
+        slow = cotunneling_rate(-1e-22, E1, E2, R1, R2, 0.0, FLOOR)
+        assert fast > slow
+
+    def test_rejects_bad_resistance(self):
+        with pytest.raises(PhysicsError):
+            cotunneling_rate(-1e-22, E1, E2, 0.0, R2, 0.0, FLOOR)
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(PhysicsError):
+            cotunneling_rate(-1e-22, E1, E2, R1, R2, 0.0, 0.0)
+
+
+class TestT0Current:
+    def test_cubic_in_voltage(self):
+        i1 = cotunneling_current_t0(1e-3, E1, E2, R1, R2)
+        i2 = cotunneling_current_t0(2e-3, E1, E2, R1, R2)
+        assert i2 / i1 == pytest.approx(8.0)
+
+    def test_consistent_with_rate_difference(self):
+        # I = e * (Gamma(-eV) - Gamma(+eV)) with fixed virtual energies
+        v = 1e-3
+        w = E_CHARGE * v
+        net = E_CHARGE * (
+            cotunneling_rate(-w, E1, E2, R1, R2, 0.0, FLOOR)
+            - cotunneling_rate(+w, E1, E2, R1, R2, 0.0, FLOOR)
+        )
+        assert cotunneling_current_t0(v, E1, E2, R1, R2) == pytest.approx(
+            net, rel=1e-9
+        )
+
+
+class TestPathEnumeration:
+    def test_set_has_two_transport_paths(self):
+        # source->island->drain and drain->island->source (entry and
+        # exit through the same lead are excluded)
+        circuit = build_set()
+        paths = enumerate_paths(circuit)
+        assert len(paths) == 2
+        endpoints = {(p.ref_a.index, p.ref_b.index) for p in paths}
+        assert len(endpoints) == 2
+
+    def test_array_paths_per_interior_island(self):
+        circuit = build_junction_array(3, gate_capacitance=1e-18)
+        paths = enumerate_paths(circuit)
+        # 2 interior islands, each passed through in 2 directions
+        assert len(paths) == 4
+
+    def test_path_directions_are_consistent(self):
+        circuit = build_set()
+        for path in enumerate_paths(circuit):
+            assert path.direction_in in (-1, +1)
+            assert path.direction_out in (-1, +1)
+            assert path.ref_m.is_island
+
+
+class TestDefaultFloor:
+    def test_floor_tracks_temperature(self):
+        cold = default_energy_floor(0.1, 1e-21)
+        warm = default_energy_floor(10.0, 1e-21)
+        assert warm > cold
+
+    def test_floor_tracks_charging_scale_at_low_t(self):
+        assert default_energy_floor(0.0, 1e-21) == pytest.approx(0.05e-21)
+
+    def test_rejects_bad_charging_scale(self):
+        with pytest.raises(PhysicsError):
+            default_energy_floor(1.0, 0.0)

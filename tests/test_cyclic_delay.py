@@ -1,0 +1,72 @@
+"""Tests for the cyclic (multi-transition) delay protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationConfig
+from repro.errors import SimulationError
+from repro.logic import (
+    Gate,
+    GateKind,
+    LogicNetlist,
+    map_to_circuit,
+    measure_cyclic_delay,
+)
+from repro.logic.stimuli import StepStimulus
+
+
+@pytest.fixture(scope="module")
+def inverter_pair():
+    net = LogicNetlist(
+        "pair", ["x"], ["z"],
+        [
+            Gate("g1", GateKind.INV, ("x",), "y"),
+            Gate("g2", GateKind.INV, ("y",), "z"),
+        ],
+    )
+    return map_to_circuit(net)
+
+
+class TestCyclicDelay:
+    def test_returns_requested_number_of_samples(self, inverter_pair):
+        stim = StepStimulus({"x": False}, {"x": True}, (("z", True),))
+        config = SimulationConfig(temperature=1.5, solver="nonadaptive", seed=2)
+        delays = measure_cyclic_delay(
+            inverter_pair, stim, config, cycles=4, settle_jumps=2000,
+            max_jumps=120_000,
+        )
+        assert len(delays) == 4
+        assert all(d > 0.0 for d in delays)
+
+    def test_samples_vary_between_cycles(self, inverter_pair):
+        stim = StepStimulus({"x": False}, {"x": True}, (("z", True),))
+        config = SimulationConfig(temperature=1.5, solver="nonadaptive", seed=3)
+        delays = measure_cyclic_delay(
+            inverter_pair, stim, config, cycles=5, settle_jumps=2000,
+            max_jumps=120_000,
+        )
+        assert len(set(np.round(np.array(delays), 15))) > 1
+
+    def test_adaptive_and_nonadaptive_medians_agree(self, inverter_pair):
+        stim = StepStimulus({"x": False}, {"x": True}, (("z", True),))
+        medians = {}
+        for solver in ("nonadaptive", "adaptive"):
+            samples = []
+            for seed in (1, 2, 3):
+                config = SimulationConfig(
+                    temperature=1.5, solver=solver, seed=seed
+                )
+                samples += measure_cyclic_delay(
+                    inverter_pair, stim, config, cycles=3,
+                    settle_jumps=2000, max_jumps=120_000,
+                )
+            medians[solver] = float(np.median(samples))
+        assert medians["adaptive"] == pytest.approx(
+            medians["nonadaptive"], rel=0.6
+        )
+
+    def test_stimulus_without_toggles_rejected(self, inverter_pair):
+        vec = {"x": False}
+        stim = StepStimulus(vec, vec, ())
+        with pytest.raises(SimulationError):
+            measure_cyclic_delay(inverter_pair, stim)

@@ -1,0 +1,111 @@
+"""Edge-case and regression tests accumulated during development."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitBuilder, build_set
+from repro.core import MonteCarloEngine, SimulationConfig
+from repro.errors import SimulationError
+
+
+class TestClockPrecisionRegressions:
+    """Two real bugs: windowed currents were corrupted by float
+    rounding after long blockade dwells (fixed by Kahan summation and
+    the window stopwatch)."""
+
+    def test_current_after_deep_blockade_dwell(self):
+        # sweep into deep blockade and back out: the conducting point
+        # after the ~1e5-second dwell must still measure correctly
+        engine = MonteCarloEngine(
+            build_set(),
+            SimulationConfig(temperature=5.0, solver="nonadaptive", seed=9),
+        )
+        reference = None
+        for vds in (0.04, 0.005, 0.04):
+            engine.set_sources({"vs": vds / 2, "vd": -vds / 2})
+            current = engine.measure_current([0], 4000)
+            if vds == 0.04:
+                if reference is None:
+                    reference = current
+                else:
+                    assert current == pytest.approx(reference, rel=0.15)
+
+    def test_window_stopwatch_resets(self):
+        engine = MonteCarloEngine(
+            build_set(vs=0.02, vd=-0.02),
+            SimulationConfig(temperature=5.0, solver="nonadaptive", seed=1),
+        )
+        engine.run(max_jumps=100)
+        first = engine.solver.window_elapsed
+        engine.solver.reset_window()
+        assert engine.solver.window_elapsed == 0.0
+        engine.run(max_jumps=100)
+        assert 0.0 < engine.solver.window_elapsed <= first * 3
+
+
+class TestFrozenCircuits:
+    def test_sweep_reports_zero_for_frozen_points(self):
+        from repro.core import sweep_iv
+
+        curve = sweep_iv(
+            build_set(), [0.005, 0.04],
+            SimulationConfig(temperature=0.05, solver="nonadaptive", seed=2),
+            jumps_per_point=1500,
+        )
+        assert curve.currents[0] == 0.0
+        assert curve.currents[1] > 1e-10
+
+    def test_frozen_step_raises_cleanly(self):
+        engine = MonteCarloEngine(
+            build_set(vs=0.0, vd=0.0),
+            SimulationConfig(temperature=0.0, solver="adaptive"),
+        )
+        with pytest.raises(SimulationError):
+            engine.solver.step()
+
+
+class TestAdaptiveStateAfterSourceChanges:
+    def test_rates_follow_capacitively_coupled_sources(self):
+        """Regression: a source that couples only through capacitors
+        (like every logic input) must still refresh the cached rates."""
+        builder = CircuitBuilder()
+        builder.add_junction("j1", "lead", "isl", 1e6, 1e-18)
+        builder.add_junction("j2", "isl", "0", 1e6, 1e-18)
+        builder.add_capacitor("cg", "gate", "isl", 3e-18)
+        builder.add_voltage_source("vl", "lead", 0.02)
+        builder.add_voltage_source("vg", "gate", 0.0)
+        circuit = builder.build()
+
+        engines = {}
+        for solver in ("adaptive", "nonadaptive"):
+            engine = MonteCarloEngine(
+                circuit, SimulationConfig(temperature=2.0, solver=solver,
+                                          seed=7, adaptive_threshold=0.0),
+            )
+            engine.run(max_jumps=300)
+            engine.set_sources({"vg": 0.03})
+            engine.run(max_jumps=700)
+            engines[solver] = engine
+        assert engines["adaptive"].solver.time == pytest.approx(
+            engines["nonadaptive"].solver.time, rel=1e-12
+        )
+        assert np.array_equal(
+            engines["adaptive"].solver.flux,
+            engines["nonadaptive"].solver.flux,
+        )
+
+
+class TestRecorderInteractionWithSweeps:
+    def test_recorders_survive_multiple_runs(self):
+        from repro.core import NodeVoltageRecorder
+
+        engine = MonteCarloEngine(
+            build_set(vs=0.04, vd=-0.04),
+            SimulationConfig(temperature=5.0, solver="nonadaptive", seed=3),
+        )
+        recorder = engine.add_recorder(NodeVoltageRecorder(0, interval=10))
+        engine.run(max_jumps=100)
+        count_after_first = len(recorder.samples)
+        engine.run(max_jumps=100)
+        assert len(recorder.samples) > count_after_first
+        assert np.all(np.diff(recorder.times()) >= 0)

@@ -1,0 +1,56 @@
+"""Tests for kinetic Monte Carlo event selection (Eq. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.event_solver import choose_event, draw_time
+from repro.errors import SimulationError
+
+
+class TestDrawTime:
+    def test_mean_residence_time(self, rng):
+        total = 2.5e9
+        samples = [draw_time(total, rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(1.0 / total, rel=0.05)
+
+    def test_exponential_distribution_shape(self, rng):
+        total = 1e9
+        samples = np.array([draw_time(total, rng) for _ in range(20000)])
+        # P(t > 1/Gamma) = 1/e for an exponential
+        fraction = np.mean(samples > 1.0 / total)
+        assert fraction == pytest.approx(np.exp(-1.0), abs=0.02)
+
+    def test_zero_rate_raises(self, rng):
+        with pytest.raises(SimulationError):
+            draw_time(0.0, rng)
+
+    def test_always_positive(self, rng):
+        assert all(draw_time(1e9, rng) > 0 for _ in range(100))
+
+
+class TestChooseEvent:
+    def test_respects_probabilities(self, rng):
+        rates = np.array([1.0, 3.0, 6.0])
+        counts = np.zeros(3)
+        n = 30000
+        for _ in range(n):
+            counts[choose_event(rates, rng)] += 1
+        assert counts[0] / n == pytest.approx(0.1, abs=0.01)
+        assert counts[1] / n == pytest.approx(0.3, abs=0.015)
+        assert counts[2] / n == pytest.approx(0.6, abs=0.015)
+
+    def test_zero_rate_events_never_chosen(self, rng):
+        rates = np.array([0.0, 1.0, 0.0])
+        assert all(choose_event(rates, rng) == 1 for _ in range(200))
+
+    def test_all_zero_raises(self, rng):
+        with pytest.raises(SimulationError):
+            choose_event(np.zeros(3), rng)
+
+    def test_single_event(self, rng):
+        assert choose_event(np.array([5.0]), rng) == 0
+
+    def test_index_in_range(self, rng):
+        rates = np.abs(rng.normal(size=50)) + 1e-3
+        for _ in range(500):
+            assert 0 <= choose_event(rates, rng) < 50

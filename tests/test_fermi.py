@@ -1,0 +1,70 @@
+"""Tests for the Fermi occupation and detailed-balance weight."""
+
+import numpy as np
+import pytest
+
+from repro.constants import K_B
+from repro.physics.fermi import bose_weight, fermi
+
+
+class TestFermi:
+    def test_zero_energy_is_half(self):
+        assert fermi(0.0, 1.0) == pytest.approx(0.5)
+
+    def test_deep_below_fermi_level_is_one(self):
+        assert fermi(-100 * K_B, 1.0) == pytest.approx(1.0)
+
+    def test_far_above_fermi_level_is_zero(self):
+        assert fermi(+100 * K_B, 1.0) == pytest.approx(0.0)
+
+    def test_zero_temperature_is_step_function(self):
+        assert fermi(-1e-22, 0.0) == 1.0
+        assert fermi(+1e-22, 0.0) == 0.0
+        assert fermi(0.0, 0.0) == 0.5
+
+    def test_symmetry_f_of_minus_e(self):
+        e = 2.5 * K_B
+        assert fermi(-e, 1.0) == pytest.approx(1.0 - fermi(e, 1.0))
+
+    def test_no_overflow_at_extreme_argument(self):
+        assert fermi(1e-15, 0.001) == 0.0
+        assert fermi(-1e-15, 0.001) == 1.0
+
+    def test_array_input(self):
+        out = fermi(np.array([-1e-25, 0.0, 1e-25]), 1.0)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) < 0)
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            fermi(0.0, -1.0)
+
+
+class TestBoseWeight:
+    def test_limit_at_zero_energy_is_kt(self):
+        kt = K_B * 2.0
+        assert bose_weight(0.0, 2.0) == pytest.approx(kt)
+
+    def test_large_negative_energy_is_linear(self):
+        e = -50 * K_B
+        assert bose_weight(e, 1.0) == pytest.approx(-e, rel=1e-6)
+
+    def test_large_positive_energy_vanishes(self):
+        assert bose_weight(1000 * K_B, 1.0) == pytest.approx(0.0, abs=1e-30)
+
+    def test_zero_temperature_limits(self):
+        assert bose_weight(-1e-22, 0.0) == pytest.approx(1e-22)
+        assert bose_weight(+1e-22, 0.0) == 0.0
+
+    def test_detailed_balance_identity(self):
+        # w(-E) / w(E) = exp(E / kT)
+        t, e = 1.3, 3.7 * K_B
+        ratio = bose_weight(-e, t) / bose_weight(e, t)
+        assert ratio == pytest.approx(np.exp(e / (K_B * t)), rel=1e-10)
+
+    def test_always_nonnegative(self):
+        energies = np.linspace(-1e-21, 1e-21, 101)
+        assert np.all(bose_weight(energies, 0.5) >= 0.0)
+
+    def test_extreme_argument_no_overflow(self):
+        assert np.isfinite(bose_weight(1e-12, 0.001))

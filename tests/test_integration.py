@@ -1,0 +1,200 @@
+"""Cross-module integration tests.
+
+These exercise the whole stack the way the paper's experiments do:
+device physics through the MC engine, validated against the exact
+master equation, plus the qualitative single-device signatures of
+Sec. IV-A (blockade, gate modulation, superconducting gap, cotunneling
+in blockade, JQP-style sub-gap current).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Superconductor, build_junction_array, build_set
+from repro.constants import E_CHARGE, MEV
+from repro.core import MonteCarloEngine, SimulationConfig, sweep_iv
+from repro.master import MasterEquationSolver
+
+
+class TestSETPhysics:
+    def test_coulomb_blockade_region(self):
+        """Fig. 1b: current suppressed below e/C_sigma at Vg = 0."""
+        circuit = build_set()
+        curve = sweep_iv(
+            circuit, [0.01, 0.04],
+            SimulationConfig(temperature=5.0, solver="nonadaptive", seed=1),
+            jumps_per_point=4000,
+        )
+        assert abs(curve.currents[0]) < 1e-3 * abs(curve.currents[1])
+
+    def test_gate_lifts_blockade(self):
+        """Fig. 1b: Vg = 30 mV conducts where Vg = 0 is blockaded."""
+        config = SimulationConfig(temperature=5.0, solver="nonadaptive", seed=2)
+        blocked = MonteCarloEngine(
+            build_set(vs=0.01, vd=-0.01, vg=0.0), config
+        ).measure_current([0], 5000)
+        conducting = MonteCarloEngine(
+            build_set(vs=0.01, vd=-0.01, vg=0.03), config
+        ).measure_current([0], 5000)
+        assert abs(conducting) > 100 * abs(blocked)
+
+    def test_mc_matches_master_equation_over_gate_sweep(self):
+        """Both solvers trace the same Coulomb oscillation."""
+        for solver in ("nonadaptive", "adaptive"):
+            for vg in (0.005, 0.015, 0.025):
+                circuit = build_set(vs=0.015, vd=-0.015, vg=vg)
+                reference = MasterEquationSolver(
+                    circuit, temperature=5.0
+                ).steady_state()
+                engine = MonteCarloEngine(
+                    circuit,
+                    SimulationConfig(temperature=5.0, solver=solver, seed=7),
+                )
+                current = engine.measure_current([0], 40000)
+                assert current == pytest.approx(
+                    float(reference.junction_currents[0]), rel=0.08
+                ), (solver, vg)
+
+    def test_asymptotic_resistance(self):
+        """Far above threshold the SET approaches its series resistance."""
+        circuit = build_set(vs=0.1, vd=-0.1)
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=5.0, solver="nonadaptive",
+                                      seed=3),
+        )
+        current = engine.measure_current([0], 20000)
+        # I -> (Vds - e/C) / 2R for Vds >> threshold
+        expected = (0.2 - E_CHARGE / 5e-18) / 2e6
+        assert current == pytest.approx(expected, rel=0.1)
+
+
+class TestSuperconductingPhysics:
+    SC = Superconductor(delta0=0.2 * MEV, tc=1.2)
+
+    def test_gap_widens_blockade(self):
+        """Fig. 1c: the SSET suppressed region is wider by ~2 Delta/e
+        per junction than the normal SET's."""
+        # just above the normal threshold of 32 mV but inside the
+        # superconducting extension (~2 Delta of extra free energy);
+        # the SSET there is *completely* frozen at 50 mK, so the exact
+        # master equation is the right probe (the MC would rightly
+        # refuse to simulate a zero-rate system)
+        v_probe = 0.0325
+        normal = MasterEquationSolver(
+            build_set(vs=v_probe / 2, vd=-v_probe / 2), temperature=0.05
+        ).steady_state()
+        sset = MasterEquationSolver(
+            build_set(vs=v_probe / 2, vd=-v_probe / 2, superconductor=self.SC),
+            temperature=0.05, include_cooper_pairs=False,
+        ).steady_state()
+        assert abs(normal.junction_currents[0]) > 1e3 * (
+            abs(sset.junction_currents[0]) + 1e-30
+        )
+
+    def test_cooper_pairs_carry_subgap_current_at_resonance(self):
+        """JQP physics: with 2e processes enabled, sub-gap bias points
+        near a Cooper-pair resonance carry orders of magnitude more
+        current than quasi-particles alone."""
+        # gate tuned near a CP degeneracy for the 2e transfer
+        base = build_set(
+            r1=2.1e5, r2=2.1e5, c1=1.1e-16, c2=1.1e-16, cg=1.4e-17,
+            vg=0.0, superconductor=Superconductor(0.21 * MEV, 1.4),
+            background_charge_e=0.65,
+        )
+        me_qp = MasterEquationSolver(
+            base.with_source_voltages({"vs": 4.4e-4, "vd": -4.4e-4}),
+            temperature=0.52, include_cooper_pairs=False,
+        ).steady_state()
+        me_cp = MasterEquationSolver(
+            base.with_source_voltages({"vs": 4.4e-4, "vd": -4.4e-4}),
+            temperature=0.52, include_cooper_pairs=True,
+        ).steady_state()
+        qp_only = abs(float(me_qp.junction_currents[0]))
+        with_cp = abs(float(me_cp.junction_currents[0]))
+        assert with_cp > 3.0 * qp_only
+
+    def test_mc_and_me_agree_on_sset(self):
+        circuit = build_set(vs=0.02, vd=-0.02, superconductor=self.SC)
+        reference = MasterEquationSolver(
+            circuit, temperature=0.05, include_cooper_pairs=False,
+        ).steady_state()
+        engine = MonteCarloEngine(
+            circuit,
+            SimulationConfig(temperature=0.05, solver="nonadaptive", seed=5,
+                             include_cooper_pairs=False),
+        )
+        current = engine.measure_current([0], 30000)
+        assert current == pytest.approx(
+            float(reference.junction_currents[0]), rel=0.1
+        )
+
+
+class TestCotunnelingPhysics:
+    def test_cotunneling_dominates_deep_blockade(self):
+        """Sec. IV-A: in blockade the cotunneling channel carries
+        current that sequential tunneling cannot."""
+        circuit = build_junction_array(
+            2, resistance=1e6, capacitance=1e-18, gate_capacitance=2e-18,
+            bias=0.02,  # inside the blockade of this array
+        )
+        seq_only = MasterEquationSolver(circuit, temperature=0.5).steady_state()
+        with_cot = MasterEquationSolver(
+            circuit, temperature=0.5, include_cotunneling=True
+        ).steady_state()
+        assert abs(with_cot.junction_currents[0]) > 10 * abs(
+            seq_only.junction_currents[0]
+        )
+
+    def test_mc_cotunneling_matches_me(self):
+        circuit = build_junction_array(
+            2, resistance=1e6, capacitance=1e-18, gate_capacitance=2e-18,
+            bias=0.02,
+        )
+        reference = MasterEquationSolver(
+            circuit, temperature=0.5, include_cotunneling=True
+        ).steady_state()
+        engine = MonteCarloEngine(
+            circuit,
+            SimulationConfig(temperature=0.5, solver="nonadaptive",
+                             include_cotunneling=True, seed=6),
+        )
+        current = engine.measure_current([0], 30000)
+        assert current == pytest.approx(
+            float(reference.junction_currents[0]), rel=0.12
+        )
+
+    def test_cotunneling_events_realised_in_mc(self):
+        from repro.core import EventKind, EventLogRecorder
+
+        circuit = build_junction_array(
+            2, resistance=1e6, capacitance=1e-18, gate_capacitance=2e-18,
+            bias=0.02,
+        )
+        engine = MonteCarloEngine(
+            circuit,
+            SimulationConfig(temperature=0.5, solver="nonadaptive",
+                             include_cotunneling=True, seed=8),
+        )
+        log = engine.add_recorder(EventLogRecorder())
+        engine.run(max_jumps=2000)
+        kinds = {e.kind for e in log.events}
+        assert "cotunneling" in kinds
+
+
+class TestAdaptiveOnDevices:
+    def test_adaptive_sset_current_consistent(self):
+        circuit = build_set(
+            vs=0.02, vd=-0.02,
+            superconductor=Superconductor(0.2 * MEV, 1.2),
+        )
+        currents = {}
+        for solver in ("nonadaptive", "adaptive"):
+            engine = MonteCarloEngine(
+                circuit,
+                SimulationConfig(temperature=0.05, solver=solver, seed=11,
+                                 include_cooper_pairs=False),
+            )
+            currents[solver] = engine.measure_current([0], 20000)
+        assert currents["adaptive"] == pytest.approx(
+            currents["nonadaptive"], rel=0.1
+        )

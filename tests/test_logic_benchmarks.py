@@ -1,0 +1,213 @@
+"""Tests for the 15 paper benchmarks (structure + boolean function)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.logic import BENCHMARKS, benchmark_by_name, build_benchmark
+from repro.logic.benchmarks import (
+    alu_54ls181,
+    bcd_74ls47,
+    decoder_2to10,
+    decoder_74154,
+    decoder_74ls138,
+    encoder_74148,
+    full_adder_bench,
+    mux_74ls153,
+    parity_74ls280,
+)
+from repro.logic.mapping import count_sets, pad_to_set_count
+
+PAPER_JUNCTION_COUNTS = {
+    "2-to-10 decoder": 76,
+    "Full-Adder": 100,
+    "74LS138": 168,
+    "74LS153": 224,
+    "s27a": 264,
+    "74148": 336,
+    "74154": 360,
+    "74LS47": 448,
+    "74LS280": 484,
+    "54LS181": 944,
+    "s208-1": 1344,
+    "c432": 2072,
+    "c1355": 4616,
+    "c499": 5608,
+    "c1908": 6988,
+}
+
+
+class TestRegistry:
+    def test_all_fifteen_present_in_paper_order(self):
+        assert [s.name for s in BENCHMARKS] == list(PAPER_JUNCTION_COUNTS)
+
+    def test_published_junction_counts(self):
+        for spec in BENCHMARKS:
+            assert spec.junctions == PAPER_JUNCTION_COUNTS[spec.name]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(NetlistError):
+            benchmark_by_name("c6288")
+
+    def test_bases_fit_under_targets_with_even_deficit(self):
+        for spec in BENCHMARKS:
+            base = count_sets(spec.builder())
+            assert base <= spec.sets, spec.name
+            assert (spec.sets - base) % 2 == 0, spec.name
+
+
+class TestMappedSizes:
+    @pytest.mark.parametrize(
+        "name", ["2-to-10 decoder", "Full-Adder", "74LS138", "74154", "s27a"]
+    )
+    def test_mapped_junctions_match_paper_exactly(self, name):
+        mapped = build_benchmark(name)
+        assert mapped.n_junctions == PAPER_JUNCTION_COUNTS[name]
+
+    def test_largest_benchmark_maps(self):
+        mapped = build_benchmark("c1908")
+        assert mapped.n_junctions == 6988
+        assert mapped.circuit.n_islands > 3494  # devices + wires + stacks
+
+
+class TestBooleanFunctions:
+    def test_full_adder(self):
+        net = full_adder_bench()
+        for code in range(8):
+            a, b, cin = bool(code & 1), bool(code & 2), bool(code & 4)
+            out = net.output_values({"a": a, "b": b, "cin": cin})
+            values = list(out.values())
+            s, cout = values[0], values[1]
+            assert s == ((a + b + cin) % 2 == 1)
+            assert cout == ((a + b + cin) >= 2)
+
+    def test_decoder_2to10_one_hot(self):
+        net = decoder_2to10()
+        for code in range(4):
+            vec = {"a": bool(code & 1), "b": bool(code & 2)}
+            out = net.output_values(vec)
+            assert sum(out.values()) == 1
+            assert out[net.outputs[code]]
+
+    def test_decoder_74ls138_active_low(self):
+        net = decoder_74ls138()
+        for code in range(8):
+            vec = {"a": bool(code & 1), "b": bool(code & 2), "c": bool(code & 4)}
+            out = net.output_values(vec)
+            lows = [name for name, value in out.items() if not value]
+            assert lows == [net.outputs[code]]
+
+    def test_decoder_74154_active_low(self):
+        net = decoder_74154()
+        for code in (0, 5, 10, 15):
+            vec = {
+                "a": bool(code & 1), "b": bool(code & 2),
+                "c": bool(code & 4), "d": bool(code & 8),
+            }
+            out = net.output_values(vec)
+            assert [n for n, v in out.items() if not v] == [net.outputs[code]]
+
+    def test_mux_74ls153_selects(self):
+        net = mux_74ls153()
+        rng = np.random.default_rng(0)
+        for _ in range(12):
+            data = {f"d{u}{i}": bool(rng.integers(2)) for u in range(2)
+                    for i in range(4)}
+            for sel in range(4):
+                vec = dict(data)
+                vec["s0"] = bool(sel & 1)
+                vec["s1"] = bool(sel & 2)
+                out = net.output_values(vec)
+                assert out[net.outputs[0]] == data[f"d0{sel}"]
+                assert out[net.outputs[1]] == data[f"d1{sel}"]
+
+    def test_priority_encoder_74148(self):
+        net = encoder_74148()
+        for highest in range(8):
+            vec = {f"d{i}": i == highest for i in range(8)}
+            # also raise a lower-priority line; it must be ignored
+            if highest > 0:
+                vec["d0"] = True
+            out = net.output_values(vec)
+            code = (out[net.outputs[0]] << 2) | (out[net.outputs[1]] << 1) | (
+                out[net.outputs[2]]
+            )
+            assert code == highest
+            assert out[net.outputs[3]]  # group select active
+
+    def test_priority_encoder_74148_idle(self):
+        net = encoder_74148()
+        out = net.output_values({f"d{i}": False for i in range(8)})
+        assert not out[net.outputs[3]]
+
+    def test_parity_74ls280(self):
+        net = parity_74ls280()
+        rng = np.random.default_rng(1)
+        for _ in range(16):
+            vec = {f"i{k}": bool(rng.integers(2)) for k in range(9)}
+            out = net.output_values(vec)
+            even = sum(vec.values()) % 2 == 0
+            assert out[net.outputs[0]] == (not even)  # XOR tree: odd parity
+            assert out[net.outputs[1]] == even
+
+    def test_bcd_7segment_digit_8_all_on(self):
+        net = bcd_74ls47()
+        out = net.output_values({"a": False, "b": False, "c": False, "d": True})
+        assert all(out.values())  # digit 8 lights every segment
+
+    def test_bcd_7segment_digit_1(self):
+        net = bcd_74ls47()
+        out = net.output_values({"a": True, "b": False, "c": False, "d": False})
+        values = [out[n] for n in net.outputs]
+        # digit 1: only segments b and c are lit
+        assert values == [False, True, True, False, False, False, False]
+
+    def test_alu_adds(self):
+        net = alu_54ls181()
+        rng = np.random.default_rng(2)
+        for _ in range(12):
+            a_val = int(rng.integers(16))
+            b_val = int(rng.integers(16))
+            vec = {f"a{i}": bool(a_val >> i & 1) for i in range(4)}
+            vec.update({f"b{i}": bool(b_val >> i & 1) for i in range(4)})
+            vec.update({"cin": False, "s0": False, "m": False})
+            out = net.output_values(vec)
+            total = sum(out[net.outputs[i]] << i for i in range(4))
+            carry = out[net.outputs[4]]
+            assert total + (carry << 4) == a_val + b_val
+
+    def test_alu_logic_mode_and(self):
+        net = alu_54ls181()
+        vec = {f"a{i}": True for i in range(4)}
+        vec.update({f"b{i}": bool(i % 2) for i in range(4)})
+        vec.update({"cin": False, "s0": False, "m": True})
+        out = net.output_values(vec)
+        for i in range(4):
+            assert out[net.outputs[i]] == (i % 2 == 1)
+
+    def test_error_corrector_fixes_single_bit_flips(self):
+        from repro.logic.benchmarks import _sec_netlist
+
+        net = _sec_netlist("sec_test", 8, 4)
+        rng = np.random.default_rng(3)
+        data = [bool(rng.integers(2)) for _ in range(8)]
+        # compute matching check bits with the same position groups
+        from repro.logic.benchmarks import _hamming_positions
+
+        groups = _hamming_positions(8, 4)
+        checks = [
+            bool(np.bitwise_xor.reduce([data[i] for i in group]))
+            if group else False
+            for group in groups
+        ]
+        base = {f"d{i}": data[i] for i in range(8)}
+        base.update({f"p{c}": checks[c] for c in range(4)})
+        # clean word decodes to itself
+        out = net.output_values(base)
+        assert [out[n] for n in net.outputs] == data
+        # any single data-bit flip is corrected
+        for flip in range(8):
+            vec = dict(base)
+            vec[f"d{flip}"] = not vec[f"d{flip}"]
+            out = net.output_values(vec)
+            assert [out[n] for n in net.outputs] == data, f"flip d{flip}"

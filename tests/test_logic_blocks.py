@@ -1,0 +1,117 @@
+"""Tests for the reusable gate-level building blocks."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.logic import Gate, GateKind, LogicNetlist, NetNamer
+from repro.logic.blocks import (
+    and_tree,
+    full_adder,
+    half_decoder,
+    inverters,
+    mux2,
+    mux4,
+    or_tree,
+    ripple_adder,
+    xor_tree,
+)
+
+
+def netlist_for(inputs, outputs, gates, name="block"):
+    return LogicNetlist(name, inputs, outputs, gates)
+
+
+class TestTrees:
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8, 9])
+    def test_xor_tree_parity(self, width):
+        gates, namer = [], NetNamer("t")
+        bits = [f"i{k}" for k in range(width)]
+        out = xor_tree(gates, namer, bits, "p")
+        net = netlist_for(bits, [out], gates)
+        rng = np.random.default_rng(width)
+        for _ in range(8):
+            vec = {b: bool(rng.integers(2)) for b in bits}
+            assert net.output_values(vec)[out] == (sum(vec.values()) % 2 == 1)
+
+    def test_and_or_trees(self):
+        gates, namer = [], NetNamer("t")
+        bits = ["a", "b", "c", "d", "e"]
+        all_of = and_tree(gates, namer, bits, "and")
+        any_of = or_tree(gates, namer, bits, "or")
+        net = netlist_for(bits, [all_of, any_of], gates)
+        for vec_bits in ([True] * 5, [False] * 5, [True, False, True, True, True]):
+            vec = dict(zip(bits, vec_bits))
+            out = net.output_values(vec)
+            assert out[all_of] == all(vec_bits)
+            assert out[any_of] == any(vec_bits)
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(NetlistError):
+            xor_tree([], NetNamer("t"), [], "p")
+
+    def test_tree_of_one_is_passthrough(self):
+        gates, namer = [], NetNamer("t")
+        out = and_tree(gates, namer, ["only"], "a")
+        assert out == "only"
+        assert gates == []
+
+
+class TestMuxes:
+    def test_mux2(self):
+        gates, namer = [], NetNamer("m")
+        (sel_n,) = inverters(gates, namer, ["s"], "sn")
+        out = mux2(gates, namer, "d0", "d1", "s", sel_n, "m")
+        net = netlist_for(["d0", "d1", "s"], [out], gates)
+        for d0, d1, s in itertools.product((False, True), repeat=3):
+            result = net.output_values({"d0": d0, "d1": d1, "s": s})[out]
+            assert result == (d1 if s else d0)
+
+    def test_mux4_needs_exact_shapes(self):
+        with pytest.raises(NetlistError):
+            mux4([], NetNamer("m"), ["a", "b"], ["s0", "s1"], ["x", "y"], "m")
+
+
+class TestAdders:
+    def test_full_adder_block(self):
+        gates, namer = [], NetNamer("f")
+        s, cout = full_adder(gates, namer, "a", "b", "cin", "fa")
+        net = netlist_for(["a", "b", "cin"], [s, cout], gates)
+        for a, b, c in itertools.product((False, True), repeat=3):
+            out = net.output_values({"a": a, "b": b, "cin": c})
+            total = int(a) + int(b) + int(c)
+            assert out[s] == (total % 2 == 1)
+            assert out[cout] == (total >= 2)
+
+    def test_ripple_adder_block(self):
+        gates, namer = [], NetNamer("r")
+        a_bits = [f"a{i}" for i in range(4)]
+        b_bits = [f"b{i}" for i in range(4)]
+        sums, cout = ripple_adder(gates, namer, a_bits, b_bits, "cin", "add")
+        net = netlist_for(a_bits + b_bits + ["cin"], sums + [cout], gates)
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            a_val, b_val = int(rng.integers(16)), int(rng.integers(16))
+            vec = {f"a{i}": bool(a_val >> i & 1) for i in range(4)}
+            vec.update({f"b{i}": bool(b_val >> i & 1) for i in range(4)})
+            vec["cin"] = False
+            out = net.output_values(vec)
+            total = sum(out[sums[i]] << i for i in range(4)) + (out[cout] << 4)
+            assert total == a_val + b_val
+
+    def test_ripple_adder_width_mismatch(self):
+        with pytest.raises(NetlistError):
+            ripple_adder([], NetNamer("r"), ["a0"], ["b0", "b1"], "cin", "x")
+
+
+class TestDecoder:
+    def test_half_decoder_one_hot(self):
+        gates, namer = [], NetNamer("d")
+        outs = half_decoder(gates, namer, "a", "b", "hd")
+        net = netlist_for(["a", "b"], outs, gates)
+        for code in range(4):
+            vec = {"a": bool(code & 1), "b": bool(code & 2)}
+            values = net.output_values(vec)
+            assert [values[o] for o in outs] == [i == code for i in range(4)]

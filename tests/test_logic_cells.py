@@ -1,0 +1,104 @@
+"""Master-equation validation of the nSET/pSET cell library.
+
+These tests check the *physics* of the standard cells: driven at the
+family's logic levels, the steady-state output voltage of each cell
+must land on the correct side of the logic threshold.  The master
+equation is exact, so failures here mean the operating point is broken,
+not that sampling was unlucky.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.logic import Gate, GateKind, LogicNetlist, LogicParameters, map_to_circuit
+from repro.master import MasterEquationSolver
+
+PARAMS = LogicParameters()
+#: steady logic levels of the family (measured fixed point)
+VH = PARAMS.high_fraction * PARAMS.vdd
+VL = PARAMS.low_fraction * PARAMS.vdd
+THRESHOLD = PARAMS.logic_threshold
+
+
+def steady_output(netlist, input_levels):
+    mapped = map_to_circuit(netlist, PARAMS)
+    volts = {mapped.input_sources[k]: v for k, v in input_levels.items()}
+    circuit = mapped.circuit.with_source_voltages(volts)
+    solver = MasterEquationSolver(
+        circuit, temperature=PARAMS.temperature, max_states=8000,
+        relative_rate_cutoff=1e-7,
+    )
+    result = solver.steady_state()
+    island = circuit.island_index(netlist.outputs[0])
+    vext = circuit.external_voltages()
+    return sum(
+        p * solver.stat.potentials(np.array(state), vext)[island]
+        for state, p in zip(result.states, result.probabilities)
+    )
+
+
+class TestInverter:
+    NET = LogicNetlist("inv", ["x"], ["y"], [Gate("g", GateKind.INV, ("x",), "y")])
+
+    def test_output_high_for_low_input(self):
+        assert steady_output(self.NET, {"x": VL}) > THRESHOLD
+
+    def test_output_low_for_high_input(self):
+        assert steady_output(self.NET, {"x": VH}) < THRESHOLD
+
+    def test_levels_regenerate(self):
+        # two stages restore degraded levels toward the rails
+        v1 = steady_output(self.NET, {"x": VH})
+        v2 = steady_output(self.NET, {"x": v1})
+        assert v2 > THRESHOLD
+        v3 = steady_output(self.NET, {"x": v2})
+        assert v3 < THRESHOLD
+
+
+class TestNand2:
+    NET = LogicNetlist(
+        "nand", ["a", "b"], ["y"], [Gate("g", GateKind.NAND2, ("a", "b"), "y")]
+    )
+
+    @pytest.mark.parametrize(
+        "a,b", list(itertools.product((False, True), repeat=2))
+    )
+    def test_truth_table_at_logic_levels(self, a, b):
+        levels = {"a": VH if a else VL, "b": VH if b else VL}
+        v = steady_output(self.NET, levels)
+        expected_high = not (a and b)
+        assert (v > THRESHOLD) == expected_high, f"a={a} b={b} v={v*1e3:.2f}mV"
+
+
+class TestNorCellOptIn:
+    """The direct series-pSET NOR cell (kept for research use) works
+    when driven rail-to-rail."""
+
+    NET = LogicNetlist(
+        "nor", ["a", "b"], ["y"], [Gate("g", GateKind.NOR2, ("a", "b"), "y")]
+    )
+    TARGETS = frozenset({GateKind.INV, GateKind.NAND2, GateKind.NOR2})
+
+    def test_rail_driven_truth_table(self):
+        mapped = map_to_circuit(self.NET, PARAMS, targets=self.TARGETS)
+        assert mapped.n_sets == 4  # the direct cell, not the NAND lowering
+        for a, b in itertools.product((False, True), repeat=2):
+            volts = {
+                mapped.input_sources["a"]: PARAMS.vdd if a else 0.0,
+                mapped.input_sources["b"]: PARAMS.vdd if b else 0.0,
+            }
+            circuit = mapped.circuit.with_source_voltages(volts)
+            solver = MasterEquationSolver(
+                circuit, temperature=PARAMS.temperature, max_states=8000,
+                relative_rate_cutoff=1e-7,
+            )
+            result = solver.steady_state()
+            island = circuit.island_index("y")
+            vext = circuit.external_voltages()
+            v = sum(
+                p * solver.stat.potentials(np.array(s), vext)[island]
+                for s, p in zip(result.states, result.probabilities)
+            )
+            assert (v > THRESHOLD) == (not (a or b)), f"a={a} b={b}"

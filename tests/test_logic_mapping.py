@@ -1,0 +1,165 @@
+"""Tests for decomposition and technology mapping."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.logic import (
+    Gate,
+    GateKind,
+    LogicNetlist,
+    LogicParameters,
+    count_sets,
+    decompose,
+    map_to_circuit,
+    pad_to_set_count,
+)
+from repro.logic.mapping import DEFAULT_TARGETS, SETS_PER_GATE
+
+
+def _random_netlist(seed: int, n_gates: int = 12) -> LogicNetlist:
+    rng = np.random.default_rng(seed)
+    kinds = [k for k in GateKind]
+    inputs = ["i0", "i1", "i2", "i3"]
+    nets = list(inputs)
+    gates = []
+    for g in range(n_gates):
+        kind = kinds[rng.integers(len(kinds))]
+        from repro.logic.netlist import ARITY
+
+        fanin = [nets[rng.integers(len(nets))] for _ in range(ARITY[kind])]
+        # gates may not repeat an input net as output; ensure fresh name
+        out = f"n{g}"
+        try:
+            gates.append(Gate(f"g{g}", kind, tuple(fanin), out))
+        except NetlistError:
+            gates.append(Gate(f"g{g}", GateKind.INV, (fanin[0],), out))
+        nets.append(out)
+    return LogicNetlist(f"rand{seed}", inputs, [nets[-1]], gates)
+
+
+class TestDecompose:
+    def test_only_target_gates_remain(self):
+        for seed in range(5):
+            net = decompose(_random_netlist(seed))
+            assert all(g.kind in DEFAULT_TARGETS for g in net.gates)
+
+    def test_function_preserved(self):
+        for seed in range(5):
+            original = _random_netlist(seed)
+            lowered = decompose(original)
+            for values in itertools.product((False, True), repeat=4):
+                vec = dict(zip(original.inputs, values))
+                assert (
+                    original.output_values(vec) == lowered.output_values(vec)
+                ), f"seed {seed} vector {values}"
+
+    def test_primitive_netlist_unchanged(self):
+        net = LogicNetlist(
+            "p", ["a", "b"], ["y"], [Gate("g", GateKind.NAND2, ("a", "b"), "y")]
+        )
+        assert decompose(net).gates == net.gates
+
+    def test_nor_lowered_by_default(self):
+        net = LogicNetlist(
+            "n", ["a", "b"], ["y"], [Gate("g", GateKind.NOR2, ("a", "b"), "y")]
+        )
+        lowered = decompose(net)
+        assert all(g.kind is not GateKind.NOR2 for g in lowered.gates)
+        for a, b in itertools.product((False, True), repeat=2):
+            assert lowered.output_values({"a": a, "b": b})["y"] == (not (a or b))
+
+    def test_nor_kept_with_extended_targets(self):
+        net = LogicNetlist(
+            "n", ["a", "b"], ["y"], [Gate("g", GateKind.NOR2, ("a", "b"), "y")]
+        )
+        targets = frozenset({GateKind.INV, GateKind.NAND2, GateKind.NOR2})
+        assert decompose(net, targets).gates == net.gates
+
+
+class TestPadding:
+    def _inv_chain(self):
+        return LogicNetlist(
+            "c", ["a"], ["y"], [Gate("g", GateKind.INV, ("a",), "y")]
+        )
+
+    def test_pads_to_exact_count(self):
+        padded = pad_to_set_count(self._inv_chain(), 20)
+        assert count_sets(padded) == 20
+
+    def test_padding_preserves_outputs(self):
+        net = self._inv_chain()
+        padded = pad_to_set_count(net, 30)
+        for a in (False, True):
+            assert padded.output_values({"a": a}) == net.output_values({"a": a})
+
+    def test_overshooting_base_rejected(self):
+        with pytest.raises(NetlistError):
+            pad_to_set_count(self._inv_chain(), 1)
+
+    def test_odd_deficit_rejected(self):
+        with pytest.raises(NetlistError):
+            pad_to_set_count(self._inv_chain(), 7)
+
+
+class TestMapping:
+    def test_device_count_bookkeeping(self):
+        net = LogicNetlist(
+            "m", ["a", "b"], ["y"],
+            [
+                Gate("g1", GateKind.NAND2, ("a", "b"), "t"),
+                Gate("g2", GateKind.INV, ("t",), "y"),
+            ],
+        )
+        mapped = map_to_circuit(net)
+        assert mapped.n_sets == 6
+        assert mapped.n_junctions == 12
+        assert mapped.circuit.n_junctions == 12
+        assert len(mapped.devices) == 6
+
+    def test_every_net_is_an_island(self):
+        net = _random_netlist(1)
+        mapped = map_to_circuit(net)
+        for gate in mapped.netlist.gates:
+            assert mapped.island_of(gate.output) >= 0
+
+    def test_input_sources_created(self):
+        mapped = map_to_circuit(_random_netlist(2))
+        assert set(mapped.input_sources) == set(mapped.netlist.inputs)
+        volts = mapped.input_voltages({"i0": True, "i1": False})
+        assert volts[mapped.input_sources["i0"]] == mapped.params.vdd
+        assert volts[mapped.input_sources["i1"]] == 0.0
+
+    def test_unknown_input_rejected(self):
+        mapped = map_to_circuit(_random_netlist(2))
+        with pytest.raises(NetlistError):
+            mapped.input_voltages({"ghost": True})
+
+    def test_initial_occupation_tracks_levels(self):
+        mapped = map_to_circuit(_random_netlist(3))
+        vec = {n: False for n in mapped.netlist.inputs}
+        occupation = mapped.initial_occupation(vec)
+        values = mapped.netlist.evaluate(vec)
+        for gate in mapped.netlist.gates:
+            island = mapped.island_of(gate.output)
+            # high nets hold fewer electrons (more positive charge)
+            if values[gate.output]:
+                assert occupation[island] < 0
+            else:
+                assert occupation[island] <= 0
+
+    def test_custom_parameters_respected(self):
+        params = LogicParameters(load_capacitance=80e-18, vdd=0.012)
+        mapped = map_to_circuit(_random_netlist(4), params)
+        assert mapped.params.vdd == 0.012
+        wire_caps = [
+            c.capacitance for c in mapped.circuit.capacitors
+            if c.name.endswith(".cl")
+        ]
+        assert all(c == 80e-18 for c in wire_caps)
+
+    def test_sets_per_gate_table(self):
+        assert SETS_PER_GATE[GateKind.INV] == 2
+        assert SETS_PER_GATE[GateKind.NAND2] == 4

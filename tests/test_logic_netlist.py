@@ -1,0 +1,153 @@
+"""Tests for the gate-level netlist model and its text format."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.logic import Gate, GateKind, LogicNetlist
+from repro.netlist import parse_logic, write_logic
+
+
+def half_adder():
+    return LogicNetlist(
+        "half_adder", ["a", "b"], ["s", "c"],
+        [
+            Gate("gx", GateKind.XOR2, ("a", "b"), "s"),
+            Gate("ga", GateKind.AND2, ("a", "b"), "c"),
+        ],
+    )
+
+
+class TestValidation:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate("g", GateKind.INV, ("a", "b"), "y")
+
+    def test_gate_driving_own_input_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate("g", GateKind.NAND2, ("a", "y"), "y")
+
+    def test_double_driver_rejected(self):
+        with pytest.raises(NetlistError):
+            LogicNetlist(
+                "bad", ["a"], ["y"],
+                [
+                    Gate("g1", GateKind.INV, ("a",), "y"),
+                    Gate("g2", GateKind.INV, ("a",), "y"),
+                ],
+            )
+
+    def test_undriven_input_rejected(self):
+        with pytest.raises(NetlistError):
+            LogicNetlist(
+                "bad", ["a"], ["y"], [Gate("g", GateKind.INV, ("ghost",), "y")]
+            )
+
+    def test_undriven_output_rejected(self):
+        with pytest.raises(NetlistError):
+            LogicNetlist("bad", ["a"], ["nowhere"], [])
+
+    def test_combinational_loop_rejected(self):
+        with pytest.raises(NetlistError):
+            LogicNetlist(
+                "bad", ["a"], ["x"],
+                [
+                    Gate("g1", GateKind.NAND2, ("a", "y"), "x"),
+                    Gate("g2", GateKind.INV, ("x",), "y"),
+                ],
+            )
+
+    def test_driving_primary_input_rejected(self):
+        with pytest.raises(NetlistError):
+            LogicNetlist(
+                "bad", ["a", "b"], ["b"], [Gate("g", GateKind.INV, ("a",), "b")]
+            )
+
+
+class TestEvaluation:
+    def test_half_adder_truth_table(self):
+        net = half_adder()
+        for a in (False, True):
+            for b in (False, True):
+                out = net.output_values({"a": a, "b": b})
+                assert out["s"] == (a != b)
+                assert out["c"] == (a and b)
+
+    def test_all_gate_functions(self):
+        cases = {
+            GateKind.INV: (("a",), lambda a: not a),
+            GateKind.BUF: (("a",), lambda a: a),
+            GateKind.NAND2: (("a", "b"), lambda a, b: not (a and b)),
+            GateKind.NOR2: (("a", "b"), lambda a, b: not (a or b)),
+            GateKind.AND2: (("a", "b"), lambda a, b: a and b),
+            GateKind.OR2: (("a", "b"), lambda a, b: a or b),
+            GateKind.XOR2: (("a", "b"), lambda a, b: a != b),
+            GateKind.XNOR2: (("a", "b"), lambda a, b: a == b),
+            GateKind.NAND3: (("a", "b", "c"), lambda a, b, c: not (a and b and c)),
+            GateKind.NOR3: (("a", "b", "c"), lambda a, b, c: not (a or b or c)),
+            GateKind.AND4: (
+                ("a", "b", "c", "d"), lambda a, b, c, d: a and b and c and d
+            ),
+        }
+        import itertools
+
+        for kind, (inputs, fn) in cases.items():
+            net = LogicNetlist(
+                "t", list(inputs), ["y"], [Gate("g", kind, inputs, "y")]
+            )
+            for values in itertools.product((False, True), repeat=len(inputs)):
+                vec = dict(zip(inputs, values))
+                assert net.output_values(vec)["y"] == fn(*values), kind
+
+    def test_missing_input_value_rejected(self):
+        with pytest.raises(NetlistError):
+            half_adder().evaluate({"a": True})
+
+    def test_topological_order_respects_dependencies(self):
+        net = LogicNetlist(
+            "chain", ["a"], ["z"],
+            [
+                Gate("g2", GateKind.INV, ("y",), "z"),
+                Gate("g1", GateKind.INV, ("a",), "y"),
+            ],
+        )
+        order = [g.name for g in net.topological_gates()]
+        assert order == ["g1", "g2"]
+
+    def test_fanout_query(self):
+        net = half_adder()
+        assert {g.name for g in net.fanout_of("a")} == {"gx", "ga"}
+
+    def test_gate_count(self):
+        counts = half_adder().gate_count()
+        assert counts[GateKind.XOR2] == 1
+        assert counts[GateKind.AND2] == 1
+
+
+class TestTextFormat:
+    def test_round_trip(self):
+        net = half_adder()
+        text = write_logic(net)
+        again = parse_logic(text)
+        assert again.inputs == net.inputs
+        assert again.outputs == net.outputs
+        for vec in ({"a": True, "b": False}, {"a": True, "b": True}):
+            assert again.output_values(vec) == net.output_values(vec)
+
+    def test_parse_reports_line_numbers(self):
+        with pytest.raises(NetlistError) as excinfo:
+            parse_logic("input a\noutput y\nwat g a y\n")
+        assert "line 3" in str(excinfo.value)
+
+    def test_parse_checks_arity(self):
+        with pytest.raises(NetlistError):
+            parse_logic("input a b\noutput y\nnand2 g a y\n")
+
+    def test_parse_requires_inputs(self):
+        with pytest.raises(NetlistError):
+            parse_logic("output y\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        net = parse_logic(
+            "# a comment\n\nname t\ninput a\noutput y\ninv g a y  # trailing\n"
+        )
+        assert net.output_values({"a": True})["y"] is False

@@ -1,0 +1,128 @@
+"""Tests for stimulus generation and delay extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationConfig
+from repro.errors import SimulationError
+from repro.logic import (
+    Gate,
+    GateKind,
+    LogicNetlist,
+    build_benchmark,
+    exhaustive_vectors,
+    find_step_stimulus,
+    map_to_circuit,
+    measure_propagation_delay,
+)
+from repro.logic.delay import _find_crossing
+from repro.logic.stimuli import StepStimulus, random_vector
+
+
+class TestStimuli:
+    def test_step_toggles_an_output(self):
+        net = build_benchmark("74LS138").netlist
+        stim = find_step_stimulus(net, 0)
+        before = net.output_values(stim.before)
+        after = net.output_values(stim.after)
+        assert any(before[n] != after[n] for n in net.outputs)
+        for name, value in stim.toggled_outputs:
+            assert after[name] == value
+
+    def test_deterministic_for_seed(self):
+        net = build_benchmark("74154").netlist
+        assert find_step_stimulus(net, 5) == find_step_stimulus(net, 5)
+
+    def test_impossible_toggle_raises(self):
+        # constant function: output never toggles
+        net = LogicNetlist(
+            "const", ["a"], ["y"],
+            [
+                Gate("g1", GateKind.INV, ("a",), "an"),
+                Gate("g2", GateKind.NAND2, ("a", "an"), "y"),  # always 1
+            ],
+        )
+        with pytest.raises(SimulationError):
+            find_step_stimulus(net, 0, max_tries=10)
+
+    def test_random_vector_covers_inputs(self, rng):
+        net = build_benchmark("Full-Adder").netlist
+        vec = random_vector(net, rng)
+        assert set(vec) == set(net.inputs)
+
+    def test_exhaustive_vectors(self):
+        net = build_benchmark("Full-Adder").netlist
+        vectors = exhaustive_vectors(net)
+        assert len(vectors) == 2 ** len(net.inputs)
+        assert len({tuple(sorted(v.items())) for v in vectors}) == len(vectors)
+
+    def test_exhaustive_rejects_wide_inputs(self):
+        net = build_benchmark("c432").netlist
+        with pytest.raises(SimulationError):
+            exhaustive_vectors(net)
+
+
+class TestCrossingDetector:
+    def test_simple_rise(self):
+        t = np.linspace(0, 1, 11)
+        v = np.linspace(0, 1, 11)
+        crossing = _find_crossing(t, v, 0.5, rises=True, start_time=0.0)
+        assert crossing == pytest.approx(0.6)
+
+    def test_requires_stability(self):
+        t = np.arange(10.0)
+        v = np.array([0, 1, 0, 1, 0, 1, 1, 1, 1, 1], dtype=float)
+        crossing = _find_crossing(t, v, 0.5, rises=True, start_time=0.0)
+        assert crossing == 5.0  # first index of the stable run
+
+    def test_respects_start_time(self):
+        t = np.arange(10.0)
+        v = np.ones(10)
+        crossing = _find_crossing(t, v, 0.5, rises=True, start_time=4.0)
+        assert crossing == 4.0
+
+    def test_none_when_never_crossing(self):
+        t = np.arange(10.0)
+        v = np.zeros(10)
+        assert _find_crossing(t, v, 0.5, rises=True, start_time=0.0) is None
+
+    def test_falling_direction(self):
+        t = np.arange(10.0)
+        v = np.linspace(1, 0, 10)
+        crossing = _find_crossing(t, v, 0.5, rises=False, start_time=0.0)
+        assert crossing is not None
+
+
+class TestDelayMeasurement:
+    def test_inverter_chain_delay_positive_and_reproducible_scale(self):
+        gates = []
+        prev = "x"
+        for i in range(3):
+            gates.append(Gate(f"i{i}", GateKind.INV, (prev,), f"n{i}"))
+            prev = f"n{i}"
+        net = LogicNetlist("chain3", ["x"], [prev], gates)
+        mapped = map_to_circuit(net)
+        stim = StepStimulus({"x": False}, {"x": True}, ((prev, False),))
+        config = SimulationConfig(temperature=1.5, solver="nonadaptive", seed=2)
+        result = measure_propagation_delay(
+            mapped, stim, config, settle_jumps=2000, max_jumps=150000,
+        )
+        assert 0.0 < result.delay < 1e-6
+        assert result.output_net == prev
+        assert not result.rises
+
+    def test_invalid_output_net_rejected(self):
+        mapped = build_benchmark("Full-Adder")
+        stim = find_step_stimulus(mapped.netlist, 1)
+        with pytest.raises(SimulationError):
+            measure_propagation_delay(
+                mapped, stim, output_net="not_a_net",
+                config=SimulationConfig(temperature=1.5, seed=0),
+            )
+
+    def test_stimulus_without_toggles_rejected(self):
+        mapped = build_benchmark("Full-Adder")
+        vec = {n: False for n in mapped.netlist.inputs}
+        stim = StepStimulus(vec, vec, ())
+        with pytest.raises(SimulationError):
+            measure_propagation_delay(mapped, stim)

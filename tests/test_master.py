@@ -1,0 +1,135 @@
+"""Tests for the master-equation reference solver."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_set
+from repro.core import MonteCarloEngine, SimulationConfig
+from repro.master import MasterEquationSolver, enumerate_transitions
+
+
+class TestStateExploration:
+    def test_set_at_moderate_bias_has_few_states(self):
+        circuit = build_set(vs=0.02, vd=-0.02)
+        me = MasterEquationSolver(circuit, temperature=5.0)
+        states, edges = me.explore()
+        assert 2 <= len(states) <= 10
+        assert len(edges) == len(states)
+
+    def test_occupation_bound_respected(self):
+        circuit = build_set(vs=0.02, vd=-0.02)
+        me = MasterEquationSolver(circuit, temperature=5.0, occupation_bound=1)
+        states, _ = me.explore()
+        assert all(abs(n) <= 1 for state in states for n in state)
+
+    def test_max_states_cap(self):
+        circuit = build_set(vs=0.04, vd=-0.04)
+        me = MasterEquationSolver(circuit, temperature=10.0, max_states=3)
+        states, _ = me.explore()
+        assert len(states) == 3
+
+
+class TestSteadyState:
+    def test_probabilities_normalised(self):
+        circuit = build_set(vs=0.02, vd=-0.02, vg=0.01)
+        me = MasterEquationSolver(circuit, temperature=5.0)
+        result = me.steady_state()
+        assert result.probabilities.sum() == pytest.approx(1.0)
+        assert np.all(result.probabilities >= 0.0)
+
+    def test_current_continuity(self):
+        # steady state: current in through j1 equals current out via j2
+        circuit = build_set(vs=0.02, vd=-0.02, vg=0.007)
+        me = MasterEquationSolver(circuit, temperature=5.0)
+        result = me.steady_state()
+        assert result.junction_currents[0] == pytest.approx(
+            -result.junction_currents[1], rel=1e-9
+        )
+
+    def test_zero_bias_zero_current(self):
+        circuit = build_set(vs=0.0, vd=0.0, vg=0.01)
+        me = MasterEquationSolver(circuit, temperature=5.0)
+        result = me.steady_state()
+        assert result.junction_currents[0] == pytest.approx(0.0, abs=1e-18)
+
+    def test_detailed_balance_at_equilibrium(self):
+        # with no bias the stationary distribution is Gibbs: every
+        # edge satisfies pi_s Gamma_st = pi_t Gamma_ts
+        circuit = build_set(vs=0.0, vd=0.0, vg=0.012)
+        me = MasterEquationSolver(circuit, temperature=5.0)
+        states, edges = me.explore()
+        result = me.steady_state()
+        index_of = {s: i for i, s in enumerate(states)}
+        for s, outgoing in enumerate(edges):
+            for target, transition in outgoing:
+                reverse = [
+                    tr for t2, tr in edges[target] if t2 == s
+                ]
+                if not reverse:
+                    continue
+                flow_fwd = result.probabilities[s] * transition.rate
+                flow_bwd = result.probabilities[target] * reverse[0].rate
+                if flow_fwd > 1e-6 * max(transition.rate, reverse[0].rate):
+                    assert flow_fwd == pytest.approx(flow_bwd, rel=1e-6)
+
+    def test_gate_periodicity_of_current(self):
+        # SET current is periodic in gate charge with period e/Cg
+        from repro.constants import E_CHARGE
+
+        cg = 3e-18
+        period = E_CHARGE / cg
+        base = build_set(vs=0.01, vd=-0.01, vg=0.004)
+        shifted = build_set(vs=0.01, vd=-0.01, vg=0.004 + period)
+        i0 = MasterEquationSolver(base, temperature=2.0).steady_state()
+        i1 = MasterEquationSolver(shifted, temperature=2.0).steady_state()
+        assert i0.junction_currents[0] == pytest.approx(
+            i1.junction_currents[0], rel=1e-6
+        )
+
+
+class TestAgainstMonteCarlo:
+    def test_mc_converges_to_me_current(self):
+        circuit = build_set(vs=0.02, vd=-0.02, vg=0.01)
+        me_current = MasterEquationSolver(circuit, temperature=5.0).steady_state()
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=5.0, solver="nonadaptive", seed=17)
+        )
+        mc_current = engine.measure_current([0], jumps=60000)
+        assert mc_current == pytest.approx(
+            float(me_current.junction_currents[0]), rel=0.05
+        )
+
+    def test_mc_occupation_distribution_matches_me(self):
+        circuit = build_set(vs=0.015, vd=-0.015, vg=0.015)
+        me = MasterEquationSolver(circuit, temperature=5.0)
+        result = me.steady_state()
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=5.0, solver="nonadaptive", seed=4)
+        )
+        # time-weighted occupancy histogram from the MC trajectory
+        durations: dict[int, float] = {}
+        last_time = 0.0
+        for _ in range(40000):
+            n = int(engine.solver.occupation[0])
+            engine.run(max_jumps=1)
+            now = engine.solver.time
+            durations[n] = durations.get(n, 0.0) + (now - last_time)
+            last_time = now
+        total = sum(durations.values())
+        for state, probability in zip(result.states, result.probabilities):
+            if probability > 0.05:
+                mc_probability = durations.get(state[0], 0.0) / total
+                assert mc_probability == pytest.approx(probability, abs=0.04)
+
+
+class TestTransitionEnumeration:
+    def test_transitions_match_solver_channels(self, set_circuit):
+        me = MasterEquationSolver(set_circuit, temperature=5.0)
+        occupation = np.zeros(1, dtype=np.int64)
+        transitions = enumerate_transitions(
+            me.stat, me.table, me.model, occupation,
+            set_circuit.external_voltages(),
+        )
+        kinds = {t.kind for t in transitions}
+        assert kinds <= {"sequential"}
+        assert all(t.rate > 0.0 for t in transitions)

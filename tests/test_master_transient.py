@@ -1,0 +1,89 @@
+"""Tests for the transient master-equation solver."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_set, build_single_electron_box
+from repro.constants import E_CHARGE
+from repro.core import MonteCarloEngine, SimulationConfig
+from repro.errors import SimulationError
+from repro.master import MasterEquationSolver
+
+
+class TestTransient:
+    def test_probabilities_normalised_at_all_times(self):
+        circuit = build_set(vs=0.02, vd=-0.02, vg=0.01)
+        solver = MasterEquationSolver(circuit, temperature=5.0)
+        result = solver.transient(np.linspace(0.0, 1e-8, 7))
+        np.testing.assert_allclose(result.probabilities.sum(axis=1), 1.0)
+        assert np.all(result.probabilities >= 0.0)
+
+    def test_long_time_limit_is_steady_state(self):
+        circuit = build_set(vs=0.02, vd=-0.02, vg=0.01)
+        solver = MasterEquationSolver(circuit, temperature=5.0)
+        steady = solver.steady_state()
+        transient = solver.transient(np.array([0.0, 1e-6]))
+        np.testing.assert_allclose(
+            transient.probabilities[-1], steady.probabilities, atol=1e-6
+        )
+
+    def test_initial_condition_is_first_state(self):
+        circuit = build_set(vs=0.02, vd=-0.02)
+        solver = MasterEquationSolver(circuit, temperature=5.0)
+        result = solver.transient(np.array([0.0]))
+        assert result.probabilities[0, 0] == pytest.approx(1.0)
+
+    def test_negative_times_rejected(self):
+        circuit = build_set(vs=0.02, vd=-0.02)
+        solver = MasterEquationSolver(circuit, temperature=5.0)
+        with pytest.raises(SimulationError):
+            solver.transient(np.array([-1.0]))
+
+    def test_unknown_state_lookup_rejected(self):
+        circuit = build_set(vs=0.02, vd=-0.02)
+        solver = MasterEquationSolver(circuit, temperature=5.0)
+        result = solver.transient(np.array([0.0]))
+        with pytest.raises(SimulationError):
+            result.probability_of((99,))
+
+    def test_box_relaxation_timescale_is_rc(self):
+        """The box relaxes to its new charge state on the junction's
+        RC-like timescale after a gate step."""
+        box = build_single_electron_box()
+        stepped = box.with_source_voltages(
+            {"vg": 0.9 * E_CHARGE / 2e-18}
+        )
+        solver = MasterEquationSolver(stepped, temperature=0.5)
+        times = np.linspace(0.0, 3e-9, 16)
+        result = solver.transient(times)
+        occupancy = result.mean_occupation(0)
+        assert occupancy[0] == pytest.approx(0.0, abs=1e-6)
+        assert occupancy[-1] == pytest.approx(1.0, abs=0.02)
+        # monotone relaxation
+        assert np.all(np.diff(occupancy) > -1e-9)
+
+    def test_mc_ensemble_matches_transient_probability(self):
+        """Monte Carlo relaxation reproduces the exact occupation
+        probability at a fixed observation time."""
+        box = build_single_electron_box()
+        stepped = box.with_source_voltages({"vg": 0.9 * E_CHARGE / 2e-18})
+        solver = MasterEquationSolver(stepped, temperature=0.5)
+        t_obs = 2e-10
+        exact = solver.transient(np.array([t_obs])).mean_occupation(0)[-1]
+
+        runs = 300
+        occupied = 0
+        for seed in range(runs):
+            engine = MonteCarloEngine(
+                stepped,
+                SimulationConfig(temperature=0.5, solver="nonadaptive",
+                                 seed=seed),
+            )
+            # the jump that carries the clock past t_obs happens in the
+            # future, so the state AT t_obs is the one held before it
+            state_at_t = int(engine.solver.occupation[0])
+            while engine.solver.time < t_obs:
+                state_at_t = int(engine.solver.occupation[0])
+                engine.solver.step()
+            occupied += int(state_at_t >= 1)
+        assert occupied / runs == pytest.approx(exact, abs=0.09)

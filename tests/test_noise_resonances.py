@@ -1,0 +1,138 @@
+"""Tests for counting statistics and analytic resonance positions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    blockade_threshold_bias,
+    fano_factor,
+    jqp_resonance_biases,
+    singularity_matching_bias,
+    windowed_counts,
+)
+from repro.analysis.resonances import affine_free_energy
+from repro.circuit import Electrostatics, Superconductor, build_set
+from repro.constants import E_CHARGE, MEV
+from repro.core import MonteCarloEngine, SimulationConfig, symmetric_bias
+from repro.errors import SimulationError
+
+
+class TestFanoFactor:
+    def test_symmetric_set_shows_suppression(self):
+        circuit = build_set(vs=0.1, vd=-0.1)
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=1.0, solver="nonadaptive",
+                                      seed=5)
+        )
+        stats = fano_factor(engine, 0, n_windows=120)
+        # double-junction partition noise: F between 1/2 and ~0.7
+        assert 0.3 < stats.fano_factor < 0.75
+
+    def test_asymmetric_set_approaches_poisson(self):
+        circuit = build_set(r1=5e7, r2=1e6, vs=0.1, vd=-0.1)
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=1.0, solver="nonadaptive",
+                                      seed=6)
+        )
+        stats = fano_factor(engine, 0, n_windows=120)
+        assert 0.75 < stats.fano_factor < 1.3
+
+    def test_mean_current_consistent_with_direct_measurement(self):
+        circuit = build_set(vs=0.1, vd=-0.1)
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=1.0, solver="nonadaptive",
+                                      seed=7)
+        )
+        stats = fano_factor(engine, 0, n_windows=60)
+        engine2 = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=1.0, solver="nonadaptive",
+                                      seed=8)
+        )
+        direct = abs(engine2.measure_current([0], 20000))
+        assert stats.mean_current == pytest.approx(direct, rel=0.15)
+
+    def test_requires_multiple_windows(self):
+        circuit = build_set(vs=0.1, vd=-0.1)
+        engine = MonteCarloEngine(circuit, SimulationConfig(temperature=1.0))
+        with pytest.raises(SimulationError):
+            windowed_counts(engine, 0, n_windows=1, window_time=1e-9)
+
+    def test_frozen_circuit_rejected(self):
+        circuit = build_set(vs=0.001, vd=-0.001)
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=0.0, solver="nonadaptive")
+        )
+        with pytest.raises(SimulationError):
+            fano_factor(engine, 0, n_windows=10, warmup_jumps=0)
+
+
+class TestResonancePositions:
+    def test_affine_energy_is_exact(self, set_circuit, set_stat):
+        affine = affine_free_energy(
+            set_circuit, set_stat, 0, symmetric_bias()
+        )
+        # check against a third, independent bias point
+        vext = set_circuit.with_source_voltages(
+            {"vs": 0.004, "vd": -0.004}
+        ).external_voltages()
+        v = set_stat.potentials(np.zeros(1, dtype=np.int64), vext)
+        rj = set_circuit.resolved_junctions()[0]
+        direct = set_stat.free_energy_change(rj.ref_a, rj.ref_b, v, vext)
+        assert affine.offset + affine.slope * 0.008 == pytest.approx(
+            direct, rel=1e-9
+        )
+
+    def test_set_threshold_is_e_over_csigma(self, set_circuit, set_stat):
+        threshold = blockade_threshold_bias(
+            set_circuit, set_stat, symmetric_bias()
+        )
+        assert threshold == pytest.approx(E_CHARGE / 5e-18, rel=1e-9)
+
+    def test_gate_voltage_moves_threshold(self):
+        stat_for = Electrostatics
+        lo = build_set(vg=0.0)
+        hi = build_set(vg=0.01)
+        t_lo = blockade_threshold_bias(lo, stat_for(lo), symmetric_bias())
+        t_hi = blockade_threshold_bias(hi, stat_for(hi), symmetric_bias())
+        assert t_hi < t_lo  # the gate pulls the blockade edge in
+
+    def test_gap_cost_widens_threshold(self, set_circuit, set_stat):
+        bare = blockade_threshold_bias(set_circuit, set_stat, symmetric_bias())
+        gapped = blockade_threshold_bias(
+            set_circuit, set_stat, symmetric_bias(), gap_cost=2 * 0.2 * MEV
+        )
+        assert gapped > bare
+
+    def test_jqp_positions_move_with_gate(self):
+        sc = Superconductor(delta0=0.21 * MEV, tc=1.4)
+
+        def sset(vg):
+            return build_set(
+                r1=2.1e5, r2=2.1e5, c1=1.1e-16, c2=1.1e-16, cg=1.4e-17,
+                vg=vg, background_charge_e=0.65, superconductor=sc,
+            )
+
+        c0, c1 = sset(0.0), sset(0.004)
+        biases0 = jqp_resonance_biases(
+            c0, Electrostatics(c0), symmetric_bias(), max_bias=2e-3
+        )
+        biases1 = jqp_resonance_biases(
+            c1, Electrostatics(c1), symmetric_bias(), max_bias=2e-3
+        )
+        assert biases0 and biases1
+        assert biases0 != biases1  # the JQP lines are gate-dependent
+
+    def test_singularity_matching_below_qp_threshold(self):
+        sc = Superconductor(delta0=0.21 * MEV, tc=1.4)
+        circuit = build_set(
+            r1=2.1e5, r2=2.1e5, c1=1.1e-16, c2=1.1e-16, cg=1.4e-17,
+            background_charge_e=0.65, superconductor=sc,
+        )
+        stat = Electrostatics(circuit)
+        matching = singularity_matching_bias(
+            circuit, stat, symmetric_bias(), gap=0.21 * MEV
+        )
+        qp_threshold = blockade_threshold_bias(
+            circuit, stat, symmetric_bias(), gap_cost=2 * 0.21 * MEV
+        )
+        assert 0.0 < matching < qp_threshold

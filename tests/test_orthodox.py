@@ -1,0 +1,73 @@
+"""Tests for orthodox-theory sequential tunneling rates (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import E_CHARGE, K_B
+from repro.physics.orthodox import (
+    orthodox_rate,
+    orthodox_rates_both,
+    threshold_voltage,
+)
+
+
+class TestOrthodoxRate:
+    def test_favourable_zero_temperature_is_linear(self):
+        dw = -1e-21
+        rate = orthodox_rate(dw, 1e6, 0.0)
+        assert rate == pytest.approx(-dw / (E_CHARGE**2 * 1e6))
+
+    def test_unfavourable_zero_temperature_is_zero(self):
+        assert orthodox_rate(+1e-21, 1e6, 0.0) == 0.0
+
+    def test_zero_energy_rate_is_kt_over_e2r(self):
+        rate = orthodox_rate(0.0, 1e6, 4.2)
+        assert rate == pytest.approx(K_B * 4.2 / (E_CHARGE**2 * 1e6))
+
+    def test_detailed_balance(self):
+        dw, t = 5e-23, 1.0
+        forward = orthodox_rate(-dw, 1e6, t)
+        backward = orthodox_rate(+dw, 1e6, t)
+        assert backward / forward == pytest.approx(np.exp(-dw / (K_B * t)))
+
+    def test_rate_scales_inversely_with_resistance(self):
+        dw = -1e-21
+        assert orthodox_rate(dw, 1e6, 1.0) == pytest.approx(
+            10 * orthodox_rate(dw, 1e7, 1.0)
+        )
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ValueError):
+            orthodox_rate(-1e-21, 0.0, 1.0)
+
+    def test_deep_blockade_rate_is_exponentially_small(self):
+        kt = K_B * 1.0
+        rate_shallow = orthodox_rate(5 * kt, 1e6, 1.0)
+        rate_deep = orthodox_rate(10 * kt, 1e6, 1.0)
+        assert rate_deep < rate_shallow * 1e-1
+        assert rate_deep > 0.0
+
+
+class TestVectorised:
+    def test_matches_scalar(self):
+        dw_fw = np.array([-1e-21, 2e-22])
+        dw_bw = np.array([+1e-21, -2e-22])
+        resistances = np.array([1e6, 2e6])
+        fw, bw = orthodox_rates_both(dw_fw, dw_bw, resistances, 1.5)
+        for i in range(2):
+            assert fw[i] == pytest.approx(
+                orthodox_rate(dw_fw[i], resistances[i], 1.5)
+            )
+            assert bw[i] == pytest.approx(
+                orthodox_rate(dw_bw[i], resistances[i], 1.5)
+            )
+
+
+class TestThresholdVoltage:
+    def test_fig1b_device(self):
+        # C_sigma = 5 aF gives e/C = 32 mV, where Fig. 1b's blockade ends
+        assert threshold_voltage(5e-18) == pytest.approx(0.03204, rel=1e-3)
+
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(ValueError):
+            threshold_voltage(0.0)

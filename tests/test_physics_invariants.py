@@ -1,0 +1,111 @@
+"""Parametrised physics invariants across solvers and devices.
+
+These are the conservation and consistency laws any single-electron
+simulator must satisfy regardless of parameters; they run over a grid
+of solvers, temperatures and devices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_junction_array, build_set
+from repro.constants import E_CHARGE
+from repro.core import MonteCarloEngine, SimulationConfig
+from repro.master import MasterEquationSolver
+
+SOLVERS = ("nonadaptive", "adaptive")
+TEMPERATURES = (1.0, 5.0)
+
+
+class TestCurrentContinuity:
+    @pytest.mark.parametrize("solver", SOLVERS)
+    @pytest.mark.parametrize("temperature", TEMPERATURES)
+    def test_series_junction_currents_match(self, solver, temperature):
+        """Charge conservation: the time-averaged current through every
+        junction of a series device is identical."""
+        circuit = build_set(vs=0.025, vd=-0.025, vg=0.01)
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=temperature, solver=solver,
+                                      seed=13)
+        )
+        engine.run(max_jumps=2000)  # warm up
+        f0 = engine.solver.flux.copy()
+        engine.solver.reset_window()
+        engine.run(max_jumps=30000)
+        elapsed = engine.solver.window_elapsed
+        df = engine.solver.flux - f0
+        i1 = -E_CHARGE * df[0] / elapsed
+        i2 = +E_CHARGE * df[1] / elapsed  # opposite a->b orientation
+        assert i1 == pytest.approx(i2, rel=0.05)
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_three_junction_chain_continuity(self, solver):
+        circuit = build_junction_array(3, gate_capacitance=2e-18, bias=0.08)
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=2.0, solver=solver, seed=14)
+        )
+        engine.run(max_jumps=2000)
+        f0 = engine.solver.flux.copy()
+        engine.solver.reset_window()
+        engine.run(max_jumps=30000)
+        df = (engine.solver.flux - f0) / engine.solver.window_elapsed
+        # all three junctions are oriented along the chain
+        assert df[0] == pytest.approx(df[1], rel=0.07)
+        assert df[1] == pytest.approx(df[2], rel=0.07)
+
+
+class TestOccupationBookkeeping:
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_island_charge_equals_net_flux(self, solver):
+        """For every island, occupancy equals the net electron flux of
+        the junctions oriented into it — event bookkeeping is exact."""
+        circuit = build_junction_array(3, gate_capacitance=2e-18, bias=0.08)
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=2.0, solver=solver, seed=15)
+        )
+        engine.run(max_jumps=5000)
+        flux = engine.solver.flux
+        occupation = engine.solver.occupation
+        # chain: j0: lead->isl1, j1: isl1->isl2, j2: isl2->lead
+        assert occupation[0] == flux[0] - flux[1]
+        assert occupation[1] == flux[1] - flux[2]
+
+
+class TestZeroBiasEquilibrium:
+    @pytest.mark.parametrize("temperature", TEMPERATURES)
+    def test_no_net_current_without_bias(self, temperature):
+        circuit = build_set(vs=0.0, vd=0.0, vg=0.012)
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=temperature,
+                                      solver="nonadaptive", seed=16)
+        )
+        current = engine.measure_current([0], 40000)
+        # thermal shuttling is large; the *net* current must vanish
+        engine2 = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=temperature,
+                                      solver="nonadaptive", seed=17)
+        )
+        engine2.run(max_jumps=5000)
+        shuttle_rate = engine2.solver.stats.events / engine2.solver.time
+        current_scale = E_CHARGE * shuttle_rate
+        assert abs(current) < 0.05 * current_scale
+
+
+class TestSolverAgreementAcrossPhysics:
+    @pytest.mark.parametrize("temperature", TEMPERATURES)
+    def test_adaptive_matches_me_on_double_dot(self, temperature,
+                                               double_dot_circuit):
+        circuit = double_dot_circuit.with_source_voltages(
+            {"vl": 0.04, "vr": -0.04, "vg1": 0.005}
+        )
+        reference = MasterEquationSolver(
+            circuit, temperature=temperature
+        ).steady_state()
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=temperature,
+                                      solver="adaptive", seed=18)
+        )
+        current = engine.measure_current([0], 40000)
+        assert current == pytest.approx(
+            float(reference.junction_currents[0]), rel=0.1
+        )

@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import CircuitBuilder, Electrostatics
+from repro.constants import E_CHARGE, K_B
+from repro.physics.bcs import reduced_dos
+from repro.physics.fermi import bose_weight, fermi
+from repro.physics.orthodox import orthodox_rate
+
+energies = st.floats(
+    min_value=-1e-19, max_value=1e-19, allow_nan=False, allow_infinity=False
+)
+temperatures = st.floats(min_value=1e-3, max_value=300.0)
+capacitances = st.floats(min_value=1e-19, max_value=1e-15)
+resistances = st.floats(min_value=2e4, max_value=1e9)
+
+
+class TestFermiProperties:
+    @given(energy=energies, temperature=temperatures)
+    def test_occupation_bounded(self, energy, temperature):
+        f = fermi(energy, temperature)
+        assert 0.0 <= f <= 1.0
+
+    @given(energy=energies, temperature=temperatures)
+    def test_particle_hole_symmetry(self, energy, temperature):
+        assert fermi(energy, temperature) == pytest.approx(
+            1.0 - fermi(-energy, temperature), abs=1e-12
+        )
+
+    @given(energy=energies, temperature=temperatures)
+    def test_bose_weight_nonnegative(self, energy, temperature):
+        assert bose_weight(energy, temperature) >= 0.0
+
+
+class TestRateProperties:
+    @given(dw=energies, resistance=resistances, temperature=temperatures)
+    def test_rates_nonnegative_and_finite(self, dw, resistance, temperature):
+        rate = orthodox_rate(dw, resistance, temperature)
+        assert rate >= 0.0
+        assert math.isfinite(float(rate))
+
+    @given(dw=st.floats(min_value=1e-24, max_value=1e-20),
+           resistance=resistances, temperature=temperatures)
+    def test_detailed_balance_everywhere(self, dw, resistance, temperature):
+        forward = float(orthodox_rate(-dw, resistance, temperature))
+        backward = float(orthodox_rate(+dw, resistance, temperature))
+        boltzmann = math.exp(-min(dw / (K_B * temperature), 700.0))
+        if forward > 0.0:
+            assert backward / forward == pytest.approx(boltzmann, rel=1e-6)
+
+    @given(dw=energies, resistance=resistances, temperature=temperatures)
+    def test_rate_monotone_in_energy_gain(self, dw, resistance, temperature):
+        # lowering dW (more favourable) never lowers the rate
+        lower = orthodox_rate(dw - 1e-22, resistance, temperature)
+        assert lower >= orthodox_rate(dw, resistance, temperature) - 1e-9
+
+
+class TestDosProperties:
+    @given(
+        energy=st.floats(min_value=-1e-21, max_value=1e-21),
+        delta=st.floats(min_value=1e-24, max_value=1e-22),
+    )
+    def test_dos_nonnegative_and_even(self, energy, delta):
+        value = reduced_dos(energy, delta)
+        assert value >= 0.0
+        assert value == pytest.approx(reduced_dos(-energy, delta))
+
+    @given(delta=st.floats(min_value=1e-24, max_value=1e-22))
+    def test_gap_empty(self, delta):
+        assert reduced_dos(0.99 * delta, delta) == 0.0
+
+
+class TestElectrostaticsProperties:
+    @staticmethod
+    def _chain_circuit(c_values):
+        builder = CircuitBuilder()
+        previous = "lead"
+        for i, c in enumerate(c_values):
+            builder.add_junction(f"j{i}", previous, f"n{i}", 1e6, c)
+            builder.add_capacitor(f"g{i}", f"n{i}", "0", 2.0 * c)
+            previous = f"n{i}"
+        builder.add_voltage_source("v", "lead", 0.005)
+        return builder.build()
+
+    @given(
+        c_values=st.lists(capacitances, min_size=1, max_size=5),
+        occupations=st.lists(st.integers(-3, 3), min_size=5, max_size=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_free_energy_antisymmetry(self, c_values, occupations):
+        """dW(a->b) computed from the final state equals -dW(b->a)."""
+        circuit = self._chain_circuit(c_values)
+        stat = Electrostatics(circuit)
+        occ = np.array(occupations[: circuit.n_islands], dtype=np.int64)
+        vext = circuit.external_voltages()
+        for rj in circuit.resolved_junctions():
+            v_before = stat.potentials(occ, vext)
+            dw_fwd = stat.free_energy_change(rj.ref_a, rj.ref_b, v_before, vext)
+            occ_after = occ.copy()
+            if rj.ref_a.is_island:
+                occ_after[rj.ref_a.index] -= 1
+            if rj.ref_b.is_island:
+                occ_after[rj.ref_b.index] += 1
+            v_after = stat.potentials(occ_after, vext)
+            dw_back = stat.free_energy_change(rj.ref_b, rj.ref_a, v_after, vext)
+            assert dw_back == pytest.approx(-dw_fwd, rel=1e-9, abs=1e-30)
+
+    @given(c_values=st.lists(capacitances, min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_capacitance_matrix_positive_definite(self, c_values):
+        circuit = self._chain_circuit(c_values)
+        stat = Electrostatics(circuit)
+        eigenvalues = np.linalg.eigvalsh(stat.capacitance_matrix())
+        assert np.all(eigenvalues > 0.0)
+
+    @given(
+        c_values=st.lists(capacitances, min_size=2, max_size=4),
+        occupations=st.lists(st.integers(-2, 2), min_size=4, max_size=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_potential_update_consistency(self, c_values, occupations):
+        """Incremental dv equals re-solved potentials for any event."""
+        circuit = self._chain_circuit(c_values)
+        stat = Electrostatics(circuit)
+        occ = np.array(occupations[: circuit.n_islands], dtype=np.int64)
+        vext = circuit.external_voltages()
+        rj = circuit.resolved_junctions()[-1]
+        v0 = stat.potentials(occ, vext)
+        dv = stat.potential_update(rj.ref_a, rj.ref_b, -E_CHARGE)
+        occ_after = occ.copy()
+        if rj.ref_a.is_island:
+            occ_after[rj.ref_a.index] -= 1
+        if rj.ref_b.is_island:
+            occ_after[rj.ref_b.index] += 1
+        v1 = stat.potentials(occ_after, vext)
+        np.testing.assert_allclose(v0 + dv, v1, atol=1e-16)
+
+
+class TestNetlistProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_decompose_preserves_function_on_random_vector(self, seed):
+        from repro.logic import decompose
+        from repro.logic.benchmarks import full_adder_bench
+
+        rng = np.random.default_rng(seed)
+        net = full_adder_bench()
+        lowered = decompose(net)
+        vec = {n: bool(rng.integers(2)) for n in net.inputs}
+        assert net.output_values(vec) == lowered.output_values(vec)

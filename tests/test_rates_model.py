@@ -1,0 +1,82 @@
+"""Tests for the per-circuit TunnelingModel bundle."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Electrostatics, JunctionTable, build_set
+from repro.constants import MEV
+from repro.errors import PhysicsError
+from repro.physics import TunnelingModel
+from repro.physics.orthodox import orthodox_rates_both
+
+
+def make_model(circuit, **kwargs):
+    stat = Electrostatics(circuit)
+    table = JunctionTable(circuit, stat)
+    return TunnelingModel(circuit, stat, table, **kwargs)
+
+
+class TestNormalModel:
+    def test_sequential_rates_are_orthodox(self, set_circuit):
+        model = make_model(set_circuit, temperature=4.2)
+        dw_fw = np.array([-1e-22, 2e-22])
+        dw_bw = np.array([1e-22, -2e-22])
+        fw, bw = model.sequential_rates(dw_fw, dw_bw)
+        expected = orthodox_rates_both(
+            dw_fw, dw_bw, model.junction_table.resistance, 4.2
+        )
+        np.testing.assert_allclose(fw, expected[0])
+        np.testing.assert_allclose(bw, expected[1])
+
+    def test_no_cooper_pairs_on_normal_circuit(self, set_circuit):
+        model = make_model(set_circuit, temperature=4.2)
+        assert not model.include_cooper_pairs
+        fw, bw = model.cooper_pair_rates(np.zeros(2), np.zeros(2))
+        assert np.all(fw == 0.0) and np.all(bw == 0.0)
+
+    def test_forcing_cooper_pairs_on_normal_circuit_rejected(self, set_circuit):
+        with pytest.raises(PhysicsError):
+            make_model(set_circuit, temperature=4.2, include_cooper_pairs=True)
+
+    def test_cotunneling_paths_prepared(self, set_circuit):
+        model = make_model(set_circuit, temperature=4.2, include_cotunneling=True)
+        assert len(model.paths) == 2
+        assert model.energy_floor > 0.0
+
+    def test_negative_temperature_rejected(self, set_circuit):
+        with pytest.raises(PhysicsError):
+            make_model(set_circuit, temperature=-1.0)
+
+
+class TestSuperconductingModel:
+    def test_gap_evaluated_at_temperature(self, sset_circuit):
+        model = make_model(sset_circuit, temperature=0.05)
+        assert model.gap == pytest.approx(0.2 * MEV, rel=1e-3)
+
+    def test_cooper_pairs_enabled_by_default(self, sset_circuit):
+        model = make_model(sset_circuit, temperature=0.05)
+        assert model.include_cooper_pairs
+        assert np.all(model.josephson > 0.0)
+        assert model.cooper_linewidth > 0.0
+
+    def test_above_tc_rejected_with_guidance(self, sset_circuit):
+        with pytest.raises(PhysicsError):
+            make_model(sset_circuit, temperature=2.0)
+
+    def test_qp_tables_shared_between_identical_junctions(self, sset_circuit):
+        model = make_model(sset_circuit, temperature=0.05)
+        assert model._qp_tables[0] is model._qp_tables[1]
+
+    def test_cotunneling_on_superconducting_circuit_rejected(self, sset_circuit):
+        with pytest.raises(PhysicsError):
+            make_model(sset_circuit, temperature=0.05, include_cotunneling=True)
+
+    def test_sequential_rates_respect_gap(self, sset_circuit):
+        model = make_model(sset_circuit, temperature=0.05,
+                           include_cooper_pairs=False)
+        gap = model.gap
+        inside = np.array([-1.5 * gap, -1.5 * gap])
+        outside = np.array([-6.0 * gap, -6.0 * gap])
+        fw_in, _ = model.sequential_rates(inside, inside)
+        fw_out, _ = model.sequential_rates(outside, outside)
+        assert np.all(fw_out > 1e6 * np.maximum(fw_in, 1e-300))

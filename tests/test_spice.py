@@ -1,0 +1,149 @@
+"""Tests for the analytical SPICE baseline."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.core import SimulationConfig
+from repro.errors import ConvergenceError, PhysicsError
+from repro.logic import (
+    Gate,
+    GateKind,
+    LogicNetlist,
+    build_benchmark,
+    map_to_circuit,
+)
+from repro.logic.stimuli import StepStimulus
+from repro.master import MasterEquationSolver
+from repro.spice import SETDeviceModel, SpiceSimulator
+from repro.spice.transient import BatchedSETModel
+
+aF = 1e-18
+
+
+class TestCompactModel:
+    MODEL = SETDeviceModel(
+        r1=1e6, c1=1 * aF, r2=1e6, c2=1 * aF,
+        gate_capacitances=(5 * aF, 2 * aF), bias_charge_e=0.05,
+        temperature=1.5,
+    )
+
+    def _me_current(self, vs, vd, vg):
+        b = CircuitBuilder()
+        b.add_junction("j1", "s", "isl", 1e6, 1 * aF)
+        b.add_junction("j2", "isl", "d", 1e6, 1 * aF)
+        b.add_capacitor("cg", "g", "isl", 5 * aF)
+        b.add_capacitor("cb", "0", "isl", 2 * aF)
+        b.add_voltage_source("vs", "s", vs)
+        b.add_voltage_source("vd", "d", vd)
+        b.add_voltage_source("vg", "g", vg)
+        b.add_background_charge("isl", 0.05)
+        solver = MasterEquationSolver(b.build(), temperature=1.5)
+        return float(solver.steady_state().junction_currents[0])
+
+    @pytest.mark.parametrize(
+        "vs,vd,vg",
+        [(16e-3, 4e-3, 3e-3), (16e-3, 0.0, 8e-3), (5e-3, 0.0, 16e-3),
+         (0.0, 16e-3, 0.0)],
+    )
+    def test_exact_against_master_equation(self, vs, vd, vg):
+        analytic = self.MODEL.current(vs, vd, (vg, 0.0))
+        exact = self._me_current(vs, vd, vg)
+        assert analytic == pytest.approx(exact, rel=1e-6, abs=1e-20)
+
+    def test_no_current_without_bias(self):
+        assert self.MODEL.current(0.0, 0.0, (0.0, 0.0)) == pytest.approx(
+            0.0, abs=1e-25
+        )
+
+    def test_gate_voltage_count_checked(self):
+        with pytest.raises(PhysicsError):
+            self.MODEL.current(0.01, 0.0, (0.0,))
+
+    def test_coulomb_oscillations(self):
+        # sweeping the gate at fixed small bias modulates the current
+        # periodically — the SET signature the compact model must keep
+        from repro.constants import E_CHARGE
+
+        period = E_CHARGE / (5 * aF)
+        gates = np.linspace(0.0, 2 * period, 41)
+        currents = [self.MODEL.current(2e-3, 0.0, (vg, 0.0)) for vg in gates]
+        assert max(currents) > 10 * (min(currents) + 1e-30)
+        # two periods -> at least two maxima
+        peaks = sum(
+            1 for i in range(1, 40)
+            if currents[i] > currents[i - 1] and currents[i] > currents[i + 1]
+        )
+        assert peaks >= 2
+
+
+class TestBatchedModel:
+    def test_matches_scalar_model(self):
+        net = LogicNetlist(
+            "inv", ["x"], ["y"], [Gate("g", GateKind.INV, ("x",), "y")]
+        )
+        mapped = map_to_circuit(net)
+        batched = BatchedSETModel(mapped)
+        p = mapped.params
+        vs = np.array([p.vdd, 8e-3])
+        vd = np.array([4e-3, 0.0])
+        vg = np.array([3e-3, 12e-3])
+        batch = batched.currents(vs, vd, vg)
+        for i, dev in enumerate(mapped.devices):
+            scalar = SETDeviceModel(
+                r1=p.junction_resistance, c1=p.junction_capacitance,
+                r2=p.junction_resistance, c2=p.junction_capacitance,
+                gate_capacitances=(p.gate_capacitance, p.bias_capacitance),
+                bias_charge_e=dev.bias_e, temperature=p.temperature,
+            ).current(float(vs[i]), float(vd[i]), (float(vg[i]), 0.0))
+            assert batch[i] == pytest.approx(scalar, rel=1e-9, abs=1e-25)
+
+
+class TestTransientSolver:
+    def test_first_level_gates_settle_to_boolean_levels(self):
+        mapped = build_benchmark("2-to-10 decoder")
+        sim = SpiceSimulator(mapped)
+        vec = {"a": True, "b": False}
+        values = mapped.netlist.evaluate(vec)
+        result = sim.transient([(vec, 3e-9)], record_nets=list(mapped.netlist.outputs))
+        threshold = mapped.params.logic_threshold
+        correct = sum(
+            (result.traces[n][-1] > threshold) == values[n]
+            for n in mapped.netlist.outputs
+        )
+        # the continuum model holds most (not necessarily all) levels —
+        # its blindness to wire-charge quantisation is exactly the
+        # SPICE weakness the paper describes
+        assert correct >= len(mapped.netlist.outputs) - 1
+
+    def test_charge_conservation_without_devices_is_static(self):
+        mapped = build_benchmark("2-to-10 decoder")
+        sim = SpiceSimulator(mapped)
+        x0 = sim.initial_voltages({"a": False, "b": False})
+        assert x0.shape == (sim.n_unknowns,)
+
+    def test_delay_or_documented_failure(self):
+        mapped = build_benchmark("2-to-10 decoder")
+        sim = SpiceSimulator(mapped)
+        stim = StepStimulus({"a": False, "b": False}, {"a": True, "b": False}, ())
+        values_b = mapped.netlist.output_values(stim.before)
+        values_a = mapped.netlist.output_values(stim.after)
+        toggled = tuple(
+            (n, values_a[n]) for n in mapped.netlist.outputs
+            if values_b[n] != values_a[n]
+        )
+        stim = StepStimulus(stim.before, stim.after, toggled)
+        try:
+            delay = sim.propagation_delay(stim, settle=1e-9, budget=20e-9)
+        except ConvergenceError:
+            pytest.skip("deep path stalls in the continuum model (documented)")
+        assert 0.0 < delay < 20e-9
+
+    def test_unknown_count_excludes_device_islands(self):
+        mapped = build_benchmark("Full-Adder")
+        sim = SpiceSimulator(mapped)
+        n_wires = len(
+            [lbl for lbl in mapped.circuit.island_labels
+             if lbl not in {d.island for d in mapped.devices}]
+        )
+        assert sim.n_unknowns == n_wires

@@ -1,0 +1,64 @@
+"""Additional tests for SPICE helpers and transient bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.logic import Gate, GateKind, LogicNetlist, map_to_circuit
+from repro.spice import SpiceSimulator, nset_model
+from repro.spice.model import SETDeviceModel
+
+
+class TestNsetModelHelper:
+    def test_builds_two_gate_device(self):
+        model = nset_model(1e6, 1e-18, 5e-18, 2e-18, 0.3, 1.5)
+        assert isinstance(model, SETDeviceModel)
+        assert model.gate_capacitances == (5e-18, 2e-18)
+        assert model.total_capacitance == pytest.approx(9e-18)
+
+    def test_bias_charge_shifts_oscillation(self):
+        base = nset_model(1e6, 1e-18, 5e-18, 2e-18, 0.0, 1.5)
+        shifted = nset_model(1e6, 1e-18, 5e-18, 2e-18, 0.5, 1.5)
+        # half an electron of bias moves the device from blockade to
+        # conduction at zero gate voltage
+        i_base = abs(base.current(4e-3, 0.0, (0.0, 0.0)))
+        i_shift = abs(shifted.current(4e-3, 0.0, (0.0, 0.0)))
+        assert i_shift > 10 * i_base
+
+
+class TestTransientBookkeeping:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        net = LogicNetlist(
+            "inv2", ["x"], ["z"],
+            [
+                Gate("g1", GateKind.INV, ("x",), "y"),
+                Gate("g2", GateKind.INV, ("y",), "z"),
+            ],
+        )
+        return SpiceSimulator(map_to_circuit(net))
+
+    def test_empty_schedule_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.transient([])
+
+    def test_times_are_uniform(self, simulator):
+        result = simulator.transient([({"x": False}, 10 * simulator.dt)],
+                                     record_nets=["z"])
+        assert len(result.times) == 11
+        np.testing.assert_allclose(np.diff(result.times), simulator.dt)
+
+    def test_initial_voltages_track_booleans(self, simulator):
+        x_low = simulator.initial_voltages({"x": False})
+        x_high = simulator.initial_voltages({"x": True})
+        # the intermediate net y flips between the two vectors
+        y_index = simulator._unknown_index["y"]
+        assert x_low[y_index] > x_high[y_index]
+
+    def test_buffer_chain_settles_consistently(self, simulator):
+        result = simulator.transient(
+            [({"x": True}, 4e-9)], record_nets=["y", "z"]
+        )
+        threshold = simulator.mapped.params.logic_threshold
+        assert result.traces["y"][-1] < threshold   # INV(high) = low
+        assert result.traces["z"][-1] > threshold   # INV(low) = high

@@ -1,0 +1,133 @@
+"""Tests for charge state, junction tables and circuit topology views."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    ChargeState,
+    CircuitBuilder,
+    Electrostatics,
+    JunctionTable,
+    build_set,
+)
+from repro.constants import E_CHARGE
+from repro.errors import CircuitError
+
+
+class TestChargeState:
+    def test_neutral(self):
+        s = ChargeState.neutral(3)
+        assert s.key() == (0, 0, 0)
+
+    def test_transfer_island_island(self, double_dot_circuit):
+        s = ChargeState.neutral(2)
+        rj = double_dot_circuit.resolved_junctions()[1]
+        s.apply_transfer(rj.ref_a, rj.ref_b)
+        assert s.occupation[rj.ref_a.index] == -1
+        assert s.occupation[rj.ref_b.index] == +1
+
+    def test_transfer_from_lead_changes_one_island(self, set_circuit):
+        s = ChargeState.neutral(1)
+        rj = set_circuit.resolved_junctions()[0]  # source -> island
+        s.apply_transfer(rj.ref_a, rj.ref_b, n_electrons=2)
+        assert s.occupation[0] == 2
+
+    def test_transfer_requires_positive_count(self, set_circuit):
+        s = ChargeState.neutral(1)
+        rj = set_circuit.resolved_junctions()[0]
+        with pytest.raises(CircuitError):
+            s.apply_transfer(rj.ref_a, rj.ref_b, n_electrons=0)
+
+    def test_copy_is_independent(self):
+        a = ChargeState.neutral(2)
+        b = a.copy()
+        b.occupation[0] = 5
+        assert a.occupation[0] == 0
+
+    def test_equality(self):
+        assert ChargeState.neutral(2) == ChargeState.neutral(2)
+
+
+class TestJunctionTable:
+    def test_free_energy_matches_scalar_path(self, set_circuit, set_stat, set_table):
+        vext = set_circuit.external_voltages()
+        occ = np.array([1], dtype=np.int64)
+        v = set_stat.potentials(occ, vext)
+        dw_fw, dw_bw = set_table.free_energy_changes(v, vext)
+        for j, rj in enumerate(set_circuit.resolved_junctions()):
+            expected_fw = set_stat.free_energy_change(rj.ref_a, rj.ref_b, v, vext)
+            expected_bw = set_stat.free_energy_change(rj.ref_b, rj.ref_a, v, vext)
+            assert dw_fw[j] == pytest.approx(expected_fw, rel=1e-12)
+            assert dw_bw[j] == pytest.approx(expected_bw, rel=1e-12)
+
+    def test_cooper_pair_free_energy_scaling(self, set_circuit, set_stat, set_table):
+        # the charging self-energy term scales with (2e)^2 = 4x
+        vext = set_circuit.external_voltages()
+        v = set_stat.potentials(np.zeros(1, dtype=np.int64), vext)
+        dw1_fw, dw1_bw = set_table.free_energy_changes(v, vext)
+        dw2_fw, dw2_bw = set_table.free_energy_changes(v, vext, dq=-2 * E_CHARGE)
+        charging_1 = (dw1_fw + dw1_bw) / 2.0
+        charging_2 = (dw2_fw + dw2_bw) / 2.0
+        assert np.allclose(charging_2, 4.0 * charging_1)
+
+    def test_forward_backward_sum_is_twice_charging(self, set_table, set_circuit,
+                                                    set_stat):
+        vext = set_circuit.external_voltages()
+        v = set_stat.potentials(np.zeros(1, dtype=np.int64), vext)
+        dw_fw, dw_bw = set_table.free_energy_changes(v, vext)
+        assert np.allclose(
+            dw_fw + dw_bw, E_CHARGE**2 * set_table.charging, rtol=1e-12
+        )
+
+
+class TestTopologyViews:
+    def test_set_junctions_are_neighbors(self, set_circuit):
+        neighbors = set_circuit.junction_neighbors()
+        assert neighbors[0] == (1,)
+        assert neighbors[1] == (0,)
+
+    def test_junctions_on_island(self, set_circuit):
+        assert set_circuit.junctions_on_island()[0] == (0, 1)
+
+    def test_capacitive_coupling_extends_neighbors(self):
+        # two SETs whose islands are linked only by a capacitor: their
+        # junctions must still test each other (the adaptive BFS walks
+        # capacitive hops)
+        b = CircuitBuilder()
+        b.add_junction("a1", "l1", "i1", 1e6, 1e-18)
+        b.add_junction("a2", "i1", "0", 1e6, 1e-18)
+        b.add_junction("b1", "l2", "i2", 1e6, 1e-18)
+        b.add_junction("b2", "i2", "0", 1e6, 1e-18)
+        b.add_capacitor("cc", "i1", "i2", 2e-18)
+        b.add_voltage_source("v1", "l1", 0.01)
+        b.add_voltage_source("v2", "l2", 0.01)
+        c = b.build()
+        neighbors = c.junction_neighbors()
+        a1 = c.junction_index("a1")
+        b1 = c.junction_index("b1")
+        assert b1 in neighbors[a1]
+        assert a1 in neighbors[b1]
+
+    def test_island_adjacency_symmetric(self, double_dot_circuit):
+        adjacency = double_dot_circuit.island_adjacency()
+        for i, nbrs in enumerate(adjacency):
+            for j in nbrs:
+                assert i in adjacency[j]
+
+    def test_with_source_voltages_does_not_mutate(self, set_circuit):
+        updated = set_circuit.with_source_voltages({"vg": 0.02})
+        assert set_circuit.sources[2].voltage == 0.0
+        assert updated.sources[2].voltage == 0.02
+
+    def test_with_unknown_source_rejected(self, set_circuit):
+        with pytest.raises(CircuitError):
+            set_circuit.with_source_voltages({"nope": 0.1})
+
+    def test_index_lookups(self, set_circuit):
+        assert set_circuit.junction_index("j2") == 1
+        assert set_circuit.source_index("vg") == 3
+        assert set_circuit.island_index("island") == 0
+        with pytest.raises(CircuitError):
+            set_circuit.junction_index("zzz")
+        with pytest.raises(CircuitError):
+            set_circuit.island_index("source")

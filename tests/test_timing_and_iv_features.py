@@ -1,0 +1,123 @@
+"""Tests for static timing analysis and I-V feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    blockade_extent,
+    differential_conductance,
+    oscillation_period,
+)
+from repro.constants import E_CHARGE
+from repro.errors import NetlistError, SimulationError
+from repro.logic import (
+    Gate,
+    GateKind,
+    LogicNetlist,
+    analyze_mapped,
+    analyze_timing,
+    build_benchmark,
+    decompose,
+)
+
+
+class TestStaticTiming:
+    def _chain(self, n):
+        gates, prev = [], "x"
+        for i in range(n):
+            gates.append(Gate(f"g{i}", GateKind.INV, (prev,), f"n{i}"))
+            prev = f"n{i}"
+        return LogicNetlist("chain", ["x"], [prev], gates)
+
+    def test_depth_counts_gates(self):
+        report = analyze_timing(self._chain(5))
+        assert report.depth[report.critical_outputs[0]] == 5
+
+    def test_arrival_accumulates_cell_delays(self):
+        report = analyze_timing(self._chain(3), fanout_penalty=0.0)
+        assert report.critical_path_delay == pytest.approx(3 * 1.0e-9)
+
+    def test_fanout_penalty_applies(self):
+        no_load = analyze_timing(self._chain(2), fanout_penalty=0.0)
+        loaded = analyze_timing(self._chain(2), fanout_penalty=1e-9)
+        assert loaded.critical_path_delay > no_load.critical_path_delay
+
+    def test_critical_path_walks_back_to_an_input(self):
+        net = decompose(build_benchmark("Full-Adder").netlist)
+        report = analyze_timing(net)
+        path = report.critical_path(net)
+        assert path[0] in net.inputs
+        assert path[-1] == report.critical_outputs[0]
+
+    def test_non_primitive_gate_rejected(self):
+        net = LogicNetlist(
+            "x", ["a", "b"], ["y"], [Gate("g", GateKind.XOR2, ("a", "b"), "y")]
+        )
+        with pytest.raises(NetlistError):
+            analyze_timing(net)
+
+    def test_deeper_benchmark_has_longer_estimate(self):
+        shallow = analyze_mapped(build_benchmark("2-to-10 decoder"))
+        deep = analyze_mapped(build_benchmark("54LS181"))
+        assert deep.critical_path_delay > shallow.critical_path_delay
+
+    def test_estimates_rank_measured_depths(self):
+        """Depth ordering should agree with the structural intuition:
+        the parity tree (XOR-heavy) runs much deeper than a decoder."""
+        decoder = analyze_mapped(build_benchmark("74154"))
+        parity = analyze_mapped(build_benchmark("74LS280"))
+        d_dec = decoder.depth[decoder.critical_outputs[0]]
+        d_par = parity.depth[parity.critical_outputs[0]]
+        assert d_par > d_dec
+
+
+class TestIVFeatures:
+    def test_differential_conductance_of_linear_iv(self):
+        v = np.linspace(-1, 1, 21)
+        g = differential_conductance(v, v / 50.0)
+        np.testing.assert_allclose(g, 0.02, rtol=1e-9)
+
+    def test_blockade_extent_on_synthetic_curve(self):
+        v = np.linspace(-0.04, 0.04, 81)
+        i = np.where(np.abs(v) > 0.032, (np.abs(v) - 0.032) * np.sign(v), 0.0)
+        region = blockade_extent(v, i)
+        assert region.lower == pytest.approx(-0.032, abs=2e-3)
+        assert region.upper == pytest.approx(+0.032, abs=2e-3)
+        assert region.width == pytest.approx(0.064, abs=4e-3)
+
+    def test_blockade_extent_of_simulated_set(self):
+        from repro.core import SimulationConfig, sweep_iv
+        from repro.circuit import build_set
+
+        v = np.linspace(-0.04, 0.04, 33)
+        curve = sweep_iv(
+            build_set(), v,
+            SimulationConfig(temperature=1.0, solver="adaptive", seed=4),
+            jumps_per_point=1500,
+        )
+        region = blockade_extent(curve.voltages, curve.currents)
+        assert region.width == pytest.approx(2 * 0.032, rel=0.15)
+
+    def test_flat_curve_rejected(self):
+        with pytest.raises(SimulationError):
+            blockade_extent(np.linspace(-1, 1, 9), np.zeros(9))
+
+    def test_oscillation_period_measures_e_over_cg(self):
+        from repro.master import MasterEquationSolver
+        from repro.circuit import build_set
+
+        period_expected = E_CHARGE / 3e-18
+        gates = np.linspace(0.0, 2.2 * period_expected, 45)
+        currents = []
+        for vg in gates:
+            circuit = build_set(vs=0.002, vd=-0.002, vg=float(vg))
+            solver = MasterEquationSolver(circuit, temperature=2.0)
+            currents.append(float(solver.steady_state().junction_currents[0]))
+        measured = oscillation_period(gates, np.array(currents))
+        assert measured == pytest.approx(period_expected, rel=0.1)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(SimulationError):
+            differential_conductance(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        with pytest.raises(SimulationError):
+            oscillation_period(np.zeros(3), np.zeros(3))

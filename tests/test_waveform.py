@@ -1,0 +1,144 @@
+"""Tests for AC source drive (waveforms + piecewise-constant KMC)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_electron_pump, build_set, pump_cycle_voltages
+from repro.constants import E_CHARGE
+from repro.core import (
+    Constant,
+    MonteCarloEngine,
+    PiecewiseLinear,
+    SimulationConfig,
+    Sine,
+    Square,
+    run_with_waveforms,
+)
+from repro.errors import SimulationError
+
+
+class TestWaveformShapes:
+    def test_constant(self):
+        assert Constant(0.01).value(123.0) == 0.01
+
+    def test_sine(self):
+        wave = Sine(amplitude=1.0, frequency=1.0, offset=0.5)
+        assert wave.value(0.0) == pytest.approx(0.5)
+        assert wave.value(0.25) == pytest.approx(1.5)
+        assert wave.value(0.75) == pytest.approx(-0.5)
+
+    def test_square(self):
+        wave = Square(low=0.0, high=1.0, frequency=1.0, duty=0.25)
+        assert wave.value(0.1) == 1.0
+        assert wave.value(0.5) == 0.0
+        assert wave.value(1.1) == 1.0  # periodic
+
+    def test_piecewise_linear(self):
+        wave = PiecewiseLinear(times=(0.0, 1.0, 2.0), values=(0.0, 1.0, 0.0))
+        assert wave.value(-5.0) == 0.0
+        assert wave.value(0.5) == pytest.approx(0.5)
+        assert wave.value(1.5) == pytest.approx(0.5)
+        assert wave.value(9.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Sine(1.0, frequency=0.0)
+        with pytest.raises(SimulationError):
+            Square(0.0, 1.0, frequency=1.0, duty=1.5)
+        with pytest.raises(SimulationError):
+            PiecewiseLinear(times=(0.0,), values=(1.0,))
+        with pytest.raises(SimulationError):
+            PiecewiseLinear(times=(1.0, 0.5), values=(0.0, 1.0))
+
+
+class TestDeadlineStepping:
+    def test_boundary_event_discarded_in_blockade(self):
+        """Deep in blockade the next event is astronomically far away;
+        a deadline must stop the clock exactly there with no event."""
+        circuit = build_set(vs=0.005, vd=-0.005)
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=1.0, solver="nonadaptive",
+                                      seed=1)
+        )
+        t0 = engine.solver.time
+        event = engine.solver.step(deadline=t0 + 1e-9)
+        assert event is None
+        assert engine.solver.time == pytest.approx(t0 + 1e-9)
+        assert engine.solver.stats.events == 0
+
+    def test_conducting_events_fire_before_deadline(self):
+        circuit = build_set(vs=0.04, vd=-0.04)
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=1.0, solver="nonadaptive",
+                                      seed=2)
+        )
+        deadline = engine.solver.time + 1e-9
+        fired = 0
+        while engine.solver.time < deadline:
+            if engine.solver.step(deadline=deadline) is None:
+                break
+            fired += 1
+        assert fired > 10
+        assert engine.solver.time <= deadline * (1 + 1e-12)
+
+    @pytest.mark.parametrize("solver", ["nonadaptive", "adaptive"])
+    def test_frozen_interval_advances_clock(self, solver):
+        circuit = build_set(vs=0.0, vd=0.0)
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=0.0, solver=solver, seed=3)
+        )
+        t0 = engine.solver.time
+        assert engine.solver.step(deadline=t0 + 5e-9) is None
+        assert engine.solver.time == pytest.approx(t0 + 5e-9)
+
+
+class TestDrivenCircuits:
+    def test_square_gate_modulates_current(self):
+        """A square-wave gate switches the SET between blockade and
+        conduction; events concentrate in the conducting half-cycles."""
+        circuit = build_set(vs=0.005, vd=-0.005)
+        engine = MonteCarloEngine(
+            circuit, SimulationConfig(temperature=1.0, solver="adaptive",
+                                      seed=4)
+        )
+        period = 1e-8
+        result = run_with_waveforms(
+            engine,
+            {"vg": Square(low=0.0, high=0.03, frequency=1.0 / period)},
+            duration=4 * period,
+            time_step=period / 10,
+        )
+        assert result.events > 50          # conducts during high gate
+        assert result.discarded_boundaries > 0  # frozen during low gate
+        assert result.duration == pytest.approx(4 * period, rel=1e-9)
+
+    def test_sine_driven_pump_transfers_charge(self):
+        """Phase-shifted sine gates implement the quantised pump under
+        true AC drive (one electron per cycle)."""
+        pump = build_electron_pump()
+        engine = MonteCarloEngine(
+            pump, SimulationConfig(temperature=0.3, solver="adaptive", seed=5)
+        )
+        e_over_cg = E_CHARGE / 2e-18
+        period = 1e-7
+        cycles = 8
+        waves = {
+            "vg1": Sine(0.25 * e_over_cg, 1.0 / period,
+                        offset=0.4 * e_over_cg),
+            "vg2": Sine(0.25 * e_over_cg, 1.0 / period,
+                        offset=0.4 * e_over_cg, phase=-np.pi / 2),
+        }
+        start = int(engine.solver.flux[2])
+        run_with_waveforms(engine, waves, duration=cycles * period,
+                           time_step=period / 24)
+        pumped = (int(engine.solver.flux[2]) - start) / cycles
+        assert pumped == pytest.approx(1.0, abs=0.4)
+
+    def test_validation(self):
+        circuit = build_set(vs=0.02, vd=-0.02)
+        engine = MonteCarloEngine(circuit, SimulationConfig(temperature=1.0))
+        with pytest.raises(SimulationError):
+            run_with_waveforms(engine, {}, duration=1e-9, time_step=1e-10)
+        with pytest.raises(SimulationError):
+            run_with_waveforms(engine, {"vg": Constant(0.0)},
+                               duration=0.0, time_step=1e-10)
