@@ -23,6 +23,8 @@ Quick start::
     current = engine.measure_current([0], jumps=20000)
 """
 
+from __future__ import annotations
+
 from repro.circuit import (
     ChargeState,
     Circuit,
@@ -45,6 +47,7 @@ from repro.core import (
 from repro.errors import (
     CircuitError,
     ConvergenceError,
+    LintError,
     NetlistError,
     PhysicsError,
     SemsimError,
@@ -62,6 +65,7 @@ __all__ = [
     "CurrentRecorder",
     "Electrostatics",
     "EventKind",
+    "LintError",
     "MonteCarloEngine",
     "NetlistError",
     "NodeVoltageRecorder",

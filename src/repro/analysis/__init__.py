@@ -1,5 +1,7 @@
 """Result analysis: metrics, timing, noise statistics, resonances."""
 
+from __future__ import annotations
+
 from repro.analysis.metrics import (
     crossover_index,
     mean_percent_error,

@@ -1,5 +1,7 @@
 """Circuit substrate: components, builder, electrostatics, charge state."""
 
+from __future__ import annotations
+
 from repro.circuit.builder import CircuitBuilder, build_junction_array, build_set
 from repro.circuit.circuit import Circuit, ResolvedJunction
 from repro.circuit.devices import (

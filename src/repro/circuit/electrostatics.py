@@ -33,6 +33,70 @@ from repro.errors import CircuitError
 DENSE_LIMIT_DEFAULT = 1200
 
 
+def assemble_capacitance(circuit: Circuit) -> tuple[sp.csc_matrix, sp.csr_matrix]:
+    """Assemble the island-restricted Maxwell capacitance matrices.
+
+    Returns ``(C, C_x)``: the ``n_islands x n_islands`` Maxwell matrix
+    and the ``n_islands x n_external`` island/lead coupling matrix.
+    Shared by :class:`Electrostatics` and the static analyzer in
+    :mod:`repro.lint`, which needs the matrices *without* the
+    positive-definiteness gate (a lint pass reports singularity as a
+    diagnostic instead of raising).
+    """
+    n = circuit.n_islands
+    m = circuit.n_external
+
+    diag = np.zeros(n)
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    xrows: list[int] = []
+    xcols: list[int] = []
+    xvals: list[float] = []
+
+    def couple(ref_a: NodeRef, ref_b: NodeRef, c: float) -> None:
+        for ref in (ref_a, ref_b):
+            if ref.is_island:
+                diag[ref.index] += c
+        if ref_a.is_island and ref_b.is_island:
+            rows.extend((ref_a.index, ref_b.index))
+            cols.extend((ref_b.index, ref_a.index))
+            vals.extend((-c, -c))
+        elif ref_a.is_island:
+            xrows.append(ref_a.index)
+            xcols.append(ref_b.index)
+            xvals.append(c)
+        elif ref_b.is_island:
+            xrows.append(ref_b.index)
+            xcols.append(ref_a.index)
+            xvals.append(c)
+
+    for rj in circuit.resolved_junctions():
+        couple(rj.ref_a, rj.ref_b, rj.capacitance)
+    for cap in circuit.capacitors:
+        couple(
+            circuit.node_refs[cap.node_a],
+            circuit.node_refs[cap.node_b],
+            cap.capacitance,
+        )
+
+    cmat = sp.coo_matrix(
+        (np.concatenate([diag, np.array(vals)]) if vals else diag,
+         (np.concatenate([np.arange(n), np.array(rows, dtype=int)]) if rows
+          else np.arange(n),
+          np.concatenate([np.arange(n), np.array(cols, dtype=int)]) if cols
+          else np.arange(n))),
+        shape=(n, n),
+    ).tocsc()
+    cx = sp.coo_matrix(
+        (np.array(xvals), (np.array(xrows, dtype=int), np.array(xcols, dtype=int)))
+        if xvals
+        else (np.zeros(0), (np.zeros(0, dtype=int), np.zeros(0, dtype=int))),
+        shape=(n, m),
+    ).tocsr()
+    return cmat, cx
+
+
 class Electrostatics:
     """Capacitance-matrix solver for a frozen :class:`Circuit`.
 
@@ -47,42 +111,7 @@ class Electrostatics:
     def __init__(self, circuit: Circuit, dense_limit: int = DENSE_LIMIT_DEFAULT):
         self.circuit = circuit
         n = circuit.n_islands
-        m = circuit.n_external
         self._n = n
-
-        diag = np.zeros(n)
-        rows: list[int] = []
-        cols: list[int] = []
-        vals: list[float] = []
-        xrows: list[int] = []
-        xcols: list[int] = []
-        xvals: list[float] = []
-
-        def couple(ref_a: NodeRef, ref_b: NodeRef, c: float) -> None:
-            for ref in (ref_a, ref_b):
-                if ref.is_island:
-                    diag[ref.index] += c
-            if ref_a.is_island and ref_b.is_island:
-                rows.extend((ref_a.index, ref_b.index))
-                cols.extend((ref_b.index, ref_a.index))
-                vals.extend((-c, -c))
-            elif ref_a.is_island:
-                xrows.append(ref_a.index)
-                xcols.append(ref_b.index)
-                xvals.append(c)
-            elif ref_b.is_island:
-                xrows.append(ref_b.index)
-                xcols.append(ref_a.index)
-                xvals.append(c)
-
-        for rj in circuit.resolved_junctions():
-            couple(rj.ref_a, rj.ref_b, rj.capacitance)
-        for cap in circuit.capacitors:
-            couple(
-                circuit.node_refs[cap.node_a],
-                circuit.node_refs[cap.node_b],
-                cap.capacitance,
-            )
 
         if n == 0:
             raise CircuitError(
@@ -90,20 +119,7 @@ class Electrostatics:
                 "so there is no charge dynamics to simulate"
             )
 
-        cmat = sp.coo_matrix(
-            (np.concatenate([diag, np.array(vals)]) if vals else diag,
-             (np.concatenate([np.arange(n), np.array(rows, dtype=int)]) if rows
-              else np.arange(n),
-              np.concatenate([np.arange(n), np.array(cols, dtype=int)]) if cols
-              else np.arange(n))),
-            shape=(n, n),
-        ).tocsc()
-        self._cx = sp.coo_matrix(
-            (np.array(xvals), (np.array(xrows, dtype=int), np.array(xcols, dtype=int)))
-            if xvals
-            else (np.zeros(0), (np.zeros(0, dtype=int), np.zeros(0, dtype=int))),
-            shape=(n, m),
-        ).tocsr()
+        cmat, self._cx = assemble_capacitance(circuit)
         self._cmat = cmat
 
         self._dense = n <= dense_limit

@@ -7,11 +7,21 @@ this CLI reproduces that workflow:
     Parse a SEMSIM input deck, run the simulation it describes (sweep
     or single operating point) and print/save the I-V results.
 ``python -m repro info deck.txt``
-    Parse and validate a deck, reporting the circuit statistics.
+    Parse and validate a deck, reporting the circuit statistics and a
+    one-line static-analysis summary.
+``python -m repro lint deck.txt``
+    Static analysis only: report every ``SEM0xx`` diagnostic of a deck
+    or logic netlist without running any Monte Carlo.  The exit code
+    mirrors the worst severity (0 clean/info, 1 warnings, 2 errors).
 ``python -m repro benchmark 74LS138``
     Build one of the paper's logic benchmarks and report its size.
 ``python -m repro benchmarks``
     List all fifteen paper benchmarks.
+
+Exit codes across all subcommands: 0 success, 1 defective input
+(parse/physics/simulation errors), 2 unreadable input (missing or
+unreadable file) — except ``lint``, whose exit code is the worst
+diagnostic severity as above.
 """
 
 from __future__ import annotations
@@ -40,9 +50,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="write the sweep as CSV instead of printing it",
     )
+    run.add_argument(
+        "--strict", action="store_true",
+        help="refuse to run decks with error-severity lint findings",
+    )
 
     info = sub.add_parser("info", help="parse and describe a deck")
     info.add_argument("deck", type=Path)
+
+    lint = sub.add_parser(
+        "lint", help="static-analyse a deck or logic netlist (no simulation)"
+    )
+    lint.add_argument(
+        "target", type=Path, nargs="?", default=None,
+        help="path to a SEMSIM deck or logic netlist",
+    )
+    lint.add_argument(
+        "--format", choices=("auto", "deck", "logic"), default="auto",
+        help="input format (default: sniffed from the content)",
+    )
+    lint.add_argument(
+        "--benchmark", metavar="NAME", default=None,
+        help="lint one of the paper's logic benchmarks instead of a file",
+    )
+    lint.add_argument(
+        "--benchmarks", action="store_true",
+        help="lint all fifteen paper benchmarks",
+    )
+    lint.add_argument(
+        "--codes", action="store_true",
+        help="print the table of SEM0xx diagnostic codes and exit",
+    )
 
     bench = sub.add_parser("benchmark", help="build a paper logic benchmark")
     bench.add_argument("name", help="benchmark name, e.g. '74LS138'")
@@ -54,7 +92,7 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args) -> int:
     from repro.netlist import parse_semsim
 
-    deck = parse_semsim(args.deck.read_text())
+    deck = parse_semsim(args.deck.read_text(), strict=args.strict)
     curve = deck.run(solver=args.solver, seed=args.seed)
     lines = ["sweep_voltage_V,current_A"]
     lines += [f"{v:.9g},{i:.9g}" for v, i in zip(curve.voltages, curve.currents)]
@@ -68,10 +106,12 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_info(args) -> int:
+    from repro.lint import lint_deck
     from repro.netlist import parse_semsim
 
     deck = parse_semsim(args.deck.read_text())
     circuit = deck.build_circuit()
+    report = lint_deck(deck)
     print(f"deck: {args.deck}")
     print(f"  junctions:      {circuit.n_junctions}")
     print(f"  islands:        {circuit.n_islands}")
@@ -85,7 +125,50 @@ def _cmd_info(args) -> int:
             f"  sweep:          node {deck.sweep.node} "
             f"+-{deck.sweep.maximum} V step {deck.sweep.step} V"
         )
+    summary = report.summary()
+    if report.diagnostics:
+        summary += f" (run 'repro lint {args.deck}' for details)"
+    print(f"  lint:           {summary}")
     return 0
+
+
+def _print_code_table() -> None:
+    from repro.lint import CODES
+
+    print(f"{'code':8s} {'severity':8s} meaning")
+    for info in CODES.values():
+        print(f"{info.code:8s} {str(info.severity):8s} {info.title}")
+        print(f"{'':8s} {'':8s}   fix: {info.fix}")
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint import LintReport, lint_benchmark, lint_path
+
+    if args.codes:
+        _print_code_table()
+        return 0
+
+    reports: list[LintReport] = []
+    if args.benchmarks:
+        from repro.logic import BENCHMARKS
+
+        reports += [lint_benchmark(spec.name) for spec in BENCHMARKS]
+    if args.benchmark is not None:
+        reports.append(lint_benchmark(args.benchmark))
+    if args.target is not None:
+        reports.append(lint_path(args.target, fmt=args.format))
+    if not reports:
+        print("error: nothing to lint (give a file, --benchmark or "
+              "--benchmarks)", file=sys.stderr)
+        return 2
+
+    exit_code = 0
+    for report in reports:
+        for diagnostic in report:
+            print(diagnostic.format())
+        print(f"{report.subject}: {report.summary()}")
+        exit_code = max(exit_code, report.exit_code)
+    return exit_code
 
 
 def _cmd_benchmark(args) -> int:
@@ -120,14 +203,18 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "info":
             return _cmd_info(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "benchmark":
             return _cmd_benchmark(args)
         if args.command == "benchmarks":
             return _cmd_benchmarks()
-    except FileNotFoundError as exc:
+    except (OSError, UnicodeDecodeError) as exc:
+        # missing file, permission trouble, undecodable bytes: exit 2
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except SemsimError as exc:
+        # defective-but-readable input: exit 1, one-line diagnostic
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0

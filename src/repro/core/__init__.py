@@ -1,5 +1,7 @@
 """Monte Carlo core: solvers, engine, recording, sweeps."""
 
+from __future__ import annotations
+
 from repro.core.adaptive import AdaptiveSolver
 from repro.core.base import BaseSolver, SolverStats
 from repro.core.config import SimulationConfig

@@ -15,6 +15,7 @@ import numpy as np
 from repro.constants import E_CHARGE
 from repro.core.base import BaseSolver
 from repro.core.events import TunnelEvent
+from repro.errors import SimulationError
 
 
 class Recorder:
@@ -45,7 +46,7 @@ class CurrentRecorder(Recorder):
 
     def __init__(self, junction: int, interval: int = 100):
         if interval < 1:
-            raise ValueError(f"interval must be >= 1, got {interval}")
+            raise SimulationError(f"interval must be >= 1, got {interval}")
         self.junction = junction
         self.interval = interval
         self.samples: list[CurrentSample] = []
@@ -73,7 +74,7 @@ class CurrentRecorder(Recorder):
     def mean_current(self) -> float:
         """Time-weighted mean of the recorded samples."""
         if not self.samples:
-            raise ValueError("no current samples recorded yet")
+            raise SimulationError("no current samples recorded yet")
         return float(np.mean([s.current for s in self.samples]))
 
 
@@ -92,7 +93,7 @@ class NodeVoltageRecorder(Recorder):
 
     def __init__(self, island: int, interval: int = 1):
         if interval < 1:
-            raise ValueError(f"interval must be >= 1, got {interval}")
+            raise SimulationError(f"interval must be >= 1, got {interval}")
         self.island = island
         self.interval = interval
         self.samples: list[VoltageSample] = []

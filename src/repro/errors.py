@@ -39,3 +39,17 @@ class ConvergenceError(SemsimError):
 
 class PhysicsError(SemsimError):
     """Raised for physically inconsistent model parameters."""
+
+
+class LintError(SemsimError):
+    """Raised by strict-mode parsing/building when static analysis of a
+    deck, circuit or netlist finds error-severity problems.
+
+    Carries the offending :class:`repro.lint.Diagnostic` records in
+    :attr:`diagnostics` (typed loosely here so the base error module
+    stays import-free).
+    """
+
+    def __init__(self, message: str, diagnostics: tuple[object, ...] = ()):
+        self.diagnostics = tuple(diagnostics)
+        super().__init__(message)

@@ -1,0 +1,207 @@
+"""Pre-simulation static analysis of circuits, decks and logic netlists.
+
+``repro.lint`` inspects an input **without running any Monte Carlo**
+and reports structured :class:`Diagnostic` records with stable
+``SEM0xx`` codes — the production gate that keeps malformed or
+physically out-of-regime inputs from silently burning a simulation:
+
+* **topology** — floating islands (singular capacitance matrix),
+  junction-less islands, lead-lead junctions, decoupled subcircuits;
+* **numerical conditioning** — condition-number estimate of the island
+  capacitance matrix, unit-scale heuristics, dense/sparse advisory;
+* **physics regime** — ``R_T`` vs ``R_K``, ``E_C`` vs ``k_B T``,
+  superconducting parameter coherence (Sec. III-A validity limits);
+* **simulation config** — sweep resolution vs blockade width, adaptive
+  threshold and refresh-period sanity;
+* **logic netlists** — undriven nets, dangling outputs, multiple
+  drivers, combinational loops.
+
+Entry points: :func:`lint_circuit`, :func:`lint_deck`,
+:func:`lint_text` (format-sniffing), :func:`lint_path`, and the CLI
+``python -m repro lint``.  Strict-mode hooks
+(``parse_semsim(..., strict=True)``, ``deck.build_circuit(strict=True)``)
+raise :class:`repro.errors.LintError` on error-severity findings.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.circuit.circuit import Circuit
+from repro.core.config import SimulationConfig
+from repro.errors import LintError, NetlistError
+from repro.lint.conditioning import check_conditioning
+from repro.lint.deck import check_deck
+from repro.lint.diagnostics import (
+    CODES,
+    CodeInfo,
+    Diagnostic,
+    LintReport,
+    Severity,
+    diag,
+)
+from repro.lint.logic import check_logic_netlist, check_logic_raw
+from repro.lint.physics import charging_energies, check_physics
+from repro.lint.simconfig import check_config, check_jumps, check_sweep
+from repro.lint.topology import check_topology
+from repro.logic.netlist import GateKind, LogicNetlist
+from repro.netlist.logic_text import scan_logic
+from repro.netlist.semsim import SemsimDeck, parse_semsim
+
+__all__ = [
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "charging_energies",
+    "check_conditioning",
+    "check_config",
+    "check_deck",
+    "check_jumps",
+    "check_logic_netlist",
+    "check_logic_raw",
+    "check_physics",
+    "check_sweep",
+    "check_topology",
+    "diag",
+    "lint_benchmark",
+    "lint_circuit",
+    "lint_deck",
+    "lint_logic_netlist",
+    "lint_path",
+    "lint_text",
+    "require_clean_deck",
+    "sniff_format",
+]
+
+
+# ----------------------------------------------------------------------
+# object-level entry points
+# ----------------------------------------------------------------------
+def lint_circuit(
+    circuit: Circuit,
+    temperature: float = 4.2,
+    config: SimulationConfig | None = None,
+    *,
+    cotunneling: bool = False,
+) -> LintReport:
+    """Static analysis of a frozen :class:`Circuit`."""
+    diagnostics = check_topology(circuit)
+    singular = any(d.code == "SEM010" for d in diagnostics)
+    diagnostics += check_conditioning(circuit, skip_condition_number=singular)
+    diagnostics += check_physics(circuit, temperature, cotunneling=cotunneling)
+    if config is not None:
+        diagnostics += check_config(config)
+    return LintReport(tuple(diagnostics), subject="circuit")
+
+
+def lint_deck(deck: SemsimDeck, subject: str = "deck") -> LintReport:
+    """Static analysis of a parsed SEMSIM deck (never raises)."""
+    return LintReport(tuple(check_deck(deck)), subject=subject)
+
+
+def lint_logic_netlist(netlist: LogicNetlist) -> LintReport:
+    """Static analysis of a validated logic netlist."""
+    return LintReport(tuple(check_logic_netlist(netlist)), subject=netlist.name)
+
+
+def lint_benchmark(name: str) -> LintReport:
+    """Static analysis of one of the paper's 15 logic benchmarks."""
+    from repro.logic import benchmark_by_name
+
+    spec = benchmark_by_name(name)
+    return lint_logic_netlist(spec.builder())
+
+
+# ----------------------------------------------------------------------
+# text-level entry points
+# ----------------------------------------------------------------------
+_GATE_KEYWORDS = frozenset(kind.value for kind in GateKind) | {
+    "name", "input", "output",
+}
+_DECK_KEYWORDS = frozenset({
+    "junc", "cap", "charge", "vdc", "symm", "super", "num", "temp",
+    "cotunnel", "record", "jumps", "sweep",
+})
+
+
+def sniff_format(text: str) -> str:
+    """Guess whether text is a SEMSIM deck or a logic netlist.
+
+    Counts recognised directive keywords of both formats over the
+    non-comment lines; the majority wins, decks on a tie (``cap`` is
+    deck-only, ``name``/gate kinds are logic-only, so real files are
+    never close).
+    """
+    deck_votes = logic_votes = 0
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        keyword = line.split()[0].lower()
+        if keyword in _DECK_KEYWORDS:
+            deck_votes += 1
+        if keyword in _GATE_KEYWORDS:
+            logic_votes += 1
+    return "logic" if logic_votes > deck_votes else "deck"
+
+
+def lint_text(text: str, fmt: str = "auto", subject: str = "input") -> LintReport:
+    """Static analysis of deck or netlist text; never raises.
+
+    ``fmt`` is ``"deck"``, ``"logic"`` or ``"auto"`` (sniffed).
+    Unparseable input yields a ``SEM001`` diagnostic instead of an
+    exception.
+    """
+    if fmt == "auto":
+        fmt = sniff_format(text)
+    if fmt == "deck":
+        try:
+            deck = parse_semsim(text, validate=False)
+        except NetlistError as exc:
+            return LintReport(
+                (diag("SEM001", str(exc), line=exc.line_number),),
+                subject=subject,
+            )
+        return lint_deck(deck, subject=subject)
+    if fmt == "logic":
+        try:
+            raw = scan_logic(text)
+        except NetlistError as exc:
+            return LintReport(
+                (diag("SEM001", str(exc), line=exc.line_number),),
+                subject=subject,
+            )
+        return LintReport(tuple(check_logic_raw(raw)), subject=subject)
+    raise NetlistError(f"unknown lint format {fmt!r} (use deck, logic or auto)")
+
+
+def lint_path(path: str | os.PathLike, fmt: str = "auto") -> LintReport:
+    """Static analysis of a deck/netlist file; IO errors propagate."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return lint_text(text, fmt=fmt, subject=str(path))
+
+
+# ----------------------------------------------------------------------
+# strict-mode gate
+# ----------------------------------------------------------------------
+def require_clean_deck(deck: SemsimDeck) -> LintReport:
+    """Raise :class:`LintError` if the deck has error-severity findings.
+
+    Backs the ``strict=True`` hooks of :func:`repro.netlist.parse_semsim`
+    and :meth:`SemsimDeck.build_circuit`; returns the report otherwise
+    so callers can still surface warnings.
+    """
+    report = lint_deck(deck)
+    errors = report.errors
+    if errors:
+        detail = "; ".join(d.format() for d in errors[:3])
+        if len(errors) > 3:
+            detail += f"; and {len(errors) - 3} more"
+        raise LintError(
+            f"deck failed static analysis with {len(errors)} error(s): {detail}",
+            diagnostics=errors,
+        )
+    return report

@@ -1,0 +1,90 @@
+"""Numerical-conditioning pass: scales and solvability of the linear algebra.
+
+Uses the same Maxwell-matrix assembly as :class:`Electrostatics`
+(:func:`repro.circuit.electrostatics.assemble_capacitance`) but reports
+problems as diagnostics instead of raising, and estimates the condition
+number before any solver commits to a factorisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.electrostatics import DENSE_LIMIT_DEFAULT, assemble_capacitance
+from repro.lint.diagnostics import Diagnostic, Severity, diag
+
+#: Capacitances above this are assumed to be unit mistakes (1 nF is six
+#: orders of magnitude above the fF wiring scale of SET circuits).
+CAPACITANCE_CEILING = 1e-9
+#: Resistances below this are assumed to be unit mistakes (the deck's
+#: ``junc`` field is a conductance; 1/G < 1 Ohm means G > 1 S).
+RESISTANCE_FLOOR = 1.0
+#: Condition numbers above ``COND_WARN`` get a warning; above
+#: ``COND_ERROR`` the dense backend's own singularity gate would fire.
+COND_WARN = 1e8
+COND_ERROR = 1e12
+#: Largest island count for which the dense condition estimate is run.
+COND_CHECK_LIMIT = 2000
+
+
+def check_conditioning(
+    circuit: Circuit, *, skip_condition_number: bool = False
+) -> list[Diagnostic]:
+    """Run the conditioning pass.
+
+    ``skip_condition_number`` is set by the runner when the topology
+    pass already proved the matrix singular (``SEM010``); repeating the
+    news as an infinite condition number would be noise.
+    """
+    out: list[Diagnostic] = []
+
+    for junction in circuit.junctions:
+        if junction.capacitance > CAPACITANCE_CEILING:
+            out.append(diag(
+                "SEM021",
+                f"capacitance {junction.capacitance:.3g} F is far above the "
+                "single-electron scale (aF-fF); the deck field is in farads",
+                where=f"junction {junction.name!r}",
+            ))
+        if junction.resistance < RESISTANCE_FLOOR:
+            out.append(diag(
+                "SEM022",
+                f"resistance {junction.resistance:.3g} Ohm is below 1 Ohm; "
+                "the deck's junc field is a conductance in siemens",
+                where=f"junction {junction.name!r}",
+            ))
+    for capacitor in circuit.capacitors:
+        if capacitor.capacitance > CAPACITANCE_CEILING:
+            out.append(diag(
+                "SEM021",
+                f"capacitance {capacitor.capacitance:.3g} F is far above the "
+                "single-electron scale (aF-fF); the deck field is in farads",
+                where=f"capacitor {capacitor.name!r}",
+            ))
+
+    n = circuit.n_islands
+    if n > DENSE_LIMIT_DEFAULT:
+        out.append(diag(
+            "SEM023",
+            f"{n} islands exceed the dense-backend limit "
+            f"({DENSE_LIMIT_DEFAULT}); the sparse LU backend will be used",
+        ))
+
+    if not skip_condition_number and 0 < n <= COND_CHECK_LIMIT:
+        cmat, _ = assemble_capacitance(circuit)
+        cond = float(np.linalg.cond(cmat.toarray()))
+        if not np.isfinite(cond) or cond > COND_ERROR:
+            out.append(diag(
+                "SEM020",
+                f"capacitance matrix condition number is {cond:.3g}; the "
+                "electrostatics solver will reject it as singular",
+                severity=Severity.ERROR,
+            ))
+        elif cond > COND_WARN:
+            out.append(diag(
+                "SEM020",
+                f"capacitance matrix condition number is {cond:.3g}; island "
+                "potentials lose up to half their significant digits",
+            ))
+    return out

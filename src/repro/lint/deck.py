@@ -1,0 +1,178 @@
+"""Deck pass: structural checks of a parsed SEMSIM deck, then the
+circuit-level passes on the circuit it describes.
+
+This is the orchestration layer behind ``repro lint <deck>``: it never
+raises on defective input — every problem, including ones the builder
+or electrostatics backend would throw for, comes back as a
+:class:`~repro.lint.diagnostics.Diagnostic`.  Junction/capacitor
+findings are annotated with the deck line that declared the component
+(threaded through :attr:`SemsimDeck.directive_lines`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit.components import canonical_label
+from repro.errors import CircuitError, NetlistError
+from repro.lint.conditioning import check_conditioning
+from repro.lint.diagnostics import Diagnostic, diag
+from repro.lint.physics import check_physics
+from repro.lint.simconfig import check_config, check_jumps, check_sweep
+from repro.lint.topology import check_topology
+from repro.netlist.semsim import SemsimDeck
+
+
+def _structural(deck: SemsimDeck) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+
+    for message, line in deck.validation_problems():
+        out.append(diag("SEM002", message, line=line))
+
+    seen: set[str] = set()
+    touched: set[str] = set()
+    for name, a, b, conductance, capacitance in deck.junctions:
+        line = deck.line_of(f"junc {name}")
+        if name in seen:
+            out.append(diag(
+                "SEM003", f"junction id {name!r} is defined more than once",
+                where=f"junction {name!r}", line=line,
+            ))
+        seen.add(name)
+        if canonical_label(a) == canonical_label(b):
+            out.append(diag(
+                "SEM004", f"junction {name!r} connects node {a!r} to itself",
+                where=f"junction {name!r}", line=line,
+            ))
+        if capacitance <= 0.0:
+            out.append(diag(
+                "SEM001",
+                f"junction {name!r}: capacitance must be > 0, got {capacitance:g}",
+                where=f"junction {name!r}", line=line,
+            ))
+        touched.update((canonical_label(a), canonical_label(b)))
+
+    for i, (a, b, capacitance) in enumerate(deck.capacitors, start=1):
+        line = deck.line_of(f"cap {i}")
+        if canonical_label(a) == canonical_label(b):
+            out.append(diag(
+                "SEM004", f"capacitor between {a!r} and {b!r} is a self-loop",
+                where=f"capacitor {i}", line=line,
+            ))
+        if capacitance <= 0.0:
+            out.append(diag(
+                "SEM001",
+                f"capacitor between {a!r} and {b!r}: capacitance must be > 0, "
+                f"got {capacitance:g}",
+                where=f"capacitor {i}", line=line,
+            ))
+        touched.update((canonical_label(a), canonical_label(b)))
+
+    driven: set[str] = set()
+    for node, _voltage in deck.sources:
+        label = canonical_label(node)
+        line = deck.line_of(f"vdc {node}")
+        if label == "0":
+            out.append(diag(
+                "SEM005", "a source may not drive the ground node",
+                where=f"vdc {node}", line=line,
+            ))
+        elif label in driven:
+            out.append(diag(
+                "SEM005", f"node {node!r} is driven by more than one source",
+                where=f"vdc {node}", line=line,
+            ))
+        elif label not in touched:
+            out.append(diag(
+                "SEM005",
+                f"source drives node {node!r}, which no junction or "
+                "capacitor touches",
+                where=f"vdc {node}", line=line,
+            ))
+        driven.add(label)
+
+    if deck.symmetric_node is not None \
+            and canonical_label(deck.symmetric_node) not in driven:
+        out.append(diag(
+            "SEM006",
+            f"symm names node {deck.symmetric_node!r}, which has no vdc source",
+            where="symm", line=deck.line_of("symm"),
+        ))
+    if deck.sweep is not None and canonical_label(deck.sweep.node) not in driven:
+        out.append(diag(
+            "SEM006",
+            f"sweep targets node {deck.sweep.node!r}, which has no vdc source",
+            where="sweep", line=deck.line_of("sweep"),
+        ))
+    if deck.record is not None:
+        ids = {name for name, *_ in deck.junctions}
+        for jid in (deck.record.first_junction, deck.record.last_junction):
+            if str(jid) not in ids:
+                out.append(diag(
+                    "SEM006",
+                    f"record names junction {jid}, which is not defined",
+                    where="record", line=deck.line_of("record"),
+                ))
+        if deck.record.last_junction < deck.record.first_junction:
+            out.append(diag(
+                "SEM006",
+                f"record range {deck.record.first_junction}.."
+                f"{deck.record.last_junction} is empty",
+                where="record", line=deck.line_of("record"),
+            ))
+    return out
+
+
+def _component_lines(deck: SemsimDeck) -> dict[str, int]:
+    """Map circuit-pass ``where`` strings to deck line numbers."""
+    mapping: dict[str, int] = {}
+    for name, *_ in deck.junctions:
+        line = deck.line_of(f"junc {name}")
+        if line is not None:
+            mapping[f"junction 'j{name}'"] = line
+    for i in range(1, len(deck.capacitors) + 1):
+        line = deck.line_of(f"cap {i}")
+        if line is not None:
+            mapping[f"capacitor 'c{i}'"] = line
+    return mapping
+
+
+def _attach_lines(
+    diagnostics: list[Diagnostic], deck: SemsimDeck
+) -> list[Diagnostic]:
+    mapping = _component_lines(deck)
+    out = []
+    for d in diagnostics:
+        line = mapping.get(d.where or "")
+        if line is not None and d.line is None:
+            d = dataclasses.replace(d, line=line)
+        out.append(d)
+    return out
+
+
+def check_deck(deck: SemsimDeck) -> list[Diagnostic]:
+    """All passes over a parsed deck; never raises on defective input."""
+    out = _structural(deck)
+    if any(d.code in ("SEM001", "SEM004") for d in out):
+        # the circuit cannot even be built; stop at the structural report
+        return out
+
+    try:
+        circuit = deck.unchecked_circuit()
+    except (NetlistError, CircuitError) as exc:
+        out.append(diag("SEM001", f"circuit construction failed: {exc}"))
+        return out
+
+    circuit_diags = check_topology(circuit)
+    singular = any(d.code == "SEM010" for d in circuit_diags)
+    circuit_diags += check_conditioning(circuit, skip_condition_number=singular)
+    circuit_diags += check_physics(
+        circuit, deck.temperature, cotunneling=deck.cotunnel
+    )
+    out += _attach_lines(circuit_diags, deck)
+
+    out += check_config(deck.config())
+    out += check_jumps(deck.jumps)
+    if deck.sweep is not None:
+        out += check_sweep(circuit, deck.sweep.step, deck.sweep.maximum)
+    return out

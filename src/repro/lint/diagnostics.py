@@ -1,0 +1,235 @@
+"""Diagnostic records and the stable ``SEM0xx`` code registry.
+
+Every lint pass emits :class:`Diagnostic` records rather than raising:
+static analysis must report *all* problems of an input, not just the
+first, and must never abort on a malformed circuit (that is its job to
+describe).  Codes are stable across releases so scripts can filter on
+them; the registry below is the single source of truth for default
+severities and the documentation table in the README.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclasses.dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one diagnostic code."""
+
+    code: str
+    severity: Severity
+    title: str
+    fix: str
+
+
+def _c(code: str, severity: Severity, title: str, fix: str) -> CodeInfo:
+    return CodeInfo(code, severity, title, fix)
+
+
+#: The full diagnostic vocabulary.  Grouped by pass:
+#: SEM00x structural/parse, SEM01x topology, SEM02x numerical
+#: conditioning, SEM03x physics regime, SEM04x simulation config,
+#: SEM05x logic netlists.
+CODES: dict[str, CodeInfo] = {c.code: c for c in (
+    # --- structural / parse -------------------------------------------
+    _c("SEM001", Severity.ERROR, "input could not be parsed",
+       "fix the directive reported on the given line"),
+    _c("SEM002", Severity.ERROR, "declared counts disagree with the parsed components",
+       "update the 'num j/ext/nodes' directives or the component lists"),
+    _c("SEM003", Severity.ERROR, "duplicate component identifier",
+       "rename one of the components"),
+    _c("SEM004", Severity.ERROR, "component connects a node to itself",
+       "check the node fields of the junc/cap directive"),
+    _c("SEM005", Severity.ERROR, "voltage source problem (duplicate or untouched node)",
+       "drive each node with at most one vdc, on a node some component touches"),
+    _c("SEM006", Severity.ERROR, "directive references an unknown junction or node",
+       "point record/sweep/symm at components that exist"),
+    # --- topology ------------------------------------------------------
+    _c("SEM010", Severity.ERROR, "floating island group (singular capacitance matrix)",
+       "add a capacitor or junction from the group to ground, a source, "
+       "or another anchored island"),
+    _c("SEM011", Severity.WARNING, "island has no tunnel junction; its charge is frozen",
+       "remove the node or attach a junction if transport was intended"),
+    _c("SEM012", Severity.ERROR, "junction connects two externally driven nodes",
+       "route the junction through an island; a lead-lead junction "
+       "carries state-independent current and stalls the Monte Carlo"),
+    _c("SEM013", Severity.INFO, "circuit splits into independent island groups",
+       "simulate the subcircuits separately for better statistics"),
+    # --- numerical conditioning ---------------------------------------
+    _c("SEM020", Severity.WARNING, "ill-conditioned capacitance matrix",
+       "reduce the spread of capacitance values or anchor weakly "
+       "coupled islands more strongly"),
+    _c("SEM021", Severity.WARNING, "capacitance outside the single-electron scale",
+       "check the units: single-electron devices live in the aF-fF "
+       "range (the deck field is in farads)"),
+    _c("SEM022", Severity.WARNING, "resistance below 1 Ohm",
+       "check the units: the junc field is a conductance in siemens, "
+       "not a resistance"),
+    _c("SEM023", Severity.INFO, "island count above the dense-backend limit",
+       "nothing to fix; the sparse solver backend will be selected and "
+       "the condition-number estimate is skipped"),
+    # --- physics regime ------------------------------------------------
+    _c("SEM030", Severity.WARNING, "junction resistance at or below R_K = h/e^2",
+       "orthodox theory needs R_T >> 25.8 kOhm; raise the resistance "
+       "or treat the results as qualitative"),
+    _c("SEM031", Severity.WARNING, "charging energy at or below k_B T",
+       "lower the temperature or shrink the capacitances; thermal "
+       "smearing has destroyed the Coulomb blockade"),
+    _c("SEM032", Severity.INFO, "charging energy within 10 k_B T",
+       "expect visibly thermally smeared I-V features"),
+    _c("SEM033", Severity.WARNING, "Cooper-pair model regime violated",
+       "the incoherent-Lorentzian picture needs R_N >> R_Q and "
+       "E_J << E_c (Ambegaokar-Baratoff high-resistance regime)"),
+    _c("SEM034", Severity.INFO, "superconducting gap exceeds every charging energy",
+       "sub-gap transport will be dominated by parity effects the "
+       "model does not capture quantitatively"),
+    _c("SEM035", Severity.WARNING, "cotunneling enabled on a single-junction circuit",
+       "second-order cotunneling needs at least two junctions sharing "
+       "an island; disable 'cotunnel' or extend the circuit"),
+    # --- simulation config ---------------------------------------------
+    _c("SEM040", Severity.WARNING, "sweep step wider than the Coulomb-blockade width",
+       "shrink the sweep step below e/C_sigma to resolve the blockade"),
+    _c("SEM041", Severity.WARNING, "sweep generates a very large number of points",
+       "increase the step or narrow the range"),
+    _c("SEM042", Severity.WARNING, "adaptive threshold lambda above 0.2",
+       "large lambda lets rates go stale; the paper's accuracy data "
+       "covers lambda <= 0.1"),
+    _c("SEM043", Severity.WARNING, "full-refresh interval above 100000 events",
+       "lower full_refresh_interval to bound accumulated rate error"),
+    _c("SEM044", Severity.INFO, "very small event budget per operating point",
+       "increase 'jumps'; current estimates below ~1000 events are "
+       "noise-dominated"),
+    # --- logic netlists -------------------------------------------------
+    _c("SEM050", Severity.ERROR, "gate input reads an undriven net",
+       "declare the net as a primary input or drive it with a gate"),
+    _c("SEM051", Severity.ERROR, "primary output net is undriven",
+       "drive the declared output with a gate or a primary input"),
+    _c("SEM052", Severity.ERROR, "combinational loop",
+       "break the cycle; the mapped SET logic is purely combinational"),
+    _c("SEM053", Severity.ERROR, "net driven by more than one gate",
+       "give each driving gate its own output net"),
+    _c("SEM054", Severity.WARNING, "primary input is never read",
+       "remove the input or connect it"),
+    _c("SEM055", Severity.WARNING, "gate output drives nothing",
+       "use the net or drop the gate; dead logic costs junctions"),
+    _c("SEM056", Severity.ERROR, "gate output feeds its own input",
+       "insert intermediate logic; a direct self-loop cannot settle"),
+)}
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer.
+
+    ``where`` names the offending object (a junction, node, net or
+    directive), ``line`` is the 1-based source line for text inputs.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    where: str | None = None
+    line: int | None = None
+
+    def format(self) -> str:
+        loc = f" (line {self.line})" if self.line is not None else ""
+        subject = f" {self.where}:" if self.where else ""
+        return f"{self.code} {self.severity}:{subject} {self.message}{loc}"
+
+
+def diag(
+    code: str,
+    message: str,
+    *,
+    where: str | None = None,
+    line: int | None = None,
+    severity: Severity | None = None,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic`, defaulting severity from the registry."""
+    info = CODES[code]
+    return Diagnostic(
+        code=code,
+        severity=info.severity if severity is None else severity,
+        message=message,
+        where=where,
+        line=line,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class LintReport:
+    """The ordered findings of one lint run."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    subject: str = "input"
+
+    # ------------------------------------------------------------------
+    @property
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def codes(self) -> frozenset[str]:
+        return frozenset(d.code for d in self.diagnostics)
+
+    def has(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # ------------------------------------------------------------------
+    @property
+    def exit_code(self) -> int:
+        """Process exit code mirroring the worst severity (0/1/2)."""
+        worst = self.max_severity
+        if worst is None or worst is Severity.INFO:
+            return 0
+        return 1 if worst is Severity.WARNING else 2
+
+    def summary(self) -> str:
+        """One-line count summary, e.g. ``2 errors, 1 warning``."""
+        if not self.diagnostics:
+            return "clean"
+        counts = []
+        for severity, noun in (
+            (Severity.ERROR, "error"),
+            (Severity.WARNING, "warning"),
+            (Severity.INFO, "info note"),
+        ):
+            n = sum(1 for d in self.diagnostics if d.severity is severity)
+            if n:
+                counts.append(f"{n} {noun}{'s' if n != 1 else ''}")
+        return ", ".join(counts)
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(f"{self.subject}: {self.summary()}")
+        return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Logic-netlist pass: connectivity defects of gate-level networks.
+
+Works on the *raw* tokenised form (:class:`repro.netlist.logic_text.RawNetlist`)
+so that defective netlists — exactly the inputs this pass exists for —
+can be analysed at all: the validated :class:`LogicNetlist` constructor
+rejects them on sight.  A validated netlist can also be checked
+(:func:`check_logic_netlist`), where only the non-fatal findings
+(unused inputs, dangling outputs) remain possible.
+"""
+
+from __future__ import annotations
+
+from repro.logic.netlist import LogicNetlist
+from repro.netlist.logic_text import RawGate, RawNetlist
+from repro.lint.diagnostics import Diagnostic, diag
+
+
+def _loop_gates(gates: list[RawGate]) -> list[str] | None:
+    """Nets on one combinational cycle, or ``None`` if the graph is a DAG.
+
+    Iterative grey/black depth-first search over the net dependency
+    graph (``output`` depends on each ``input``), so deep benchmark
+    netlists cannot overflow the interpreter stack.
+    """
+    driver: dict[str, RawGate] = {}
+    for gate in gates:
+        driver.setdefault(gate.output, gate)
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    state: dict[str, int] = {}
+
+    for root in driver:
+        if state.get(root, WHITE) != WHITE:
+            continue
+        trail: list[str] = []
+        stack: list[tuple[str, bool]] = [(root, False)]
+        while stack:
+            net, done = stack.pop()
+            if done:
+                state[net] = BLACK
+                trail.pop()
+                continue
+            colour = state.get(net, WHITE)
+            if colour == GREY:
+                return trail[trail.index(net):]
+            if colour == BLACK:
+                continue
+            state[net] = GREY
+            trail.append(net)
+            stack.append((net, True))
+            gate = driver.get(net)
+            if gate is not None:
+                for upstream in gate.inputs:
+                    if state.get(upstream, WHITE) != BLACK:
+                        stack.append((upstream, False))
+    return None
+
+
+def check_logic_raw(raw: RawNetlist) -> list[Diagnostic]:
+    """Connectivity checks on a tokenised (unvalidated) netlist."""
+    out: list[Diagnostic] = []
+    inputs = set(raw.inputs)
+
+    drivers: dict[str, RawGate] = {}
+    for gate in raw.gates:
+        previous = drivers.get(gate.output)
+        if previous is not None:
+            out.append(diag(
+                "SEM053",
+                f"net {gate.output!r} is driven by both {previous.name!r} "
+                f"(line {previous.line}) and {gate.name!r}",
+                where=f"gate {gate.name!r}",
+                line=gate.line,
+            ))
+        elif gate.output in inputs:
+            out.append(diag(
+                "SEM053",
+                f"net {gate.output!r} is a primary input but is also driven "
+                f"by gate {gate.name!r}",
+                where=f"gate {gate.name!r}",
+                line=gate.line,
+            ))
+        else:
+            drivers[gate.output] = gate
+
+    driven = inputs | set(drivers)
+    read: set[str] = set()
+    for gate in raw.gates:
+        if gate.output in gate.inputs:
+            out.append(diag(
+                "SEM056",
+                f"gate {gate.name!r} feeds its output {gate.output!r} back "
+                "into its own input",
+                where=f"gate {gate.name!r}",
+                line=gate.line,
+            ))
+        for net in gate.inputs:
+            read.add(net)
+            if net not in driven:
+                out.append(diag(
+                    "SEM050",
+                    f"gate {gate.name!r} reads net {net!r}, which is neither "
+                    "a primary input nor any gate's output",
+                    where=f"net {net!r}",
+                    line=gate.line,
+                ))
+
+    for net in raw.outputs:
+        if net not in driven:
+            out.append(diag(
+                "SEM051",
+                f"primary output {net!r} is not driven by any gate or input",
+                where=f"net {net!r}",
+                line=raw.output_lines.get(net),
+            ))
+
+    outputs = set(raw.outputs)
+    for net in raw.inputs:
+        if net not in read and net not in outputs:
+            out.append(diag(
+                "SEM054",
+                f"primary input {net!r} is never read by any gate",
+                where=f"net {net!r}",
+                line=raw.input_lines.get(net),
+            ))
+    for gate in raw.gates:
+        if gate.output not in read and gate.output not in outputs \
+                and drivers.get(gate.output) is gate:
+            out.append(diag(
+                "SEM055",
+                f"output {gate.output!r} of gate {gate.name!r} drives no "
+                "gate and is not a primary output",
+                where=f"gate {gate.name!r}",
+                line=gate.line,
+            ))
+
+    cycle = _loop_gates(raw.gates)
+    if cycle is not None:
+        path = " -> ".join(cycle[:8])
+        out.append(diag(
+            "SEM052",
+            f"combinational loop through nets {path}",
+        ))
+    return out
+
+
+def check_logic_netlist(netlist: LogicNetlist) -> list[Diagnostic]:
+    """Checks that remain meaningful on an already-validated netlist."""
+    out: list[Diagnostic] = []
+    read: set[str] = set()
+    for gate in netlist.gates:
+        read.update(gate.inputs)
+    outputs = set(netlist.outputs)
+    for net in netlist.inputs:
+        if net not in read and net not in outputs:
+            out.append(diag(
+                "SEM054",
+                f"primary input {net!r} is never read by any gate",
+                where=f"net {net!r}",
+            ))
+    for gate in netlist.gates:
+        if gate.output not in read and gate.output not in outputs:
+            out.append(diag(
+                "SEM055",
+                f"output {gate.output!r} of gate {gate.name!r} drives no "
+                "gate and is not a primary output",
+                where=f"gate {gate.name!r}",
+            ))
+    return out

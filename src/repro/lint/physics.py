@@ -1,0 +1,127 @@
+"""Physics-regime pass: validity limits of the orthodox/superconducting models.
+
+Orthodox theory (Eq. 1-2 of the paper) is a perturbative treatment that
+holds only for ``R_T >> R_K = h/e^2`` and ``E_C >> k_B T``; the
+superconducting extension further assumes the incoherent Cooper-pair
+regime ``R_N >> R_Q`` and ``E_J << E_c`` (Sec. III-A, reusing
+:func:`repro.physics.cooper.validate_regime`).  A deck outside those
+limits still *runs* — this pass is what stands between the user and
+silently meaningless numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.electrostatics import assemble_capacitance
+from repro.constants import E_CHARGE, K_B, R_K
+from repro.errors import PhysicsError
+from repro.lint.diagnostics import Diagnostic, diag
+from repro.physics.cooper import josephson_energy, validate_regime
+
+#: Largest island count for which the exact ``C^-1`` is formed; bigger
+#: circuits fall back to the diagonal estimate ``K_ii ~ 1/C_ii``.
+EXACT_INVERSE_LIMIT = 2000
+
+
+def charging_energies(circuit: Circuit) -> np.ndarray:
+    """Per-island charging energy ``E_C,i = e^2 K_ii / 2`` in joules.
+
+    Exact (dense inverse) for small circuits; the diagonally dominant
+    approximation ``K_ii ~ 1/C_ii`` for large ones, which is accurate
+    to the coupling ratio and plenty for an order-of-magnitude check.
+    """
+    cmat, _ = assemble_capacitance(circuit)
+    n = circuit.n_islands
+    if n == 0:
+        return np.zeros(0)
+    diagonal = cmat.diagonal()
+    if n <= EXACT_INVERSE_LIMIT:
+        try:
+            kdiag = np.diag(np.linalg.inv(cmat.toarray()))
+        except np.linalg.LinAlgError:
+            kdiag = 1.0 / np.where(diagonal > 0.0, diagonal, np.inf)
+    else:
+        kdiag = 1.0 / np.where(diagonal > 0.0, diagonal, np.inf)
+    return 0.5 * E_CHARGE * E_CHARGE * np.abs(kdiag)
+
+
+def check_physics(
+    circuit: Circuit,
+    temperature: float,
+    *,
+    cotunneling: bool = False,
+) -> list[Diagnostic]:
+    """Run the physics-regime pass at the given bath temperature."""
+    out: list[Diagnostic] = []
+
+    for junction in circuit.junctions:
+        if junction.resistance <= R_K:
+            out.append(diag(
+                "SEM030",
+                f"R_T = {junction.resistance:.3g} Ohm <= R_K = {R_K:.0f} Ohm; "
+                "orthodox theory requires R_T >> h/e^2 and its rates are "
+                "unreliable here",
+                where=f"junction {junction.name!r}",
+            ))
+
+    energies = charging_energies(circuit)
+    kt = K_B * temperature
+    if energies.size and kt > 0.0:
+        weakest = int(np.argmin(energies))
+        e_c = float(energies[weakest])
+        label = circuit.island_labels[weakest]
+        if e_c <= kt:
+            out.append(diag(
+                "SEM031",
+                f"minimum charging energy {e_c:.3g} J <= k_B T = {kt:.3g} J "
+                f"at T = {temperature:g} K; the Coulomb blockade is washed out",
+                where=f"node {label!r}",
+            ))
+        elif e_c <= 10.0 * kt:
+            out.append(diag(
+                "SEM032",
+                f"minimum charging energy {e_c:.3g} J is only "
+                f"{e_c / kt:.1f} k_B T at T = {temperature:g} K; expect "
+                "strong thermal smearing",
+                where=f"node {label!r}",
+            ))
+
+    superconductor = circuit.superconductor
+    if superconductor is not None and temperature >= superconductor.tc:
+        out.append(diag(
+            "SEM033",
+            f"T = {temperature:g} K is at or above Tc = "
+            f"{superconductor.tc:g} K; the film is normal and the "
+            "superconducting physics never engages — drop the super "
+            "directive or cool the bath",
+        ))
+    if superconductor is not None and energies.size:
+        delta = superconductor.delta0
+        e_c_max = float(np.max(energies))
+        for junction in circuit.junctions:
+            ej = josephson_energy(junction.resistance, delta, temperature)
+            try:
+                validate_regime(junction.resistance, ej, e_c_max)
+            except PhysicsError as exc:
+                out.append(diag(
+                    "SEM033",
+                    str(exc),
+                    where=f"junction {junction.name!r}",
+                ))
+        if delta > e_c_max:
+            out.append(diag(
+                "SEM034",
+                f"gap Delta = {delta:.3g} J exceeds the largest charging "
+                f"energy {e_c_max:.3g} J; odd-even parity effects dominate "
+                "the sub-gap region",
+            ))
+
+    if cotunneling and circuit.n_junctions < 2:
+        out.append(diag(
+            "SEM035",
+            "cotunneling is enabled but the circuit has a single junction; "
+            "second-order events need two junctions sharing an island",
+        ))
+    return out

@@ -1,0 +1,91 @@
+"""Simulation-configuration pass: sweep resolution and solver knobs.
+
+Checks that the *measurement* a deck describes can resolve the physics
+its circuit produces — a sweep step wider than ``e/C_sigma`` walks
+straight over the Coulomb blockade it is presumably trying to map —
+and that the adaptive solver's accuracy knobs (the paper's ``lambda``
+and the periodic full refresh of Sec. III-B) sit in the regime the
+paper's accuracy data covers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.electrostatics import assemble_capacitance
+from repro.constants import E_CHARGE
+from repro.core.config import SimulationConfig
+from repro.lint.diagnostics import Diagnostic, diag
+
+#: Sweeps above this many points draw a cost warning.
+SWEEP_POINTS_CEILING = 200_000
+#: Event budgets below this draw a statistics note.
+JUMPS_FLOOR = 1000
+#: Adaptive thresholds above this draw an accuracy warning.
+THRESHOLD_CEILING = 0.2
+#: Refresh intervals above this draw a drift warning.
+REFRESH_CEILING = 100_000
+
+
+def blockade_voltage_scale(circuit: Circuit) -> float | None:
+    """Smallest ``e/C_sigma`` over the islands: the finest blockade width."""
+    if circuit.n_islands == 0:
+        return None
+    cmat, _ = assemble_capacitance(circuit)
+    c_sigma = float(np.max(cmat.diagonal()))
+    if c_sigma <= 0.0:
+        return None
+    return E_CHARGE / c_sigma
+
+
+def check_config(config: SimulationConfig) -> list[Diagnostic]:
+    """Sanity of the solver knobs alone (no circuit needed)."""
+    out: list[Diagnostic] = []
+    if config.adaptive_threshold > THRESHOLD_CEILING:
+        out.append(diag(
+            "SEM042",
+            f"adaptive threshold lambda = {config.adaptive_threshold:g} "
+            "exceeds 0.2; the paper's accuracy evaluation (Fig. 7) stops "
+            "at 0.1",
+        ))
+    if config.full_refresh_interval > REFRESH_CEILING:
+        out.append(diag(
+            "SEM043",
+            f"full_refresh_interval = {config.full_refresh_interval} lets "
+            "adaptive rate staleness accumulate for a long time between "
+            "refreshes",
+        ))
+    return out
+
+
+def check_sweep(circuit: Circuit, step: float, maximum: float) -> list[Diagnostic]:
+    """Sweep resolution and cost versus the circuit's blockade scale."""
+    out: list[Diagnostic] = []
+    scale = blockade_voltage_scale(circuit)
+    if scale is not None and step > scale:
+        out.append(diag(
+            "SEM040",
+            f"sweep step {step:g} V exceeds the narrowest blockade width "
+            f"e/C_sigma = {scale:.3g} V; Coulomb features will be skipped",
+        ))
+    if step > 0.0:
+        points = int(round(2.0 * maximum / step)) + 1
+        if points > SWEEP_POINTS_CEILING:
+            out.append(diag(
+                "SEM041",
+                f"sweep produces {points} operating points; consider a "
+                "coarser step or a narrower range",
+            ))
+    return out
+
+
+def check_jumps(jumps: int) -> list[Diagnostic]:
+    """Event-budget sanity for one operating point."""
+    if jumps < JUMPS_FLOOR:
+        return [diag(
+            "SEM044",
+            f"jumps = {jumps} events per operating point gives noisy "
+            "current estimates; 10^4-10^5 is typical",
+        )]
+    return []

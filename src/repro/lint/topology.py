@@ -1,0 +1,106 @@
+"""Topology pass: graph-level defects of a frozen :class:`Circuit`.
+
+Detects, without any linear algebra, the structural problems that make
+the electrostatics singular or the Monte Carlo ill-posed:
+
+* island groups with no capacitive path to a fixed potential — the
+  Maxwell capacitance matrix restricted to islands becomes singular
+  (``SEM010``);
+* islands with no junction, whose charge can never change (``SEM011``);
+* junctions between two externally pinned nodes, which carry a
+  state-independent current and therefore starve every other event of
+  Monte Carlo time (``SEM012``);
+* several mutually decoupled island groups in one deck (``SEM013``).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.lint.diagnostics import Diagnostic, diag
+
+
+def _island_components(circuit: Circuit) -> list[list[int]]:
+    """Connected components of the island-island coupling graph."""
+    adjacency = circuit.island_adjacency()
+    n = circuit.n_islands
+    seen = [False] * n
+    components: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        component = []
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for other in adjacency[node]:
+                if not seen[other]:
+                    seen[other] = True
+                    stack.append(other)
+        components.append(sorted(component))
+    return components
+
+
+def _externally_anchored(circuit: Circuit) -> set[int]:
+    """Islands with a direct junction/capacitor link to an external node."""
+    anchored: set[int] = set()
+
+    def visit(label_a, label_b) -> None:
+        ref_a = circuit.node_refs[label_a]
+        ref_b = circuit.node_refs[label_b]
+        if ref_a.is_island != ref_b.is_island:
+            island = ref_a if ref_a.is_island else ref_b
+            anchored.add(island.index)
+
+    for junction in circuit.junctions:
+        visit(junction.node_a, junction.node_b)
+    for capacitor in circuit.capacitors:
+        visit(capacitor.node_a, capacitor.node_b)
+    return anchored
+
+
+def check_topology(circuit: Circuit) -> list[Diagnostic]:
+    """Run the topology pass and return its findings."""
+    out: list[Diagnostic] = []
+    anchored = _externally_anchored(circuit)
+    components = _island_components(circuit)
+
+    for component in components:
+        if not any(i in anchored for i in component):
+            labels = ", ".join(str(circuit.island_labels[i]) for i in component[:6])
+            if len(component) > 6:
+                labels += ", ..."
+            out.append(diag(
+                "SEM010",
+                f"island group {{{labels}}} has no capacitive path to ground "
+                "or any source; the capacitance matrix is singular",
+                where=f"{len(component)} island(s)",
+            ))
+
+    on_island = circuit.junctions_on_island()
+    for i, junctions in enumerate(on_island):
+        if not junctions:
+            out.append(diag(
+                "SEM011",
+                "island has no tunnel junction; its charge state can never "
+                "change during simulation",
+                where=f"node {circuit.island_labels[i]!r}",
+            ))
+
+    for rj in circuit.resolved_junctions():
+        if not rj.ref_a.is_island and not rj.ref_b.is_island:
+            out.append(diag(
+                "SEM012",
+                "both endpoints are externally pinned; tunnel events through "
+                "it never change the circuit state",
+                where=f"junction {rj.name!r}",
+            ))
+
+    if len(components) > 1:
+        out.append(diag(
+            "SEM013",
+            f"the {circuit.n_islands} islands form {len(components)} "
+            "mutually decoupled groups; they evolve independently",
+        ))
+    return out

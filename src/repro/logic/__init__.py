@@ -1,5 +1,7 @@
 """SET logic front end: gates, mapping, benchmarks, delay extraction."""
 
+from __future__ import annotations
+
 from repro.logic.benchmarks import (
     BENCHMARKS,
     BenchmarkSpec,

@@ -1,5 +1,7 @@
 """Master-equation reference solver (exact for small devices)."""
 
+from __future__ import annotations
+
 from repro.master.solver import (
     MasterEquationResult,
     MasterEquationSolver,

@@ -1,5 +1,7 @@
 """SEMSIM input decks and logic netlist text I/O."""
 
+from __future__ import annotations
+
 from repro.netlist.logic_text import parse_logic, write_logic
 from repro.netlist.semsim import RecordSpec, SemsimDeck, SweepSpec, parse_semsim
 from repro.netlist.writer import write_semsim

@@ -13,9 +13,19 @@ Format::
     and2 g2 a b c
 
 Gate lines are ``<kind> <gate-name> <inputs...> <output>``.
+
+Parsing is two-stage: :func:`scan_logic` tokenises into a
+:class:`RawNetlist` that records *where* every gate came from but does
+no semantic validation (the static analyzer in :mod:`repro.lint` works
+on this form so it can report undriven nets, loops and multiple drivers
+as diagnostics instead of crashing on the first one);
+:func:`parse_logic` then promotes the raw form to a validated
+:class:`~repro.logic.netlist.LogicNetlist`.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 from repro.errors import NetlistError
 from repro.logic.netlist import ARITY, Gate, GateKind, LogicNetlist
@@ -23,14 +33,35 @@ from repro.logic.netlist import ARITY, Gate, GateKind, LogicNetlist
 _KIND_BY_NAME = {kind.value: kind for kind in GateKind}
 
 
-def parse_logic(text: str) -> LogicNetlist:
-    """Parse a logic netlist from text."""
-    name = "netlist"
-    inputs: list[str] = []
-    outputs: list[str] = []
-    gates: list[Gate] = []
-    for line_number, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
+@dataclasses.dataclass(frozen=True)
+class RawGate:
+    """One tokenised gate line, semantically unvalidated."""
+
+    kind: GateKind
+    name: str
+    inputs: tuple[str, ...]
+    output: str
+    line: int
+
+
+@dataclasses.dataclass
+class RawNetlist:
+    """Tokenised netlist text: structure plus source locations."""
+
+    name: str = "netlist"
+    inputs: list[str] = dataclasses.field(default_factory=list)
+    outputs: list[str] = dataclasses.field(default_factory=list)
+    gates: list[RawGate] = dataclasses.field(default_factory=list)
+    #: first declaration line of each primary input/output net
+    input_lines: dict[str, int] = dataclasses.field(default_factory=dict)
+    output_lines: dict[str, int] = dataclasses.field(default_factory=dict)
+
+
+def scan_logic(text: str) -> RawNetlist:
+    """Tokenise a logic netlist; raises only for unparseable lines."""
+    raw = RawNetlist()
+    for line_number, line_text in enumerate(text.splitlines(), start=1):
+        line = line_text.split("#", 1)[0].strip()
         if not line:
             continue
         fields = line.split()
@@ -38,11 +69,15 @@ def parse_logic(text: str) -> LogicNetlist:
         if keyword == "name":
             if len(fields) < 2:
                 raise NetlistError("'name' needs a value", line_number)
-            name = fields[1]
+            raw.name = fields[1]
         elif keyword == "input":
-            inputs.extend(fields[1:])
+            for net in fields[1:]:
+                raw.inputs.append(net)
+                raw.input_lines.setdefault(net, line_number)
         elif keyword == "output":
-            outputs.extend(fields[1:])
+            for net in fields[1:]:
+                raw.outputs.append(net)
+                raw.output_lines.setdefault(net, line_number)
         elif keyword in _KIND_BY_NAME:
             kind = _KIND_BY_NAME[keyword]
             arity = ARITY[kind]
@@ -52,18 +87,29 @@ def parse_logic(text: str) -> LogicNetlist:
                     f"output, got {len(fields) - 1} fields",
                     line_number,
                 )
-            gate_name = fields[1]
-            gates.append(
-                Gate(gate_name, kind, tuple(fields[2:2 + arity]), fields[-1])
-            )
+            raw.gates.append(RawGate(
+                kind, fields[1], tuple(fields[2:2 + arity]), fields[-1],
+                line_number,
+            ))
         else:
             raise NetlistError(f"unknown gate or directive {keyword!r}", line_number)
-    if not inputs:
+    if not raw.inputs:
         raise NetlistError("netlist declares no inputs")
-    try:
-        return LogicNetlist(name, inputs, outputs, gates)
-    except NetlistError:
-        raise
+    return raw
+
+
+def parse_logic(text: str) -> LogicNetlist:
+    """Parse and validate a logic netlist from text."""
+    raw = scan_logic(text)
+    gates = []
+    for rg in raw.gates:
+        try:
+            gates.append(Gate(rg.name, rg.kind, rg.inputs, rg.output))
+        except NetlistError as exc:
+            if exc.line_number is None:
+                raise NetlistError(str(exc), rg.line) from None
+            raise
+    return LogicNetlist(raw.name, raw.inputs, raw.outputs, gates)
 
 
 def write_logic(netlist: LogicNetlist) -> str:

@@ -106,26 +106,46 @@ class SemsimDeck:
     declared_junctions: int | None = None
     declared_external: int | None = None
     declared_nodes: int | None = None
+    #: source line of each directive, keyed e.g. ``"junc 1"``, ``"num j"``,
+    #: ``"vdc 2"``, ``"sweep"``; populated by :func:`parse_semsim` so
+    #: post-parse validation can report locations.  Excluded from
+    #: equality so written-then-reparsed decks still compare equal.
+    directive_lines: dict[str, int] = dataclasses.field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     # ------------------------------------------------------------------
-    def validate(self) -> None:
-        """Cross-check declared counts against the parsed components."""
+    def line_of(self, directive: str) -> int | None:
+        """Source line of a directive key, if the deck came from text."""
+        return self.directive_lines.get(directive)
+
+    def validation_problems(self) -> list[tuple[str, int | None]]:
+        """Cross-check declared counts against the parsed components.
+
+        Returns ``(message, line_number)`` pairs instead of raising, so
+        the static analyzer can report *every* mismatch; line numbers
+        point at the offending ``num``/``junc`` directive when the deck
+        was parsed from text.
+        """
+        problems: list[tuple[str, int | None]] = []
         if not self.junctions:
-            raise NetlistError("deck contains no junctions")
+            problems.append(("deck contains no junctions", None))
         if self.declared_junctions is not None and (
             self.declared_junctions != len(self.junctions)
         ):
-            raise NetlistError(
+            problems.append((
                 f"'num j {self.declared_junctions}' but {len(self.junctions)} "
-                "junctions defined"
-            )
+                "junctions defined",
+                self.line_of("num j"),
+            ))
         if self.declared_external is not None and (
             self.declared_external != len(self.sources)
         ):
-            raise NetlistError(
+            problems.append((
                 f"'num ext {self.declared_external}' but {len(self.sources)} "
-                "sources defined"
-            )
+                "sources defined",
+                self.line_of("num ext"),
+            ))
         nodes = set()
         for name, a, b, _, _ in self.junctions:
             nodes.update((a, b))
@@ -133,14 +153,45 @@ class SemsimDeck:
             nodes.update((a, b))
         nodes.discard("0")
         if self.declared_nodes is not None and self.declared_nodes != len(nodes):
-            raise NetlistError(
+            problems.append((
                 f"'num nodes {self.declared_nodes}' but {len(nodes)} "
-                "non-ground nodes referenced"
-            )
+                "non-ground nodes referenced",
+                self.line_of("num nodes"),
+            ))
+        return problems
 
-    def build_circuit(self) -> Circuit:
-        """Materialise the deck as a frozen circuit."""
+    def validate(self) -> None:
+        """Raise :class:`NetlistError` (with a location when known) for
+        the first cross-check failure; see :meth:`validation_problems`."""
+        problems = self.validation_problems()
+        if problems:
+            message, line = problems[0]
+            raise NetlistError(message, line)
+
+    def build_circuit(self, strict: bool = False) -> Circuit:
+        """Materialise the deck as a frozen circuit.
+
+        With ``strict=True`` the deck is first run through the static
+        analyzer (:func:`repro.lint.lint_deck`) and a
+        :class:`repro.errors.LintError` is raised if any error-severity
+        diagnostics are found — catching defects like floating islands
+        *before* the electrostatics backend hits a singular matrix.
+        """
+        if strict:
+            from repro.lint import require_clean_deck
+
+            require_clean_deck(self)
         self.validate()
+        return self.unchecked_circuit()
+
+    def unchecked_circuit(self) -> Circuit:
+        """Materialise the deck without running the deck cross-checks.
+
+        Used by the static analyzer, which has already reported count
+        mismatches as diagnostics and still wants a circuit to run the
+        topology/physics passes on.  The builder's own invariants
+        (positive values, sane sources) still apply.
+        """
         builder = CircuitBuilder()
         for name, a, b, conductance, capacitance in self.junctions:
             builder.add_junction(f"j{name}", a, b, 1.0 / conductance, capacitance)
@@ -228,8 +279,18 @@ def _series_orientations(circuit: Circuit, junctions: list[int]) -> list[int]:
     return orientations
 
 
-def parse_semsim(text: str) -> SemsimDeck:
-    """Parse a SEMSIM input deck from text."""
+def parse_semsim(
+    text: str, strict: bool = False, *, validate: bool = True
+) -> SemsimDeck:
+    """Parse a SEMSIM input deck from text.
+
+    With ``strict=True`` the parsed deck is additionally run through
+    the static analyzer and a :class:`repro.errors.LintError` is raised
+    if any error-severity diagnostics are found.  ``validate=False``
+    skips the post-parse count cross-checks (used by the static
+    analyzer, which reports them as ``SEM002`` diagnostics instead of
+    raising on the first one).
+    """
     deck = SemsimDeck([], [], [], [])
     for line_number, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -238,32 +299,51 @@ def parse_semsim(text: str) -> SemsimDeck:
         fields = line.split()
         keyword, args = fields[0].lower(), fields[1:]
         try:
-            _dispatch(deck, keyword, args)
+            _dispatch(deck, keyword, args, line_number)
         except (ValueError, IndexError) as exc:
             raise NetlistError(f"bad {keyword!r} directive: {exc}", line_number)
         except NetlistError as exc:
-            raise NetlistError(str(exc), line_number) from None
-    deck.validate()
+            if exc.line_number is None:
+                raise NetlistError(str(exc), line_number) from None
+            raise
+    if validate:
+        deck.validate()
+    if strict:
+        from repro.lint import require_clean_deck
+
+        require_clean_deck(deck)
     return deck
 
 
-def _dispatch(deck: SemsimDeck, keyword: str, args: list[str]) -> None:
+def _dispatch(
+    deck: SemsimDeck, keyword: str, args: list[str], line: int | None = None
+) -> None:
+    def remember(key: str) -> None:
+        if line is not None:
+            deck.directive_lines.setdefault(key, line)
+
     if keyword == "junc":
         name, a, b = args[0], args[1], args[2]
         conductance, capacitance = float(args[3]), float(args[4])
         if conductance <= 0.0:
             raise NetlistError(f"junction {name}: conductance must be > 0")
         deck.junctions.append((name, a, b, conductance, capacitance))
+        remember(f"junc {name}")
     elif keyword == "cap":
         deck.capacitors.append((args[0], args[1], float(args[2])))
+        remember(f"cap {len(deck.capacitors)}")
     elif keyword == "charge":
         deck.charges.append((args[0], float(args[1])))
+        remember(f"charge {args[0]}")
     elif keyword == "vdc":
         deck.sources.append((args[0], float(args[1])))
+        remember(f"vdc {args[0]}")
     elif keyword == "symm":
         deck.symmetric_node = args[0]
+        remember("symm")
     elif keyword == "super":
         deck.superconductor = Superconductor(float(args[0]) * EV, float(args[1]))
+        remember("super")
     elif keyword == "num":
         value = int(args[1])
         if args[0] == "j":
@@ -274,16 +354,22 @@ def _dispatch(deck: SemsimDeck, keyword: str, args: list[str]) -> None:
             deck.declared_nodes = value
         else:
             raise NetlistError(f"unknown 'num' kind {args[0]!r}")
+        remember(f"num {args[0]}")
     elif keyword == "temp":
         deck.temperature = float(args[0])
+        remember("temp")
     elif keyword == "cotunnel":
         deck.cotunnel = True
+        remember("cotunnel")
     elif keyword == "record":
         deck.record = RecordSpec(int(args[0]), int(args[1]), int(args[2]))
+        remember("record")
     elif keyword == "jumps":
         deck.jumps = int(args[0])
         deck.runs = int(args[1]) if len(args) > 1 else 1
+        remember("jumps")
     elif keyword == "sweep":
         deck.sweep = SweepSpec(args[0], float(args[1]), float(args[2]))
+        remember("sweep")
     else:
         raise NetlistError(f"unknown directive {keyword!r}")

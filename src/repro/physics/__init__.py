@@ -1,5 +1,7 @@
 """Tunneling physics: orthodox theory, cotunneling, superconductivity."""
 
+from __future__ import annotations
+
 from repro.physics.bcs import bcs_gap, reduced_dos
 from repro.physics.cooper import (
     cooper_pair_rate,

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.constants import K_B
+from repro.errors import PhysicsError
 
 
 def fermi(energy, temperature: float):
@@ -17,7 +18,7 @@ def fermi(energy, temperature: float):
     """
     energy = np.asarray(energy, dtype=float)
     if temperature < 0.0:
-        raise ValueError(f"temperature must be >= 0, got {temperature}")
+        raise PhysicsError(f"temperature must be >= 0, got {temperature}")
     if temperature == 0.0:
         out = np.where(energy < 0.0, 1.0, np.where(energy > 0.0, 0.0, 0.5))
         return out if out.ndim else float(out)
@@ -35,7 +36,7 @@ def bose_weight(energy, temperature: float):
     """
     energy = np.asarray(energy, dtype=float)
     if temperature < 0.0:
-        raise ValueError(f"temperature must be >= 0, got {temperature}")
+        raise PhysicsError(f"temperature must be >= 0, got {temperature}")
     if temperature == 0.0:
         out = np.where(energy < 0.0, -energy, 0.0)
         return out if out.ndim else float(out)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.constants import E_CHARGE
+from repro.errors import PhysicsError
 from repro.physics.fermi import bose_weight
 
 
@@ -35,7 +36,7 @@ def orthodox_rate(delta_w, resistance: float, temperature: float):
         limit ``max(-dW, 0) / e^2 R``.
     """
     if resistance <= 0.0:
-        raise ValueError(f"resistance must be > 0, got {resistance}")
+        raise PhysicsError(f"resistance must be > 0, got {resistance}")
     weight = bose_weight(delta_w, temperature)
     return weight / (E_CHARGE * E_CHARGE * resistance)
 
@@ -58,5 +59,5 @@ def threshold_voltage(total_capacitance: float) -> float:
     region should end.
     """
     if total_capacitance <= 0.0:
-        raise ValueError("total capacitance must be > 0")
+        raise PhysicsError("total capacitance must be > 0")
     return E_CHARGE / total_capacitance

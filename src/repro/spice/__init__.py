@@ -1,5 +1,7 @@
 """Analytical SPICE-style baseline (compact SET model + MNA transient)."""
 
+from __future__ import annotations
+
 from repro.spice.model import SETDeviceModel, nset_model
 from repro.spice.transient import BatchedSETModel, SpiceSimulator, TransientResult
 

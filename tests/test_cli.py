@@ -1,8 +1,12 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+
+DATA = Path(__file__).parent / "data"
 
 DECK = """
 junc 1 1 3 1e-6 1e-18
@@ -63,6 +67,93 @@ class TestRun:
         ]) == 0
         assert out_path.exists()
         assert out_path.read_text().startswith("sweep_voltage_V")
+
+
+class TestLint:
+    def test_clean_deck_exits_zero(self, deck_file, capsys):
+        assert main(["lint", str(deck_file)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_error_deck_exits_two(self, capsys):
+        code = main(["lint", str(DATA / "floating_island.deck")])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "SEM010" in out and "error" in out
+
+    def test_warning_deck_exits_one(self, capsys):
+        code = main(["lint", str(DATA / "low_resistance.deck")])
+        assert code == 1
+        assert "SEM030" in capsys.readouterr().out
+
+    def test_logic_netlist_is_sniffed(self, capsys):
+        code = main(["lint", str(DATA / "combinational_loop.net")])
+        assert code == 2
+        assert "SEM052" in capsys.readouterr().out
+
+    def test_explicit_format_overrides_sniffing(self, capsys):
+        code = main(["lint", "--format", "logic",
+                     str(DATA / "undriven_input.net")])
+        assert code == 2
+        assert "SEM050" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.deck")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_nothing_to_lint_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_unparseable_text_reports_sem001(self, tmp_path, capsys):
+        bad = tmp_path / "bad.deck"
+        bad.write_text("junc 1 1\n")
+        assert main(["lint", str(bad)]) == 2
+        assert "SEM001" in capsys.readouterr().out
+
+    def test_single_benchmark(self, capsys):
+        assert main(["lint", "--benchmark", "c1908"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_all_benchmarks_have_no_errors(self, capsys):
+        code = main(["lint", "--benchmarks"])
+        assert code <= 1  # warnings allowed, errors not
+        out = capsys.readouterr().out
+        assert "error" not in out
+
+    def test_codes_table(self, capsys):
+        assert main(["lint", "--codes"]) == 0
+        out = capsys.readouterr().out
+        assert "SEM010" in out and "SEM052" in out and "fix:" in out
+
+    def test_unknown_benchmark_exits_one(self, capsys):
+        assert main(["lint", "--benchmark", "c6288"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestStrictRun:
+    def test_strict_refuses_defective_deck(self, capsys):
+        code = main(["run", "--strict", str(DATA / "floating_island.deck")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "SEM010" in err
+        assert err.count("\n") == 1  # one-line diagnostic, no traceback
+
+    def test_defective_deck_without_strict_still_fails_cleanly(self, capsys):
+        # the singular electrostatics problem surfaces as a SemsimError
+        code = main(["run", str(DATA / "floating_island.deck")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestInfoLintSummary:
+    def test_clean_deck_reports_clean(self, deck_file, capsys):
+        assert main(["info", str(deck_file)]) == 0
+        assert "lint:           clean" in capsys.readouterr().out
+
+    def test_warning_deck_points_at_lint(self, capsys):
+        assert main(["info", str(DATA / "low_resistance.deck")]) == 0
+        out = capsys.readouterr().out
+        assert "warnings" in out and "repro lint" in out
 
 
 class TestBenchmarks:

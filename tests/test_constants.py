@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro import constants
+from repro.errors import PhysicsError
 
 
 def test_elementary_charge_value():
@@ -36,7 +37,7 @@ def test_thermal_energy_zero_temperature():
 
 
 def test_thermal_energy_rejects_negative_temperature():
-    with pytest.raises(ValueError):
+    with pytest.raises(PhysicsError):
         constants.thermal_energy(-0.1)
 
 

@@ -74,7 +74,7 @@ class TestRecorders:
 
     def test_current_recorder_requires_samples(self):
         recorder = CurrentRecorder(0, interval=10)
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             recorder.mean_current()
 
     def test_node_voltage_recorder_samples(self, biased_engine):
@@ -90,9 +90,9 @@ class TestRecorders:
         assert recorder.events[-1].kind == "sequential"
 
     def test_bad_interval_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             CurrentRecorder(0, interval=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             NodeVoltageRecorder(0, interval=0)
 
 

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.constants import K_B
+from repro.errors import PhysicsError
 from repro.physics.fermi import bose_weight, fermi
 
 
@@ -36,7 +37,7 @@ class TestFermi:
         assert np.all(np.diff(out) < 0)
 
     def test_negative_temperature_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PhysicsError):
             fermi(0.0, -1.0)
 
 

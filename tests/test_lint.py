@@ -1,0 +1,356 @@
+"""Tests for ``repro.lint``: the pre-simulation static analyzer."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import LintError, SimulationConfig, build_set
+from repro.circuit import CircuitBuilder
+from repro.lint import (
+    CODES,
+    Diagnostic,
+    LintReport,
+    Severity,
+    check_config,
+    check_jumps,
+    check_sweep,
+    diag,
+    lint_benchmark,
+    lint_circuit,
+    lint_deck,
+    lint_path,
+    lint_text,
+    require_clean_deck,
+    sniff_format,
+)
+from repro.logic import BENCHMARKS
+from repro.netlist import parse_semsim
+
+DATA = Path(__file__).parent / "data"
+EXAMPLE_DECKS = sorted(
+    (Path(__file__).parent.parent / "examples" / "decks").glob("*.deck")
+)
+
+CLEAN_DECK = """
+junc 1 1 4 1e-6 1e-18
+junc 2 2 4 1e-6 1e-18
+cap 3 4 3e-18
+vdc 1 0.02
+vdc 2 -0.02
+vdc 3 0.0
+symm 1
+num j 2
+num ext 3
+num nodes 4
+temp 5
+record 1 2 2
+jumps 4000 1
+sweep 2 0.02 0.005
+"""
+
+
+# ----------------------------------------------------------------------
+# diagnostic plumbing
+# ----------------------------------------------------------------------
+class TestDiagnostics:
+    def test_registry_codes_are_self_consistent(self):
+        for code, info in CODES.items():
+            assert info.code == code
+            assert code.startswith("SEM") and len(code) == 6
+            assert info.title and info.fix
+
+    def test_diag_defaults_severity_from_registry(self):
+        d = diag("SEM010", "boom")
+        assert d.severity is Severity.ERROR
+        assert d.code == "SEM010"
+
+    def test_format_includes_location(self):
+        d = diag("SEM030", "too transparent", where="junction 'j1'", line=7)
+        text = d.format()
+        assert "SEM030" in text and "warning" in text
+        assert "junction 'j1'" in text and "(line 7)" in text
+
+    def test_unknown_code_is_rejected(self):
+        with pytest.raises(KeyError):
+            diag("SEM999", "no such code")
+
+    def test_report_severity_rollup(self):
+        report = LintReport(
+            (diag("SEM013", "note"), diag("SEM030", "warn"), diag("SEM010", "err")),
+            subject="x",
+        )
+        assert report.max_severity is Severity.ERROR
+        assert report.exit_code == 2
+        assert len(report.errors) == 1 and len(report.warnings) == 1
+        assert report.has("SEM030") and not report.has("SEM040")
+        assert "1 error" in report.summary()
+
+    def test_empty_report_is_clean(self):
+        report = LintReport((), subject="x")
+        assert report.exit_code == 0
+        assert report.summary() == "clean"
+        assert list(report) == [] and len(report) == 0
+
+    def test_diagnostics_are_frozen(self):
+        d = diag("SEM010", "boom")
+        with pytest.raises(AttributeError):
+            d.message = "other"  # type: ignore[misc]
+
+
+# ----------------------------------------------------------------------
+# circuit-level passes
+# ----------------------------------------------------------------------
+class TestLintCircuit:
+    def test_healthy_set_is_clean(self):
+        report = lint_circuit(build_set(vs=0.01, vd=-0.01, vg=0.0),
+                              temperature=1.0)
+        assert report.exit_code == 0, report.format()
+
+    def test_floating_island_group(self):
+        circuit = (
+            CircuitBuilder()
+            .add_junction("j1", 1, 2, 1e6, 1e-18)
+            .add_capacitor("cg", 2, 0, 2e-18)
+            .add_junction("j2", 3, 4, 1e6, 1e-18)
+            .add_voltage_source("v1", 1, 0.01)
+            .build()
+        )
+        report = lint_circuit(circuit, temperature=1.0)
+        assert report.has("SEM010")
+        assert report.max_severity is Severity.ERROR
+        # two decoupled groups also noted
+        assert report.has("SEM013")
+
+    def test_junctionless_island(self):
+        circuit = (
+            CircuitBuilder()
+            .add_junction("j1", 1, 2, 1e6, 1e-18)
+            .add_capacitor("cg", 2, 0, 2e-18)
+            .add_capacitor("c1", 3, 1, 1e-18)
+            .add_capacitor("c2", 3, 0, 1e-18)
+            .add_voltage_source("v1", 1, 0.01)
+            .build()
+        )
+        report = lint_circuit(circuit, temperature=1.0)
+        [d] = [d for d in report if d.code == "SEM011"]
+        assert d.severity is Severity.WARNING
+        assert "3" in d.where
+
+    def test_lead_lead_junction(self):
+        circuit = (
+            CircuitBuilder()
+            .add_junction("j1", 1, 2, 1e6, 1e-18)
+            .add_junction("jleak", 1, 0, 1e6, 1e-18)
+            .add_capacitor("cg", 2, 0, 2e-18)
+            .add_voltage_source("v1", 1, 0.01)
+            .build()
+        )
+        report = lint_circuit(circuit, temperature=1.0)
+        [d] = [d for d in report if d.code == "SEM012"]
+        assert d.severity is Severity.ERROR
+        assert "jleak" in d.where
+
+    def test_transparent_junction_warns(self):
+        circuit = (
+            CircuitBuilder()
+            .add_junction("j1", 1, 2, 1e3, 1e-18)  # 1 kOhm << R_K
+            .add_capacitor("cg", 2, 0, 2e-18)
+            .add_voltage_source("v1", 1, 0.01)
+            .build()
+        )
+        report = lint_circuit(circuit, temperature=1.0)
+        assert report.has("SEM030")
+        assert report.max_severity is Severity.WARNING
+
+    def test_hot_circuit_flags_charging_energy(self):
+        report = lint_circuit(build_set(vs=0.01, vd=-0.01, vg=0.0),
+                              temperature=300.0)
+        assert report.has("SEM031") or report.has("SEM032")
+
+    def test_superconductor_above_tc_flagged(self):
+        text = (
+            "junc 1 1 3 1e-6 1e-18\njunc 2 2 3 1e-6 1e-18\ncap 3 0 2e-18\n"
+            "vdc 1 0.001\nvdc 2 -0.001\nsuper 2e-4 0.05\ntemp 0.1\n"
+            "jumps 8000 1\n"
+        )
+        report = lint_text(text, fmt="deck")
+        [d] = [d for d in report if d.code == "SEM033"]
+        assert "Tc" in d.message
+
+    def test_cotunneling_single_junction(self):
+        circuit = (
+            CircuitBuilder()
+            .add_junction("j1", 1, 2, 1e6, 1e-18)
+            .add_capacitor("cg", 2, 0, 2e-18)
+            .add_voltage_source("v1", 1, 0.01)
+            .build()
+        )
+        report = lint_circuit(circuit, temperature=1.0, cotunneling=True)
+        assert report.has("SEM035")
+
+
+# ----------------------------------------------------------------------
+# config / sweep passes
+# ----------------------------------------------------------------------
+class TestConfigChecks:
+    def test_defaults_are_clean(self):
+        assert check_config(SimulationConfig()) == []
+
+    def test_large_lambda_warns(self):
+        [d] = check_config(SimulationConfig(adaptive_threshold=0.5))
+        assert d.code == "SEM042"
+
+    def test_huge_refresh_interval_warns(self):
+        diags = check_config(SimulationConfig(full_refresh_interval=10**6))
+        assert [d.code for d in diags] == ["SEM043"]
+
+    def test_coarse_sweep_step(self):
+        circuit = build_set(vs=0.01, vd=-0.01, vg=0.0)
+        diags = check_sweep(circuit, step=1.0, maximum=2.0)
+        assert "SEM040" in [d.code for d in diags]
+
+    def test_fine_sweep_is_clean(self):
+        circuit = build_set(vs=0.01, vd=-0.01, vg=0.0)
+        assert check_sweep(circuit, step=1e-4, maximum=0.02) == []
+
+    def test_enormous_sweep_warns(self):
+        circuit = build_set(vs=0.01, vd=-0.01, vg=0.0)
+        diags = check_sweep(circuit, step=1e-9, maximum=1e-3)
+        assert "SEM041" in [d.code for d in diags]
+
+    def test_tiny_event_budget_notes(self):
+        [d] = check_jumps(200)
+        assert d.code == "SEM044" and d.severity is Severity.INFO
+        assert check_jumps(50_000) == []
+
+
+# ----------------------------------------------------------------------
+# deck corpus: each defective input fires exactly its expected code
+# ----------------------------------------------------------------------
+CORPUS = [
+    ("floating_island.deck", "SEM010", Severity.ERROR),
+    ("nanofarad_caps.deck", "SEM021", Severity.WARNING),
+    ("low_resistance.deck", "SEM030", Severity.WARNING),
+    ("low_resistance.deck", "SEM022", Severity.WARNING),
+    ("undriven_input.net", "SEM050", Severity.ERROR),
+    ("combinational_loop.net", "SEM052", Severity.ERROR),
+]
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("filename,code,severity", CORPUS)
+    def test_expected_code_fires(self, filename, code, severity):
+        report = lint_path(DATA / filename)
+        matches = [d for d in report if d.code == code]
+        assert matches, f"{filename}: expected {code}, got {report.codes}"
+        assert all(d.severity is severity for d in matches)
+
+    @pytest.mark.parametrize("filename,code,severity", CORPUS)
+    def test_max_severity_matches_worst_code(self, filename, code, severity):
+        report = lint_path(DATA / filename)
+        assert report.max_severity is max(
+            CODES[c].severity for c in report.codes
+        )
+
+    def test_floating_island_names_the_group(self):
+        report = lint_path(DATA / "floating_island.deck")
+        [d] = [d for d in report if d.code == "SEM010"]
+        assert "3" in d.message and "4" in d.message
+
+    def test_deck_findings_carry_deck_lines(self):
+        report = lint_path(DATA / "low_resistance.deck")
+        lines = {d.where: d.line for d in report if d.code == "SEM030"}
+        # junc 1 is declared on line 5, junc 2 on line 6 of the deck
+        assert lines["junction 'j1'"] == 5
+        assert lines["junction 'j2'"] == 6
+
+    def test_undriven_input_names_net_and_line(self):
+        report = lint_path(DATA / "undriven_input.net")
+        [d] = [d for d in report if d.code == "SEM050"]
+        assert "'b'" in d.message and d.line == 6
+
+    def test_loop_reports_participating_nets(self):
+        report = lint_path(DATA / "combinational_loop.net")
+        [d] = [d for d in report if d.code == "SEM052"]
+        assert "w1" in d.message and "w2" in d.message
+
+
+# ----------------------------------------------------------------------
+# clean sweeps: every shipped input lints without errors
+# ----------------------------------------------------------------------
+class TestCleanSweeps:
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_DECKS, ids=[p.name for p in EXAMPLE_DECKS]
+    )
+    def test_example_decks_are_error_free(self, path):
+        report = lint_path(path)
+        assert report.errors == (), report.format()
+
+    def test_example_decks_exist(self):
+        assert len(EXAMPLE_DECKS) >= 3
+
+    @pytest.mark.parametrize("spec", BENCHMARKS, ids=[s.name for s in BENCHMARKS])
+    def test_paper_benchmarks_are_error_free(self, spec):
+        report = lint_benchmark(spec.name)
+        assert report.errors == (), report.format()
+
+
+# ----------------------------------------------------------------------
+# text/path entry points
+# ----------------------------------------------------------------------
+class TestTextEntryPoints:
+    def test_sniffs_deck(self):
+        assert sniff_format(CLEAN_DECK) == "deck"
+
+    def test_sniffs_logic(self):
+        text = (DATA / "combinational_loop.net").read_text()
+        assert sniff_format(text) == "logic"
+
+    def test_clean_deck_text(self):
+        report = lint_text(CLEAN_DECK)
+        assert report.exit_code == 0, report.format()
+
+    def test_unparseable_deck_yields_sem001(self):
+        report = lint_text("junc 1 1\n", fmt="deck")
+        assert report.has("SEM001")
+        [d] = list(report)
+        assert d.line == 1
+
+    def test_unparseable_logic_yields_sem001(self):
+        report = lint_text("name x\ninput a\nfrob g1 a y\n", fmt="logic")
+        assert report.has("SEM001")
+
+    def test_count_mismatch_is_reported_not_raised(self):
+        text = CLEAN_DECK.replace("num j 2", "num j 5")
+        report = lint_text(text)
+        [d] = [d for d in report if d.code == "SEM002"]
+        assert "5" in d.message and d.line is not None
+
+
+# ----------------------------------------------------------------------
+# strict hooks
+# ----------------------------------------------------------------------
+class TestStrictHooks:
+    def test_parse_semsim_strict_raises_lint_error(self):
+        text = (DATA / "floating_island.deck").read_text()
+        with pytest.raises(LintError) as excinfo:
+            parse_semsim(text, strict=True)
+        assert any(d.code == "SEM010" for d in excinfo.value.diagnostics)
+
+    def test_build_circuit_strict_raises_lint_error(self):
+        deck = parse_semsim((DATA / "floating_island.deck").read_text())
+        with pytest.raises(LintError):
+            deck.build_circuit(strict=True)
+
+    def test_strict_passes_clean_deck(self):
+        deck = parse_semsim(CLEAN_DECK, strict=True)
+        assert deck.build_circuit(strict=True).n_islands == 1
+
+    def test_warnings_do_not_trip_strict(self):
+        deck = parse_semsim((DATA / "low_resistance.deck").read_text(),
+                            strict=True)
+        assert lint_deck(deck).max_severity is Severity.WARNING
+
+    def test_require_clean_deck_returns_report(self):
+        report = require_clean_deck(parse_semsim(CLEAN_DECK))
+        assert isinstance(report, LintReport)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.constants import E_CHARGE, K_B
+from repro.errors import PhysicsError
 from repro.physics.orthodox import (
     orthodox_rate,
     orthodox_rates_both,
@@ -37,7 +38,7 @@ class TestOrthodoxRate:
         )
 
     def test_rejects_nonpositive_resistance(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PhysicsError):
             orthodox_rate(-1e-21, 0.0, 1.0)
 
     def test_deep_blockade_rate_is_exponentially_small(self):
@@ -69,5 +70,5 @@ class TestThresholdVoltage:
         assert threshold_voltage(5e-18) == pytest.approx(0.03204, rel=1e-3)
 
     def test_rejects_nonpositive_capacitance(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PhysicsError):
             threshold_voltage(0.0)

@@ -110,6 +110,34 @@ class TestValidation:
         with pytest.raises(NetlistError):
             parse_semsim("# nothing here\n")
 
+    def test_count_mismatch_error_carries_directive_line(self):
+        bad = PAPER_DECK.replace("num j 2", "num j 3")
+        with pytest.raises(NetlistError) as excinfo:
+            parse_semsim(bad)
+        lines = bad.splitlines()
+        expected = next(
+            i for i, l in enumerate(lines, start=1) if l.startswith("num j")
+        )
+        assert excinfo.value.line_number == expected
+
+    def test_bad_directive_error_carries_its_line(self):
+        with pytest.raises(NetlistError) as excinfo:
+            parse_semsim("junc 1 1 2 1e-6 1e-18\nvdc 1 0.0\njunc 2 2 3 -1 1e-18\n")
+        assert excinfo.value.line_number == 3
+
+    def test_directive_lines_recorded(self):
+        deck = parse_semsim(PAPER_DECK)
+        lines = PAPER_DECK.splitlines()
+        assert lines[deck.line_of("junc 1") - 1].startswith("junc 1")
+        assert lines[deck.line_of("cap 1") - 1].startswith("cap")
+        assert lines[deck.line_of("sweep") - 1].startswith("sweep")
+
+    def test_validate_false_defers_count_checks(self):
+        bad = PAPER_DECK.replace("num j 2", "num j 3")
+        deck = parse_semsim(bad, validate=False)  # does not raise
+        problems = deck.validation_problems()
+        assert any("num j 3" in message for message, _line in problems)
+
     def test_superconductor_directive(self):
         deck = parse_semsim(
             "junc 1 1 2 1e-6 1e-18\ncap 2 0 3e-18\nvdc 1 0.01\n"
