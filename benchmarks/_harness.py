@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 
 def full_scale() -> bool:
@@ -19,3 +21,54 @@ def run_once(benchmark, fn, *args, **kwargs):
     """
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
                               iterations=1)
+
+
+# ----------------------------------------------------------------------
+# machine-readable perf trajectory (BENCH_telemetry.json)
+# ----------------------------------------------------------------------
+
+def telemetry_artifact_path() -> Path:
+    """Where the benches persist their telemetry artifact.
+
+    Defaults to ``benchmarks/BENCH_telemetry.json``; override with the
+    ``REPRO_BENCH_TELEMETRY`` environment variable (CI points it at a
+    build-artifact directory so the perf trajectory is comparable
+    across PRs).
+    """
+    override = os.environ.get("REPRO_BENCH_TELEMETRY")
+    if override:
+        return Path(override)
+    return Path(__file__).with_name("BENCH_telemetry.json")
+
+
+def _jsonify(value):
+    """Coerce bench payloads (numpy scalars, float dict keys) to JSON."""
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
+
+
+def record_bench_telemetry(bench: str, payload: dict) -> Path:
+    """Merge one bench's phase timings and counters into the artifact.
+
+    Each figure bench calls this with its measured rows so every bench
+    run leaves a machine-readable record (wall seconds per phase, rate
+    evaluation counters, scale knobs) that later PRs can diff instead
+    of eyeballing printed tables.
+    """
+    path = telemetry_artifact_path()
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}
+    if not isinstance(data, dict):
+        data = {}
+    data[bench] = _jsonify(dict(payload, full_scale=full_scale()))
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path

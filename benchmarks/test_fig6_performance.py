@@ -20,13 +20,13 @@ quick mode uses a 100 ns window and caps measured events; set
 
 import numpy as np
 
-from repro.analysis import format_table, measure_engine_run
+from repro.analysis import format_table, measure_engine_run, time_call
 from repro.core import MonteCarloEngine, SimulationConfig
 from repro.errors import ConvergenceError, SemsimError
 from repro.logic import BENCHMARKS, build_benchmark, find_step_stimulus
 from repro.spice import SpiceSimulator
 
-from _harness import full_scale, run_once
+from _harness import full_scale, record_bench_telemetry, run_once
 
 #: simulated window all timings are normalised to (the paper used 10 us)
 WINDOW = 1e-5 if full_scale() else 1e-7
@@ -60,11 +60,7 @@ def _spice_seconds(mapped) -> float:
     sim = SpiceSimulator(mapped)
     stim = find_step_stimulus(mapped.netlist, 0)
     steps = 40 if full_scale() else 15
-    import time as _time
-
-    start = _time.perf_counter()
-    sim.transient([(stim.before, steps * sim.dt)])
-    wall = _time.perf_counter() - start
+    wall, _ = time_call(sim.transient, [(stim.before, steps * sim.dt)])
     return wall * WINDOW / (steps * sim.dt)
 
 
@@ -96,6 +92,10 @@ def run_measurements():
 
 def test_fig6_performance(benchmark):
     rows = run_once(benchmark, run_measurements)
+    record_bench_telemetry("fig6_performance", {
+        "window_seconds": WINDOW,
+        "rows": rows,
+    })
 
     table = []
     for entry in rows:

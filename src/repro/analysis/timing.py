@@ -10,9 +10,9 @@ the full event/time budget.
 from __future__ import annotations
 
 import dataclasses
-import time
 
 from repro.errors import SimulationError
+from repro.telemetry.clock import time_call
 
 
 @dataclasses.dataclass
@@ -37,19 +37,21 @@ class TimedRun:
         return self.wall_seconds * target_simulated / self.simulated_seconds
 
 
-def time_call(fn, *args, **kwargs) -> tuple[float, object]:
-    """``(wall_seconds, result)`` of one call."""
-    start = time.perf_counter()
-    result = fn(*args, **kwargs)
-    return time.perf_counter() - start, result
+__all__ = ["TimedRun", "measure_engine_run", "time_call"]
 
 
 def measure_engine_run(engine, max_jumps: int) -> TimedRun:
-    """Run a Monte Carlo engine for ``max_jumps`` and time it."""
+    """Run a Monte Carlo engine for ``max_jumps`` and time it.
+
+    The wall time is the engine's own measurement
+    (:attr:`repro.core.engine.RunResult.wall_time`, taken with the
+    telemetry stopwatch), so benches and the engine report the same
+    number instead of each keeping separate ``perf_counter`` books.
+    """
     t_before = engine.solver.time
-    wall, result = time_call(engine.run, max_jumps=max_jumps)
+    result = engine.run(max_jumps=max_jumps)
     return TimedRun(
-        wall_seconds=wall,
+        wall_seconds=result.wall_time,
         events=result.jumps,
         simulated_seconds=engine.solver.time - t_before,
     )

@@ -8,7 +8,15 @@ this CLI reproduces that workflow:
     or single operating point) and print/save the I-V results.
 ``python -m repro info deck.txt``
     Parse and validate a deck, reporting the circuit statistics and a
-    one-line static-analysis summary.
+    one-line static-analysis summary.  ``--probe N`` additionally runs
+    ``N`` tunnel events and prints the solver work-counter table.
+``python -m repro profile deck.txt --trace out.json``
+    Run the deck under the telemetry layer and print a profiling
+    summary (per-phase wall time, solver work counters, adaptive
+    efficiency against the non-adaptive baseline, hottest junctions).
+    ``--trace`` additionally writes the event trace — a Chrome
+    trace-event file loadable in ``chrome://tracing``/Perfetto, or
+    JSON Lines when the file name ends in ``.jsonl``.
 ``python -m repro lint deck.txt``
     Static analysis only: report every ``SEM0xx`` diagnostic of a deck
     or logic netlist without running any Monte Carlo.  The exit code
@@ -54,9 +62,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="refuse to run decks with error-severity lint findings",
     )
+    run.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help="record a telemetry trace of the run (Chrome trace-event "
+             "JSON; '.jsonl' suffix selects JSON Lines)",
+    )
 
     info = sub.add_parser("info", help="parse and describe a deck")
     info.add_argument("deck", type=Path)
+    info.add_argument(
+        "--probe", type=int, default=0, metavar="N",
+        help="run N tunnel events and print the solver stats table",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="run a deck under telemetry and summarise where "
+                        "the time goes"
+    )
+    profile.add_argument("deck", type=Path, help="path to the input deck")
+    profile.add_argument(
+        "--solver", choices=("adaptive", "nonadaptive"), default="adaptive"
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help="write the event trace (Chrome trace-event JSON; '.jsonl' "
+             "suffix selects JSON Lines)",
+    )
+    profile.add_argument(
+        "--format", choices=("auto", "chrome", "jsonl"), default="auto",
+        help="trace file format (default: by file suffix)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="number of hottest junctions to report (default 5)",
+    )
+    profile.add_argument(
+        "--baseline", action="store_true",
+        help="also run the non-adaptive solver for a measured wall-clock "
+             "comparison",
+    )
 
     lint = sub.add_parser(
         "lint", help="static-analyse a deck or logic netlist (no simulation)"
@@ -91,9 +136,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args) -> int:
     from repro.netlist import parse_semsim
+    from repro.telemetry import registry as telemetry
 
     deck = parse_semsim(args.deck.read_text(), strict=args.strict)
-    curve = deck.run(solver=args.solver, seed=args.seed)
+    if args.trace is not None:
+        from repro.telemetry.exporters import write_trace
+
+        with telemetry.session() as reg:
+            curve = deck.run(solver=args.solver, seed=args.seed)
+        count = write_trace(reg, args.trace)
+        print(f"wrote {count} trace events to {args.trace}", file=sys.stderr)
+    else:
+        curve = deck.run(solver=args.solver, seed=args.seed)
     lines = ["sweep_voltage_V,current_A"]
     lines += [f"{v:.9g},{i:.9g}" for v, i in zip(curve.voltages, curve.currents)]
     text = "\n".join(lines) + "\n"
@@ -102,6 +156,29 @@ def _cmd_run(args) -> int:
         print(f"wrote {len(curve.voltages)} points to {args.output}")
     else:
         print(text, end="")
+    # the work-counter table goes to stderr so stdout stays a clean CSV
+    if curve.stats is not None:
+        print(curve.stats.format_table(), file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.netlist import parse_semsim
+    from repro.telemetry.exporters import write_trace
+    from repro.telemetry.profile import profile_deck
+
+    deck = parse_semsim(args.deck.read_text())
+    report, reg = profile_deck(
+        deck,
+        solver=args.solver,
+        seed=args.seed,
+        top=args.top,
+        measure_baseline=args.baseline,
+    )
+    print(report.format())
+    if args.trace is not None:
+        count = write_trace(reg, args.trace, fmt=args.format)
+        print(f"wrote {count} trace events to {args.trace}")
     return 0
 
 
@@ -129,6 +206,14 @@ def _cmd_info(args) -> int:
     if report.diagnostics:
         summary += f" (run 'repro lint {args.deck}' for details)"
     print(f"  lint:           {summary}")
+    if args.probe > 0:
+        from repro.core import MonteCarloEngine
+
+        engine = MonteCarloEngine(circuit, deck.config())
+        engine.run(max_jumps=args.probe)
+        print(engine.solver.stats.format_table(
+            f"solver stats ({args.probe}-event probe)"
+        ))
     return 0
 
 
@@ -201,6 +286,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
         if args.command == "info":
             return _cmd_info(args)
         if args.command == "lint":

@@ -43,6 +43,7 @@ from repro.core.events import EventKind, TunnelEvent
 from repro.core.pairtree import PairRateTree
 from repro.physics.orthodox import orthodox_rates_both
 from repro.physics.rates import TunnelingModel
+from repro.telemetry import registry as _telemetry
 
 
 class AdaptiveSolver(BaseSolver):
@@ -348,7 +349,7 @@ class AdaptiveSolver(BaseSolver):
     # ------------------------------------------------------------------
     # solver interface
     # ------------------------------------------------------------------
-    def step(self, deadline: float | None = None) -> TunnelEvent | None:
+    def _step_impl(self, deadline: float | None = None) -> TunnelEvent | None:
         if self._fast:
             event = self._select_fast(deadline)
         else:
@@ -411,6 +412,15 @@ class AdaptiveSolver(BaseSolver):
             seeds.extend(self._neighbors[j])
         return seeds
 
+    def _trace_extras(self) -> dict:
+        """Adaptive error proxy: the largest accumulated testing factor
+        ``|b(i)|`` (converted to joules via ``e``), i.e. how much
+        un-recomputed potential drift the rate caches currently carry.
+        Only evaluated while a trace is being recorded."""
+        if not self.n_junctions:
+            return {"b_error": 0.0}
+        return {"b_error": float(E_CHARGE * np.max(np.abs(self._b0)))}
+
     def set_external_voltages(self, vext: np.ndarray) -> None:
         """React to a stimulus/sweep change of the source voltages.
 
@@ -429,7 +439,16 @@ class AdaptiveSolver(BaseSolver):
         dv = self.stat.source_potential_update(dvext)
         self._v += dv
         self.vext = vext.copy()
+        reg = _telemetry.ACTIVE
+        flagged_before = self.stats.flagged_recalculations
         self._adaptive_update(dv, dvext, list(range(self.n_junctions)))
+        if reg is not None:
+            reg.counter("solver.retargets").add()
+            if reg.trace:
+                reg.instant(
+                    "solver.retarget", category="solver",
+                    flagged=self.stats.flagged_recalculations - flagged_before,
+                )
 
     def potentials(self) -> np.ndarray:
         return self._v

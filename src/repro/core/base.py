@@ -15,6 +15,7 @@ from repro.core.event_solver import draw_time
 from repro.core.events import EventKind, TunnelEvent
 from repro.errors import SimulationError
 from repro.physics.rates import TunnelingModel
+from repro.telemetry import registry as _telemetry
 
 
 @dataclasses.dataclass
@@ -33,6 +34,30 @@ class SolverStats:
     potential_solves: int = 0
     full_refreshes: int = 0
     flagged_recalculations: int = 0
+
+    def as_dict(self) -> dict:
+        """The counters as a plain ``{name: value}`` dict."""
+        return dataclasses.asdict(self)
+
+    def merge(self, *others: "SolverStats") -> "SolverStats":
+        """New :class:`SolverStats` summing these counters and
+        ``others``'s — for aggregating runs (sweep rows, repeats)."""
+        totals = self.as_dict()
+        for other in others:
+            for name, value in other.as_dict().items():
+                totals[name] += value
+        return SolverStats(**totals)
+
+    def format_table(self, title: str = "solver stats") -> str:
+        """Fixed-width two-column table of the counters."""
+        counters = self.as_dict()
+        width = max(len(name) for name in counters)
+        lines = [title]
+        lines += [
+            f"  {name:{width}s}  {value:>14d}"
+            for name, value in counters.items()
+        ]
+        return "\n".join(lines)
 
 
 class BaseSolver:
@@ -256,7 +281,53 @@ class BaseSolver:
         Returns ``None`` when a deadline was given and the next event
         would have fallen beyond it — the clock then sits exactly at
         the deadline with no state change.
+
+        The physics lives in :meth:`_step_impl`; this wrapper adds the
+        telemetry layer's per-event records.  With telemetry disabled
+        (the default) the only cost is one module-attribute load and
+        one ``is None`` test.
         """
+        reg = _telemetry.ACTIVE
+        if reg is None:
+            return self._step_impl(deadline)
+        return self._step_traced(reg, deadline)
+
+    def _step_traced(
+        self, reg: "_telemetry.TelemetryRegistry", deadline: float | None
+    ) -> TunnelEvent | None:
+        """One step observed by the active registry: metric counters
+        always, a per-event trace record when tracing is on."""
+        stats = self.stats
+        time_before = self.time
+        refreshes_before = stats.full_refreshes
+        flagged_before = stats.flagged_recalculations
+        event = self._step_impl(deadline)
+        reg.counter("solver.steps").add()
+        dt = self.time - time_before
+        if event is None:
+            reg.counter("solver.deadline_advances").add()
+        else:
+            reg.counter("solver.events").add()
+            reg.histogram("solver.dt").observe(dt)
+        if reg.trace:
+            args: dict = {
+                "junction": event.junction if event is not None else -1,
+                "direction": event.direction if event is not None else 0,
+                "kind": event.kind.value if event is not None else "deadline",
+                "dt": dt,
+                "flagged": stats.flagged_recalculations - flagged_before,
+                "refresh": stats.full_refreshes > refreshes_before,
+            }
+            args.update(self._trace_extras())
+            reg.instant("solver.event", category="solver", **args)
+        return event
+
+    def _trace_extras(self) -> dict:
+        """Solver-specific fields merged into each per-event record."""
+        return {}
+
+    def _step_impl(self, deadline: float | None = None) -> TunnelEvent | None:
+        """Subclass hook: simulate one tunnel event (see :meth:`step`)."""
         raise NotImplementedError
 
     def set_external_voltages(self, vext: np.ndarray) -> None:

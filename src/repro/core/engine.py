@@ -9,7 +9,6 @@ current measurement helpers.
 from __future__ import annotations
 
 import dataclasses
-import time as _time
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -25,6 +24,8 @@ from repro.core.nonadaptive import NonAdaptiveSolver
 from repro.core.recording import Recorder
 from repro.errors import SimulationError
 from repro.physics.rates import TunnelingModel
+from repro.telemetry import registry as _telemetry
+from repro.telemetry.clock import Stopwatch
 
 
 @dataclasses.dataclass
@@ -60,32 +61,38 @@ class MonteCarloEngine:
     ):
         self.circuit = circuit
         self.config = config if config is not None else SimulationConfig()
-        self.electrostatics = Electrostatics(circuit)
-        self.junction_table = JunctionTable(circuit, self.electrostatics)
-        self.model = TunnelingModel(
-            circuit,
-            self.electrostatics,
-            self.junction_table,
-            temperature=self.config.temperature,
-            include_cotunneling=self.config.include_cotunneling,
-            include_cooper_pairs=self.config.include_cooper_pairs,
-            cooper_linewidth=self.config.cooper_linewidth,
-            cotunneling_energy_floor=self.config.cotunneling_energy_floor,
-            qp_table_points=self.config.qp_table_points,
-        )
-        self.rng = np.random.default_rng(self.config.seed)
-        solver_cls = (
-            AdaptiveSolver if self.config.solver == "adaptive" else NonAdaptiveSolver
-        )
-        self.solver: BaseSolver = solver_cls(
-            circuit,
-            self.electrostatics,
-            self.junction_table,
-            self.model,
-            self.config,
-            self.rng,
-            initial_occupation,
-        )
+        with _telemetry.span(
+            "engine.prepare", category="engine",
+            junctions=circuit.n_junctions, solver=self.config.solver,
+        ):
+            self.electrostatics = Electrostatics(circuit)
+            self.junction_table = JunctionTable(circuit, self.electrostatics)
+            self.model = TunnelingModel(
+                circuit,
+                self.electrostatics,
+                self.junction_table,
+                temperature=self.config.temperature,
+                include_cotunneling=self.config.include_cotunneling,
+                include_cooper_pairs=self.config.include_cooper_pairs,
+                cooper_linewidth=self.config.cooper_linewidth,
+                cotunneling_energy_floor=self.config.cotunneling_energy_floor,
+                qp_table_points=self.config.qp_table_points,
+            )
+            self.rng = np.random.default_rng(self.config.seed)
+            solver_cls = (
+                AdaptiveSolver
+                if self.config.solver == "adaptive"
+                else NonAdaptiveSolver
+            )
+            self.solver: BaseSolver = solver_cls(
+                circuit,
+                self.electrostatics,
+                self.junction_table,
+                self.model,
+                self.config,
+                self.rng,
+                initial_occupation,
+            )
         self.recorders: list[Recorder] = []
 
     # ------------------------------------------------------------------
@@ -123,19 +130,28 @@ class MonteCarloEngine:
         for recorder in self.recorders:
             recorder.on_start(self.solver)
 
-        start_wall = _time.perf_counter()
         start_jumps = self.solver.stats.events
         jumps = 0
-        while True:
-            if max_jumps is not None and jumps >= max_jumps:
-                break
-            if deadline is not None and self.solver.time >= deadline:
-                break
-            event = self.solver.step()
-            jumps += 1
-            for recorder in self.recorders:
-                recorder.on_event(self.solver, event)
-        wall = _time.perf_counter() - start_wall
+        with _telemetry.span(
+            "engine.run", category="engine",
+            max_jumps=max_jumps, max_time=max_time,
+        ) as run_span:
+            watch = Stopwatch()
+            while True:
+                if max_jumps is not None and jumps >= max_jumps:
+                    break
+                if deadline is not None and self.solver.time >= deadline:
+                    break
+                event = self.solver.step()
+                jumps += 1
+                for recorder in self.recorders:
+                    recorder.on_event(self.solver, event)
+            wall = watch.elapsed()
+            run_span.set("jumps", jumps)
+        reg = _telemetry.ACTIVE
+        if reg is not None:
+            reg.counter("engine.runs").add()
+            reg.counter("engine.events").add(jumps)
 
         return RunResult(
             jumps=self.solver.stats.events - start_jumps,
@@ -171,11 +187,15 @@ class MonteCarloEngine:
         if len(orientations) != len(junctions):
             raise SimulationError("orientations must match junctions in length")
         warmup = int(jumps * warmup_fraction)
-        if warmup:
-            self.run(max_jumps=warmup)
-        flux0 = self.solver.flux[list(junctions)].copy()
-        self.solver.reset_window()
-        self.run(max_jumps=jumps - warmup)
+        with _telemetry.span(
+            "engine.measure_current", category="engine",
+            jumps=jumps, warmup=warmup,
+        ):
+            if warmup:
+                self.run(max_jumps=warmup)
+            flux0 = self.solver.flux[list(junctions)].copy()
+            self.solver.reset_window()
+            self.run(max_jumps=jumps - warmup)
         elapsed = self.solver.window_elapsed
         if elapsed <= 0.0:
             raise SimulationError("no simulated time elapsed during measurement")

@@ -13,9 +13,11 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.circuit.circuit import Circuit
+from repro.core.base import SolverStats
 from repro.core.config import SimulationConfig
 from repro.core.engine import MonteCarloEngine
 from repro.errors import SimulationError
+from repro.telemetry import registry as _telemetry
 
 
 @dataclasses.dataclass
@@ -25,6 +27,11 @@ class IVCurve:
     voltages: np.ndarray
     currents: np.ndarray
     label: str = ""
+    #: cumulative solver work behind the curve (``None`` for curves
+    #: built outside an engine, e.g. analytical references)
+    stats: SolverStats | None = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
 
 def sweep_iv(
@@ -61,18 +68,26 @@ def sweep_iv(
         source_setter = symmetric_bias()
     engine = MonteCarloEngine(circuit, config)
     currents = np.empty(len(voltages))
-    for i, v in enumerate(voltages):
-        engine.set_sources(source_setter(float(v)))
-        try:
-            currents[i] = engine.measure_current(
-                list(measure_junctions), jumps_per_point,
-                orientations=orientations,
-            )
-        except SimulationError:
-            # every rate is zero: the circuit is frozen at this bias
-            # (deep blockade at low temperature) and carries no current
-            currents[i] = 0.0
-    return IVCurve(np.asarray(voltages, dtype=float), currents, label)
+    with _telemetry.span(
+        "sweep.iv", category="sweep", points=len(voltages), label=label,
+    ):
+        for i, v in enumerate(voltages):
+            with _telemetry.span("sweep.point", category="sweep", v=float(v)):
+                engine.set_sources(source_setter(float(v)))
+                try:
+                    currents[i] = engine.measure_current(
+                        list(measure_junctions), jumps_per_point,
+                        orientations=orientations,
+                    )
+                except SimulationError:
+                    # every rate is zero: the circuit is frozen at this
+                    # bias (deep blockade at low temperature) and
+                    # carries no current
+                    currents[i] = 0.0
+    return IVCurve(
+        np.asarray(voltages, dtype=float), currents, label,
+        stats=dataclasses.replace(engine.solver.stats),
+    )
 
 
 def symmetric_bias(
@@ -94,6 +109,10 @@ class CurrentMap:
     gate_voltages: np.ndarray
     #: shape (len(gate_voltages), len(bias_voltages))
     currents: np.ndarray
+    #: solver work merged across the per-row engines
+    stats: SolverStats | None = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
 
 def sweep_map(
@@ -118,20 +137,28 @@ def sweep_map(
     if bias_setter is None:
         bias_setter = symmetric_bias()
     currents = np.empty((len(gate_voltages), len(bias_voltages)))
-    for gi, vg in enumerate(gate_voltages):
-        engine = MonteCarloEngine(circuit, config)
-        engine.set_sources({gate_source: float(vg)})
-        for bi, vb in enumerate(bias_voltages):
-            engine.set_sources(bias_setter(float(vb)))
-            try:
-                currents[gi, bi] = engine.measure_current(
-                    list(measure_junctions), jumps_per_point,
-                    orientations=orientations,
-                )
-            except SimulationError:
-                currents[gi, bi] = 0.0
+    total_stats = SolverStats()
+    with _telemetry.span(
+        "sweep.map", category="sweep",
+        rows=len(gate_voltages), points=len(bias_voltages),
+    ):
+        for gi, vg in enumerate(gate_voltages):
+            engine = MonteCarloEngine(circuit, config)
+            engine.set_sources({gate_source: float(vg)})
+            with _telemetry.span("sweep.row", category="sweep", vg=float(vg)):
+                for bi, vb in enumerate(bias_voltages):
+                    engine.set_sources(bias_setter(float(vb)))
+                    try:
+                        currents[gi, bi] = engine.measure_current(
+                            list(measure_junctions), jumps_per_point,
+                            orientations=orientations,
+                        )
+                    except SimulationError:
+                        currents[gi, bi] = 0.0
+            total_stats = total_stats.merge(engine.solver.stats)
     return CurrentMap(
         np.asarray(bias_voltages, dtype=float),
         np.asarray(gate_voltages, dtype=float),
         currents,
+        stats=total_stats,
     )

@@ -41,6 +41,11 @@ class PhysicsError(SemsimError):
     """Raised for physically inconsistent model parameters."""
 
 
+class TelemetryError(SemsimError):
+    """Raised for misuse of the telemetry layer (bad metric kinds,
+    unwritable trace destinations, malformed export requests)."""
+
+
 class LintError(SemsimError):
     """Raised by strict-mode parsing/building when static analysis of a
     deck, circuit or netlist finds error-severity problems.

@@ -21,6 +21,7 @@ import dataclasses
 from repro.errors import NetlistError
 from repro.logic.mapping import MappedCircuit
 from repro.logic.netlist import GateKind, LogicNetlist
+from repro.telemetry import registry as _telemetry
 
 #: nominal per-cell delays (seconds) for the default LogicParameters,
 #: calibrated with Monte Carlo rise/fall measurements of isolated cells
@@ -70,25 +71,28 @@ def analyze_timing(
     """Topological longest-path timing over a (primitive) netlist."""
     if cell_delays is None:
         cell_delays = DEFAULT_CELL_DELAYS
-    arrival: dict = {net: 0.0 for net in netlist.inputs}
-    depth: dict = {net: 0 for net in netlist.inputs}
-    for gate in netlist.topological_gates():
-        if gate.kind not in cell_delays:
-            raise NetlistError(
-                f"no cell delay for {gate.kind}; run on a mapped "
-                "(primitive) netlist"
+    with _telemetry.span(
+        "timing.analyze", category="logic", gates=len(netlist.gates),
+    ):
+        arrival: dict = {net: 0.0 for net in netlist.inputs}
+        depth: dict = {net: 0 for net in netlist.inputs}
+        for gate in netlist.topological_gates():
+            if gate.kind not in cell_delays:
+                raise NetlistError(
+                    f"no cell delay for {gate.kind}; run on a mapped "
+                    "(primitive) netlist"
+                )
+            load = len(netlist.fanout_of(gate.output))
+            gate_delay = cell_delays[gate.kind] + fanout_penalty * load
+            arrival[gate.output] = gate_delay + max(
+                (arrival[n] for n in gate.inputs), default=0.0
             )
-        load = len(netlist.fanout_of(gate.output))
-        gate_delay = cell_delays[gate.kind] + fanout_penalty * load
-        arrival[gate.output] = gate_delay + max(
-            (arrival[n] for n in gate.inputs), default=0.0
+            depth[gate.output] = 1 + max(
+                (depth[n] for n in gate.inputs), default=0
+            )
+        ordered = sorted(
+            netlist.outputs, key=lambda n: arrival.get(n, 0.0), reverse=True
         )
-        depth[gate.output] = 1 + max(
-            (depth[n] for n in gate.inputs), default=0
-        )
-    ordered = sorted(
-        netlist.outputs, key=lambda n: arrival.get(n, 0.0), reverse=True
-    )
     return TimingReport(arrival=arrival, depth=depth, critical_outputs=ordered)
 
 

@@ -67,6 +67,7 @@ from repro.core.config import SimulationConfig
 from repro.core.engine import MonteCarloEngine
 from repro.core.sweep import IVCurve
 from repro.errors import NetlistError
+from repro.telemetry import registry as _telemetry
 
 
 @dataclasses.dataclass
@@ -224,8 +225,14 @@ class SemsimDeck:
         return out
 
     def run(self, solver: str = "adaptive", seed: int = 0) -> IVCurve:
-        """Execute the deck: sweep if requested, one point otherwise."""
-        circuit = self.build_circuit()
+        """Execute the deck: sweep if requested, one point otherwise.
+
+        The returned curve carries the cumulative
+        :class:`repro.core.base.SolverStats` of the run in its
+        ``stats`` field.
+        """
+        with _telemetry.span("deck.build", category="deck"):
+            circuit = self.build_circuit()
         config = self.config(solver, seed)
         junctions = self.recorded_junctions(circuit)
         # series junctions through one island alternate orientation;
@@ -234,21 +241,34 @@ class SemsimDeck:
         orientations = _series_orientations(circuit, junctions)
         engine = MonteCarloEngine(circuit, config)
         if self.sweep is None:
-            current = engine.measure_current(
-                junctions, self.jumps, orientations=orientations
+            with _telemetry.span("deck.run", category="deck", points=1):
+                current = engine.measure_current(
+                    junctions, self.jumps, orientations=orientations
+                )
+            return IVCurve(
+                np.zeros(1), np.array([current]), "operating point",
+                stats=dataclasses.replace(engine.solver.stats),
             )
-            return IVCurve(np.zeros(1), np.array([current]), "operating point")
         values = self.sweep.values()
         currents = np.empty_like(values)
-        for i, v in enumerate(values):
-            targets = {f"v{self.sweep.node}": float(v)}
-            if self.symmetric_node is not None:
-                targets[f"v{self.symmetric_node}"] = -float(v)
-            engine.set_sources(targets)
-            currents[i] = engine.measure_current(
-                junctions, self.jumps, orientations=orientations
-            )
-        return IVCurve(values, currents, f"sweep node {self.sweep.node}")
+        with _telemetry.span(
+            "deck.run", category="deck", points=len(values),
+        ):
+            for i, v in enumerate(values):
+                targets = {f"v{self.sweep.node}": float(v)}
+                if self.symmetric_node is not None:
+                    targets[f"v{self.symmetric_node}"] = -float(v)
+                with _telemetry.span(
+                    "deck.point", category="deck", v=float(v),
+                ):
+                    engine.set_sources(targets)
+                    currents[i] = engine.measure_current(
+                        junctions, self.jumps, orientations=orientations
+                    )
+        return IVCurve(
+            values, currents, f"sweep node {self.sweep.node}",
+            stats=dataclasses.replace(engine.solver.stats),
+        )
 
 
 def _series_orientations(circuit: Circuit, junctions: list[int]) -> list[int]:

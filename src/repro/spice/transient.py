@@ -26,6 +26,7 @@ from repro.errors import ConvergenceError, SimulationError
 from repro.logic.mapping import MappedCircuit
 from repro.logic.stimuli import StepStimulus
 from repro.physics.fermi import bose_weight
+from repro.telemetry import registry as _telemetry
 
 #: occupation window half-width for the batched device model
 _WINDOW = 4
@@ -298,7 +299,7 @@ class SpiceSimulator:
         dt = self.dt
         x = x_prev.copy()
         dq_src = self._csrc @ (vknown - vknown_prev)
-        for _ in range(self.max_newton):
+        for iteration in range(self.max_newton):
             currents, (vs, vd, vg) = self._device_currents(x, vknown)
             f = (self._cn @ (x - x_prev) - dq_src) / dt + self._inject(currents)
             jac = self._cn / dt + self._jacobian(x, vknown, vs, vd, vg, currents)
@@ -313,6 +314,12 @@ class SpiceSimulator:
                 delta *= self.max_step_voltage / step
             x = x + delta
             if step < self.newton_tol:
+                reg = _telemetry.ACTIVE
+                if reg is not None:
+                    reg.counter("spice.steps").add()
+                    reg.histogram("spice.newton_iterations").observe(
+                        iteration + 1
+                    )
                 return x
         raise ConvergenceError(
             f"Newton did not converge in {self.max_newton} iterations "
@@ -343,16 +350,20 @@ class SpiceSimulator:
         times = [0.0]
         traces = {net: [x[self._unknown_index[net]]] for net in record_nets}
         t = 0.0
-        for vector, duration in schedule:
-            vknown_new = self._known_voltages(vector)
-            steps = max(1, int(round(duration / self.dt)))
-            for k in range(steps):
-                x = self.solve_step(x, vknown_new, vknown)
-                vknown = vknown_new
-                t += self.dt
-                times.append(t)
-                for net in record_nets:
-                    traces[net].append(x[self._unknown_index[net]])
+        with _telemetry.span(
+            "spice.transient", category="spice",
+            segments=len(schedule), unknowns=self.n_unknowns,
+        ):
+            for vector, duration in schedule:
+                vknown_new = self._known_voltages(vector)
+                steps = max(1, int(round(duration / self.dt)))
+                for k in range(steps):
+                    x = self.solve_step(x, vknown_new, vknown)
+                    vknown = vknown_new
+                    t += self.dt
+                    times.append(t)
+                    for net in record_nets:
+                        traces[net].append(x[self._unknown_index[net]])
         return TransientResult(
             np.array(times), {net: np.array(v) for net, v in traces.items()}
         )

@@ -1,0 +1,56 @@
+"""The repository's single wall-clock timing utility.
+
+Every wall-time measurement in the package — the engine's
+:class:`~repro.core.engine.RunResult` wall time, the Fig. 6
+extrapolation machinery in :mod:`repro.analysis.timing`, telemetry
+spans — goes through this module, so there is exactly one definition
+of "wall time" (``time.perf_counter``: monotonic, highest available
+resolution) and one place to change it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def wall_time() -> float:
+    """Monotonic wall-clock timestamp in seconds.
+
+    Only differences of these values are meaningful.
+    """
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """Minimal monotonic stopwatch.
+
+    >>> watch = Stopwatch()
+    >>> ...              # doctest: +SKIP
+    >>> watch.elapsed()  # doctest: +SKIP
+    0.37
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = wall_time()
+
+    def restart(self) -> None:
+        """Reset the elapsed time to zero."""
+        self._start = wall_time()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return wall_time() - self._start
+
+
+def time_call(
+    fn: Callable[..., T], *args: Any, **kwargs: Any
+) -> tuple[float, T]:
+    """``(wall_seconds, result)`` of one call."""
+    start = wall_time()
+    result = fn(*args, **kwargs)
+    return wall_time() - start, result

@@ -1,0 +1,233 @@
+"""Deck-level profiling: run a simulation under telemetry and reduce
+the trace to the numbers a performance investigation starts from.
+
+This is the library behind ``repro profile``: phase wall times, the
+solver's work counters, the adaptive solver's efficiency against the
+non-adaptive baseline (which recomputes every rate after every event,
+so its sequential-rate work is exactly ``2 x junctions`` per event),
+and the busiest junctions of the trajectory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import TelemetryError
+from repro.telemetry import registry as _registry
+from repro.telemetry.clock import Stopwatch
+from repro.telemetry.exporters import PhaseTiming, phase_timings
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.base import SolverStats
+    from repro.netlist.semsim import SemsimDeck
+
+
+@dataclasses.dataclass
+class JunctionActivity:
+    """Tunnel-event share of one junction over the profiled run."""
+
+    junction: int
+    label: str
+    events: int
+    share: float
+
+
+@dataclasses.dataclass
+class SolverProfile:
+    """One solver's measured run."""
+
+    solver: str
+    wall_seconds: float
+    stats: SolverStats
+
+
+@dataclasses.dataclass
+class ProfileReport:
+    """Everything ``repro profile`` prints."""
+
+    solver: str
+    n_junctions: int
+    events: int
+    wall_seconds: float
+    phases: list[PhaseTiming]
+    stats: SolverStats
+    rate_evaluations: int
+    baseline_rate_evaluations: int
+    saved_fraction: float
+    hottest: list[JunctionActivity]
+    dropped_events: int = 0
+    baseline: SolverProfile | None = None
+
+    def format(self) -> str:
+        """Render the report as the CLI's plain-text summary."""
+        lines = [
+            f"profile: solver={self.solver}  junctions={self.n_junctions}"
+            f"  events={self.events}  wall={self.wall_seconds:.3f} s",
+            "",
+            "phase wall time",
+        ]
+        if self.phases:
+            width = max(len(timing.name) for timing in self.phases)
+            for timing in self.phases:
+                lines.append(
+                    f"  {timing.name:{width}s}  x{timing.count:<7d}"
+                    f"  total {timing.total_seconds:10.4f} s"
+                    f"  mean {timing.mean_seconds * 1e3:10.4f} ms"
+                )
+        else:
+            lines.append("  (no spans recorded)")
+        lines += ["", self.stats.format_table(f"solver stats ({self.solver})")]
+        if self.baseline is not None:
+            lines += [
+                "",
+                self.baseline.stats.format_table(
+                    f"solver stats ({self.baseline.solver}, measured baseline)"
+                ),
+            ]
+        lines += [
+            "",
+            "rate evaluations (sequential)",
+            f"  {self.solver} (measured)            {self.rate_evaluations:>14d}",
+            f"  non-adaptive baseline         "
+            f"{self.baseline_rate_evaluations:>14d}  (2 x junctions x events)",
+            f"  work saved                    {self.saved_fraction:>13.1%}",
+        ]
+        if self.baseline is not None and self.baseline.wall_seconds > 0.0:
+            speedup = self.baseline.wall_seconds / max(self.wall_seconds, 1e-12)
+            lines.append(
+                f"  measured baseline wall        "
+                f"{self.baseline.wall_seconds:>12.3f} s  "
+                f"(speedup {speedup:.2f}x)"
+            )
+        lines += ["", "hottest junctions (by tunnel events)"]
+        if self.hottest:
+            for activity in self.hottest:
+                lines.append(
+                    f"  #{activity.junction:<4d} {activity.label:12s}"
+                    f" {activity.events:>12d}  {activity.share:6.1%}"
+                )
+        else:
+            lines.append("  (no per-event trace records)")
+        if self.dropped_events:
+            lines.append(
+                f"note: {self.dropped_events} trace event(s) dropped — "
+                "per-event numbers undercount"
+            )
+        return "\n".join(lines)
+
+
+def hottest_junctions(
+    registry_: _registry.TelemetryRegistry,
+    top: int = 5,
+    labels: list[str] | None = None,
+) -> list[JunctionActivity]:
+    """Rank junctions by realised tunnel events in the trace buffer."""
+    counts: dict[int, int] = {}
+    total = 0
+    for event in registry_.events:
+        if event.name != "solver.event":
+            continue
+        junction = event.args.get("junction", -1)
+        if junction < 0:
+            continue
+        counts[junction] = counts.get(junction, 0) + 1
+        total += 1
+    ranked = sorted(counts.items(), key=lambda item: item[1], reverse=True)
+    return [
+        JunctionActivity(
+            junction=junction,
+            label=(
+                labels[junction]
+                if labels is not None and junction < len(labels)
+                else f"junction {junction}"
+            ),
+            events=count,
+            share=count / total if total else 0.0,
+        )
+        for junction, count in ranked[: max(top, 0)]
+    ]
+
+
+def _run_deck(
+    deck: SemsimDeck, solver: str, seed: int, trace: bool,
+    max_trace_events: int,
+) -> tuple[SolverProfile, _registry.TelemetryRegistry]:
+    with _registry.session(
+        trace=trace, max_trace_events=max_trace_events
+    ) as reg:
+        watch = Stopwatch()
+        curve = deck.run(solver=solver, seed=seed)
+        wall = watch.elapsed()
+    stats = curve.stats
+    if stats is None:
+        raise TelemetryError(
+            "deck run returned no solver stats; cannot build a profile"
+        )
+    return SolverProfile(solver=solver, wall_seconds=wall, stats=stats), reg
+
+
+def profile_deck(
+    deck: SemsimDeck,
+    solver: str = "adaptive",
+    seed: int = 0,
+    top: int = 5,
+    trace: bool = True,
+    max_trace_events: int = 1_000_000,
+    measure_baseline: bool = False,
+) -> tuple[ProfileReport, _registry.TelemetryRegistry]:
+    """Profile one deck run; returns the report and the registry whose
+    trace buffer backs it (ready for :func:`..exporters.write_trace`).
+
+    With ``measure_baseline=True`` the deck is additionally run with
+    the non-adaptive solver (same seed, separate registry) so the
+    report carries a measured wall-clock comparison next to the
+    analytic rate-evaluation baseline.
+    """
+    profile, reg = _run_deck(deck, solver, seed, trace, max_trace_events)
+    baseline: SolverProfile | None = None
+    if measure_baseline and solver != "nonadaptive":
+        baseline, _ = _run_deck(
+            deck, "nonadaptive", seed, trace=False,
+            max_trace_events=max_trace_events,
+        )
+    stats = profile.stats
+    n_junctions = len(deck.junctions)
+    baseline_evaluations = 2 * n_junctions * stats.events
+    evaluations = stats.sequential_rate_evaluations
+    saved = (
+        1.0 - evaluations / baseline_evaluations if baseline_evaluations else 0.0
+    )
+    labels = [f"j{name}" for name, _, _, _, _ in deck.junctions]
+    report = ProfileReport(
+        solver=solver,
+        n_junctions=n_junctions,
+        events=stats.events,
+        wall_seconds=profile.wall_seconds,
+        phases=phase_timings(reg),
+        stats=stats,
+        rate_evaluations=evaluations,
+        baseline_rate_evaluations=baseline_evaluations,
+        saved_fraction=saved,
+        hottest=hottest_junctions(reg, top=top, labels=labels),
+        dropped_events=reg.dropped_events,
+        baseline=baseline,
+    )
+    return report, reg
+
+
+def metrics_payload(registry_: _registry.TelemetryRegistry) -> dict[str, Any]:
+    """Phase timings + metric snapshot as a JSON-ready dict (the shape
+    the benchmark harness persists in ``BENCH_telemetry.json``)."""
+    return {
+        "phases": {
+            timing.name: {
+                "count": timing.count,
+                "total_seconds": timing.total_seconds,
+                "mean_seconds": timing.mean_seconds,
+            }
+            for timing in phase_timings(registry_)
+        },
+        "metrics": registry_.metrics(),
+        "dropped_events": registry_.dropped_events,
+    }

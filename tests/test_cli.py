@@ -171,3 +171,71 @@ class TestBenchmarks:
     def test_unknown_benchmark_is_an_error(self, capsys):
         assert main(["benchmark", "c6288"]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestRunTrace:
+    def test_trace_file_is_written(self, deck_file, tmp_path, capsys):
+        trace = tmp_path / "run.json"
+        assert main(["run", str(deck_file), "--seed", "1",
+                     "--trace", str(trace)]) == 0
+        captured = capsys.readouterr()
+        # stdout stays a clean CSV; telemetry goes to stderr
+        assert captured.out.startswith("sweep_voltage_V")
+        assert "trace events" in captured.err
+        import json
+
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+
+    def test_jsonl_suffix_selects_jsonl(self, deck_file, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["run", str(deck_file), "--trace", str(trace)]) == 0
+        import json
+
+        first = json.loads(trace.read_text().splitlines()[0])
+        assert "name" in first and "ph" not in first  # raw records, not chrome
+
+    def test_stats_table_on_stderr(self, deck_file, capsys):
+        assert main(["run", str(deck_file), "--seed", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "solver stats" in err
+        assert "sequential_rate_evaluations" in err
+
+
+class TestInfoProbe:
+    def test_probe_prints_stats_table(self, deck_file, capsys):
+        assert main(["info", str(deck_file), "--probe", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "solver stats (200-event probe)" in out
+        assert "full_refreshes" in out
+
+
+class TestProfile:
+    def test_summary_and_chrome_trace(self, deck_file, tmp_path, capsys):
+        trace = tmp_path / "profile.json"
+        assert main(["profile", str(deck_file), "--seed", "2",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "profile: solver=adaptive" in out
+        assert "phase wall time" in out
+        assert "work saved" in out
+        assert "hottest junctions" in out
+        import json
+
+        payload = json.loads(trace.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "engine.run" in names and "solver.event" in names
+        assert payload["otherData"]["metrics"]["counters"]["solver.events"] > 0
+
+    def test_nonadaptive_profile(self, deck_file, capsys):
+        assert main(["profile", str(deck_file), "--solver",
+                     "nonadaptive"]) == 0
+        assert "solver=nonadaptive" in capsys.readouterr().out
+
+    def test_baseline_comparison(self, deck_file, capsys):
+        assert main(["profile", str(deck_file), "--baseline"]) == 0
+        assert "measured baseline" in capsys.readouterr().out
+
+    def test_missing_deck_exits_two(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "nope.deck")]) == 2
+        assert "error" in capsys.readouterr().err
