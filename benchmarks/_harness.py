@@ -72,3 +72,47 @@ def record_bench_telemetry(bench: str, payload: dict) -> Path:
     data[bench] = _jsonify(dict(payload, full_scale=full_scale()))
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path
+
+
+# ----------------------------------------------------------------------
+# parallel-scaling trajectory (BENCH_parallel.json)
+# ----------------------------------------------------------------------
+
+def parallel_artifact_path() -> Path:
+    """Where the scaling bench appends its rows.
+
+    Defaults to ``benchmarks/BENCH_parallel.json``; override with the
+    ``REPRO_BENCH_PARALLEL`` environment variable.
+    """
+    override = os.environ.get("REPRO_BENCH_PARALLEL")
+    if override:
+        return Path(override)
+    return Path(__file__).with_name("BENCH_parallel.json")
+
+
+def record_parallel_bench(bench: str, rows: list[dict]) -> Path:
+    """Append one scaling run's ``{jobs, seconds, speedup, ...}`` rows.
+
+    Unlike :func:`record_bench_telemetry` this *appends* a dated run
+    record instead of overwriting, so the artifact keeps the scaling
+    trajectory across machines and PRs.
+    """
+    import time
+
+    path = parallel_artifact_path()
+    data: list = []
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = []
+    if not isinstance(data, list):
+        data = []
+    data.append({
+        "bench": bench,
+        "recorded": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cpus": os.cpu_count(),
+        "rows": _jsonify(rows),
+    })
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path

@@ -47,12 +47,14 @@ from repro.core import (
 from repro.errors import (
     CircuitError,
     ConvergenceError,
+    FrozenCircuitError,
     LintError,
     NetlistError,
     PhysicsError,
     SemsimError,
     SimulationError,
 )
+from repro.parallel import EnsembleIV, ensemble_iv
 
 __version__ = "1.0.0"
 
@@ -64,7 +66,9 @@ __all__ = [
     "ConvergenceError",
     "CurrentRecorder",
     "Electrostatics",
+    "EnsembleIV",
     "EventKind",
+    "FrozenCircuitError",
     "LintError",
     "MonteCarloEngine",
     "NetlistError",
@@ -76,6 +80,7 @@ __all__ = [
     "Superconductor",
     "build_junction_array",
     "build_set",
+    "ensemble_iv",
     "sweep_iv",
     "sweep_map",
     "symmetric_bias",

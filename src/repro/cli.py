@@ -6,6 +6,10 @@ this CLI reproduces that workflow:
 ``python -m repro run deck.txt``
     Parse a SEMSIM input deck, run the simulation it describes (sweep
     or single operating point) and print/save the I-V results.
+    ``--jobs N`` fans the sweep out over worker processes and
+    ``--chunks M`` splits it into independently seeded voltage chunks;
+    results depend only on the chunk layout, never on the worker
+    count, so ``--jobs 4`` reproduces ``--jobs 1`` bit for bit.
 ``python -m repro info deck.txt``
     Parse and validate a deck, reporting the circuit statistics and a
     one-line static-analysis summary.  ``--probe N`` additionally runs
@@ -61,6 +65,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--strict", action="store_true",
         help="refuse to run decks with error-severity lint findings",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep execution (default 1 = serial; "
+             "0 = all cores); for a fixed --chunks the results are "
+             "bit-identical for every N",
+    )
+    run.add_argument(
+        "--chunks", type=int, default=1, metavar="M",
+        help="split the sweep into M independently seeded voltage chunks "
+             "(default 1 = the byte-identical serial sweep); results "
+             "depend on M, never on --jobs",
     )
     run.add_argument(
         "--trace", type=Path, default=None, metavar="FILE",
@@ -143,11 +159,17 @@ def _cmd_run(args) -> int:
         from repro.telemetry.exporters import write_trace
 
         with telemetry.session() as reg:
-            curve = deck.run(solver=args.solver, seed=args.seed)
+            curve = deck.run(
+                solver=args.solver, seed=args.seed,
+                jobs=args.jobs, chunks=args.chunks,
+            )
         count = write_trace(reg, args.trace)
         print(f"wrote {count} trace events to {args.trace}", file=sys.stderr)
     else:
-        curve = deck.run(solver=args.solver, seed=args.seed)
+        curve = deck.run(
+            solver=args.solver, seed=args.seed,
+            jobs=args.jobs, chunks=args.chunks,
+        )
     lines = ["sweep_voltage_V,current_A"]
     lines += [f"{v:.9g},{i:.9g}" for v, i in zip(curve.voltages, curve.currents)]
     text = "\n".join(lines) + "\n"

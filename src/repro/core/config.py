@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from repro.errors import SimulationError
 
 #: Default adaptive threshold (the paper's lambda).
@@ -55,7 +57,11 @@ class SimulationConfig:
     qp_table_points:
         Resolution of quasi-particle rate tables.
     seed:
-        Seed for the ``numpy.random.Generator`` driving the run.
+        Seed for the ``numpy.random.Generator`` driving the run: a
+        non-negative integer, or a ``numpy.random.SeedSequence`` (the
+        parallel sweep layer passes spawned children here so every
+        shard draws an independent, reproducible stream).  An integer
+        seed ``s`` and ``SeedSequence(s)`` produce bit-identical runs.
     """
 
     temperature: float = 4.2
@@ -68,7 +74,13 @@ class SimulationConfig:
     cooper_linewidth: float | None = None
     cotunneling_energy_floor: float | None = None
     qp_table_points: int = 4001
-    seed: int = 0
+    seed: int | np.random.SeedSequence = 0
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The seed as a ``SeedSequence`` root for spawning shard seeds."""
+        if isinstance(self.seed, np.random.SeedSequence):
+            return self.seed
+        return np.random.SeedSequence(self.seed)
 
     def __post_init__(self) -> None:
         if self.temperature < 0.0:
@@ -88,6 +100,14 @@ class SimulationConfig:
         if self.full_refresh_interval < 1:
             raise SimulationError(
                 f"full_refresh_interval must be >= 1, got {self.full_refresh_interval}"
+            )
+        if isinstance(self.seed, (int, np.integer)):
+            if self.seed < 0:
+                raise SimulationError(f"seed must be >= 0, got {self.seed}")
+        elif not isinstance(self.seed, np.random.SeedSequence):
+            raise SimulationError(
+                "seed must be an int or numpy.random.SeedSequence, "
+                f"got {type(self.seed).__name__}"
             )
 
     def replace(self, **kwargs) -> "SimulationConfig":

@@ -9,6 +9,7 @@ current measurement helpers.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -78,6 +79,8 @@ class MonteCarloEngine:
                 cotunneling_energy_floor=self.config.cotunneling_energy_floor,
                 qp_table_points=self.config.qp_table_points,
             )
+            # accepts an int or a spawned SeedSequence; default_rng(s)
+            # and default_rng(SeedSequence(s)) are bit-identical
             self.rng = np.random.default_rng(self.config.seed)
             solver_cls = (
                 AdaptiveSolver
@@ -186,7 +189,21 @@ class MonteCarloEngine:
             orientations = [1] * len(junctions)
         if len(orientations) != len(junctions):
             raise SimulationError("orientations must match junctions in length")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise SimulationError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+            )
         warmup = int(jumps * warmup_fraction)
+        if warmup_fraction > 0.0 and warmup == 0:
+            # int(jumps * fraction) == 0 would *silently* skip the
+            # relaxation run and measure an unrelaxed charge state
+            raise SimulationError(
+                f"jumps={jumps} is too small to honor "
+                f"warmup_fraction={warmup_fraction:g}: the warm-up truncates "
+                f"to zero events; use jumps >= "
+                f"{math.ceil(1.0 / warmup_fraction)} or pass "
+                "warmup_fraction=0 to measure without relaxation"
+            )
         with _telemetry.span(
             "engine.measure_current", category="engine",
             jumps=jumps, warmup=warmup,

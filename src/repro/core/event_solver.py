@@ -12,13 +12,13 @@ import math
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import FrozenCircuitError
 
 
 def draw_time(total_rate: float, rng: np.random.Generator) -> float:
     """Residence time ``dt = -ln(r) / Gamma_sum`` (Eq. 5)."""
     if total_rate <= 0.0:
-        raise SimulationError(
+        raise FrozenCircuitError(
             "total tunneling rate is zero: the circuit is frozen "
             "(deep Coulomb blockade at this bias/temperature); enable "
             "cotunneling or raise the bias/temperature"
@@ -34,7 +34,7 @@ def choose_event(rates: np.ndarray, rng: np.random.Generator) -> int:
     cumulative = np.cumsum(rates)
     total = cumulative[-1]
     if total <= 0.0:
-        raise SimulationError("cannot choose an event: all rates are zero")
+        raise FrozenCircuitError("cannot choose an event: all rates are zero")
     target = rng.random() * total
     index = int(np.searchsorted(cumulative, target, side="right"))
     return min(index, len(rates) - 1)

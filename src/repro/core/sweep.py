@@ -3,6 +3,14 @@
 These drive the paper's device-level experiments: the SET/SSET I-V
 curves of Fig. 1 (``sweep`` directive of the input format) and the
 (bias, gate) contour map of Fig. 5.
+
+Both sweeps are built as *shard/merge* pipelines: the work is cut into
+independent units (gate rows for :func:`sweep_map`, voltage chunks for
+:func:`sweep_iv`), each unit carries its own spawned seed, and the
+units are executed through :func:`repro.parallel.pool.execute_shards`
+— inline for ``jobs=1``, across a process pool for ``jobs>1``.  The
+shard layout (and therefore the result) is a function of the problem
+alone; ``jobs`` only changes how fast the same numbers appear.
 """
 
 from __future__ import annotations
@@ -16,7 +24,9 @@ from repro.circuit.circuit import Circuit
 from repro.core.base import SolverStats
 from repro.core.config import SimulationConfig
 from repro.core.engine import MonteCarloEngine
-from repro.errors import SimulationError
+from repro.errors import FrozenCircuitError, SimulationError
+from repro.parallel.pool import execute_shards
+from repro.parallel.seeds import spawn_seeds
 from repro.telemetry import registry as _telemetry
 
 
@@ -34,6 +44,131 @@ class IVCurve:
     )
 
 
+@dataclasses.dataclass
+class SymmetricBias:
+    """Picklable source setter for a symmetric bias: ``+V/2`` / ``-V/2``.
+
+    A plain closure would work serially but cannot cross the process
+    boundary of a parallel sweep; a dataclass instance pickles fine.
+    """
+
+    source_name: str = "vs"
+    drain_name: str = "vd"
+
+    def __call__(self, v: float) -> dict:
+        return {self.source_name: +v / 2.0, self.drain_name: -v / 2.0}
+
+
+def symmetric_bias(
+    source_name: str = "vs", drain_name: str = "vd"
+) -> Callable[[float], dict]:
+    """Source setter for a symmetric bias: ``+V/2`` / ``-V/2``."""
+    return SymmetricBias(source_name, drain_name)
+
+
+# ----------------------------------------------------------------------
+# shard work units (module-level and picklable, so a process pool can
+# ship them to workers)
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class _ShardResult:
+    """Currents plus the solver work one shard performed."""
+
+    currents: np.ndarray
+    stats: SolverStats
+
+
+@dataclasses.dataclass
+class _IVChunk:
+    """A contiguous run of sweep points served by one engine.
+
+    The charge state evolves continuously *within* the chunk — exactly
+    how a hardware sweep behaves; chunk boundaries restart relaxation
+    from scratch with an independent seed.
+    """
+
+    index: int
+    circuit: Circuit
+    config: SimulationConfig
+    voltages: np.ndarray
+    jumps_per_point: int
+    junctions: list[int]
+    orientations: list[int] | None
+    source_setter: Callable[[float], dict]
+
+
+def _run_iv_chunk(chunk: _IVChunk) -> _ShardResult:
+    """Execute one I-V chunk: the pre-parallel serial loop, verbatim."""
+    engine = MonteCarloEngine(chunk.circuit, chunk.config)
+    currents = np.empty(len(chunk.voltages))
+    with _telemetry.span(
+        "sweep.chunk", category="sweep",
+        chunk=chunk.index, points=len(chunk.voltages),
+    ):
+        for i, v in enumerate(chunk.voltages):
+            with _telemetry.span("sweep.point", category="sweep", v=float(v)):
+                engine.set_sources(chunk.source_setter(float(v)))
+                try:
+                    currents[i] = engine.measure_current(
+                        chunk.junctions, chunk.jumps_per_point,
+                        orientations=chunk.orientations,
+                    )
+                except FrozenCircuitError:
+                    # every rate is zero: the circuit is frozen at this
+                    # bias (deep blockade at low temperature) and
+                    # carries no current.  Any other SimulationError is
+                    # a genuine failure and propagates.
+                    currents[i] = 0.0
+    return _ShardResult(currents, dataclasses.replace(engine.solver.stats))
+
+
+@dataclasses.dataclass
+class _MapRow:
+    """One gate row of a current map: an independent engine sweeping
+    the bias at fixed gate voltage."""
+
+    index: int
+    circuit: Circuit
+    config: SimulationConfig
+    gate_voltage: float
+    gate_source: str
+    bias_voltages: np.ndarray
+    jumps_per_point: int
+    junctions: list[int]
+    orientations: list[int] | None
+    bias_setter: Callable[[float], dict]
+
+
+def _run_map_row(row: _MapRow) -> _ShardResult:
+    """Execute one gate row of a current map."""
+    engine = MonteCarloEngine(row.circuit, row.config)
+    engine.set_sources({row.gate_source: float(row.gate_voltage)})
+    currents = np.empty(len(row.bias_voltages))
+    with _telemetry.span(
+        "sweep.row", category="sweep", vg=float(row.gate_voltage),
+    ):
+        for bi, vb in enumerate(row.bias_voltages):
+            engine.set_sources(row.bias_setter(float(vb)))
+            try:
+                currents[bi] = engine.measure_current(
+                    row.junctions, row.jumps_per_point,
+                    orientations=row.orientations,
+                )
+            except FrozenCircuitError:
+                currents[bi] = 0.0
+    return _ShardResult(currents, dataclasses.replace(engine.solver.stats))
+
+
+def _merge_stats(results: Sequence[_ShardResult]) -> SolverStats:
+    """Sum the per-shard work counters in shard order."""
+    return SolverStats().merge(*(r.stats for r in results))
+
+
+# ----------------------------------------------------------------------
+# public sweeps
+# ----------------------------------------------------------------------
+
 def sweep_iv(
     circuit: Circuit,
     voltages: Sequence[float],
@@ -43,6 +178,9 @@ def sweep_iv(
     orientations: Sequence[int] | None = None,
     source_setter: Callable[[float], dict] | None = None,
     label: str = "",
+    *,
+    chunks: int = 1,
+    jobs: int | None = 1,
 ) -> IVCurve:
     """Sweep a bias and measure the device current at each point.
 
@@ -54,51 +192,65 @@ def sweep_iv(
         Maps a sweep value to a ``{source_name: voltage}`` dict.  The
         default assumes the :func:`repro.circuit.build_set` convention:
         a symmetric bias splitting ``V`` into ``vs = +V/2`` and
-        ``vd = -V/2`` (the ``symm`` directive).
+        ``vd = -V/2`` (the ``symm`` directive).  Must be picklable
+        (module-level function or callable instance) when the sweep is
+        chunked across processes.
     measure_junctions, orientations:
         Junctions whose (orientation-corrected) currents are averaged.
     jumps_per_point:
         Tunnel events per sweep point; 20% are discarded as warm-up.
-
-    The engine is reused across points, so the charge state carries
-    over — exactly how a hardware sweep behaves and how the paper's
-    ``sweep`` directive is implemented.
+    chunks:
+        Number of contiguous voltage chunks.  One engine serves each
+        chunk, so the charge state carries over between the points of
+        a chunk — exactly how a hardware sweep behaves and how the
+        paper's ``sweep`` directive is implemented.  The default
+        (one chunk) is byte-identical to the historical serial sweep;
+        more chunks trade that continuity at the seams for parallelism.
+        Each chunk beyond the first draws its own spawned seed.
+    jobs:
+        Worker processes executing the chunks (``None``/``0`` = all
+        cores).  For a fixed ``chunks`` the result is bit-identical for
+        every ``jobs`` value — only the wall-clock changes.
     """
     if source_setter is None:
         source_setter = symmetric_bias()
-    engine = MonteCarloEngine(circuit, config)
-    currents = np.empty(len(voltages))
+    cfg = config if config is not None else SimulationConfig()
+    if chunks < 1:
+        raise SimulationError(f"chunks must be >= 1, got {chunks}")
+    volts = np.asarray(voltages, dtype=float)
+    n_chunks = max(1, min(chunks, len(volts)))
+    if n_chunks == 1:
+        # the historical serial path: the root seed drives the single
+        # engine directly, bit-for-bit as before sharding existed
+        shard_configs = [cfg]
+    else:
+        shard_configs = [
+            cfg.replace(seed=s) for s in spawn_seeds(cfg.seed, n_chunks)
+        ]
+    pieces = np.array_split(volts, n_chunks)
+    shards = [
+        _IVChunk(
+            index=i,
+            circuit=circuit,
+            config=shard_configs[i],
+            voltages=pieces[i],
+            jumps_per_point=jumps_per_point,
+            junctions=list(measure_junctions),
+            orientations=list(orientations) if orientations is not None else None,
+            source_setter=source_setter,
+        )
+        for i in range(n_chunks)
+    ]
     with _telemetry.span(
-        "sweep.iv", category="sweep", points=len(voltages), label=label,
+        "sweep.iv", category="sweep",
+        points=len(volts), label=label, chunks=n_chunks,
     ):
-        for i, v in enumerate(voltages):
-            with _telemetry.span("sweep.point", category="sweep", v=float(v)):
-                engine.set_sources(source_setter(float(v)))
-                try:
-                    currents[i] = engine.measure_current(
-                        list(measure_junctions), jumps_per_point,
-                        orientations=orientations,
-                    )
-                except SimulationError:
-                    # every rate is zero: the circuit is frozen at this
-                    # bias (deep blockade at low temperature) and
-                    # carries no current
-                    currents[i] = 0.0
-    return IVCurve(
-        np.asarray(voltages, dtype=float), currents, label,
-        stats=dataclasses.replace(engine.solver.stats),
+        results = execute_shards(_run_iv_chunk, shards, jobs=jobs)
+    currents = (
+        np.concatenate([r.currents for r in results])
+        if results else np.empty(0)
     )
-
-
-def symmetric_bias(
-    source_name: str = "vs", drain_name: str = "vd"
-) -> Callable[[float], dict]:
-    """Source setter for a symmetric bias: ``+V/2`` / ``-V/2``."""
-
-    def setter(v: float) -> dict:
-        return {source_name: +v / 2.0, drain_name: -v / 2.0}
-
-    return setter
+    return IVCurve(volts, currents, label, stats=_merge_stats(results))
 
 
 @dataclasses.dataclass
@@ -125,40 +277,47 @@ def sweep_map(
     orientations: Sequence[int] | None = None,
     bias_setter: Callable[[float], dict] | None = None,
     gate_source: str = "vg",
+    *,
+    jobs: int | None = 1,
 ) -> CurrentMap:
     """Monte Carlo current map over a (bias, gate) grid.
 
     One engine per gate row; the bias is swept within the row so the
     charge state evolves continuously, as in the measurement the paper
-    reproduces from [17].
+    reproduces from [17].  Every row draws an independent seed spawned
+    from ``config.seed`` — rows are decorrelated MC experiments, and
+    the map is bit-identical for every ``jobs`` value.
     """
     if not len(bias_voltages) or not len(gate_voltages):
         raise SimulationError("sweep_map needs non-empty grids")
     if bias_setter is None:
         bias_setter = symmetric_bias()
-    currents = np.empty((len(gate_voltages), len(bias_voltages)))
-    total_stats = SolverStats()
+    cfg = config if config is not None else SimulationConfig()
+    biases = np.asarray(bias_voltages, dtype=float)
+    gates = np.asarray(gate_voltages, dtype=float)
+    # independent per-row seeds: with a shared seed every row would
+    # replay the identical RNG stream and their MC noise would be
+    # perfectly correlated
+    row_seeds = spawn_seeds(cfg.seed, len(gates))
+    shards = [
+        _MapRow(
+            index=gi,
+            circuit=circuit,
+            config=cfg.replace(seed=row_seeds[gi]),
+            gate_voltage=float(vg),
+            gate_source=gate_source,
+            bias_voltages=biases,
+            jumps_per_point=jumps_per_point,
+            junctions=list(measure_junctions),
+            orientations=list(orientations) if orientations is not None else None,
+            bias_setter=bias_setter,
+        )
+        for gi, vg in enumerate(gates)
+    ]
     with _telemetry.span(
         "sweep.map", category="sweep",
-        rows=len(gate_voltages), points=len(bias_voltages),
+        rows=len(gates), points=len(biases),
     ):
-        for gi, vg in enumerate(gate_voltages):
-            engine = MonteCarloEngine(circuit, config)
-            engine.set_sources({gate_source: float(vg)})
-            with _telemetry.span("sweep.row", category="sweep", vg=float(vg)):
-                for bi, vb in enumerate(bias_voltages):
-                    engine.set_sources(bias_setter(float(vb)))
-                    try:
-                        currents[gi, bi] = engine.measure_current(
-                            list(measure_junctions), jumps_per_point,
-                            orientations=orientations,
-                        )
-                    except SimulationError:
-                        currents[gi, bi] = 0.0
-            total_stats = total_stats.merge(engine.solver.stats)
-    return CurrentMap(
-        np.asarray(bias_voltages, dtype=float),
-        np.asarray(gate_voltages, dtype=float),
-        currents,
-        stats=total_stats,
-    )
+        results = execute_shards(_run_map_row, shards, jobs=jobs)
+    currents = np.vstack([r.currents for r in results])
+    return CurrentMap(biases, gates, currents, stats=_merge_stats(results))

@@ -29,6 +29,16 @@ class SimulationError(SemsimError):
     """Raised when a simulation cannot proceed (no events, bad config)."""
 
 
+class FrozenCircuitError(SimulationError):
+    """Raised when every tunnel rate vanishes: the circuit is frozen.
+
+    Deep Coulomb blockade at low temperature carries no current, so
+    sweep loops treat this one condition as "current = 0" — while every
+    other :class:`SimulationError` (bad configuration, no simulated
+    time elapsed, ...) keeps signalling a genuine failure.
+    """
+
+
 class ConvergenceError(SemsimError):
     """Raised by the SPICE-style solver when Newton iteration diverges.
 

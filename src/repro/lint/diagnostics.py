@@ -112,6 +112,10 @@ CODES: dict[str, CodeInfo] = {c.code: c for c in (
     _c("SEM044", Severity.INFO, "very small event budget per operating point",
        "increase 'jumps'; current estimates below ~1000 events are "
        "noise-dominated"),
+    _c("SEM045", Severity.ERROR, "event budget too small to honor the warm-up",
+       "the 20% measurement warm-up of 'jumps' truncates to zero events "
+       "and the engine refuses to measure an unrelaxed state; use "
+       "jumps >= 5"),
     # --- logic netlists -------------------------------------------------
     _c("SEM050", Severity.ERROR, "gate input reads an undriven net",
        "declare the net as a primary input or drive it with a gate"),

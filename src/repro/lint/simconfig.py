@@ -22,6 +22,8 @@ from repro.lint.diagnostics import Diagnostic, diag
 SWEEP_POINTS_CEILING = 200_000
 #: Event budgets below this draw a statistics note.
 JUMPS_FLOOR = 1000
+#: Fraction of the event budget the engine discards as warm-up.
+WARMUP_FRACTION = 0.2
 #: Adaptive thresholds above this draw an accuracy warning.
 THRESHOLD_CEILING = 0.2
 #: Refresh intervals above this draw a drift warning.
@@ -82,10 +84,19 @@ def check_sweep(circuit: Circuit, step: float, maximum: float) -> list[Diagnosti
 
 def check_jumps(jumps: int) -> list[Diagnostic]:
     """Event-budget sanity for one operating point."""
+    out: list[Diagnostic] = []
+    if int(jumps * WARMUP_FRACTION) == 0:
+        out.append(diag(
+            "SEM045",
+            f"jumps = {jumps} is too small to honor the "
+            f"{WARMUP_FRACTION:.0%} measurement warm-up: "
+            "engine.measure_current refuses to measure an unrelaxed "
+            "charge state",
+        ))
     if jumps < JUMPS_FLOOR:
-        return [diag(
+        out.append(diag(
             "SEM044",
             f"jumps = {jumps} events per operating point gives noisy "
             "current estimates; 10^4-10^5 is typical",
-        )]
-    return []
+        ))
+    return out

@@ -224,12 +224,26 @@ class SemsimDeck:
             out.append(circuit.junction_index(f"j{jid}"))
         return out
 
-    def run(self, solver: str = "adaptive", seed: int = 0) -> IVCurve:
+    def run(
+        self,
+        solver: str = "adaptive",
+        seed: int = 0,
+        jobs: int = 1,
+        chunks: int = 1,
+    ) -> IVCurve:
         """Execute the deck: sweep if requested, one point otherwise.
 
         The returned curve carries the cumulative
         :class:`repro.core.base.SolverStats` of the run in its
         ``stats`` field.
+
+        ``jobs`` distributes the work over worker processes and
+        ``chunks`` splits the sweep into independently seeded voltage
+        chunks (see :func:`repro.core.sweep.sweep_iv`); the defaults
+        run the historical serial path byte-for-byte.  A deck asking
+        for several independent runs (``jumps <count> <runs>`` with
+        ``runs > 1``) is executed as an ensemble whose replicas are
+        averaged into the returned curve.
         """
         with _telemetry.span("deck.build", category="deck"):
             circuit = self.build_circuit()
@@ -239,8 +253,8 @@ class SemsimDeck:
         # infer each junction's sign from its position relative to the
         # first recorded junction's island
         orientations = _series_orientations(circuit, junctions)
-        engine = MonteCarloEngine(circuit, config)
         if self.sweep is None:
+            engine = MonteCarloEngine(circuit, config)
             with _telemetry.span("deck.run", category="deck", points=1):
                 current = engine.measure_current(
                     junctions, self.jumps, orientations=orientations
@@ -250,6 +264,12 @@ class SemsimDeck:
                 stats=dataclasses.replace(engine.solver.stats),
             )
         values = self.sweep.values()
+        if jobs != 1 or chunks != 1 or self.runs > 1:
+            return self._run_sharded(
+                circuit, config, values, junctions, orientations,
+                jobs=jobs, chunks=chunks,
+            )
+        engine = MonteCarloEngine(circuit, config)
         currents = np.empty_like(values)
         with _telemetry.span(
             "deck.run", category="deck", points=len(values),
@@ -269,6 +289,68 @@ class SemsimDeck:
             values, currents, f"sweep node {self.sweep.node}",
             stats=dataclasses.replace(engine.solver.stats),
         )
+
+    def _run_sharded(
+        self,
+        circuit: Circuit,
+        config: SimulationConfig,
+        values: np.ndarray,
+        junctions: list[int],
+        orientations: list[int],
+        jobs: int,
+        chunks: int,
+    ) -> IVCurve:
+        """Sweep through the shard/merge layer (``jobs``/``chunks``/
+        ensemble ``runs``) instead of the in-place serial loop."""
+        from repro.core.sweep import sweep_iv
+        from repro.parallel import ensemble_iv
+
+        assert self.sweep is not None
+        setter = DeckSweepSetter(
+            f"v{self.sweep.node}",
+            f"v{self.symmetric_node}" if self.symmetric_node is not None else None,
+        )
+        label = f"sweep node {self.sweep.node}"
+        with _telemetry.span(
+            "deck.run", category="deck",
+            points=len(values), jobs=jobs, chunks=chunks, runs=self.runs,
+        ):
+            if self.runs > 1:
+                ensemble = ensemble_iv(
+                    circuit, values, self.runs, config,
+                    jumps_per_point=self.jumps,
+                    measure_junctions=junctions,
+                    orientations=orientations,
+                    source_setter=setter,
+                    label=label,
+                    jobs=jobs,
+                )
+                return ensemble.mean_curve()
+            return sweep_iv(
+                circuit, values, config,
+                jumps_per_point=self.jumps,
+                measure_junctions=junctions,
+                orientations=orientations,
+                source_setter=setter,
+                label=label,
+                chunks=chunks,
+                jobs=jobs,
+            )
+
+
+@dataclasses.dataclass
+class DeckSweepSetter:
+    """Picklable source setter for a deck sweep: drives the swept node
+    and, in ``symm`` mode, its mirror node to the opposite voltage."""
+
+    source: str
+    symmetric_source: str | None = None
+
+    def __call__(self, v: float) -> dict:
+        targets = {self.source: float(v)}
+        if self.symmetric_source is not None:
+            targets[self.symmetric_source] = -float(v)
+        return targets
 
 
 def _series_orientations(circuit: Circuit, junctions: list[int]) -> list[int]:

@@ -1,0 +1,36 @@
+"""Process-pool execution layer for sharded Monte Carlo work.
+
+The paper's headline claim is wall-clock speed; this package supplies
+the other axis — running independent shards (``sweep_map`` gate rows,
+``sweep_iv`` voltage chunks, ensemble replicas) across worker
+processes.  Three guarantees:
+
+* **bit-reproducibility**: every shard's seed is spawned from the root
+  seed by shard index (:func:`spawn_seeds`), so results are identical
+  for any ``jobs`` value and any scheduling order;
+* **serial fidelity**: ``jobs=1`` executes inline — the pre-parallel
+  code path, byte for byte;
+* **merged observability**: per-worker ``SolverStats`` and telemetry
+  metric snapshots are folded back into the parent session in shard
+  order.
+
+See :func:`repro.core.sweep.sweep_iv` / ``sweep_map`` (``jobs=`` and
+``chunks=`` parameters) and :func:`ensemble_iv` for the user-facing
+entry points; :func:`execute_shards` is the building block any future
+distributed backend replaces.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.ensemble import EnsembleIV, ensemble_iv
+from repro.parallel.pool import execute_shards, resolve_jobs
+from repro.parallel.seeds import as_seed_sequence, spawn_seeds
+
+__all__ = [
+    "EnsembleIV",
+    "as_seed_sequence",
+    "ensemble_iv",
+    "execute_shards",
+    "resolve_jobs",
+    "spawn_seeds",
+]

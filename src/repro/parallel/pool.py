@@ -1,0 +1,107 @@
+"""Process-pool execution of independent simulation shards.
+
+The sweep layer decomposes its work into *shards* — picklable payloads
+plus a module-level worker function — and hands them here.  The
+contract that makes parallelism safe for a Monte Carlo code:
+
+* every shard carries its own spawned seed (see
+  :mod:`repro.parallel.seeds`), so results are bit-identical for any
+  ``jobs`` and any scheduling order;
+* results are returned in shard order, regardless of completion order;
+* ``jobs=1`` runs the shards inline in this process — no pool, no
+  pickling, and telemetry flows straight into the active registry, so
+  the serial path is byte-identical to pre-parallel behaviour;
+* with ``jobs > 1`` and an active telemetry registry in the parent,
+  each worker runs its shard under a metrics-only registry and ships
+  the snapshot back; the parent folds the snapshots in shard order via
+  :meth:`~repro.telemetry.registry.TelemetryRegistry.merge_snapshot`.
+  Trace events are per-process and stay in the worker.
+
+Worker functions and payloads must be picklable: module-level
+functions, dataclasses, numpy arrays.  Closures (e.g. a lambda bias
+setter) cannot cross the process boundary — use a module-level
+callable class instead, as :func:`repro.core.sweep.symmetric_bias`
+does.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Any, Callable, Sequence, TypeVar, cast
+
+from repro.errors import SimulationError
+from repro.telemetry import registry as _telemetry
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` means all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise SimulationError(f"jobs must be >= 1 (or 0 for all cores), got {jobs}")
+    return jobs
+
+
+def _shard_entry(
+    worker: Callable[[_P], _R], payload: _P, collect_metrics: bool
+) -> tuple[_R, dict[str, dict[str, Any]] | None]:
+    """Subprocess entry: run one shard, optionally under a local
+    metrics-only telemetry session whose snapshot rides back with the
+    result."""
+    if not collect_metrics:
+        return worker(payload), None
+    with _telemetry.session(trace=False) as reg:
+        value = worker(payload)
+    return value, reg.metrics()
+
+
+def execute_shards(
+    worker: Callable[[_P], _R],
+    payloads: Sequence[_P],
+    jobs: int | None = 1,
+) -> list[_R]:
+    """Run ``worker`` over every payload; results come back in order.
+
+    ``jobs=1`` executes inline (the serial path); ``jobs>1`` fans the
+    shards out over a :class:`concurrent.futures.ProcessPoolExecutor`
+    with at most ``min(jobs, len(payloads))`` workers.  Exceptions
+    raised by a shard propagate to the caller.
+    """
+    items = list(payloads)
+    jobs = resolve_jobs(jobs)
+    parent = _telemetry.ACTIVE
+    with _telemetry.span(
+        "parallel.execute", category="parallel", shards=len(items), jobs=jobs,
+    ):
+        if jobs == 1 or len(items) <= 1:
+            return [worker(payload) for payload in items]
+
+        collect = parent is not None
+        results: list[_R | None] = [None] * len(items)
+        snapshots: list[dict[str, dict[str, Any]] | None] = [None] * len(items)
+        max_workers = min(jobs, len(items))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers
+        ) as pool:
+            futures = {
+                pool.submit(_shard_entry, worker, payload, collect): index
+                for index, payload in enumerate(items)
+            }
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                value, metrics = future.result()
+                results[index] = value
+                snapshots[index] = metrics
+        if parent is not None:
+            # fold in shard order so the merged registry is
+            # deterministic whatever the completion order was
+            for metrics in snapshots:
+                if metrics is not None:
+                    parent.merge_snapshot(metrics)
+            parent.counter("parallel.shards").add(len(items))
+            parent.gauge("parallel.jobs").set(max_workers)
+    return cast("list[_R]", results)

@@ -250,6 +250,34 @@ class TelemetryRegistry:
             },
         }
 
+    def merge_snapshot(self, metrics: dict[str, dict[str, Any]]) -> None:
+        """Fold a :meth:`metrics` snapshot from another registry into
+        this one — how parallel workers report back to the parent
+        session.
+
+        Counters add, histograms combine their streaming moments, and
+        gauges adopt the snapshot's value (last-wins, matching their
+        in-process semantics).  Trace events are per-process and are
+        *not* transported.
+        """
+        for name, value in metrics.get("counters", {}).items():
+            self.counter(name).add(int(value))
+        for name, value in metrics.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, moments in metrics.get("histograms", {}).items():
+            count = int(moments.get("count", 0))
+            if count <= 0:
+                continue
+            hist = self.histogram(name)
+            hist.count += count
+            hist.total += float(moments.get("total", 0.0))
+            low = float(moments.get("min", math.inf))
+            high = float(moments.get("max", -math.inf))
+            if low < hist.minimum:
+                hist.minimum = low
+            if high > hist.maximum:
+                hist.maximum = high
+
     # ------------------------------------------------------------------
     # tracing
     # ------------------------------------------------------------------

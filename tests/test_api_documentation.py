@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.logic",
     "repro.master",
     "repro.netlist",
+    "repro.parallel",
     "repro.physics",
     "repro.spice",
 ]
