@@ -11,13 +11,13 @@ verify identity but not parallelism).
 """
 
 import os
-import time
 
 import numpy as np
 
 from repro.analysis import format_table
 from repro.circuit import build_set
 from repro.core import SimulationConfig, sweep_map
+from repro.telemetry.clock import Stopwatch
 
 from _harness import full_scale, record_parallel_bench, run_once
 
@@ -37,11 +37,11 @@ def run_measurements():
     rows = []
     maps = {}
     for jobs in JOBS:
-        start = time.perf_counter()
+        watch = Stopwatch()
         maps[jobs] = sweep_map(
             circuit, biases, gates, config, jumps_per_point=jumps, jobs=jobs,
         )
-        seconds = time.perf_counter() - start
+        seconds = watch.elapsed()
         rows.append({
             "jobs": jobs,
             "seconds": seconds,

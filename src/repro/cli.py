@@ -25,6 +25,16 @@ this CLI reproduces that workflow:
     Static analysis only: report every ``SEM0xx`` diagnostic of a deck
     or logic netlist without running any Monte Carlo.  The exit code
     mirrors the worst severity (0 clean/info, 1 warnings, 2 errors).
+``python -m repro sanitize [path ...]``
+    Static *determinism* analysis of the simulator sources themselves:
+    report every ``DET0xx`` diagnostic (unseeded RNGs, global RNG
+    state, wall-clock reads outside ``telemetry.clock``, worker state
+    writes, unpicklable pool payloads, unordered-set iteration).  The
+    exit code mirrors the worst severity, like ``lint``.
+``python -m repro run deck.txt --dsan``
+    Runtime determinism sanitizer: execute the deck twice under the
+    same seed with the pool boundary armed, compare order-sensitive
+    event-stream hashes and fail (exit 1) if the replicas diverge.
 ``python -m repro benchmark 74LS138``
     Build one of the paper's logic benchmarks and report its size.
 ``python -m repro benchmarks``
@@ -82,6 +92,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", type=Path, default=None, metavar="FILE",
         help="record a telemetry trace of the run (Chrome trace-event "
              "JSON; '.jsonl' suffix selects JSON Lines)",
+    )
+    run.add_argument(
+        "--dsan", action="store_true",
+        help="runtime determinism sanitizer: execute the deck twice "
+             "under the same seed, compare order-sensitive event-stream "
+             "hashes, and verify every pool boundary (picklable shard "
+             "payloads, module-level workers, no worker state leaks); "
+             "exit 1 if the replicas diverge",
     )
 
     info = sub.add_parser("info", help="parse and describe a deck")
@@ -143,6 +161,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the table of SEM0xx diagnostic codes and exit",
     )
 
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="static determinism sanitizer: DET0xx diagnostics over "
+             "the simulator sources (no simulation)",
+    )
+    sanitize.add_argument(
+        "paths", type=Path, nargs="*",
+        help="files or directories to analyse (default: the installed "
+             "repro package sources)",
+    )
+    sanitize.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    sanitize.add_argument(
+        "--codes", action="store_true",
+        help="print the table of DET0xx diagnostic codes and exit",
+    )
+
     bench = sub.add_parser("benchmark", help="build a paper logic benchmark")
     bench.add_argument("name", help="benchmark name, e.g. '74LS138'")
 
@@ -155,21 +192,42 @@ def _cmd_run(args) -> int:
     from repro.telemetry import registry as telemetry
 
     deck = parse_semsim(args.deck.read_text(), strict=args.strict)
+
+    def _execute():
+        if not args.dsan:
+            return deck.run(
+                solver=args.solver, seed=args.seed,
+                jobs=args.jobs, chunks=args.chunks,
+            )
+        # shadow-run verification: execute the identically seeded deck
+        # twice with the pool boundary armed, compare the event-stream
+        # hashes, report the outcome on stderr and return the primary
+        # run's curve
+        from repro.dsan import dsan_mode, verify_shadow
+
+        curves = []
+
+        def _replica():
+            curves.append(deck.run(
+                solver=args.solver, seed=args.seed,
+                jobs=args.jobs, chunks=args.chunks, dsan=True,
+            ))
+            return curves[-1].event_hash
+
+        with dsan_mode():
+            report = verify_shadow(_replica, label=str(args.deck))
+        print(report.format(), file=sys.stderr)
+        return curves[0]
+
     if args.trace is not None:
         from repro.telemetry.exporters import write_trace
 
         with telemetry.session() as reg:
-            curve = deck.run(
-                solver=args.solver, seed=args.seed,
-                jobs=args.jobs, chunks=args.chunks,
-            )
+            curve = _execute()
         count = write_trace(reg, args.trace)
         print(f"wrote {count} trace events to {args.trace}", file=sys.stderr)
     else:
-        curve = deck.run(
-            solver=args.solver, seed=args.seed,
-            jobs=args.jobs, chunks=args.chunks,
-        )
+        curve = _execute()
     lines = ["sweep_voltage_V,current_A"]
     lines += [f"{v:.9g},{i:.9g}" for v, i in zip(curve.voltages, curve.currents)]
     text = "\n".join(lines) + "\n"
@@ -278,6 +336,23 @@ def _cmd_lint(args) -> int:
     return exit_code
 
 
+def _cmd_sanitize(args) -> int:
+    from repro.dsan import (
+        code_table, default_root, report_as_json, sanitize_paths,
+    )
+
+    if args.codes:
+        print(code_table())
+        return 0
+    paths = list(args.paths) if args.paths else [default_root()]
+    report = sanitize_paths(paths)
+    if args.format == "json":
+        print(report_as_json(report))
+    else:
+        print(report.format())
+    return report.exit_code
+
+
 def _cmd_benchmark(args) -> int:
     from repro.logic import build_benchmark
 
@@ -314,6 +389,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_info(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "sanitize":
+            return _cmd_sanitize(args)
         if args.command == "benchmark":
             return _cmd_benchmark(args)
         if args.command == "benchmarks":

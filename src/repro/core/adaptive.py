@@ -395,9 +395,7 @@ class AdaptiveSolver(BaseSolver):
             event = TunnelEvent(
                 EventKind.SEQUENTIAL, j, -1, 1, float(self._dw_bw[j])
             )
-        self._advance_time(dt)
-        self.stats.events += 1
-        self._apply_event(event)
+        self._commit_event(event, dt)
         return event
 
     def _event_seeds(self, event: TunnelEvent) -> list[int]:

@@ -112,6 +112,14 @@ class BaseSolver:
         #: signed electron count through each junction (+ = node_a -> node_b)
         self.flux = np.zeros(self.n_junctions, dtype=np.int64)
         self.stats = SolverStats()
+        # order-sensitive digest of the realised event stream — the
+        # runtime determinism sanitizer's oracle (repro run --dsan)
+        if config.event_hash:
+            from repro.dsan.runtime import new_digest
+
+            self._event_digest = new_digest()
+        else:
+            self._event_digest = None
 
     # ------------------------------------------------------------------
     # secondary (always non-adaptive) channels
@@ -231,10 +239,46 @@ class BaseSolver:
             else:
                 event = TunnelEvent(kind, payload, direction, 2, float(dw))
 
+        self._commit_event(event, dt)
+        return event
+
+    def _commit_event(self, event: TunnelEvent, dt: float) -> None:
+        """Realise a drawn event: advance the clocks, count it, mutate
+        the charge state and fold it into the event-stream digest.
+
+        Every event-realising path (the shared selection above and the
+        adaptive solver's fast tree draw) must commit through here so
+        the determinism sanitizer's digest sees the full stream.
+        """
         self._advance_time(dt)
         self.stats.events += 1
         self._apply_event(event)
-        return event
+        if self._event_digest is not None:
+            self._hash_event(event, dt)
+
+    def _hash_event(self, event: TunnelEvent, dt: float) -> None:
+        """Fold one realised event into the stream digest.
+
+        The record covers everything that defines the trajectory step:
+        event kind, junction, direction, electron count, the two
+        endpoint node refs (= the island occupation deltas) and the
+        exact bits of the residence time.  ``float.hex`` keeps the
+        encoding exact and platform-independent.
+        """
+        ref_a, ref_b = self._event_endpoints(event)
+        record = (
+            f"{event.kind.value}:{event.junction}:{event.direction}:"
+            f"{event.n_electrons}:{ref_a.is_island:d}{ref_a.index}:"
+            f"{ref_b.is_island:d}{ref_b.index}:{dt.hex()}\n"
+        )
+        self._event_digest.update(record.encode("ascii"))
+
+    def event_stream_hash(self) -> str | None:
+        """Hex digest of the event stream so far (``None`` when
+        :attr:`SimulationConfig.event_hash` is off)."""
+        if self._event_digest is None:
+            return None
+        return self._event_digest.hexdigest()
 
     def _advance_time(self, dt: float) -> None:
         """Kahan-compensated advance of both clocks."""

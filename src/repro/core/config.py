@@ -62,6 +62,16 @@ class SimulationConfig:
         parallel sweep layer passes spawned children here so every
         shard draws an independent, reproducible stream).  An integer
         seed ``s`` and ``SeedSequence(s)`` produce bit-identical runs.
+    event_hash:
+        Maintain an order-sensitive BLAKE2 digest of the realised
+        tunnel-event stream (kind, junction, direction, electron
+        count, endpoint islands, exact ``dt`` bits) on every solver.
+        This is the runtime determinism sanitizer's oracle
+        (``repro run --dsan``, :mod:`repro.dsan.runtime`): two runs
+        with the same seed must produce the same digest, and shard
+        digests fold in shard order so the combined hash is identical
+        for every ``jobs`` value.  Off by default; the hot-path cost
+        when enabled is one small hash update per event.
     """
 
     temperature: float = 4.2
@@ -75,6 +85,7 @@ class SimulationConfig:
     cotunneling_energy_floor: float | None = None
     qp_table_points: int = 4001
     seed: int | np.random.SeedSequence = 0
+    event_hash: bool = False
 
     def seed_sequence(self) -> np.random.SeedSequence:
         """The seed as a ``SeedSequence`` root for spawning shard seeds."""

@@ -99,6 +99,15 @@ class MonteCarloEngine:
         self.recorders: list[Recorder] = []
 
     # ------------------------------------------------------------------
+    def event_hash(self) -> str | None:
+        """Digest of the realised event stream so far.
+
+        ``None`` unless the run was configured with
+        ``SimulationConfig(event_hash=True)`` — see the runtime
+        determinism sanitizer (:mod:`repro.dsan.runtime`).
+        """
+        return self.solver.event_stream_hash()
+
     def add_recorder(self, recorder: Recorder) -> Recorder:
         """Attach a recorder; returns it for convenient chaining."""
         self.recorders.append(recorder)

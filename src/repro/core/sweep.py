@@ -24,6 +24,7 @@ from repro.circuit.circuit import Circuit
 from repro.core.base import SolverStats
 from repro.core.config import SimulationConfig
 from repro.core.engine import MonteCarloEngine
+from repro.dsan.runtime import fold_hashes
 from repro.errors import FrozenCircuitError, SimulationError
 from repro.parallel.pool import execute_shards
 from repro.parallel.seeds import spawn_seeds
@@ -40,6 +41,12 @@ class IVCurve:
     #: cumulative solver work behind the curve (``None`` for curves
     #: built outside an engine, e.g. analytical references)
     stats: SolverStats | None = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
+    #: order-sensitive fold of the per-chunk event-stream digests
+    #: (``None`` unless the sweep ran with ``event_hash=True``); a pure
+    #: function of the shard layout, never of ``jobs``
+    event_hash: str | None = dataclasses.field(
         default=None, compare=False, repr=False
     )
 
@@ -77,6 +84,8 @@ class _ShardResult:
 
     currents: np.ndarray
     stats: SolverStats
+    #: per-shard event-stream digest (``None`` when hashing is off)
+    event_hash: str | None = None
 
 
 @dataclasses.dataclass
@@ -120,7 +129,9 @@ def _run_iv_chunk(chunk: _IVChunk) -> _ShardResult:
                     # carries no current.  Any other SimulationError is
                     # a genuine failure and propagates.
                     currents[i] = 0.0
-    return _ShardResult(currents, dataclasses.replace(engine.solver.stats))
+    return _ShardResult(
+        currents, dataclasses.replace(engine.solver.stats), engine.event_hash()
+    )
 
 
 @dataclasses.dataclass
@@ -157,12 +168,22 @@ def _run_map_row(row: _MapRow) -> _ShardResult:
                 )
             except FrozenCircuitError:
                 currents[bi] = 0.0
-    return _ShardResult(currents, dataclasses.replace(engine.solver.stats))
+    return _ShardResult(
+        currents, dataclasses.replace(engine.solver.stats), engine.event_hash()
+    )
 
 
 def _merge_stats(results: Sequence[_ShardResult]) -> SolverStats:
     """Sum the per-shard work counters in shard order."""
     return SolverStats().merge(*(r.stats for r in results))
+
+
+def _merge_hashes(results: Sequence[_ShardResult]) -> str | None:
+    """Fold the per-shard digests in shard order (``None`` when off)."""
+    hashes = [r.event_hash for r in results]
+    if any(h is None for h in hashes):
+        return None
+    return fold_hashes([h for h in hashes if h is not None])
 
 
 # ----------------------------------------------------------------------
@@ -250,7 +271,11 @@ def sweep_iv(
         np.concatenate([r.currents for r in results])
         if results else np.empty(0)
     )
-    return IVCurve(volts, currents, label, stats=_merge_stats(results))
+    return IVCurve(
+        volts, currents, label,
+        stats=_merge_stats(results),
+        event_hash=_merge_hashes(results),
+    )
 
 
 @dataclasses.dataclass
@@ -263,6 +288,11 @@ class CurrentMap:
     currents: np.ndarray
     #: solver work merged across the per-row engines
     stats: SolverStats | None = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
+    #: order-sensitive fold of the per-row event-stream digests
+    #: (``None`` unless the map ran with ``event_hash=True``)
+    event_hash: str | None = dataclasses.field(
         default=None, compare=False, repr=False
     )
 
@@ -320,4 +350,8 @@ def sweep_map(
     ):
         results = execute_shards(_run_map_row, shards, jobs=jobs)
     currents = np.vstack([r.currents for r in results])
-    return CurrentMap(biases, gates, currents, stats=_merge_stats(results))
+    return CurrentMap(
+        biases, gates, currents,
+        stats=_merge_stats(results),
+        event_hash=_merge_hashes(results),
+    )

@@ -1,0 +1,87 @@
+"""Orchestration of the static determinism pass.
+
+:func:`sanitize_paths` parses every Python file under the given roots
+once, builds the cross-module call graph, runs the DET rules over each
+module and returns a :class:`~repro.dsan.diagnostics.SanitizerReport`
+ordered by path then line.  Waivers (``# dsan: allow[DET0xx]``) are
+honoured per line and per code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.dsan.callgraph import CallGraph
+from repro.dsan.diagnostics import (
+    DET_CODES,
+    Finding,
+    SanitizerReport,
+    finding,
+    waived_codes,
+)
+from repro.dsan.rules import module_rules
+from repro.dsan.visitors import ModuleSource, iter_python_files
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory — what CI scans."""
+    return Path(__file__).resolve().parent.parent
+
+
+def _waiver(line: str, code: str) -> bool:
+    return code in waived_codes(line)
+
+
+def sanitize_paths(
+    roots: list[Path] | None = None,
+    *,
+    relative_to: Path | None = None,
+) -> SanitizerReport:
+    """Run the DET pass over files/directories (default: ``repro``)."""
+    if not roots:
+        roots = [default_root()]
+    scan_root = relative_to
+    if scan_root is None:
+        scan_root = roots[0] if roots[0].is_dir() else roots[0].parent
+
+    modules = [
+        ModuleSource.parse(path, root=scan_root)
+        for path in iter_python_files(roots)
+    ]
+    graph = CallGraph(modules)
+    reachable = graph.worker_reachable()
+
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in module_rules(module, _waiver, graph, reachable):
+            rule.visit(module.tree)
+            for lineno, code, message in rule.raw_reports:
+                findings.append(finding(
+                    code, message,
+                    path=str(module.path), line=lineno,
+                ))
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return SanitizerReport(tuple(findings), files_scanned=len(modules))
+
+
+def report_as_json(report: SanitizerReport) -> str:
+    """Machine-readable rendering for ``repro sanitize --format json``."""
+    return json.dumps(
+        {
+            "files_scanned": report.files_scanned,
+            "findings": [f.as_dict() for f in report.findings],
+            "summary": report.summary(),
+            "exit_code": report.exit_code,
+        },
+        indent=2,
+    )
+
+
+def code_table() -> str:
+    """The DET code registry as a fixed-width table (``--codes``)."""
+    lines = [f"{'code':8s} {'severity':8s} meaning"]
+    for info in DET_CODES.values():
+        lines.append(f"{info.code:8s} {str(info.severity):8s} {info.title}")
+        lines.append(f"{'':8s} {'':8s}   fix: {info.fix}")
+    return "\n".join(lines)

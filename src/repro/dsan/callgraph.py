@@ -1,0 +1,167 @@
+"""Approximate call graph and pool-worker reachability.
+
+The DET020/DET021 rules need to know which functions can run *inside a
+pool worker process*: anything reachable from a worker entry point —
+a function passed to :func:`repro.parallel.pool.execute_shards` — plus
+the pool's own subprocess entry.  Exact interprocedural analysis is
+out of scope for a sanitizer; this module builds a deliberately
+over-approximate graph keyed by *bare* function name (``measure`` and
+``Foo.measure`` collide), which errs toward flagging.  False positives
+are waived per line with a justification, which is exactly the audit
+trail the determinism contract wants.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+from repro.dsan.visitors import ModuleSource, call_name, last_attr
+
+#: Functions whose first argument is shipped to worker processes.
+POOL_SUBMISSION_CALLS = frozenset({"execute_shards"})
+
+#: The pool's own subprocess entry: everything it calls runs in a
+#: worker even though it is never *passed* to ``execute_shards``.
+IMPLICIT_WORKER_ENTRIES = frozenset({"_shard_entry"})
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionNode:
+    """One function or method definition in the scanned set."""
+
+    relpath: str
+    qualname: str
+    name: str
+    lineno: int
+    node: ast.AST
+
+
+class CallGraph:
+    """Name-keyed call graph over a set of parsed modules."""
+
+    def __init__(self, modules: list[ModuleSource]):
+        #: bare name -> definitions sharing it
+        self.definitions: dict[str, list[FunctionNode]] = {}
+        #: bare caller name -> bare callee names
+        self.calls: dict[str, set[str]] = {}
+        #: bare names of functions passed to a pool submission call
+        self.worker_entries: set[str] = set()
+        for module in modules:
+            self._scan_module(module)
+        self.worker_entries |= IMPLICIT_WORKER_ENTRIES & set(self.definitions)
+
+    # ------------------------------------------------------------------
+    def _scan_module(self, module: ModuleSource) -> None:
+        for parent, qualname, func in _iter_functions(module.tree):
+            del parent
+            node = FunctionNode(
+                relpath=module.relpath,
+                qualname=qualname,
+                name=func.name,
+                lineno=func.lineno,
+                node=func,
+            )
+            self.definitions.setdefault(func.name, []).append(node)
+            callees = self.calls.setdefault(func.name, set())
+            for call in _direct_calls(func, skip_functions=True):
+                name = call_name(call)
+                if name is None:
+                    continue
+                callees.add(last_attr(name))
+                if last_attr(name) in POOL_SUBMISSION_CALLS and call.args:
+                    entry = _callable_bare_name(call.args[0])
+                    if entry is not None:
+                        self.worker_entries.add(entry)
+        # module-level pool submissions count too
+        for call in _direct_calls(module.tree, skip_functions=True):
+            name = call_name(call)
+            if name is not None and last_attr(name) in POOL_SUBMISSION_CALLS \
+                    and call.args:
+                entry = _callable_bare_name(call.args[0])
+                if entry is not None:
+                    self.worker_entries.add(entry)
+
+    # ------------------------------------------------------------------
+    def worker_reachable(self) -> frozenset[str]:
+        """Bare names of every function reachable from a worker entry."""
+        seen: set[str] = set()
+        frontier = [e for e in self.worker_entries if e in self.definitions]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for callee in self.calls.get(name, ()):
+                if callee in self.definitions and callee not in seen:
+                    frontier.append(callee)
+        return frozenset(seen)
+
+    def witness_path(self, target: str) -> list[str]:
+        """One entry-to-target call chain, for a readable message."""
+        for entry in sorted(self.worker_entries):
+            path = self._search(entry, target, [entry], set())
+            if path is not None:
+                return path
+        return [target]
+
+    def _search(
+        self, current: str, target: str, path: list[str], seen: set[str]
+    ) -> list[str] | None:
+        if current == target:
+            return path
+        if current in seen:
+            return None
+        seen.add(current)
+        for callee in sorted(self.calls.get(current, ())):
+            if callee not in self.definitions:
+                continue
+            found = self._search(callee, target, path + [callee], seen)
+            if found is not None:
+                return found
+        return None
+
+
+# ----------------------------------------------------------------------
+# AST walking helpers
+# ----------------------------------------------------------------------
+
+def _iter_functions(tree: ast.Module):
+    """Yield ``(parent, qualname, function_node)`` for every def."""
+    stack: list[tuple[ast.AST, str]] = [(tree, "")]
+    while stack:
+        node, prefix = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield node, qualname, child
+                stack.append((child, f"{qualname}.<locals>."))
+            elif isinstance(child, ast.ClassDef):
+                stack.append((child, f"{prefix}{child.name}."))
+            else:
+                # other statements can still nest defs (`if`, `with`)
+                stack.append((child, prefix))
+
+
+def _direct_calls(scope: ast.AST, skip_functions: bool = False):
+    """Every ``Call`` under ``scope``; optionally without descending
+    into nested function bodies (their calls belong to that function)."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if skip_functions and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _callable_bare_name(node: ast.expr) -> str | None:
+    """Bare name of a callable reference (``worker`` / ``mod.worker``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None

@@ -1,0 +1,200 @@
+"""Finding records and the stable ``DET0xx`` code registry.
+
+The determinism sanitizer mirrors :mod:`repro.lint`'s design: every
+pass emits :class:`Finding` records rather than raising, codes are
+stable so CI scripts and waiver comments can filter on them, and the
+registry below is the single source of truth for default severities
+and the documentation table in the README.
+
+A finding can be waived for one line with a trailing comment naming
+the code::
+
+    rng = np.random.default_rng()  # dsan: allow[DET001] replay tool, seeded upstream
+
+Waivers are deliberately per-code (``allow[DET001,DET005]`` waives
+two), so silencing one rule never silences the others on that line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.lint.diagnostics import Severity
+
+#: Waiver comment syntax: ``# dsan: allow[DET001]`` or
+#: ``# dsan: allow[DET001,DET005]``; anything after the bracket is the
+#: (encouraged) human justification.
+WAIVER_PATTERN = re.compile(r"#\s*dsan:\s*allow\[([A-Z0-9,\s]+)\]")
+
+
+def waived_codes(line: str) -> frozenset[str]:
+    """Codes waived by the trailing ``# dsan: allow[...]`` comment."""
+    match = WAIVER_PATTERN.search(line)
+    if match is None:
+        return frozenset()
+    return frozenset(
+        code.strip() for code in match.group(1).split(",") if code.strip()
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class DetCodeInfo:
+    """Registry entry for one determinism diagnostic code."""
+
+    code: str
+    severity: Severity
+    title: str
+    fix: str
+
+
+def _c(code: str, severity: Severity, title: str, fix: str) -> DetCodeInfo:
+    return DetCodeInfo(code, severity, title, fix)
+
+
+#: The determinism vocabulary.  DET00x are RNG-stream rules, DET01x
+#: process/environment entropy, DET02x parallel-execution safety.
+DET_CODES: dict[str, DetCodeInfo] = {c.code: c for c in (
+    _c("DET001", Severity.ERROR,
+       "unseeded RNG construction",
+       "pass a seed that flows from SimulationConfig.seed / "
+       "spawn_seeds; default_rng() draws fresh OS entropy and every "
+       "run differs"),
+    _c("DET002", Severity.ERROR,
+       "global RNG state used",
+       "draw from an explicit numpy Generator seeded through "
+       "config.seed_sequence()/spawn_seeds; module-level "
+       "np.random.*/random.* state is shared, order-dependent and "
+       "invisible to the reproducibility contract"),
+    _c("DET003", Severity.ERROR,
+       "Generator does not flow from the seed plumbing",
+       "derive the seed from config.seed_sequence(), spawn_seeds() or "
+       "a seed parameter instead of a hard-coded or computed constant"),
+    _c("DET010", Severity.ERROR,
+       "wall-clock or entropy source outside telemetry.clock",
+       "route timing through repro.telemetry.clock (wall_time/"
+       "Stopwatch/time_call) and never let wall time, os.urandom or "
+       "uuid values feed simulation results"),
+    _c("DET020", Severity.ERROR,
+       "worker-reachable function writes module-level state",
+       "thread the state through the shard payload/result instead; "
+       "module globals written in a pool worker are silently lost and "
+       "make inline (jobs=1) and pooled runs diverge"),
+    _c("DET021", Severity.ERROR,
+       "non-module-level callable crosses the pool boundary",
+       "use a module-level function or a picklable dataclass "
+       "instance (see repro.core.sweep.SymmetricBias); lambdas and "
+       "closures either fail to pickle or silently capture state"),
+    _c("DET022", Severity.WARNING,
+       "iteration over an unordered set feeds order-sensitive work",
+       "iterate sorted(...) or a list; set order depends on "
+       "PYTHONHASHSEED, so RNG draws and float accumulation over it "
+       "differ between runs"),
+)}
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One determinism finding of the static pass."""
+
+    code: str
+    severity: Severity
+    message: str
+    path: str
+    line: int
+    symbol: str | None = None
+
+    def format(self) -> str:
+        where = f" [{self.symbol}]" if self.symbol else ""
+        return (
+            f"{self.path}:{self.line}: {self.code} "
+            f"{self.severity}:{where} {self.message}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+        }
+
+
+def finding(
+    code: str,
+    message: str,
+    *,
+    path: str,
+    line: int,
+    symbol: str | None = None,
+    severity: Severity | None = None,
+) -> Finding:
+    """Build a :class:`Finding`, defaulting severity from the registry."""
+    info = DET_CODES[code]
+    return Finding(
+        code=code,
+        severity=info.severity if severity is None else severity,
+        message=message,
+        path=path,
+        line=line,
+        symbol=symbol,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SanitizerReport:
+    """The ordered findings of one ``repro sanitize`` run."""
+
+    findings: tuple[Finding, ...]
+    files_scanned: int = 0
+
+    @property
+    def max_severity(self) -> Severity | None:
+        if not self.findings:
+            return None
+        return max(f.severity for f in self.findings)
+
+    @property
+    def codes(self) -> frozenset[str]:
+        return frozenset(f.code for f in self.findings)
+
+    def has(self, code: str) -> bool:
+        return any(f.code == code for f in self.findings)
+
+    def by_code(self, code: str) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.code == code)
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code mirroring the worst severity (0/1/2)."""
+        worst = self.max_severity
+        if worst is None or worst is Severity.INFO:
+            return 0
+        return 1 if worst is Severity.WARNING else 2
+
+    def summary(self) -> str:
+        if not self.findings:
+            return f"clean ({self.files_scanned} files)"
+        counts = []
+        for severity, noun in (
+            (Severity.ERROR, "error"),
+            (Severity.WARNING, "warning"),
+            (Severity.INFO, "info note"),
+        ):
+            n = sum(1 for f in self.findings if f.severity is severity)
+            if n:
+                counts.append(f"{n} {noun}{'s' if n != 1 else ''}")
+        return ", ".join(counts) + f" ({self.files_scanned} files)"
+
+    def format(self) -> str:
+        lines = [f.format() for f in self.findings]
+        lines.append(f"determinism: {self.summary()}")
+        return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Repository style rules (``REPRO001-004``) on the shared framework.
+
+Historically these lived as a free-standing AST script in
+``tools/check_source.py``; they now share the visitor infrastructure
+with the determinism sanitizer (:mod:`repro.dsan.rules`) so both code
+gates parse each file once, report the same way, and grow rules in one
+place.  The tool remains a thin shim over this module, and its public
+surface (:func:`check_module`, :func:`main`) is unchanged:
+
+``REPRO001``
+    No ``except Exception:`` / bare ``except:`` inside ``src/repro`` —
+    the package contract is a precise :class:`SemsimError` hierarchy,
+    and blanket handlers hide solver bugs as physics.
+``REPRO002``
+    No raising of bare builtin exceptions — deliberate errors must
+    derive from ``SemsimError`` (``NotImplementedError`` on abstract
+    hooks is exempt).
+``REPRO003``
+    No ``==``/``!=`` against non-zero float literals, and none at all
+    on identifiers that look like energies or voltages unless the
+    other side is a literal ``0``/``0.0`` sentinel.
+``REPRO004``
+    ``from __future__ import annotations`` in every module.
+
+A violation is waived for one line with a trailing
+``# repro-lint: allow`` comment.  Exit status: 0 clean, 1 violations,
+2 usage/IO trouble.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+from repro.dsan.visitors import ModuleSource, RuleVisitor
+
+FORBIDDEN_RAISES = frozenset({
+    "ValueError", "TypeError", "RuntimeError", "KeyError", "IndexError",
+    "Exception", "BaseException", "OSError", "ArithmeticError",
+    "ZeroDivisionError", "AttributeError", "AssertionError",
+})
+
+#: identifier fragments that mark a float-physics quantity
+PHYSICS_FRAGMENTS = ("energy", "voltage", "delta_w")
+PHYSICS_NAMES = frozenset({"dw", "ej", "e_c", "e_j", "bias", "vds", "vgs"})
+
+WAIVER = "# repro-lint: allow"
+
+
+def _waiver(line: str, code: str) -> bool:
+    del code  # the legacy waiver silences every REPRO rule on the line
+    return WAIVER in line
+
+
+def _is_zero_literal(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value in (0, 0.0)
+
+
+def _is_physics_name(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    lowered = name.lower()
+    return lowered in PHYSICS_NAMES or any(
+        fragment in lowered for fragment in PHYSICS_FRAGMENTS
+    )
+
+
+class RepoRules(RuleVisitor):
+    """REPRO001-003 in one traversal (REPRO004 is a module-level check)."""
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        broad = node.type is None or (
+            isinstance(node.type, ast.Name)
+            and node.type.id in ("Exception", "BaseException")
+        )
+        if broad:
+            self.report(
+                node, "REPRO001",
+                "broad exception handler; catch specific SemsimError "
+                "subclasses (or builtin types you expect)",
+            )
+        self.generic_visit(node)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in FORBIDDEN_RAISES:
+            self.report(
+                node, "REPRO002",
+                f"raises builtin {name}; deliberate errors must derive "
+                "from SemsimError (see repro.errors)",
+            )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        eq_ops = [
+            op for op in node.ops if isinstance(op, (ast.Eq, ast.NotEq))
+        ]
+        if eq_ops:
+            for operand in operands:
+                if (
+                    isinstance(operand, ast.Constant)
+                    and isinstance(operand.value, float)
+                    and operand.value != 0.0
+                ):
+                    self.report(
+                        node, "REPRO003",
+                        f"float equality against literal {operand.value!r}; "
+                        "compare with a tolerance (math.isclose / "
+                        "pytest.approx)",
+                    )
+            if len(operands) == 2:
+                left, right = operands
+                for this, other in ((left, right), (right, left)):
+                    if _is_physics_name(this) and not _is_zero_literal(other) \
+                            and not isinstance(other, ast.Constant):
+                        self.report(
+                            node, "REPRO003",
+                            "float equality on a physics quantity "
+                            f"({ast.unparse(this)}); compare with a "
+                            "tolerance",
+                        )
+                        break
+        self.generic_visit(node)
+
+
+def check_module(path: Path) -> list[tuple[int, str, str]]:
+    """All rule violations of one source file."""
+    module = ModuleSource.parse(Path(path))
+    checker = RepoRules(module, _waiver)
+    checker.visit(module.tree)
+    violations = list(checker.raw_reports)
+
+    has_future = any(
+        isinstance(node, ast.ImportFrom)
+        and node.module == "__future__"
+        and any(alias.name == "annotations" for alias in node.names)
+        for node in module.tree.body
+    )
+    if not has_future:
+        violations.append((
+            1, "REPRO004",
+            "missing 'from __future__ import annotations'",
+        ))
+    return sorted(violations)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI of the repository gate (``tools/check_source.py``)."""
+    roots = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
+    if not roots:
+        roots = [Path(__file__).resolve().parent.parent]
+
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            print(f"error: no such file or directory: {root}", file=sys.stderr)
+            return 2
+
+    total = 0
+    for path in files:
+        for lineno, code, message in check_module(path):
+            print(f"{path}:{lineno}: {code} {message}")
+            total += 1
+    if total:
+        print(f"{total} violation(s) in {len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"{len(files)} file(s) clean")
+    return 0

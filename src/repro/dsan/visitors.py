@@ -1,0 +1,195 @@
+"""Shared AST visitor infrastructure of the code gates.
+
+Both static gates over the *codebase* — the determinism sanitizer
+(``DET0xx``, :mod:`repro.dsan.rules`) and the repository style rules
+(``REPRO00x``, :mod:`repro.dsan.repo_rules`, fronted by
+``tools/check_source.py``) — are built on this module: one parsed
+representation per file (:class:`ModuleSource`), one waiver-aware
+reporting base class (:class:`RuleVisitor`), and small AST helpers the
+rules share (dotted-name resolution, set-expression detection).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.errors import SanitizerError
+
+
+@dataclasses.dataclass
+class ModuleSource:
+    """One parsed source file plus the context the rules need."""
+
+    path: Path
+    #: path relative to the scan root, POSIX-style (``core/engine.py``);
+    #: rules use it for module-scoped exemptions
+    relpath: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+
+    @classmethod
+    def parse(cls, path: Path, root: Path | None = None) -> "ModuleSource":
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SanitizerError(f"cannot read {path}: {exc}")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise SanitizerError(f"{path}: not parseable python: {exc}")
+        if root is not None:
+            try:
+                relpath = path.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                relpath = path.name
+        else:
+            relpath = path.name
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            lines=source.splitlines(),
+            tree=tree,
+        )
+
+    def line_text(self, lineno: int) -> str:
+        """1-based source line (empty for out-of-range linenos)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+def iter_python_files(roots: list[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    for root in roots:
+        if root.is_file():
+            yield root
+        elif root.is_dir():
+            yield from sorted(root.rglob("*.py"))
+        else:
+            raise SanitizerError(f"no such file or directory: {root}")
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Node visitor with per-line waiver handling.
+
+    ``waiver`` decides, from the source line text and a diagnostic
+    code, whether a report on that line is suppressed; subclasses call
+    :meth:`report` instead of appending directly.
+    """
+
+    def __init__(
+        self,
+        module: ModuleSource,
+        waiver: Callable[[str, str], bool],
+    ):
+        self.module = module
+        self._waiver = waiver
+        #: ``(lineno, code, message)`` tuples, in visit order
+        self.raw_reports: list[tuple[int, str, str]] = []
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        if not self._is_waived(lineno, code):
+            self.raw_reports.append((lineno, code, message))
+
+    def _is_waived(self, lineno: int, code: str) -> bool:
+        """Waived by a trailing comment on the line, or by a comment in
+        the pure-comment block immediately above it (where a waiver's
+        justification is readable)."""
+        if self._waiver(self.module.line_text(lineno), code):
+            return True
+        above = lineno - 1
+        while above >= 1:
+            text = self.module.line_text(above).strip()
+            if not text.startswith("#"):
+                break
+            if self._waiver(text, code):
+                return True
+            above -= 1
+        return False
+
+
+# ----------------------------------------------------------------------
+# AST helpers shared by the rules
+# ----------------------------------------------------------------------
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` otherwise."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee (``np.random.default_rng``)."""
+    return dotted_name(node.func)
+
+
+def last_attr(name: str) -> str:
+    """Final component of a dotted name."""
+    return name.rsplit(".", 1)[-1]
+
+
+def is_set_expression(node: ast.expr) -> bool:
+    """Does the expression build an unordered ``set``/``frozenset``?
+
+    Dicts are excluded deliberately: CPython dicts preserve insertion
+    order (a language guarantee since 3.7), so iterating one is
+    deterministic; only set iteration order depends on hash values and
+    therefore on ``PYTHONHASHSEED``.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in ("set", "frozenset"):
+            return True
+        # chained construction: set(a) | set(b), set(a).union(b)
+        if name is not None and last_attr(name) in ("union", "intersection",
+                                                    "difference",
+                                                    "symmetric_difference"):
+            return is_set_expression(node.func.value) \
+                if isinstance(node.func, ast.Attribute) else False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return is_set_expression(node.left) or is_set_expression(node.right)
+    return False
+
+
+def toplevel_function_names(tree: ast.Module) -> frozenset[str]:
+    """Names bound to module-level ``def``/``async def`` statements."""
+    return frozenset(
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+
+
+def module_level_assignments(tree: ast.Module) -> frozenset[str]:
+    """Plain names assigned at module level (the module's globals)."""
+    names: set[str] = set()
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Tuple):
+                names.update(
+                    e.id for e in target.elts if isinstance(e, ast.Name)
+                )
+    return frozenset(names)

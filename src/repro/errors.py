@@ -56,6 +56,20 @@ class TelemetryError(SemsimError):
     unwritable trace destinations, malformed export requests)."""
 
 
+class SanitizerError(SemsimError):
+    """Raised for misuse of the determinism sanitizer itself (missing
+    scan roots, unreadable or unparseable source files) — never for
+    findings, which are reported as :class:`repro.dsan.Finding`
+    records."""
+
+
+class DeterminismError(SemsimError):
+    """Raised by the *runtime* determinism sanitizer (``--dsan``) when
+    a reproducibility contract is violated: shadow-run event-stream
+    hashes diverge, a shard payload fails to pickle, or a pool worker
+    leaks process-global state (e.g. draws from the global RNG)."""
+
+
 class LintError(SemsimError):
     """Raised by strict-mode parsing/building when static analysis of a
     deck, circuit or netlist finds error-severity problems.

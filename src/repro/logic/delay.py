@@ -289,13 +289,19 @@ def find_validated_stimulus(
     the solver.
     """
     from repro.logic.stimuli import find_step_stimulus
+    from repro.parallel.seeds import spawn_seeds
 
     if config is None:
         config = SimulationConfig(temperature=mapped.params.temperature)
     threshold = mapped.params.logic_threshold
     candidates = []
+    # candidate k searches with the k-th spawned child of rng_seed:
+    # statistically independent streams, unlike the old `seed + 1000*k`
+    # arithmetic (nearby integer seeds are not independence-tested, and
+    # colliding offsets would silently duplicate candidates)
+    candidate_seeds = spawn_seeds(rng_seed, max_candidates)
     for k in range(max_candidates):
-        stim = find_step_stimulus(mapped.netlist, rng_seed + 1000 * k)
+        stim = find_step_stimulus(mapped.netlist, candidate_seeds[k])
         ordered = sorted(stim.toggled_outputs, key=lambda t: not t[1]) \
             if prefer_rising else list(stim.toggled_outputs)
         candidates.append((stim, ordered))

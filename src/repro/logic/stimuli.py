@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.logic.netlist import LogicNetlist
+from repro.parallel.seeds import as_seed_sequence
 
 
 @dataclasses.dataclass(frozen=True)
@@ -38,7 +39,7 @@ def random_vector(
 
 def find_step_stimulus(
     netlist: LogicNetlist,
-    rng: np.random.Generator | int = 0,
+    rng: np.random.Generator | np.random.SeedSequence | int = 0,
     max_tries: int = 200,
     flip_bits: int = 1,
 ) -> StepStimulus:
@@ -46,10 +47,13 @@ def find_step_stimulus(
 
     Flips ``flip_bits`` random input bit(s) of a random base vector and
     keeps the pair if any output changes; deterministic for a fixed
-    seed.
+    seed.  ``rng`` may be a ready ``Generator``, an integer seed or a
+    spawned ``SeedSequence`` (callers sharing a root seed pass spawned
+    children so their searches draw independent streams); an integer
+    ``s`` and ``SeedSequence(s)`` produce bit-identical searches.
     """
-    if isinstance(rng, (int, np.integer)):
-        rng = np.random.default_rng(int(rng))
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(as_seed_sequence(rng))
     for _ in range(max_tries):
         before = random_vector(netlist, rng)
         after = dict(before)

@@ -230,6 +230,7 @@ class SemsimDeck:
         seed: int = 0,
         jobs: int = 1,
         chunks: int = 1,
+        dsan: bool = False,
     ) -> IVCurve:
         """Execute the deck: sweep if requested, one point otherwise.
 
@@ -244,10 +245,22 @@ class SemsimDeck:
         for several independent runs (``jumps <count> <runs>`` with
         ``runs > 1``) is executed as an ensemble whose replicas are
         averaged into the returned curve.
+
+        ``dsan`` enables the runtime determinism sanitizer's
+        event-stream hash: every solver maintains an order-sensitive
+        digest of its realised events, the per-shard digests fold into
+        the returned curve's ``event_hash``, and the sweep is routed
+        through the shard/merge path even at ``jobs=1``/``chunks=1`` so
+        the serial and parallel executions take the *same* code (the
+        one-chunk layout is documented byte-identical to the serial
+        loop).  Arm :func:`repro.dsan.runtime.dsan_mode` around the
+        call to additionally verify the pool boundary.
         """
         with _telemetry.span("deck.build", category="deck"):
             circuit = self.build_circuit()
         config = self.config(solver, seed)
+        if dsan:
+            config = config.replace(event_hash=True)
         junctions = self.recorded_junctions(circuit)
         # series junctions through one island alternate orientation;
         # infer each junction's sign from its position relative to the
@@ -262,9 +275,10 @@ class SemsimDeck:
             return IVCurve(
                 np.zeros(1), np.array([current]), "operating point",
                 stats=dataclasses.replace(engine.solver.stats),
+                event_hash=engine.event_hash(),
             )
         values = self.sweep.values()
-        if jobs != 1 or chunks != 1 or self.runs > 1:
+        if jobs != 1 or chunks != 1 or self.runs > 1 or dsan:
             return self._run_sharded(
                 circuit, config, values, junctions, orientations,
                 jobs=jobs, chunks=chunks,

@@ -38,6 +38,11 @@ class EnsembleIV:
     stats: "SolverStats | None" = dataclasses.field(
         default=None, compare=False, repr=False
     )
+    #: order-sensitive fold of the per-replica event-stream digests
+    #: (``None`` unless the ensemble ran with ``event_hash=True``)
+    event_hash: str | None = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def replicas(self) -> int:
@@ -58,7 +63,8 @@ class EnsembleIV:
         from repro.core.sweep import IVCurve
 
         return IVCurve(
-            self.voltages, self.mean_currents, self.label, stats=self.stats
+            self.voltages, self.mean_currents, self.label,
+            stats=self.stats, event_hash=self.event_hash,
         )
 
 
@@ -142,9 +148,17 @@ def ensemble_iv(
     stats = SolverStats().merge(
         *(c.stats for c in curves if c.stats is not None)
     )
+    hashes = [c.event_hash for c in curves]
+    if any(h is None for h in hashes):
+        combined = None
+    else:
+        from repro.dsan.runtime import fold_hashes
+
+        combined = fold_hashes([h for h in hashes if h is not None])
     return EnsembleIV(
         volts,
         np.vstack([c.currents for c in curves]),
         label,
         stats=stats,
+        event_hash=combined,
     )

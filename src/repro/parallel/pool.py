@@ -30,6 +30,7 @@ import concurrent.futures
 import os
 from typing import Any, Callable, Sequence, TypeVar, cast
 
+from repro.dsan import runtime as _dsan
 from repro.errors import SimulationError
 from repro.telemetry import registry as _telemetry
 
@@ -47,16 +48,31 @@ def resolve_jobs(jobs: int | None) -> int:
 
 
 def _shard_entry(
-    worker: Callable[[_P], _R], payload: _P, collect_metrics: bool
-) -> tuple[_R, dict[str, dict[str, Any]] | None]:
+    worker: Callable[[_P], _R],
+    payload: _P,
+    collect_metrics: bool,
+    dsan_check: bool = False,
+) -> tuple[_R, dict[str, dict[str, Any]] | None, list[str] | None]:
     """Subprocess entry: run one shard, optionally under a local
     metrics-only telemetry session whose snapshot rides back with the
-    result."""
+    result.
+
+    With ``dsan_check`` the worker fingerprints its process-global
+    state (global RNGs, telemetry registry) before and after the shard;
+    the names of any slots the shard mutated ride back as the third
+    element for the parent to report.
+    """
+    before = _dsan.state_fingerprint() if dsan_check else None
     if not collect_metrics:
-        return worker(payload), None
-    with _telemetry.session(trace=False) as reg:
-        value = worker(payload)
-    return value, reg.metrics()
+        value, metrics = worker(payload), None
+    else:
+        with _telemetry.session(trace=False) as reg:
+            value = worker(payload)
+        metrics = reg.metrics()
+    leaks: list[str] | None = None
+    if before is not None:
+        leaks = _dsan.diff_fingerprints(before, _dsan.state_fingerprint())
+    return value, metrics, leaks
 
 
 def execute_shards(
@@ -74,28 +90,57 @@ def execute_shards(
     items = list(payloads)
     jobs = resolve_jobs(jobs)
     parent = _telemetry.ACTIVE
+    dsan_check = _dsan.active()
+    if dsan_check:
+        # verify the pool contract even on paths that never pickle:
+        # the worker must be a plain module-level function and every
+        # payload must survive a pickle round-trip (DET021)
+        _dsan.verify_worker(worker)
+        for index, payload in enumerate(items):
+            _dsan.verify_payload(payload, index)
     with _telemetry.span(
         "parallel.execute", category="parallel", shards=len(items), jobs=jobs,
     ):
         if jobs == 1 or len(items) <= 1:
-            return [worker(payload) for payload in items]
+            if not dsan_check:
+                return [worker(payload) for payload in items]
+            # inline path under dsan: same per-shard state-leak
+            # fingerprinting the workers would perform
+            inline: list[_R] = []
+            leaked: list[tuple[int, list[str]]] = []
+            for index, payload in enumerate(items):
+                before = _dsan.state_fingerprint()
+                inline.append(worker(payload))
+                changed = _dsan.diff_fingerprints(
+                    before, _dsan.state_fingerprint()
+                )
+                if changed:
+                    leaked.append((index, changed))
+            _dsan.raise_state_leaks(leaked)
+            return inline
 
         collect = parent is not None
         results: list[_R | None] = [None] * len(items)
         snapshots: list[dict[str, dict[str, Any]] | None] = [None] * len(items)
+        shard_leaks: list[tuple[int, list[str]]] = []
         max_workers = min(jobs, len(items))
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=max_workers
         ) as pool:
             futures = {
-                pool.submit(_shard_entry, worker, payload, collect): index
+                pool.submit(
+                    _shard_entry, worker, payload, collect, dsan_check
+                ): index
                 for index, payload in enumerate(items)
             }
             for future in concurrent.futures.as_completed(futures):
                 index = futures[future]
-                value, metrics = future.result()
+                value, metrics, leaks = future.result()
                 results[index] = value
                 snapshots[index] = metrics
+                if leaks:
+                    shard_leaks.append((index, leaks))
+        _dsan.raise_state_leaks(sorted(shard_leaks))
         if parent is not None:
             # fold in shard order so the merged registry is
             # deterministic whatever the completion order was

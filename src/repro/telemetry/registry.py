@@ -329,6 +329,10 @@ def set_registry(
 ) -> TelemetryRegistry | None:
     """Install ``registry_`` as the active registry; returns the
     previous one (``None`` if telemetry was disabled)."""
+    # dsan: allow[DET020] the worker-side write is the *contract*: _shard_entry
+    # installs a worker-local registry via session(), which restores the
+    # previous value on exit; metrics ride back in the shard result and the
+    # runtime sanitizer's state fingerprint verifies the restoration.
     global ACTIVE
     previous = ACTIVE
     ACTIVE = registry_

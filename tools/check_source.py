@@ -1,196 +1,35 @@
 #!/usr/bin/env python
-"""Repository-rule AST linter for ``src/repro``.
+"""Repository-rule AST linter for ``src/repro`` (thin shim).
 
-Static analysis of the *codebase* (the companion of ``repro.lint``,
-which analyses simulation inputs).  Enforced rules:
+The rule implementations (``REPRO001-004``) live in
+:mod:`repro.dsan.repo_rules`, sharing the visitor framework of the
+determinism sanitizer (``repro sanitize``); this file keeps the
+historical entry point and public surface (:func:`check_module`,
+:func:`main`) stable for CI and the test suite.
 
-``REPRO001``
-    No ``except Exception:`` / bare ``except:`` inside ``src/repro`` —
-    the package contract is a precise :class:`SemsimError` hierarchy,
-    and blanket handlers hide solver bugs as physics.
-``REPRO002``
-    No raising of bare builtin exceptions (``ValueError``,
-    ``TypeError``, ``RuntimeError``, ``KeyError``, ``IndexError``,
-    ``Exception``, ``OSError``, ``ArithmeticError``) — deliberate
-    errors must derive from ``SemsimError`` so callers can catch one
-    type at the API boundary (``NotImplementedError`` on abstract
-    hooks is exempt).
-``REPRO003``
-    No ``==``/``!=`` comparisons against non-zero float literals, and
-    none at all on identifiers that look like energies or voltages
-    (``*energy*``, ``*voltage*``, ``dw``, ``delta_w``, ``ej``) unless
-    the other side is a literal ``0``/``0.0`` sentinel — floating-point
-    physics must compare with tolerances.
-``REPRO004``
-    ``from __future__ import annotations`` must be present in every
-    module.
+Rules, waivers (``# repro-lint: allow``) and exit codes are documented
+in the rules module.  Usage::
 
-A violation can be waived for one line with a trailing
-``# repro-lint: allow`` comment.  Exit status: 0 clean, 1 violations,
-2 usage/IO trouble.
-
-Usage: ``python tools/check_source.py [root ...]`` (default ``src/repro``).
+    python tools/check_source.py [root ...]    # default: src/repro
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-FORBIDDEN_RAISES = frozenset({
-    "ValueError", "TypeError", "RuntimeError", "KeyError", "IndexError",
-    "Exception", "BaseException", "OSError", "ArithmeticError",
-    "ZeroDivisionError", "AttributeError", "AssertionError",
-})
+try:
+    from repro.dsan import repo_rules as _repo_rules
+except ImportError:  # running from a checkout without installation
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.dsan import repo_rules as _repo_rules
 
-#: identifier fragments that mark a float-physics quantity
-PHYSICS_FRAGMENTS = ("energy", "voltage", "delta_w")
-PHYSICS_NAMES = frozenset({"dw", "ej", "e_c", "e_j", "bias", "vds", "vgs"})
-
-WAIVER = "# repro-lint: allow"
-
-
-def _is_zero_literal(node: ast.expr) -> bool:
-    return isinstance(node, ast.Constant) and node.value in (0, 0.0)
-
-
-def _is_physics_name(node: ast.expr) -> bool:
-    if isinstance(node, ast.Name):
-        name = node.id
-    elif isinstance(node, ast.Attribute):
-        name = node.attr
-    else:
-        return False
-    lowered = name.lower()
-    return lowered in PHYSICS_NAMES or any(
-        fragment in lowered for fragment in PHYSICS_FRAGMENTS
-    )
-
-
-class _Checker(ast.NodeVisitor):
-    def __init__(self, path: Path, source_lines: list[str]):
-        self.path = path
-        self.lines = source_lines
-        self.violations: list[tuple[int, str, str]] = []
-
-    # ------------------------------------------------------------------
-    def _waived(self, lineno: int) -> bool:
-        line = self.lines[lineno - 1] if lineno - 1 < len(self.lines) else ""
-        return WAIVER in line
-
-    def _report(self, node: ast.AST, code: str, message: str) -> None:
-        lineno = getattr(node, "lineno", 1)
-        if not self._waived(lineno):
-            self.violations.append((lineno, code, message))
-
-    # ------------------------------------------------------------------
-    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
-        broad = node.type is None or (
-            isinstance(node.type, ast.Name)
-            and node.type.id in ("Exception", "BaseException")
-        )
-        if broad:
-            self._report(
-                node, "REPRO001",
-                "broad exception handler; catch specific SemsimError "
-                "subclasses (or builtin types you expect)",
-            )
-        self.generic_visit(node)
-
-    def visit_Raise(self, node: ast.Raise) -> None:
-        exc = node.exc
-        name = None
-        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
-            name = exc.func.id
-        elif isinstance(exc, ast.Name):
-            name = exc.id
-        if name in FORBIDDEN_RAISES:
-            self._report(
-                node, "REPRO002",
-                f"raises builtin {name}; deliberate errors must derive "
-                "from SemsimError (see repro.errors)",
-            )
-        self.generic_visit(node)
-
-    def visit_Compare(self, node: ast.Compare) -> None:
-        operands = [node.left, *node.comparators]
-        eq_ops = [
-            op for op in node.ops if isinstance(op, (ast.Eq, ast.NotEq))
-        ]
-        if eq_ops:
-            for operand in operands:
-                if (
-                    isinstance(operand, ast.Constant)
-                    and isinstance(operand.value, float)
-                    and operand.value != 0.0
-                ):
-                    self._report(
-                        node, "REPRO003",
-                        f"float equality against literal {operand.value!r}; "
-                        "compare with a tolerance (math.isclose / pytest.approx)",
-                    )
-            if len(operands) == 2:
-                left, right = operands
-                for this, other in ((left, right), (right, left)):
-                    if _is_physics_name(this) and not _is_zero_literal(other) \
-                            and not isinstance(other, ast.Constant):
-                        self._report(
-                            node, "REPRO003",
-                            "float equality on a physics quantity "
-                            f"({ast.unparse(this)}); compare with a tolerance",
-                        )
-                        break
-        self.generic_visit(node)
-
-
-def check_module(path: Path) -> list[tuple[int, str, str]]:
-    """All rule violations of one source file."""
-    source = path.read_text(encoding="utf-8")
-    tree = ast.parse(source, filename=str(path))
-    checker = _Checker(path, source.splitlines())
-    checker.visit(tree)
-
-    has_future = any(
-        isinstance(node, ast.ImportFrom)
-        and node.module == "__future__"
-        and any(alias.name == "annotations" for alias in node.names)
-        for node in tree.body
-    )
-    if not has_future:
-        checker.violations.append((
-            1, "REPRO004",
-            "missing 'from __future__ import annotations'",
-        ))
-    return sorted(checker.violations)
-
-
-def main(argv: list[str] | None = None) -> int:
-    roots = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
-    if not roots:
-        roots = [Path(__file__).resolve().parent.parent / "src" / "repro"]
-
-    files: list[Path] = []
-    for root in roots:
-        if root.is_file():
-            files.append(root)
-        elif root.is_dir():
-            files.extend(sorted(root.rglob("*.py")))
-        else:
-            print(f"error: no such file or directory: {root}", file=sys.stderr)
-            return 2
-
-    total = 0
-    for path in files:
-        for lineno, code, message in check_module(path):
-            print(f"{path}:{lineno}: {code} {message}")
-            total += 1
-    if total:
-        print(f"{total} violation(s) in {len(files)} file(s)", file=sys.stderr)
-        return 1
-    print(f"{len(files)} file(s) clean")
-    return 0
-
+FORBIDDEN_RAISES = _repo_rules.FORBIDDEN_RAISES
+PHYSICS_FRAGMENTS = _repo_rules.PHYSICS_FRAGMENTS
+PHYSICS_NAMES = _repo_rules.PHYSICS_NAMES
+WAIVER = _repo_rules.WAIVER
+check_module = _repo_rules.check_module
+main = _repo_rules.main
 
 if __name__ == "__main__":
     sys.exit(main())
