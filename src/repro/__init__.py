@@ -51,15 +51,18 @@ from repro.errors import (
     LintError,
     NetlistError,
     PhysicsError,
+    RecoveryError,
     SemsimError,
     SimulationError,
 )
 from repro.parallel import EnsembleIV, ensemble_iv
+from repro.recovery import CheckpointStore, ExecutionPolicy
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ChargeState",
+    "CheckpointStore",
     "Circuit",
     "CircuitBuilder",
     "CircuitError",
@@ -68,12 +71,14 @@ __all__ = [
     "Electrostatics",
     "EnsembleIV",
     "EventKind",
+    "ExecutionPolicy",
     "FrozenCircuitError",
     "LintError",
     "MonteCarloEngine",
     "NetlistError",
     "NodeVoltageRecorder",
     "PhysicsError",
+    "RecoveryError",
     "SemsimError",
     "SimulationConfig",
     "SimulationError",

@@ -10,6 +10,11 @@ this CLI reproduces that workflow:
     ``--chunks M`` splits it into independently seeded voltage chunks;
     results depend only on the chunk layout, never on the worker
     count, so ``--jobs 4`` reproduces ``--jobs 1`` bit for bit.
+    ``--checkpoint DIR`` persists each completed shard to an atomic
+    manifest and ``--resume`` continues an interrupted run from it
+    (bit-identically — same arrays, same combined event hash);
+    ``--retries``/``--shard-timeout`` tune the fault-tolerance policy
+    for dead or wedged workers.
 ``python -m repro info deck.txt``
     Parse and validate a deck, reporting the circuit statistics and a
     one-line static-analysis summary.  ``--probe N`` additionally runs
@@ -52,7 +57,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.errors import SemsimError
+from repro.errors import SemsimError, SimulationError
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -92,6 +97,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", type=Path, default=None, metavar="FILE",
         help="record a telemetry trace of the run (Chrome trace-event "
              "JSON; '.jsonl' suffix selects JSON Lines)",
+    )
+    run.add_argument(
+        "--checkpoint", type=Path, default=None, metavar="DIR",
+        help="persist each completed sweep shard to an atomic manifest "
+             "under DIR (forces the shard/merge path and event-stream "
+             "hashing); combine with --resume to continue an "
+             "interrupted run bit-identically",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="resume from the manifest under --checkpoint DIR: "
+             "completed shards are replayed, only the remainder is "
+             "simulated; a manifest from a different deck/config/seed "
+             "is a hard error",
+    )
+    run.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retries per shard after a worker dies or times out "
+             "(default 2); a retried shard reuses its own spawned "
+             "seed, so recovery never changes results",
+    )
+    run.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per pooled shard; an overrunning shard "
+             "is charged a failed attempt and its worker pool rebuilt",
     )
     run.add_argument(
         "--dsan", action="store_true",
@@ -193,11 +223,27 @@ def _cmd_run(args) -> int:
 
     deck = parse_semsim(args.deck.read_text(), strict=args.strict)
 
+    checkpoint = None
+    if args.resume and args.checkpoint is None:
+        raise SimulationError("--resume requires --checkpoint DIR")
+    if args.checkpoint is not None:
+        from repro.recovery import CheckpointStore
+
+        checkpoint = CheckpointStore(args.checkpoint, resume=args.resume)
+    policy = None
+    if args.retries != 2 or args.shard_timeout is not None:
+        from repro.recovery import ExecutionPolicy
+
+        policy = ExecutionPolicy(
+            max_attempts=args.retries + 1, shard_timeout=args.shard_timeout
+        )
+
     def _execute():
         if not args.dsan:
             return deck.run(
                 solver=args.solver, seed=args.seed,
                 jobs=args.jobs, chunks=args.chunks,
+                checkpoint=checkpoint, policy=policy,
             )
         # shadow-run verification: execute the identically seeded deck
         # twice with the pool boundary armed, compare the event-stream
@@ -211,6 +257,7 @@ def _cmd_run(args) -> int:
             curves.append(deck.run(
                 solver=args.solver, seed=args.seed,
                 jobs=args.jobs, chunks=args.chunks, dsan=True,
+                checkpoint=checkpoint, policy=policy,
             ))
             return curves[-1].event_hash
 
@@ -400,8 +447,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except SemsimError as exc:
-        # defective-but-readable input: exit 1, one-line diagnostic
+        # defective-but-readable input: exit 1, one-line diagnostic.
+        # Shard failures arrive as RecoveryError with the worker's
+        # exception chained on — print the chain so a retry-exhausted
+        # sweep reports its root cause instead of a raw pool traceback.
         print(f"error: {exc}", file=sys.stderr)
+        cause = exc.__cause__
+        while cause is not None:
+            print(
+                f"  caused by: {type(cause).__name__}: {cause}",
+                file=sys.stderr,
+            )
+            cause = cause.__cause__
         return 1
     return 0
 

@@ -28,6 +28,8 @@ from repro.dsan.runtime import fold_hashes
 from repro.errors import FrozenCircuitError, SimulationError
 from repro.parallel.pool import execute_shards
 from repro.parallel.seeds import spawn_seeds
+from repro.recovery.checkpoint import CheckpointStore
+from repro.recovery.policy import ExecutionPolicy
 from repro.telemetry import registry as _telemetry
 
 
@@ -202,6 +204,8 @@ def sweep_iv(
     *,
     chunks: int = 1,
     jobs: int | None = 1,
+    checkpoint: CheckpointStore | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> IVCurve:
     """Sweep a bias and measure the device current at each point.
 
@@ -232,6 +236,15 @@ def sweep_iv(
         Worker processes executing the chunks (``None``/``0`` = all
         cores).  For a fixed ``chunks`` the result is bit-identical for
         every ``jobs`` value — only the wall-clock changes.
+    checkpoint:
+        A :class:`repro.recovery.CheckpointStore`: each completed chunk
+        is persisted to its manifest, and a store opened with
+        ``resume=True`` replays previously completed chunks.  Because
+        chunk seeds are spawned statelessly, the resumed curve is
+        bit-identical to an uninterrupted run.
+    policy:
+        A :class:`repro.recovery.ExecutionPolicy` controlling per-chunk
+        retry, timeout and pool-rebuild behaviour.
     """
     if source_setter is None:
         source_setter = symmetric_bias()
@@ -266,7 +279,10 @@ def sweep_iv(
         "sweep.iv", category="sweep",
         points=len(volts), label=label, chunks=n_chunks,
     ):
-        results = execute_shards(_run_iv_chunk, shards, jobs=jobs)
+        results = execute_shards(
+            _run_iv_chunk, shards, jobs=jobs,
+            policy=policy, checkpoint=checkpoint,
+        )
     currents = (
         np.concatenate([r.currents for r in results])
         if results else np.empty(0)
@@ -309,6 +325,8 @@ def sweep_map(
     gate_source: str = "vg",
     *,
     jobs: int | None = 1,
+    checkpoint: CheckpointStore | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> CurrentMap:
     """Monte Carlo current map over a (bias, gate) grid.
 
@@ -316,7 +334,9 @@ def sweep_map(
     charge state evolves continuously, as in the measurement the paper
     reproduces from [17].  Every row draws an independent seed spawned
     from ``config.seed`` — rows are decorrelated MC experiments, and
-    the map is bit-identical for every ``jobs`` value.
+    the map is bit-identical for every ``jobs`` value.  ``checkpoint``
+    persists each completed row (resumable via ``resume=True``);
+    ``policy`` adds per-row retry/timeout fault tolerance.
     """
     if not len(bias_voltages) or not len(gate_voltages):
         raise SimulationError("sweep_map needs non-empty grids")
@@ -348,7 +368,10 @@ def sweep_map(
         "sweep.map", category="sweep",
         rows=len(gates), points=len(biases),
     ):
-        results = execute_shards(_run_map_row, shards, jobs=jobs)
+        results = execute_shards(
+            _run_map_row, shards, jobs=jobs,
+            policy=policy, checkpoint=checkpoint,
+        )
     currents = np.vstack([r.currents for r in results])
     return CurrentMap(
         biases, gates, currents,

@@ -63,6 +63,30 @@ class SanitizerError(SemsimError):
     records."""
 
 
+class RecoveryError(SimulationError):
+    """Raised by the fault-tolerant execution layer (``repro.recovery``)
+    when a shard exhausts its retry budget, a checkpoint manifest is
+    corrupt or belongs to a different run, or a resume is requested
+    without anything to resume from.
+
+    Carries the failing shard index in :attr:`shard` and the number of
+    attempts charged to it in :attr:`attempts` (both ``None`` for
+    manifest-level failures); the underlying worker exception, if any,
+    rides along as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int | None = None,
+        attempts: int | None = None,
+    ):
+        self.shard = shard
+        self.attempts = attempts
+        super().__init__(message)
+
+
 class DeterminismError(SemsimError):
     """Raised by the *runtime* determinism sanitizer (``--dsan``) when
     a reproducibility contract is violated: shadow-run event-stream

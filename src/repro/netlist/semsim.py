@@ -56,6 +56,7 @@ example):
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -66,8 +67,12 @@ from repro.constants import EV
 from repro.core.config import SimulationConfig
 from repro.core.engine import MonteCarloEngine
 from repro.core.sweep import IVCurve
-from repro.errors import NetlistError
+from repro.errors import NetlistError, SimulationError
 from repro.telemetry import registry as _telemetry
+
+if TYPE_CHECKING:
+    from repro.recovery.checkpoint import CheckpointStore
+    from repro.recovery.policy import ExecutionPolicy
 
 
 @dataclasses.dataclass
@@ -231,6 +236,8 @@ class SemsimDeck:
         jobs: int = 1,
         chunks: int = 1,
         dsan: bool = False,
+        checkpoint: "CheckpointStore | None" = None,
+        policy: "ExecutionPolicy | None" = None,
     ) -> IVCurve:
         """Execute the deck: sweep if requested, one point otherwise.
 
@@ -255,11 +262,19 @@ class SemsimDeck:
         one-chunk layout is documented byte-identical to the serial
         loop).  Arm :func:`repro.dsan.runtime.dsan_mode` around the
         call to additionally verify the pool boundary.
+
+        ``checkpoint`` (a :class:`repro.recovery.CheckpointStore`)
+        persists each completed shard to a resumable manifest — this
+        also forces the shard/merge path and turns event hashing on, so
+        a resumed run can prove it reproduced the uninterrupted
+        combined hash; ``policy`` (an
+        :class:`repro.recovery.ExecutionPolicy`) adds per-shard
+        retry/timeout fault tolerance.
         """
         with _telemetry.span("deck.build", category="deck"):
             circuit = self.build_circuit()
         config = self.config(solver, seed)
-        if dsan:
+        if dsan or checkpoint is not None:
             config = config.replace(event_hash=True)
         junctions = self.recorded_junctions(circuit)
         # series junctions through one island alternate orientation;
@@ -267,6 +282,11 @@ class SemsimDeck:
         # first recorded junction's island
         orientations = _series_orientations(circuit, junctions)
         if self.sweep is None:
+            if checkpoint is not None:
+                raise SimulationError(
+                    "checkpoint/resume needs a sweep deck: an operating-"
+                    "point deck runs as a single unsharded measurement"
+                )
             engine = MonteCarloEngine(circuit, config)
             with _telemetry.span("deck.run", category="deck", points=1):
                 current = engine.measure_current(
@@ -278,10 +298,14 @@ class SemsimDeck:
                 event_hash=engine.event_hash(),
             )
         values = self.sweep.values()
-        if jobs != 1 or chunks != 1 or self.runs > 1 or dsan:
+        if (
+            jobs != 1 or chunks != 1 or self.runs > 1 or dsan
+            or checkpoint is not None or policy is not None
+        ):
             return self._run_sharded(
                 circuit, config, values, junctions, orientations,
                 jobs=jobs, chunks=chunks,
+                checkpoint=checkpoint, policy=policy,
             )
         engine = MonteCarloEngine(circuit, config)
         currents = np.empty_like(values)
@@ -313,6 +337,8 @@ class SemsimDeck:
         orientations: list[int],
         jobs: int,
         chunks: int,
+        checkpoint: "CheckpointStore | None" = None,
+        policy: "ExecutionPolicy | None" = None,
     ) -> IVCurve:
         """Sweep through the shard/merge layer (``jobs``/``chunks``/
         ensemble ``runs``) instead of the in-place serial loop."""
@@ -338,6 +364,8 @@ class SemsimDeck:
                     source_setter=setter,
                     label=label,
                     jobs=jobs,
+                    checkpoint=checkpoint,
+                    policy=policy,
                 )
                 return ensemble.mean_curve()
             return sweep_iv(
@@ -349,6 +377,8 @@ class SemsimDeck:
                 label=label,
                 chunks=chunks,
                 jobs=jobs,
+                checkpoint=checkpoint,
+                policy=policy,
             )
 
 

@@ -18,6 +18,8 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.parallel.pool import execute_shards
 from repro.parallel.seeds import spawn_seeds
+from repro.recovery.checkpoint import CheckpointStore
+from repro.recovery.policy import ExecutionPolicy
 from repro.telemetry import registry as _telemetry
 
 if TYPE_CHECKING:  # deferred: repro.core.sweep imports repro.parallel
@@ -110,13 +112,17 @@ def ensemble_iv(
     label: str = "",
     *,
     jobs: int | None = 1,
+    checkpoint: CheckpointStore | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> EnsembleIV:
     """Run ``replicas`` independent I-V sweeps and stack the results.
 
     Replica ``r`` always simulates with the seed spawned at index ``r``
     from ``config.seed``, so the ensemble is deterministic and
     bit-identical for every ``jobs`` value; ``jobs`` distributes the
-    replicas over worker processes.
+    replicas over worker processes.  ``checkpoint`` persists each
+    completed replica's curve to a resumable manifest; ``policy`` adds
+    per-replica retry/timeout fault tolerance.
     """
     from repro.core.config import SimulationConfig
 
@@ -142,7 +148,10 @@ def ensemble_iv(
         "ensemble.iv", category="parallel",
         replicas=replicas, points=len(volts), label=label,
     ):
-        curves = execute_shards(_run_replica, shards, jobs=jobs)
+        curves = execute_shards(
+            _run_replica, shards, jobs=jobs,
+            policy=policy, checkpoint=checkpoint,
+        )
     from repro.core.base import SolverStats
 
     stats = SolverStats().merge(

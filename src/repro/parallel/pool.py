@@ -17,6 +17,24 @@ contract that makes parallelism safe for a Monte Carlo code:
   :meth:`~repro.telemetry.registry.TelemetryRegistry.merge_snapshot`.
   Trace events are per-process and stay in the worker.
 
+Since the recovery layer (:mod:`repro.recovery`) the pool is also
+*fault tolerant*.  An :class:`~repro.recovery.ExecutionPolicy` gives
+each shard a bounded retry budget with capped deterministic backoff
+and an optional wall-clock deadline; a dead worker
+(:class:`~concurrent.futures.process.BrokenProcessPool`) or a
+timed-out shard triggers a pool rebuild, and after
+``max_pool_rebuilds`` rebuilds the remaining shards degrade to inline
+execution.  Because a retried shard re-runs with the *same* payload —
+and therefore the same spawned seed — recovery never changes results:
+arrays and the fold-order combined event hash are identical to a
+fault-free run.  One caveat is attribution: when a worker dies the
+executor fails *every* in-flight future, so each one is charged an
+attempt; exhaustion tests should pin the culprit with a single-shard
+layout.  A :class:`~repro.recovery.CheckpointStore` persists each
+completed shard's result; on resume the completed shards are replayed
+from the manifest (``recovery.resume_hits``) and only the remainder is
+executed.
+
 Worker functions and payloads must be picklable: module-level
 functions, dataclasses, numpy arrays.  Closures (e.g. a lambda bias
 setter) cannot cross the process boundary — use a module-level
@@ -26,16 +44,30 @@ does.
 
 from __future__ import annotations
 
+import collections
 import concurrent.futures
 import os
-from typing import Any, Callable, Sequence, TypeVar, cast
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence, TypeVar
 
 from repro.dsan import runtime as _dsan
-from repro.errors import SimulationError
+from repro.errors import RecoveryError, SimulationError
+from repro.recovery import faults as _faults
+from repro.recovery.checkpoint import CheckpointSession, CheckpointStore
+from repro.recovery.policy import ExecutionPolicy
 from repro.telemetry import registry as _telemetry
+from repro.telemetry.clock import wall_time
 
 _P = TypeVar("_P")
 _R = TypeVar("_R")
+
+#: scheduler wait quantum (seconds) for the resilient pooled loop
+_TICK = 0.05
+
+_DEFAULT_POLICY = ExecutionPolicy()
+
+_Snapshot = dict[str, dict[str, Any]]
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -52,7 +84,8 @@ def _shard_entry(
     payload: _P,
     collect_metrics: bool,
     dsan_check: bool = False,
-) -> tuple[_R, dict[str, dict[str, Any]] | None, list[str] | None]:
+    fault: _faults.FaultSpec | None = None,
+) -> tuple[_R, _Snapshot | None, list[str] | None]:
     """Subprocess entry: run one shard, optionally under a local
     metrics-only telemetry session whose snapshot rides back with the
     result.
@@ -60,8 +93,12 @@ def _shard_entry(
     With ``dsan_check`` the worker fingerprints its process-global
     state (global RNGs, telemetry registry) before and after the shard;
     the names of any slots the shard mutated ride back as the third
-    element for the parent to report.
+    element for the parent to report.  ``fault`` is the test-only
+    misbehaviour staged for this attempt, performed before the real
+    worker runs.
     """
+    if fault is not None:
+        _faults.perform(fault)
     before = _dsan.state_fingerprint() if dsan_check else None
     if not collect_metrics:
         value, metrics = worker(payload), None
@@ -75,20 +112,260 @@ def _shard_entry(
     return value, metrics, leaks
 
 
+def _run_inline(
+    worker: Callable[[_P], _R],
+    items: list[_P],
+    indices: Sequence[int],
+    policy: ExecutionPolicy,
+    plan: _faults.FaultPlan | None,
+    session: CheckpointSession | None,
+    dsan_check: bool,
+    results: dict[int, _R],
+    start_attempts: dict[int, int] | None = None,
+) -> int:
+    """Run ``indices`` in this process with the retry policy applied.
+
+    Fills ``results`` (and the checkpoint ``session``) per shard;
+    returns how many retries were charged.  With ``retry_raised`` off a
+    first-attempt exception propagates unchanged — the historical
+    inline contract.  ``start_attempts`` carries the attempts already
+    charged to each shard when the pooled scheduler degrades to inline
+    execution, so the retry budget (and any staged faults keyed by
+    attempt number) stay consistent across the transition.
+    """
+    retried = 0
+    leaked: list[tuple[int, list[str]]] = []
+    for index in indices:
+        attempt = start_attempts.get(index, 0) if start_attempts else 0
+        first = attempt == 0
+        while True:
+            attempt += 1
+            if attempt > 1:
+                time.sleep(policy.backoff_delay(attempt))
+            spec = plan.spec_for(index, attempt) if plan is not None else None
+            before = _dsan.state_fingerprint() if dsan_check else None
+            try:
+                if spec is not None:
+                    _faults.perform(spec, inline=True)
+                value = worker(items[index])
+            except Exception as exc:  # repro-lint: allow — any worker exception feeds the retry policy
+                if policy.retry_raised and attempt < policy.max_attempts:
+                    retried += 1
+                    continue
+                if policy.retry_raised or not first:
+                    raise RecoveryError(
+                        f"shard #{index} failed after {attempt} attempt(s): "
+                        f"{type(exc).__name__}: {exc}",
+                        shard=index,
+                        attempts=attempt,
+                    ) from exc
+                raise
+            if before is not None:
+                changed = _dsan.diff_fingerprints(
+                    before, _dsan.state_fingerprint()
+                )
+                if changed:
+                    leaked.append((index, changed))
+            results[index] = value
+            if session is not None:
+                session.record(index, value)
+            break
+    _dsan.raise_state_leaks(leaked)
+    return retried
+
+
+def _run_pooled(
+    worker: Callable[[_P], _R],
+    items: list[_P],
+    indices: Sequence[int],
+    jobs: int,
+    policy: ExecutionPolicy,
+    plan: _faults.FaultPlan | None,
+    session: CheckpointSession | None,
+    dsan_check: bool,
+    collect: bool,
+    results: dict[int, _R],
+) -> tuple[
+    dict[int, _Snapshot | None],
+    list[tuple[int, list[str]]],
+    int,
+    int,
+    dict[int, int],
+]:
+    """The resilient pooled scheduler.
+
+    Keeps at most ``min(jobs, len(indices))`` shards in flight (so a
+    submission-time deadline approximates a start-time deadline),
+    charges attempts, rebuilds the pool on breakage or timeout, and
+    stops early — returning the still-unfinished indices with their
+    charged attempts — when the rebuild budget is exhausted and inline
+    degradation is allowed.
+    """
+    snapshots: dict[int, _Snapshot | None] = {}
+    shard_leaks: list[tuple[int, list[str]]] = []
+    attempts: dict[int, int] = dict.fromkeys(indices, 0)
+    queue: collections.deque[int] = collections.deque(indices)
+    retried = 0
+    rebuilds = 0
+    max_workers = min(jobs, len(indices))
+    pool = concurrent.futures.ProcessPoolExecutor(max_workers=max_workers)
+    inflight: dict[concurrent.futures.Future[Any], tuple[int, float | None]] = {}
+
+    def submit_one(index: int) -> bool:
+        attempts[index] += 1
+        if attempts[index] > 1:
+            time.sleep(policy.backoff_delay(attempts[index]))
+        spec = plan.spec_for(index, attempts[index]) if plan is not None else None
+        deadline = (
+            wall_time() + policy.shard_timeout
+            if policy.shard_timeout is not None
+            else None
+        )
+        try:
+            future = pool.submit(
+                _shard_entry, worker, items[index], collect, dsan_check, spec
+            )
+        except BrokenProcessPool:
+            # the pool died between completions; uncharge and rebuild
+            attempts[index] -= 1
+            queue.appendleft(index)
+            return False
+        inflight[future] = (index, deadline)
+        return True
+
+    def exhaust(index: int, why: str, cause: BaseException | None) -> None:
+        raise RecoveryError(
+            f"shard #{index} failed after {attempts[index]} attempt(s): {why}",
+            shard=index,
+            attempts=attempts[index],
+        ) from cause
+
+    def requeue_untouched() -> None:
+        # the pool is being torn down: shards still in flight were
+        # (probably) innocent — requeue them without charging an attempt
+        for future, (index, _deadline) in inflight.items():
+            future.cancel()
+            attempts[index] -= 1
+            queue.append(index)
+        inflight.clear()
+
+    try:
+        while queue or inflight:
+            pool_ok = True
+            while queue and len(inflight) < max_workers and pool_ok:
+                pool_ok = submit_one(queue.popleft())
+            done, _pending = concurrent.futures.wait(
+                list(inflight),
+                timeout=_TICK,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            broken = not pool_ok
+            for future in done:
+                index, _deadline = inflight.pop(future)
+                try:
+                    value, metrics, leaks = future.result()
+                except BrokenProcessPool as exc:
+                    # a worker died; the executor fails every in-flight
+                    # future, so attribution is coarse — each one is
+                    # charged an attempt and retried or exhausted
+                    broken = True
+                    if attempts[index] < policy.max_attempts:
+                        retried += 1
+                        queue.append(index)
+                    else:
+                        exhaust(index, "worker process died", exc)
+                except concurrent.futures.CancelledError:
+                    attempts[index] -= 1
+                    queue.append(index)
+                except Exception as exc:  # repro-lint: allow — any worker exception feeds the retry policy
+                    if policy.retry_raised and attempts[index] < policy.max_attempts:
+                        retried += 1
+                        queue.append(index)
+                    elif policy.retry_raised:
+                        exhaust(
+                            index, f"worker raised {type(exc).__name__}: {exc}", exc
+                        )
+                    else:
+                        raise
+                else:
+                    results[index] = value
+                    snapshots[index] = metrics
+                    if leaks:
+                        shard_leaks.append((index, leaks))
+                    if session is not None:
+                        session.record(index, value)
+            if policy.shard_timeout is not None:
+                now = wall_time()
+                expired = [
+                    future
+                    for future, (_index, deadline) in inflight.items()
+                    if deadline is not None and now >= deadline
+                ]
+                for future in expired:
+                    index, _deadline = inflight.pop(future)
+                    # a running future cannot be stopped; the rebuild
+                    # below reclaims its worker
+                    future.cancel()
+                    broken = True
+                    if attempts[index] < policy.max_attempts:
+                        retried += 1
+                        queue.append(index)
+                    else:
+                        exhaust(
+                            index,
+                            f"timed out after {policy.shard_timeout:g}s",
+                            None,
+                        )
+            if broken:
+                requeue_untouched()
+                pool.shutdown(wait=False, cancel_futures=True)
+                rebuilds += 1
+                if rebuilds > policy.max_pool_rebuilds:
+                    if policy.inline_fallback:
+                        break  # degrade: remaining shards run inline
+                    raise RecoveryError(
+                        f"worker pool broke {rebuilds} time(s) "
+                        f"(max_pool_rebuilds={policy.max_pool_rebuilds}) and "
+                        "inline fallback is disabled"
+                    )
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=max_workers
+                )
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    leftover = {index: attempts[index] for index in sorted(set(queue))}
+    return snapshots, shard_leaks, retried, rebuilds, leftover
+
+
 def execute_shards(
     worker: Callable[[_P], _R],
     payloads: Sequence[_P],
     jobs: int | None = 1,
+    *,
+    policy: ExecutionPolicy | None = None,
+    checkpoint: CheckpointStore | None = None,
 ) -> list[_R]:
     """Run ``worker`` over every payload; results come back in order.
 
     ``jobs=1`` executes inline (the serial path); ``jobs>1`` fans the
     shards out over a :class:`concurrent.futures.ProcessPoolExecutor`
     with at most ``min(jobs, len(payloads))`` workers.  Exceptions
-    raised by a shard propagate to the caller.
+    raised by a shard propagate to the caller unchanged under the
+    default policy; a custom :class:`~repro.recovery.ExecutionPolicy`
+    adds bounded retry, per-shard timeouts and inline degradation,
+    surfacing exhaustion as :class:`~repro.errors.RecoveryError`.
+
+    With ``checkpoint`` each completed shard's result is persisted to
+    the store's manifest as it finishes; a store opened with
+    ``resume=True`` replays previously completed shards instead of
+    re-running them.  Recovery activity is visible as telemetry
+    counters: ``recovery.shards_retried``, ``recovery.pool_rebuilds``
+    and ``recovery.resume_hits`` (emitted only when nonzero).
     """
     items = list(payloads)
     jobs = resolve_jobs(jobs)
+    pol = policy if policy is not None else _DEFAULT_POLICY
+    plan = _faults.current_plan()
     parent = _telemetry.ACTIVE
     dsan_check = _dsan.active()
     if dsan_check:
@@ -98,55 +375,48 @@ def execute_shards(
         _dsan.verify_worker(worker)
         for index, payload in enumerate(items):
             _dsan.verify_payload(payload, index)
+    session: CheckpointSession | None = None
+    results: dict[int, _R] = {}
+    if checkpoint is not None:
+        session = checkpoint.begin(worker, items)
+        results.update(session.completed())
+    resumed = len(results)
+    remaining = [index for index in range(len(items)) if index not in results]
     with _telemetry.span(
         "parallel.execute", category="parallel", shards=len(items), jobs=jobs,
     ):
-        if jobs == 1 or len(items) <= 1:
-            if not dsan_check:
-                return [worker(payload) for payload in items]
-            # inline path under dsan: same per-shard state-leak
-            # fingerprinting the workers would perform
-            inline: list[_R] = []
-            leaked: list[tuple[int, list[str]]] = []
-            for index, payload in enumerate(items):
-                before = _dsan.state_fingerprint()
-                inline.append(worker(payload))
-                changed = _dsan.diff_fingerprints(
-                    before, _dsan.state_fingerprint()
+        retried = 0
+        rebuilds = 0
+        if jobs == 1 or len(remaining) <= 1:
+            retried = _run_inline(
+                worker, items, remaining, pol, plan, session, dsan_check, results
+            )
+        else:
+            collect = parent is not None
+            snapshots, shard_leaks, retried, rebuilds, leftover = _run_pooled(
+                worker, items, remaining, jobs, pol, plan, session,
+                dsan_check, collect, results,
+            )
+            if leftover:
+                retried += _run_inline(
+                    worker, items, sorted(leftover), pol, plan, session,
+                    dsan_check, results, start_attempts=leftover,
                 )
-                if changed:
-                    leaked.append((index, changed))
-            _dsan.raise_state_leaks(leaked)
-            return inline
-
-        collect = parent is not None
-        results: list[_R | None] = [None] * len(items)
-        snapshots: list[dict[str, dict[str, Any]] | None] = [None] * len(items)
-        shard_leaks: list[tuple[int, list[str]]] = []
-        max_workers = min(jobs, len(items))
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=max_workers
-        ) as pool:
-            futures = {
-                pool.submit(
-                    _shard_entry, worker, payload, collect, dsan_check
-                ): index
-                for index, payload in enumerate(items)
-            }
-            for future in concurrent.futures.as_completed(futures):
-                index = futures[future]
-                value, metrics, leaks = future.result()
-                results[index] = value
-                snapshots[index] = metrics
-                if leaks:
-                    shard_leaks.append((index, leaks))
-        _dsan.raise_state_leaks(sorted(shard_leaks))
+            _dsan.raise_state_leaks(sorted(shard_leaks))
+            if parent is not None:
+                # fold in shard order so the merged registry is
+                # deterministic whatever the completion order was
+                for index in sorted(snapshots):
+                    metrics = snapshots[index]
+                    if metrics is not None:
+                        parent.merge_snapshot(metrics)
+                parent.counter("parallel.shards").add(len(items))
+                parent.gauge("parallel.jobs").set(min(jobs, len(remaining)))
         if parent is not None:
-            # fold in shard order so the merged registry is
-            # deterministic whatever the completion order was
-            for metrics in snapshots:
-                if metrics is not None:
-                    parent.merge_snapshot(metrics)
-            parent.counter("parallel.shards").add(len(items))
-            parent.gauge("parallel.jobs").set(max_workers)
-    return cast("list[_R]", results)
+            if resumed:
+                parent.counter("recovery.resume_hits").add(resumed)
+            if retried:
+                parent.counter("recovery.shards_retried").add(retried)
+            if rebuilds:
+                parent.counter("recovery.pool_rebuilds").add(rebuilds)
+    return [results[index] for index in range(len(items))]

@@ -34,6 +34,18 @@ def as_seed_sequence(seed: int | np.random.SeedSequence) -> np.random.SeedSequen
     )
 
 
+def describe_seed(seed: int | np.random.SeedSequence) -> str:
+    """Human-readable identity of a seed, for checkpoint manifests.
+
+    A spawned child renders as ``entropy=<root> spawn_key=(i,)`` — the
+    exact coordinates :func:`spawn_seeds` would use to re-derive it, so
+    a manifest reader can verify which shard a record belongs to.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return f"entropy={seed.entropy} spawn_key={tuple(seed.spawn_key)}"
+    return repr(seed)
+
+
 def spawn_seeds(
     seed: int | np.random.SeedSequence, n: int
 ) -> list[np.random.SeedSequence]:

@@ -1,0 +1,60 @@
+"""Fault-tolerant, checkpointed execution for sharded runs.
+
+Long Monte Carlo campaigns die for boring reasons — a worker OOMs, a
+node reboots, someone hits Ctrl-C — and without this layer one dead
+process throws away hours of ``sweep_map``/``ensemble_iv`` work.  This
+package makes sharded execution survivable without touching its
+reproducibility contract:
+
+* :class:`ExecutionPolicy` — bounded retry with capped deterministic
+  backoff, per-shard timeouts, pool rebuild limits and inline
+  degradation, consumed by :func:`repro.parallel.pool.execute_shards`;
+* :class:`CheckpointStore` / :class:`CheckpointSession` — an atomic,
+  versioned, fingerprinted manifest of completed shard results, written
+  as each shard finishes and consumed by ``--resume``;
+* :class:`FaultPlan` / :func:`injected_faults` — test-only fault
+  injection (kill/hang/raise per shard per attempt) so every recovery
+  path is exercised by pytest rather than trusted.
+
+The invariant everything here preserves: a retried shard re-runs with
+its own spawned seed and a resumed run replays stored results in shard
+order, so retries, rebuilds and resumes are all bit-identical to an
+uninterrupted run — same arrays, same fold-order combined dsan event
+hash.  Failures surface as :class:`repro.errors.RecoveryError` with the
+worker's exception as ``__cause__``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RecoveryError
+from repro.recovery.checkpoint import CheckpointSession, CheckpointStore
+from repro.recovery.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    clear_faults,
+    corrupt_record,
+    current_plan,
+    injected_faults,
+    install_faults,
+)
+from repro.recovery.manifest import MANIFEST_VERSION, Manifest, ShardRecord
+from repro.recovery.policy import ExecutionPolicy
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "CheckpointSession",
+    "CheckpointStore",
+    "ExecutionPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "Manifest",
+    "RecoveryError",
+    "ShardRecord",
+    "clear_faults",
+    "corrupt_record",
+    "current_plan",
+    "injected_faults",
+    "install_faults",
+]

@@ -1,0 +1,135 @@
+"""Durable checkpoint store for sharded runs.
+
+:class:`CheckpointStore` owns a directory; :meth:`CheckpointStore.begin`
+binds it to one concrete sharded run (worker + payloads) and returns a
+:class:`CheckpointSession` the pool drives: completed shards are
+recorded as they finish, and on resume the previously completed shards
+come back decoded so the pool can skip them.
+
+Durability contract: the manifest is rewritten atomically (temp file +
+``os.replace`` in the same directory) after every completed shard, so a
+crash at any instant leaves either the previous or the next manifest on
+disk — never a torn one.  Resume is *strict*: the stored fingerprint
+must match the run being resumed (same deck/config, seeds, shard
+layout, worker), the manifest version must match, and every reused
+record must pass its checksum.  Anything else raises
+:class:`RecoveryError` rather than silently mixing two experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import RecoveryError
+from repro.recovery.manifest import Manifest, decode_result
+
+_MANIFEST_NAME = "manifest.json"
+
+
+class CheckpointStore:
+    """A checkpoint directory, plus the resume/overwrite intent.
+
+    ``resume=False`` (the default) starts the run from scratch: any
+    manifest already in the directory is overwritten.  ``resume=True``
+    requires a manifest to exist and to match the run's fingerprint.
+    The directory is created (and probed for writability) eagerly, so
+    an unusable ``--checkpoint`` path fails before any simulation work.
+    """
+
+    def __init__(self, directory: str | Path, *, resume: bool = False):
+        self.directory = Path(directory)
+        self.resume = resume
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            probe = self.directory / ".write-probe"
+            probe.write_bytes(b"")
+            probe.unlink()
+        except OSError as exc:
+            raise RecoveryError(
+                f"checkpoint directory {self.directory} is not writable: {exc}"
+            ) from exc
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / _MANIFEST_NAME
+
+    def begin(
+        self,
+        worker: Callable[..., Any],
+        payloads: list[Any],
+        meta: dict[str, Any] | None = None,
+    ) -> CheckpointSession:
+        """Bind the store to one run; load or initialise the manifest."""
+        fresh = Manifest.fresh(worker, payloads, meta)
+        if not self.resume:
+            session = CheckpointSession(self, fresh)
+            session.flush()
+            return session
+        if not self.manifest_path.is_file():
+            raise RecoveryError(
+                f"--resume requested but no checkpoint manifest exists at "
+                f"{self.manifest_path}"
+            )
+        try:
+            text = self.manifest_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise RecoveryError(
+                f"cannot read checkpoint manifest {self.manifest_path}: {exc}"
+            ) from exc
+        stored = Manifest.from_json(text, source=str(self.manifest_path))
+        if len(stored.shards) != len(payloads):
+            raise RecoveryError(
+                f"checkpoint at {self.directory} describes "
+                f"{len(stored.shards)} shard(s) but this run has "
+                f"{len(payloads)} — shard layout changed"
+            )
+        if stored.fingerprint != fresh.fingerprint:
+            raise RecoveryError(
+                f"checkpoint at {self.directory} belongs to a different run "
+                f"(fingerprint {stored.fingerprint} != {fresh.fingerprint}): "
+                "deck, config, seed or shard layout changed since the "
+                "checkpoint was written"
+            )
+        return CheckpointSession(self, stored)
+
+
+@dataclasses.dataclass
+class CheckpointSession:
+    """One run's live binding to its checkpoint manifest."""
+
+    store: CheckpointStore
+    manifest: Manifest
+
+    def completed(self) -> dict[int, Any]:
+        """Decode every stored shard result, keyed by shard index.
+
+        Checksums are verified here, at resume time, so corruption is
+        reported before any fresh simulation work starts.
+        """
+        results: dict[int, Any] = {}
+        for shard, record in enumerate(self.manifest.shards):
+            if record is not None:
+                results[shard] = decode_result(
+                    record.payload, record.checksum, shard
+                )
+        return results
+
+    def record(self, shard: int, result: Any) -> None:
+        """Persist one completed shard and atomically rewrite the manifest."""
+        event_hash = getattr(result, "event_hash", None)
+        self.manifest.record(shard, result, event_hash)
+        self.flush()
+
+    def flush(self) -> None:
+        path = self.store.manifest_path
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            tmp.write_text(self.manifest.to_json(), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise RecoveryError(
+                f"cannot write checkpoint manifest {path}: {exc}"
+            ) from exc

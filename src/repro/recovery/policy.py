@@ -1,0 +1,75 @@
+"""Retry/timeout policy for fault-tolerant shard execution.
+
+An :class:`ExecutionPolicy` is plain data: how many attempts each shard
+gets, how long a pooled shard may run, how retries back off, and when
+the pool gives up on subprocesses altogether and degrades to inline
+execution.  The policy never touches results — a retried shard re-runs
+with the *same* payload (and therefore the same spawned seed, see
+:mod:`repro.parallel.seeds`), so a successful retry is bit-identical to
+a first-attempt success and the fold-order combined event hash is
+unaffected by how many times any shard crashed along the way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPolicy:
+    """How :func:`repro.parallel.pool.execute_shards` handles failure.
+
+    ``max_attempts``
+        Total tries per shard (first run + retries).  ``1`` disables
+        retry.
+    ``shard_timeout``
+        Wall-clock seconds a pooled shard may run before it is charged
+        a failed attempt and its worker pool is rebuilt; ``None``
+        disables the deadline.  Ignored on the inline path, which
+        cannot preempt a running shard.
+    ``backoff_base`` / ``backoff_cap``
+        Deterministic exponential backoff before attempt ``n``:
+        ``min(backoff_base * 2**(n - 2), backoff_cap)`` seconds — no
+        jitter, so a retried run sleeps the same schedule every time.
+    ``max_pool_rebuilds``
+        How many times a broken/timed-out pool is rebuilt before the
+        remaining shards degrade to inline execution (when
+        ``inline_fallback``) or the run fails.
+    ``retry_raised``
+        Also retry shards whose worker *raised* (not just died or timed
+        out).  Off by default: an in-process exception is normally a
+        deterministic bug that retrying cannot fix, and the historical
+        contract is that it propagates to the caller unchanged.
+    """
+
+    max_attempts: int = 3
+    shard_timeout: float | None = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    max_pool_rebuilds: int = 3
+    inline_fallback: bool = True
+    retry_raised: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SimulationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise SimulationError(
+                f"shard_timeout must be positive, got {self.shard_timeout}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise SimulationError("backoff durations must be >= 0")
+        if self.max_pool_rebuilds < 0:
+            raise SimulationError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Seconds to sleep before running ``attempt`` (2-based)."""
+        if attempt <= 1:
+            return 0.0
+        return min(self.backoff_base * 2.0 ** (attempt - 2), self.backoff_cap)

@@ -15,6 +15,23 @@ from repro.circuit import (
 from repro.constants import MEV
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-deck regression records under "
+             "tests/data/golden/ from the current build instead of "
+             "comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should rewrite golden records, not check them."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture
 def set_circuit():
     """The paper's Fig. 1b SET at a 20 mV symmetric bias."""

@@ -9,9 +9,11 @@ import numpy as np
 import pytest
 
 from repro.circuit import build_junction_array, build_set
-from repro.constants import E_CHARGE
+from repro.constants import E_CHARGE, K_B, MEV
 from repro.core import MonteCarloEngine, SimulationConfig
 from repro.master import MasterEquationSolver
+from repro.physics.orthodox import orthodox_rate
+from repro.physics.quasiparticle import QuasiparticleRateTable, qp_rate
 
 SOLVERS = ("nonadaptive", "adaptive")
 TEMPERATURES = (1.0, 5.0)
@@ -89,6 +91,63 @@ class TestZeroBiasEquilibrium:
         shuttle_rate = engine2.solver.stats.events / engine2.solver.time
         current_scale = E_CHARGE * shuttle_rate
         assert abs(current) < 0.05 * current_scale
+
+
+class TestDetailedBalanceGrid:
+    """Property test: the orthodox rate obeys detailed balance,
+    ``rate(+dW) / rate(-dW) = exp(-dW / k_B T)``, over a log-spaced
+    ``dW / k_B T`` grid spanning five decades — compared in log space,
+    because the ratio itself crosses ~20 decades."""
+
+    @pytest.mark.parametrize("temperature", (0.05, 0.5, 4.2, 20.0))
+    @pytest.mark.parametrize("resistance", (5e4, 1e6))
+    def test_orthodox_detailed_balance_log_grid(self, temperature, resistance):
+        kt = K_B * temperature
+        for x in np.logspace(-3, np.log10(50.0), 25):
+            dw = float(x * kt)
+            forward = orthodox_rate(-dw, resistance, temperature)
+            backward = orthodox_rate(+dw, resistance, temperature)
+            assert forward > 0.0 and backward > 0.0
+            log_ratio = np.log(backward) - np.log(forward)
+            assert log_ratio == pytest.approx(-x, rel=1e-6, abs=1e-9)
+
+
+class TestRateTableFidelity:
+    """Property test: the tabulated quasi-particle rate agrees with
+    direct quadrature everywhere in its span — the guard against silent
+    interpolation-grid regressions.
+
+    At the gap edge the rate varies exponentially while sitting ~5
+    decades below its peak, so a pure relative comparison is
+    meaningless there; the contract is tight relative agreement
+    wherever the rate is significant, plus a peak-scaled absolute bound
+    everywhere.
+    """
+
+    DELTA = 0.2 * MEV
+    R = 1e5
+    T = 0.3
+
+    def test_table_matches_direct_quadrature_across_span(self):
+        table = QuasiparticleRateTable(
+            self.R, self.DELTA, self.DELTA, self.T, n_points=2001
+        )
+        # off-node sampling: 241 does not divide the 2000 table panels,
+        # so nearly every probe lands between grid nodes
+        grid = np.linspace(-table.dw_max, table.dw_max, 241)
+        direct = np.array([
+            qp_rate(float(dw), self.R, self.DELTA, self.DELTA, self.T)
+            for dw in grid
+        ])
+        interp = np.asarray(table(grid))
+        peak = float(direct.max())
+        assert peak > 0.0
+        significant = direct > 1e-3 * peak
+        assert significant.any()
+        np.testing.assert_allclose(
+            interp[significant], direct[significant], rtol=0.02
+        )
+        np.testing.assert_allclose(interp, direct, rtol=1.0, atol=2e-4 * peak)
 
 
 class TestSolverAgreementAcrossPhysics:

@@ -1,0 +1,533 @@
+"""Tests for the fault-tolerant checkpoint/resume layer (repro.recovery).
+
+The contracts under test:
+
+* an interrupted-then-resumed sweep is **bit-identical** (arrays and
+  fold-order combined event hash) to an uninterrupted run, for
+  ``jobs in {1, 2, 4}``;
+* a shard retried after an injected worker crash or timeout reproduces
+  the no-fault run exactly, because retries reuse the shard's own
+  spawned seed;
+* corrupted, mismatched or missing checkpoint manifests are rejected
+  with a clear :class:`RecoveryError` — never silently reused;
+* ``repro run`` reports a retry-exhausted shard's cause chain and
+  exits non-zero instead of surfacing a raw executor traceback.
+
+Faults are staged through :mod:`repro.recovery.faults`; nothing here
+monkeypatches executor internals.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_set
+from repro.core import SimulationConfig, sweep_iv, sweep_map
+from repro.errors import RecoveryError, SimulationError
+from repro.parallel import ensemble_iv
+from repro.parallel.pool import execute_shards
+from repro.recovery import (
+    CheckpointStore,
+    ExecutionPolicy,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    corrupt_record,
+    injected_faults,
+)
+from repro.telemetry import registry as telemetry
+
+# fast-but-fault-tolerant policy for tests: tiny deterministic backoff
+FAST = ExecutionPolicy(backoff_base=0.01, backoff_cap=0.05)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _fragile(x):
+    if x < 0:
+        raise SimulationError(f"shard input {x} is negative")
+    return x + 1
+
+
+def _map_args(points=5, rows=3):
+    return (
+        build_set(),
+        np.linspace(-0.04, 0.04, points),
+        np.linspace(0.0, 0.01, rows),
+    )
+
+
+def _run_map(jobs=1, seed=7, checkpoint=None, policy=None, jumps=250):
+    circuit, volts, gates = _map_args()
+    return sweep_map(
+        circuit, volts, gates,
+        SimulationConfig(temperature=5.0, seed=seed, event_hash=True),
+        jumps_per_point=jumps, jobs=jobs,
+        checkpoint=checkpoint, policy=policy,
+    )
+
+
+class TestExecutionPolicy:
+    def test_defaults_are_valid(self):
+        ExecutionPolicy()
+
+    @pytest.mark.parametrize("kwargs", (
+        {"max_attempts": 0},
+        {"shard_timeout": 0.0},
+        {"shard_timeout": -1.0},
+        {"backoff_base": -0.1},
+        {"max_pool_rebuilds": -1},
+    ))
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(SimulationError):
+            ExecutionPolicy(**kwargs)
+
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = ExecutionPolicy(backoff_base=0.1, backoff_cap=0.3)
+        delays = [policy.backoff_delay(n) for n in (1, 2, 3, 4, 5)]
+        assert delays == [0.0, 0.1, 0.2, 0.3, 0.3]
+        assert delays == [policy.backoff_delay(n) for n in (1, 2, 3, 4, 5)]
+
+
+class TestFaultPlan:
+    def test_spec_selection_by_shard_and_attempt(self):
+        plan = FaultPlan((
+            FaultSpec(shard=1, action="raise", attempts=(2,)),
+            FaultSpec(shard=1, action="kill", attempts=(3,)),
+        ))
+        assert plan.spec_for(0, 1) is None
+        assert plan.spec_for(1, 1) is None
+        assert plan.spec_for(1, 2).action == "raise"
+        assert plan.spec_for(1, 3).action == "kill"
+
+    def test_empty_attempts_fire_every_attempt(self):
+        plan = FaultPlan((FaultSpec(shard=0, action="raise", attempts=()),))
+        assert all(plan.spec_for(0, n) is not None for n in range(1, 6))
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(SimulationError, match="unknown fault action"):
+            FaultSpec(shard=0, action="explode")
+
+    def test_injection_context_is_scoped(self):
+        from repro.recovery import current_plan
+
+        assert current_plan() is None
+        with injected_faults(FaultPlan()):
+            assert current_plan() is not None
+        assert current_plan() is None
+
+
+class TestCheckpointStore:
+    def test_fresh_store_writes_versioned_manifest(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        out = execute_shards(_double, [1, 2, 3], jobs=1, checkpoint=store)
+        assert out == [2, 4, 6]
+        data = json.loads(store.manifest_path.read_text())
+        assert data["version"] == 1
+        assert len(data["shards"]) == 3
+        assert all(rec["status"] == "done" for rec in data["shards"])
+
+    def test_unwritable_directory_rejected_eagerly(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file, not directory")
+        with pytest.raises(RecoveryError, match="not writable"):
+            CheckpointStore(blocker / "ckpt")
+
+    def test_resume_without_manifest_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt", resume=True)
+        with pytest.raises(RecoveryError, match="no checkpoint manifest"):
+            execute_shards(_double, [1, 2], jobs=1, checkpoint=store)
+
+    def test_resume_replays_without_rerunning(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        execute_shards(_double, [1, 2, 3], jobs=1, checkpoint=store)
+        # if any shard re-ran, the every-attempt fault would detonate
+        plan = FaultPlan(tuple(
+            FaultSpec(shard=i, action="raise", attempts=()) for i in range(3)
+        ))
+        with injected_faults(plan):
+            out = execute_shards(
+                _double, [1, 2, 3], jobs=1,
+                checkpoint=CheckpointStore(tmp_path, resume=True),
+            )
+        assert out == [2, 4, 6]
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        execute_shards(_double, [1, 2, 3], jobs=1, checkpoint=store)
+        with pytest.raises(RecoveryError, match="different run"):
+            execute_shards(
+                _double, [1, 2, 4], jobs=1,
+                checkpoint=CheckpointStore(tmp_path, resume=True),
+            )
+
+    def test_shard_count_mismatch_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        execute_shards(_double, [1, 2, 3], jobs=1, checkpoint=store)
+        with pytest.raises(RecoveryError, match="shard layout changed"):
+            execute_shards(
+                _double, [1, 2], jobs=1,
+                checkpoint=CheckpointStore(tmp_path, resume=True),
+            )
+
+    def test_corrupted_record_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        execute_shards(_double, [1, 2, 3], jobs=1, checkpoint=store)
+        corrupt_record(tmp_path, 1)
+        with pytest.raises(RecoveryError, match="corrupt"):
+            execute_shards(
+                _double, [1, 2, 3], jobs=1,
+                checkpoint=CheckpointStore(tmp_path, resume=True),
+            )
+
+    def test_manifest_version_mismatch_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        execute_shards(_double, [1], jobs=1, checkpoint=store)
+        data = json.loads(store.manifest_path.read_text())
+        data["version"] = 99
+        store.manifest_path.write_text(json.dumps(data))
+        with pytest.raises(RecoveryError, match="version"):
+            execute_shards(
+                _double, [1], jobs=1,
+                checkpoint=CheckpointStore(tmp_path, resume=True),
+            )
+
+    def test_unparseable_manifest_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.manifest_path.write_text("{ not json")
+        with pytest.raises(RecoveryError, match="not valid JSON"):
+            execute_shards(
+                _double, [1], jobs=1,
+                checkpoint=CheckpointStore(tmp_path, resume=True),
+            )
+
+    def test_fresh_store_overwrites_stale_manifest(self, tmp_path):
+        execute_shards(_double, [1, 2], jobs=1, checkpoint=CheckpointStore(tmp_path))
+        out = execute_shards(
+            _double, [5, 6], jobs=1, checkpoint=CheckpointStore(tmp_path)
+        )
+        assert out == [10, 12]
+
+
+class TestResumeEquivalence:
+    """The acceptance contract: interrupt, resume, get identical bits."""
+
+    @pytest.mark.parametrize("jobs", (1, 2, 4))
+    def test_interrupted_sweep_map_resumes_bit_identical(self, tmp_path, jobs):
+        base = _run_map(jobs=jobs)
+        plan = FaultPlan((FaultSpec(shard=1, action="raise", attempts=()),))
+        with injected_faults(plan):
+            with pytest.raises(SimulationError):
+                _run_map(jobs=jobs, checkpoint=CheckpointStore(tmp_path))
+        resumed = _run_map(
+            jobs=jobs, checkpoint=CheckpointStore(tmp_path, resume=True)
+        )
+        assert np.array_equal(base.currents, resumed.currents)
+        assert base.event_hash is not None
+        assert base.event_hash == resumed.event_hash
+
+    def test_resume_hits_counted(self, tmp_path):
+        plan = FaultPlan((FaultSpec(shard=2, action="raise", attempts=()),))
+        with injected_faults(plan):
+            with pytest.raises(SimulationError):
+                _run_map(jobs=1, checkpoint=CheckpointStore(tmp_path))
+        with telemetry.session(trace=False) as reg:
+            _run_map(jobs=1, checkpoint=CheckpointStore(tmp_path, resume=True))
+        # serially, shards 0 and 1 completed before shard 2 detonated
+        assert reg.metrics()["counters"]["recovery.resume_hits"] == 2
+
+    def test_interrupted_chunked_sweep_iv_resumes_bit_identical(self, tmp_path):
+        circuit = build_set()
+        volts = np.linspace(-0.02, 0.02, 6)
+        cfg = SimulationConfig(temperature=5.0, seed=11, event_hash=True)
+        base = sweep_iv(
+            circuit, volts, cfg, jumps_per_point=200, chunks=3, jobs=2
+        )
+        plan = FaultPlan((FaultSpec(shard=2, action="raise", attempts=()),))
+        with injected_faults(plan):
+            with pytest.raises(SimulationError):
+                sweep_iv(
+                    circuit, volts, cfg, jumps_per_point=200, chunks=3,
+                    jobs=2, checkpoint=CheckpointStore(tmp_path),
+                )
+        resumed = sweep_iv(
+            circuit, volts, cfg, jumps_per_point=200, chunks=3, jobs=2,
+            checkpoint=CheckpointStore(tmp_path, resume=True),
+        )
+        assert np.array_equal(base.currents, resumed.currents)
+        assert base.event_hash == resumed.event_hash
+        # merged solver work survives the round-trip through the manifest
+        assert base.stats is not None and resumed.stats is not None
+        assert base.stats.events == resumed.stats.events
+
+    def test_interrupted_ensemble_resumes_bit_identical(self, tmp_path):
+        circuit = build_set()
+        volts = np.linspace(-0.02, 0.02, 4)
+        cfg = SimulationConfig(temperature=5.0, seed=3, event_hash=True)
+        base = ensemble_iv(
+            circuit, volts, 3, cfg, jumps_per_point=200, jobs=2
+        )
+        plan = FaultPlan((FaultSpec(shard=0, action="raise", attempts=()),))
+        with injected_faults(plan):
+            with pytest.raises(SimulationError):
+                ensemble_iv(
+                    circuit, volts, 3, cfg, jumps_per_point=200, jobs=2,
+                    checkpoint=CheckpointStore(tmp_path),
+                )
+        resumed = ensemble_iv(
+            circuit, volts, 3, cfg, jumps_per_point=200, jobs=2,
+            checkpoint=CheckpointStore(tmp_path, resume=True),
+        )
+        assert np.array_equal(base.replica_currents, resumed.replica_currents)
+        assert base.event_hash == resumed.event_hash
+
+
+class TestRetryEquivalence:
+    def test_killed_shard_retries_bit_identical(self):
+        base = _run_map(jobs=2)
+        with telemetry.session(trace=False) as reg:
+            with injected_faults(
+                FaultPlan((FaultSpec(shard=0, action="kill"),))
+            ):
+                recovered = _run_map(jobs=2, policy=FAST)
+        assert np.array_equal(base.currents, recovered.currents)
+        assert base.event_hash == recovered.event_hash
+        counters = reg.metrics()["counters"]
+        assert counters["recovery.shards_retried"] >= 1
+        assert counters["recovery.pool_rebuilds"] >= 1
+
+    def test_inline_retry_after_raise_bit_identical(self):
+        base = _run_map(jobs=1)
+        policy = ExecutionPolicy(retry_raised=True, backoff_base=0.01)
+        with injected_faults(
+            FaultPlan((FaultSpec(shard=1, action="raise", attempts=(1,)),))
+        ):
+            recovered = _run_map(jobs=1, policy=policy)
+        assert np.array_equal(base.currents, recovered.currents)
+        assert base.event_hash == recovered.event_hash
+
+    def test_pooled_exhaustion_raises_recovery_error(self):
+        policy = ExecutionPolicy(
+            max_attempts=2, backoff_base=0.01, inline_fallback=False,
+            max_pool_rebuilds=10,
+        )
+        plan = FaultPlan((FaultSpec(shard=0, action="kill", attempts=()),))
+        with injected_faults(plan):
+            with pytest.raises(RecoveryError, match="failed after"):
+                execute_shards(
+                    _fragile, [1, 2, 3], jobs=2, policy=policy
+                )
+
+    def test_inline_exhaustion_chains_the_cause(self):
+        policy = ExecutionPolicy(
+            max_attempts=2, retry_raised=True, backoff_base=0.01
+        )
+        plan = FaultPlan((FaultSpec(shard=0, action="raise", attempts=()),))
+        with injected_faults(plan):
+            with pytest.raises(RecoveryError, match="failed after 2") as info:
+                execute_shards(_fragile, [1, 2], jobs=1, policy=policy)
+        assert info.value.shard == 0
+        assert info.value.attempts == 2
+        assert isinstance(info.value.__cause__, InjectedFault)
+
+    def test_raised_exception_propagates_unchanged_by_default(self):
+        # the historical contract: no retry_raised means a worker
+        # exception reaches the caller as-is, inline and pooled
+        with pytest.raises(SimulationError, match="negative"):
+            execute_shards(_fragile, [1, -2, 3], jobs=1)
+        with pytest.raises(SimulationError, match="negative"):
+            execute_shards(_fragile, [1, -2, 3], jobs=2)
+
+
+class TestTimeoutAndDegradation:
+    def test_hung_shard_times_out_and_retries_bit_identical(self):
+        base = _run_map(jobs=2, jumps=150)
+        policy = ExecutionPolicy(
+            shard_timeout=0.5, backoff_base=0.01, max_pool_rebuilds=5
+        )
+        plan = FaultPlan((
+            FaultSpec(shard=0, action="hang", attempts=(1,), delay=2.0),
+        ))
+        with telemetry.session(trace=False) as reg:
+            with injected_faults(plan):
+                recovered = _run_map(jobs=2, jumps=150, policy=policy)
+        assert np.array_equal(base.currents, recovered.currents)
+        assert base.event_hash == recovered.event_hash
+        assert reg.metrics()["counters"]["recovery.pool_rebuilds"] >= 1
+
+    def test_degrades_to_inline_after_rebuild_budget(self):
+        policy = ExecutionPolicy(
+            max_attempts=5, backoff_base=0.01, max_pool_rebuilds=0,
+            inline_fallback=True,
+        )
+        plan = FaultPlan((FaultSpec(shard=0, action="kill", attempts=(1,)),))
+        with telemetry.session(trace=False) as reg:
+            with injected_faults(plan):
+                out = execute_shards(_fragile, [1, 2, 3], jobs=2, policy=policy)
+        assert out == [2, 3, 4]
+        assert reg.metrics()["counters"]["recovery.pool_rebuilds"] == 1
+
+    def test_rebuild_budget_without_fallback_fails(self):
+        policy = ExecutionPolicy(
+            max_attempts=5, backoff_base=0.01, max_pool_rebuilds=0,
+            inline_fallback=False,
+        )
+        plan = FaultPlan((FaultSpec(shard=0, action="kill", attempts=(1,)),))
+        with injected_faults(plan):
+            with pytest.raises(RecoveryError, match="pool broke"):
+                execute_shards(_fragile, [1, 2, 3], jobs=2, policy=policy)
+
+
+DECK = """\
+junc 1 1 4 1e-6 1e-18
+junc 2 2 4 1e-6 1e-18
+cap 3 4 3e-18
+vdc 1 0.02
+vdc 2 -0.02
+vdc 3 0.0
+symm 1
+temp 5
+record 1 2 2
+jumps 400 1
+sweep 2 0.02 0.01
+"""
+
+NO_SWEEP_DECK = """\
+junc 1 1 4 1e-6 1e-18
+junc 2 2 4 1e-6 1e-18
+cap 3 4 3e-18
+vdc 1 0.02
+vdc 2 -0.02
+vdc 3 0.0
+symm 1
+temp 5
+record 1 2 2
+jumps 400 1
+"""
+
+
+class TestDeckCheckpointing:
+    def test_checkpoint_forces_event_hash(self, tmp_path):
+        from repro.netlist import parse_semsim
+
+        curve = parse_semsim(DECK).run(
+            seed=3, chunks=2, checkpoint=CheckpointStore(tmp_path)
+        )
+        assert curve.event_hash is not None
+
+    def test_operating_point_deck_rejects_checkpoint(self, tmp_path):
+        from repro.netlist import parse_semsim
+
+        with pytest.raises(SimulationError, match="sweep deck"):
+            parse_semsim(NO_SWEEP_DECK).run(
+                seed=3, checkpoint=CheckpointStore(tmp_path)
+            )
+
+
+class TestCliRecovery:
+    def _write_deck(self, tmp_path):
+        deck_file = tmp_path / "tiny.deck"
+        deck_file.write_text(DECK)
+        return deck_file
+
+    def test_checkpoint_resume_roundtrip_matches_plain_run(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main as cli_main
+
+        deck_file = self._write_deck(tmp_path)
+        ckpt = tmp_path / "ckpt"
+        assert cli_main(["run", str(deck_file), "--chunks", "2"]) == 0
+        plain = capsys.readouterr().out
+        plan = FaultPlan((FaultSpec(shard=1, action="raise", attempts=()),))
+        with injected_faults(plan):
+            code = cli_main([
+                "run", str(deck_file), "--chunks", "2",
+                "--checkpoint", str(ckpt),
+            ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+        assert cli_main([
+            "run", str(deck_file), "--chunks", "2",
+            "--checkpoint", str(ckpt), "--resume",
+        ]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == plain
+
+    def test_retry_exhaustion_exits_nonzero_with_cause_chain(
+        self, tmp_path, capsys
+    ):
+        # the bugfix: a sweep shard that exhausts its retries must
+        # surface as exit 1 + the shard's cause chain on stderr, not as
+        # a raw ProcessPoolExecutor traceback
+        from repro.cli import main as cli_main
+
+        deck_file = self._write_deck(tmp_path)
+        plan = FaultPlan((FaultSpec(shard=0, action="kill", attempts=()),))
+        with injected_faults(plan):
+            code = cli_main([
+                "run", str(deck_file), "--chunks", "2", "--jobs", "2",
+                "--retries", "1",
+            ])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error:" in err
+        assert "attempt" in err
+        assert "caused by:" in err
+        assert "Traceback" not in err
+
+    def test_resume_requires_checkpoint_flag(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        deck_file = self._write_deck(tmp_path)
+        assert cli_main(["run", str(deck_file), "--resume"]) == 1
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_unusable_checkpoint_dir_is_a_clean_error(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        deck_file = self._write_deck(tmp_path)
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file")
+        code = cli_main([
+            "run", str(deck_file), "--checkpoint", str(blocker / "ckpt"),
+        ])
+        assert code == 1
+        assert "not writable" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+class TestLongCampaign:
+    """A fuller campaign: many shards, a mid-run crash at jobs=4, then
+    resume — the scaled-up version of the tier-1 equivalence tests."""
+
+    def test_large_map_interrupt_resume_and_retry(self, tmp_path):
+        circuit = build_set()
+        volts = np.linspace(-0.04, 0.04, 7)
+        gates = np.linspace(0.0, 0.012, 8)
+        cfg = SimulationConfig(temperature=5.0, seed=23, event_hash=True)
+        base = sweep_map(
+            circuit, volts, gates, cfg, jumps_per_point=800, jobs=4
+        )
+        plan = FaultPlan((
+            FaultSpec(shard=3, action="kill", attempts=(1,)),
+            FaultSpec(shard=5, action="raise", attempts=()),
+        ))
+        with injected_faults(plan):
+            with pytest.raises(SimulationError):
+                sweep_map(
+                    circuit, volts, gates, cfg, jumps_per_point=800,
+                    jobs=4, policy=FAST,
+                    checkpoint=CheckpointStore(tmp_path),
+                )
+        resumed = sweep_map(
+            circuit, volts, gates, cfg, jumps_per_point=800, jobs=4,
+            checkpoint=CheckpointStore(tmp_path, resume=True),
+        )
+        assert np.array_equal(base.currents, resumed.currents)
+        assert base.event_hash == resumed.event_hash
