@@ -28,6 +28,7 @@ from repro.circuit.circuit import Circuit
 from repro.circuit.components import NodeRef
 from repro.constants import E_CHARGE
 from repro.errors import CircuitError
+from repro.static import array_contract, hot
 
 #: Circuits up to this many islands use the dense inverse backend.
 DENSE_LIMIT_DEFAULT = 1200
@@ -196,10 +197,17 @@ class Electrostatics:
     # ------------------------------------------------------------------
     # potentials
     # ------------------------------------------------------------------
+    @hot
+    @array_contract(occupation="(n_islands,) int64", out="(n_islands,) float64")
     def island_charges(self, occupation: np.ndarray) -> np.ndarray:
         """Total island charge ``q = -e*n + q0`` for integer occupations."""
         return -E_CHARGE * occupation + self._q0
 
+    @array_contract(
+        occupation="(n_islands,) int64",
+        vext="(n_external,) float64",
+        out="(n_islands,) float64",
+    )
     def potentials(self, occupation: np.ndarray, vext: np.ndarray) -> np.ndarray:
         """Island potentials for the given occupation and source voltages."""
         rhs = self.island_charges(occupation) + self._cx @ vext
@@ -233,6 +241,11 @@ class Electrostatics:
             total -= 2.0 * self.cinv_entry(ref_a.index, ref_b.index)
         return total
 
+    @array_contract(
+        v_islands="(n_islands,) float64",
+        vext="(n_external,) float64",
+        out="() float64",
+    )
     def free_energy_change(
         self,
         ref_a: NodeRef,
@@ -252,6 +265,8 @@ class Electrostatics:
             ref_a, ref_b
         )
 
+    @hot
+    @array_contract(out="(n_islands,) float64")
     def potential_update(
         self, ref_a: NodeRef, ref_b: NodeRef, dq: float = -E_CHARGE
     ) -> np.ndarray:
@@ -268,6 +283,7 @@ class Electrostatics:
             dv += dq * self.cinv_column(ref_b.index)
         return dv
 
+    @array_contract(dvext="(n_external,) float64", out="(n_islands,) float64")
     def source_potential_update(self, dvext: np.ndarray) -> np.ndarray:
         """Island potential change caused by a source-voltage change.
 

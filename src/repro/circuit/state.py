@@ -8,6 +8,19 @@ import numpy as np
 
 from repro.circuit.components import NodeRef
 from repro.errors import CircuitError
+from repro.static import array_contract
+
+
+@array_contract(out="(n_islands,) int64")
+def neutral_occupation(n_islands: int) -> np.ndarray:
+    """All-zero occupation vector for ``n_islands`` islands.
+
+    The canonical occupation dtype is ``int64``: every solver and the
+    master-equation state space key on exact integer electron counts,
+    so the kernel contract pins the dtype at the single point where
+    occupation arrays are born.
+    """
+    return np.zeros(n_islands, dtype=np.int64)
 
 
 @dataclasses.dataclass
@@ -25,7 +38,7 @@ class ChargeState:
     @classmethod
     def neutral(cls, n_islands: int) -> "ChargeState":
         """All-islands-neutral initial state."""
-        return cls(np.zeros(n_islands, dtype=np.int64))
+        return cls(neutral_occupation(n_islands))
 
     def copy(self) -> "ChargeState":
         return ChargeState(self.occupation.copy())

@@ -36,6 +36,15 @@ this CLI reproduces that workflow:
     state, wall-clock reads outside ``telemetry.clock``, worker state
     writes, unpicklable pool payloads, unordered-set iteration).  The
     exit code mirrors the worst severity, like ``lint``.
+``python -m repro check [path ...]``
+    The unified static-analysis gate: run every rule family —
+    ``REPRO00x`` repository style, ``DET0xx`` determinism, ``ARR0xx``
+    array-kernel contracts, ``PERF0xx`` hot-loop hygiene and ``W000``
+    stale waivers — over the simulator sources in one pass.
+    ``--select`` filters by code prefix, ``--format json|sarif``
+    selects machine-readable output, ``--baseline FILE`` suppresses
+    known findings and ``--write-baseline FILE`` records the current
+    state.  The exit code mirrors the worst severity, like ``lint``.
 ``python -m repro run deck.txt --dsan``
     Runtime determinism sanitizer: execute the deck twice under the
     same seed with the pool boundary armed, compare order-sensitive
@@ -208,6 +217,40 @@ def _build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument(
         "--codes", action="store_true",
         help="print the table of DET0xx diagnostic codes and exit",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="unified static analysis: repository, determinism, array "
+             "and hot-loop rules over the simulator sources",
+    )
+    check.add_argument(
+        "paths", type=Path, nargs="*",
+        help="files or directories to analyse (default: the installed "
+             "repro package sources)",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    check.add_argument(
+        "--codes", action="store_true",
+        help="print the full static-analysis code registry and exit",
+    )
+    check.add_argument(
+        "--select", metavar="PREFIX[,PREFIX...]", default=None,
+        help="keep only findings whose code starts with one of the "
+             "given prefixes (e.g. 'ARR,PERF')",
+    )
+    check.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="suppress findings whose fingerprints appear in this "
+             "baseline file (JSON, written by --write-baseline)",
+    )
+    check.add_argument(
+        "--write-baseline", type=Path, default=None, metavar="FILE",
+        help="write the fingerprints of every current finding to FILE "
+             "and exit 0",
     )
 
     bench = sub.add_parser("benchmark", help="build a paper logic benchmark")
@@ -400,6 +443,46 @@ def _cmd_sanitize(args) -> int:
     return report.exit_code
 
 
+def _cmd_check(args) -> int:
+    from repro.static import (
+        check_paths,
+        code_table,
+        default_root,
+        load_baseline,
+        report_as_json,
+        report_as_sarif,
+        write_baseline,
+    )
+
+    if args.codes:
+        print(code_table())
+        return 0
+    paths = list(args.paths) if args.paths else [default_root()]
+    select = None
+    if args.select:
+        select = tuple(
+            part.strip() for part in args.select.split(",") if part.strip()
+        )
+    baseline = None
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+    report = check_paths(paths, select=select, baseline=baseline)
+    if args.write_baseline is not None:
+        write_baseline(report, args.write_baseline)
+        print(
+            f"wrote {len(report.findings) + len(report.baselined)} "
+            f"fingerprint(s) to {args.write_baseline}"
+        )
+        return 0
+    if args.format == "json":
+        print(report_as_json(report))
+    elif args.format == "sarif":
+        print(report_as_sarif(report))
+    else:
+        print(report.format())
+    return report.exit_code
+
+
 def _cmd_benchmark(args) -> int:
     from repro.logic import build_benchmark
 
@@ -438,6 +521,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_lint(args)
         if args.command == "sanitize":
             return _cmd_sanitize(args)
+        if args.command == "check":
+            return _cmd_check(args)
         if args.command == "benchmark":
             return _cmd_benchmark(args)
         if args.command == "benchmarks":

@@ -13,8 +13,9 @@ promises (bit-identical results for any worker count):
   pickle and state-leak verification of every pool shard while
   :func:`~repro.dsan.runtime.dsan_mode` is armed.
 
-The repository style gate (``tools/check_source.py``) shares this
-package's visitor framework via :mod:`repro.dsan.repo_rules`.
+The static half is hosted on the unified analysis framework
+(:mod:`repro.static`); ``repro check`` runs the same DET rules
+alongside the repository, array and hot-loop passes.
 """
 
 from __future__ import annotations

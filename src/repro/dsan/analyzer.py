@@ -1,10 +1,12 @@
 """Orchestration of the static determinism pass.
 
-:func:`sanitize_paths` parses every Python file under the given roots
-once, builds the cross-module call graph, runs the DET rules over each
-module and returns a :class:`~repro.dsan.diagnostics.SanitizerReport`
-ordered by path then line.  Waivers (``# dsan: allow[DET0xx]``) are
-honoured per line and per code.
+:func:`sanitize_paths` is now a thin adapter over the unified static
+engine (:func:`repro.static.engine.check_paths`): it runs only the
+``det`` pass and converts the engine's diagnostics back into the
+:class:`~repro.dsan.diagnostics.SanitizerReport` surface that
+``repro sanitize`` and its callers have always consumed.  Waivers
+(``# dsan: allow[DET0xx]`` or the unified ``# repro: allow[...]``)
+are honoured per line and per code.
 """
 
 from __future__ import annotations
@@ -12,25 +14,19 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.dsan.callgraph import CallGraph
 from repro.dsan.diagnostics import (
     DET_CODES,
     Finding,
     SanitizerReport,
     finding,
-    waived_codes,
 )
-from repro.dsan.rules import module_rules
-from repro.dsan.visitors import ModuleSource, iter_python_files
+from repro.static.engine import check_paths
+from repro.static.engine import default_root as _engine_default_root
 
 
 def default_root() -> Path:
     """The installed ``repro`` package directory — what CI scans."""
-    return Path(__file__).resolve().parent.parent
-
-
-def _waiver(line: str, code: str) -> bool:
-    return code in waived_codes(line)
+    return _engine_default_root()
 
 
 def sanitize_paths(
@@ -39,30 +35,23 @@ def sanitize_paths(
     relative_to: Path | None = None,
 ) -> SanitizerReport:
     """Run the DET pass over files/directories (default: ``repro``)."""
-    if not roots:
-        roots = [default_root()]
-    scan_root = relative_to
-    if scan_root is None:
-        scan_root = roots[0] if roots[0].is_dir() else roots[0].parent
-
-    modules = [
-        ModuleSource.parse(path, root=scan_root)
-        for path in iter_python_files(roots)
+    report = check_paths(
+        roots,
+        relative_to=relative_to,
+        passes=("det",),
+        warn_unused_waivers=False,
+    )
+    findings: list[Finding] = [
+        finding(
+            diag.code, diag.message,
+            path=diag.path, line=diag.line, symbol=diag.symbol,
+        )
+        for diag in report.findings
     ]
-    graph = CallGraph(modules)
-    reachable = graph.worker_reachable()
-
-    findings: list[Finding] = []
-    for module in modules:
-        for rule in module_rules(module, _waiver, graph, reachable):
-            rule.visit(module.tree)
-            for lineno, code, message in rule.raw_reports:
-                findings.append(finding(
-                    code, message,
-                    path=str(module.path), line=lineno,
-                ))
     findings.sort(key=lambda f: (f.path, f.line, f.code))
-    return SanitizerReport(tuple(findings), files_scanned=len(modules))
+    return SanitizerReport(
+        tuple(findings), files_scanned=report.files_scanned
+    )
 
 
 def report_as_json(report: SanitizerReport) -> str:

@@ -22,8 +22,8 @@ import re
 
 from repro.lint.diagnostics import Severity
 
-#: Waiver comment syntax: ``# dsan: allow[DET001]`` or
-#: ``# dsan: allow[DET001,DET005]``; anything after the bracket is the
+#: Waiver comment syntax: ``dsan: allow[...]`` naming one code or a
+#: comma-separated list; anything after the bracket is the
 #: (encouraged) human justification.
 WAIVER_PATTERN = re.compile(r"#\s*dsan:\s*allow\[([A-Z0-9,\s]+)\]")
 

@@ -26,11 +26,10 @@ Rule inventory (see :data:`repro.dsan.diagnostics.DET_CODES`):
 from __future__ import annotations
 
 import ast
-from typing import Callable
 
-from repro.dsan.callgraph import CallGraph
-from repro.dsan.visitors import (
-    ModuleSource,
+from repro.static.callgraph import CallGraph
+from repro.static.source import ModuleSource
+from repro.static.visitors import (
     RuleVisitor,
     call_name,
     is_set_expression,
@@ -38,6 +37,7 @@ from repro.dsan.visitors import (
     module_level_assignments,
     toplevel_function_names,
 )
+from repro.static.waivers import WaiverIndex
 
 #: Modules exempt from the RNG-construction rules: they *are* the seed
 #: plumbing (DET001/DET002/DET003 would flag their own machinery).
@@ -103,8 +103,8 @@ class RngRules(RuleVisitor):
     """The three RNG rules share one traversal: they all need the
     enclosing-function dataflow facts."""
 
-    def __init__(self, module: ModuleSource, waiver):
-        super().__init__(module, waiver)
+    def __init__(self, module: ModuleSource, waivers: WaiverIndex):
+        super().__init__(module, waivers)
         self._exempt = _in_modules(module, RNG_PLUMBING_MODULES)
         #: names that "flow from the seed plumbing" in the current scope
         self._flows: list[set[str]] = [set()]
@@ -237,8 +237,8 @@ class RngRules(RuleVisitor):
 # ----------------------------------------------------------------------
 
 class ClockRule(RuleVisitor):
-    def __init__(self, module: ModuleSource, waiver):
-        super().__init__(module, waiver)
+    def __init__(self, module: ModuleSource, waivers: WaiverIndex):
+        super().__init__(module, waivers)
         self._exempt = _in_modules(module, (CLOCK_MODULE,))
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -264,9 +264,9 @@ class WorkerStateRule(RuleVisitor):
     """Flags module-level state written inside any function whose bare
     name is reachable from a pool worker entry (over-approximate)."""
 
-    def __init__(self, module: ModuleSource, waiver, graph: CallGraph,
-                 reachable: frozenset[str]):
-        super().__init__(module, waiver)
+    def __init__(self, module: ModuleSource, waivers: WaiverIndex,
+                 graph: CallGraph, reachable: frozenset[str]):
+        super().__init__(module, waivers)
         self._graph = graph
         self._reachable = reachable
         self._module_globals = module_level_assignments(module.tree)
@@ -340,8 +340,8 @@ class WorkerStateRule(RuleVisitor):
 # ----------------------------------------------------------------------
 
 class PoolBoundaryRule(RuleVisitor):
-    def __init__(self, module: ModuleSource, waiver):
-        super().__init__(module, waiver)
+    def __init__(self, module: ModuleSource, waivers: WaiverIndex):
+        super().__init__(module, waivers)
         self._module_funcs = toplevel_function_names(module.tree)
         self._local_defs: list[set[str]] = []
 
@@ -455,20 +455,17 @@ def _order_sensitive_body(body) -> bool:
 # assembly
 # ----------------------------------------------------------------------
 
-RuleFactory = Callable[..., RuleVisitor]
-
-
 def module_rules(
     module: ModuleSource,
-    waiver,
+    waivers: WaiverIndex,
     graph: CallGraph,
     reachable: frozenset[str],
 ) -> list[RuleVisitor]:
     """All DET rule visitors for one module, ready to run."""
     return [
-        RngRules(module, waiver),
-        ClockRule(module, waiver),
-        WorkerStateRule(module, waiver, graph, reachable),
-        PoolBoundaryRule(module, waiver),
-        SetOrderRule(module, waiver),
+        RngRules(module, waivers),
+        ClockRule(module, waivers),
+        WorkerStateRule(module, waivers, graph, reachable),
+        PoolBoundaryRule(module, waivers),
+        SetOrderRule(module, waivers),
     ]

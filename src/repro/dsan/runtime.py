@@ -57,7 +57,7 @@ def active() -> bool:
 @contextmanager
 def dsan_mode() -> Iterator[None]:
     """Arm the runtime sanitizer for the duration of the block."""
-    global _ACTIVE  # dsan: allow[DET020] the sanitizer's own arm flag is parent-side only and restored on exit
+    global _ACTIVE
     previous = _ACTIVE
     _ACTIVE = True
     try:

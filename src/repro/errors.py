@@ -63,6 +63,14 @@ class SanitizerError(SemsimError):
     records."""
 
 
+class ContractError(SemsimError):
+    """Raised when an :func:`repro.static.array_contract` specification
+    string cannot be parsed (bad shape grammar, unknown dtype, unknown
+    memory-order flag) or names a parameter the function does not have.
+    Raised at decoration time, so a malformed contract fails the module
+    import rather than silently weakening the ARR pass."""
+
+
 class RecoveryError(SimulationError):
     """Raised by the fault-tolerant execution layer (``repro.recovery``)
     when a shard exhausts its retry budget, a checkpoint manifest is

@@ -14,6 +14,7 @@ from repro.circuit.electrostatics import Electrostatics
 from repro.circuit.junction_table import JunctionTable
 from repro.constants import E_CHARGE
 from repro.physics.rates import TunnelingModel
+from repro.static import array_contract
 
 
 @dataclasses.dataclass(frozen=True)
@@ -32,6 +33,7 @@ class Transition:
     flux: tuple[tuple[int, int], ...]
     dw: float
 
+    @array_contract(occupation="(n_islands,) int64", out="(n_islands,) int64")
     def apply(self, occupation: np.ndarray) -> np.ndarray:
         new = occupation.copy()
         for island, delta in self.d_occupation:
@@ -48,6 +50,7 @@ def _transfer(ref_a, ref_b, n_electrons: int) -> tuple[tuple[int, int], ...]:
     return tuple(sorted(changes.items()))
 
 
+@array_contract(occupation="(n_islands,) int64", vext="(n_external,) float64")
 def enumerate_transitions(
     stat: Electrostatics,
     table: JunctionTable,

@@ -38,6 +38,7 @@ from repro.circuit.components import NodeKind, NodeRef
 from repro.constants import E_CHARGE, HBAR, K_B
 from repro.errors import PhysicsError
 from repro.physics.fermi import bose_weight
+from repro.static import array_contract
 
 #: Floor on virtual-state energies as a fraction of e^2/(2 C_typical).
 FLOOR_FRACTION = 0.05
@@ -113,6 +114,7 @@ def _island_ref(island: int) -> NodeRef:
     return NodeRef(NodeKind.ISLAND, island)
 
 
+@array_contract(dw_total="() float64", out="() float64")
 def cotunneling_rate(
     dw_total: float,
     e_virtual_1: float,

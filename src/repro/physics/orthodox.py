@@ -19,8 +19,10 @@ import numpy as np
 from repro.constants import E_CHARGE
 from repro.errors import PhysicsError
 from repro.physics.fermi import bose_weight
+from repro.static import array_contract, hot
 
 
+@array_contract(delta_w="any float64", out="any float64")
 def orthodox_rate(delta_w, resistance: float, temperature: float):
     """Sequential tunneling rate in 1/s for one junction.
 
@@ -41,6 +43,12 @@ def orthodox_rate(delta_w, resistance: float, temperature: float):
     return weight / (E_CHARGE * E_CHARGE * resistance)
 
 
+@hot
+@array_contract(
+    delta_w_forward="(n_junctions,) float64",
+    delta_w_backward="(n_junctions,) float64",
+    resistances="(n_junctions,) float64",
+)
 def orthodox_rates_both(delta_w_forward, delta_w_backward, resistances, temperature):
     """Vectorised forward/backward rates for arrays of junctions."""
     resistances = np.asarray(resistances, dtype=float)

@@ -34,6 +34,7 @@ from repro.errors import PhysicsError
 from repro.physics.bcs import reduced_dos
 from repro.physics.fermi import fermi
 from repro.physics.orthodox import orthodox_rate
+from repro.static import array_contract, hot
 
 #: Gauss-Legendre order used on every integration (sub)segment.
 _GL_ORDER = 64
@@ -42,6 +43,7 @@ _GL_NODES, _GL_WEIGHTS = np.polynomial.legendre.leggauss(_GL_ORDER)
 _THERMAL_WINDOW = 45.0
 
 
+@array_contract(e="any float64", out="any float64")
 def _integrand(e: np.ndarray, dw: float, delta1: float, delta2: float,
                temperature: float) -> np.ndarray:
     rho = reduced_dos(e, delta1) * reduced_dos(e - dw, delta2)
@@ -71,6 +73,7 @@ def _sqrt_segment(edge: float, other: float, func) -> float:
     return 0.5 * float(np.sum(_GL_WEIGHTS * values))
 
 
+@array_contract(dw="() float64", out="() float64")
 def qp_rate(dw: float, resistance: float, delta1: float, delta2: float,
             temperature: float) -> float:
     """Quasi-particle tunneling rate (1/s) for free-energy change ``dw``.
@@ -176,6 +179,8 @@ class QuasiparticleRateTable:
             self._rates[0] / edge_ohmic if edge_ohmic > 0.0 else 1.0
         )
 
+    @hot
+    @array_contract(dw="any float64", out="any float64")
     def __call__(self, dw):
         """Interpolated rate; accepts scalars or arrays."""
         dw_arr = np.asarray(dw, dtype=float)

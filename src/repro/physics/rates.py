@@ -36,6 +36,7 @@ from repro.physics.cotunneling import (
 )
 from repro.physics.orthodox import orthodox_rate, orthodox_rates_both
 from repro.physics.quasiparticle import QuasiparticleRateTable
+from repro.static import array_contract, hot
 
 
 class TunnelingModel:
@@ -166,6 +167,11 @@ class TunnelingModel:
     # ------------------------------------------------------------------
     # rate queries
     # ------------------------------------------------------------------
+    @hot
+    @array_contract(
+        dw_forward="(n_junctions,) float64",
+        dw_backward="(n_junctions,) float64",
+    )
     def sequential_rates(
         self, dw_forward: np.ndarray, dw_backward: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -189,6 +195,11 @@ class TunnelingModel:
             return float(orthodox_rate(dw, resistance, self.temperature))
         return float(self._qp_tables[junction](dw))
 
+    @hot
+    @array_contract(
+        dw_forward="(n_junctions,) float64",
+        dw_backward="(n_junctions,) float64",
+    )
     def cooper_pair_rates(
         self, dw_forward: np.ndarray, dw_backward: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:

@@ -1,0 +1,98 @@
+"""Unified static-analysis framework (``repro check``).
+
+One core hosts every source-level gate of the repository: file
+loading/caching (:mod:`repro.static.source`), waiver-aware AST rule
+visitors (:mod:`repro.static.visitors`), the cross-module call graph
+promoted from the determinism sanitizer
+(:mod:`repro.static.callgraph`), a single :class:`Diagnostic` model
+with stable codes and severities (:mod:`repro.static.model`) and
+text/JSON/SARIF emitters (:mod:`repro.static.emit`).
+
+Four rule families run on the core:
+
+* ``REPRO00x`` repository style rules (:mod:`repro.static.repo`,
+  historically ``tools/check_source.py``);
+* ``DET0xx`` determinism rules (:mod:`repro.dsan.rules`, still served
+  by ``repro sanitize``);
+* ``ARR0xx`` array-kernel correctness — an intraprocedural abstract
+  interpreter tracking symbolic numpy shape/dtype facts through
+  kernels annotated with :func:`array_contract`
+  (:mod:`repro.static.arr`);
+* ``PERF0xx`` hot-loop hygiene over kernels marked :func:`hot` or
+  :func:`lowerable` (:mod:`repro.static.perf`).
+
+A finding is waived for one line with a trailing ``# repro:
+allow[CODE] justification`` comment (the legacy ``# dsan: allow[...]``
+and blanket ``# repro-lint: allow`` forms stay honoured); waivers that
+suppress nothing are themselves reported as ``W000``.
+
+The contract decorators (:func:`array_contract`, :func:`hot`,
+:func:`lowerable`) are zero-cost at runtime — they only attach parsed
+metadata — so kernels import them freely.  Everything else in this
+package is loaded lazily (PEP 562) to keep kernel import time flat.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.static.contracts import (
+    ArrayContract,
+    ArraySpec,
+    array_contract,
+    hot,
+    lowerable,
+    parse_spec,
+)
+
+#: Analysis-side names resolved lazily (PEP 562): the engine pulls in
+#: the DET rules and the shared ``Severity`` from :mod:`repro.lint`,
+#: whose package import is far too heavy for kernel modules that only
+#: want the contract decorators above.
+_LAZY_EXPORTS = {
+    "Diagnostic": "repro.static.model",
+    "Severity": "repro.static.model",
+    "StaticCode": "repro.static.model",
+    "StaticReport": "repro.static.model",
+    "STATIC_CODES": "repro.static.model",
+    "check_paths": "repro.static.engine",
+    "default_root": "repro.static.engine",
+    "load_baseline": "repro.static.engine",
+    "write_baseline": "repro.static.engine",
+    "code_table": "repro.static.emit",
+    "report_as_json": "repro.static.emit",
+    "report_as_sarif": "repro.static.emit",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        # repro-lint: allow — PEP 562 requires AttributeError here;
+        # anything else breaks hasattr()/getattr() on the package
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "ArrayContract",
+    "ArraySpec",
+    "Diagnostic",
+    "STATIC_CODES",
+    "Severity",
+    "StaticCode",
+    "StaticReport",
+    "array_contract",
+    "check_paths",
+    "code_table",
+    "default_root",
+    "hot",
+    "load_baseline",
+    "lowerable",
+    "parse_spec",
+    "report_as_json",
+    "report_as_sarif",
+    "write_baseline",
+]

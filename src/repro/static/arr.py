@@ -1,0 +1,828 @@
+"""``ARR0xx``: abstract interpretation of annotated array kernels.
+
+For every function carrying an :func:`repro.static.array_contract`
+decorator, an intraprocedural interpreter tracks symbolic numpy facts
+— shape (concrete, symbolic or unknown per dimension), dtype and
+aliasing back to caller-visible parameters — through assignments,
+arithmetic, numpy constructors, reductions and control flow (branches
+and loops merge environments with a widening join).
+
+The pass only reports what it can *prove* from the contract and the
+dataflow; two symbolic dimensions that merely *might* differ are never
+flagged.
+
+Codes
+=====
+
+========  ========================================================
+ARR001    provably incompatible broadcast (or matmul inner dims)
+ARR002    silent dtype promotion/demotion (mixed float32/float64
+          arithmetic, narrowing stores, return dtype vs contract)
+ARR003    in-place mutation of a caller-visible array not listed
+          in the contract's ``mutates`` whitelist
+ARR004    reduction axis or returned shape contradicts the
+          declared contract
+ARR005    malformed or unparseable ``array_contract`` declaration
+========  ========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+from repro.errors import ContractError
+from repro.lint.diagnostics import Severity
+from repro.static.contracts import (
+    DTYPE_ALIASES,
+    ArrayContract,
+    ArraySpec,
+    parse_spec,
+)
+from repro.static.model import Diagnostic, StaticCode, diagnostic, register_codes
+from repro.static.shapes import (
+    BroadcastError,
+    Dim,
+    Shape,
+    broadcast,
+    format_shape,
+    is_narrowing,
+    join_shape,
+    matmul_shape,
+    promote,
+    reduce_shape,
+)
+from repro.static.source import ModuleSource
+from repro.static.visitors import dotted_name, last_attr
+from repro.static.waivers import WaiverIndex
+
+register_codes(
+    StaticCode(
+        "ARR001", Severity.ERROR, "incompatible array broadcast",
+        "the operand shapes can never broadcast; fix the shapes or "
+        "the contract that declares them",
+        domain="array",
+    ),
+    StaticCode(
+        "ARR002", Severity.WARNING, "silent dtype conversion",
+        "make the conversion explicit with astype()/dtype= or align "
+        "the dtypes in the contract",
+        domain="array",
+    ),
+    StaticCode(
+        "ARR003", Severity.ERROR, "in-place mutation of caller array",
+        "copy before writing, or declare the parameter in the "
+        "contract's mutates=(...) whitelist",
+        domain="array",
+    ),
+    StaticCode(
+        "ARR004", Severity.ERROR, "shape contradicts declared contract",
+        "the reduction axis or returned shape can never satisfy the "
+        "declared contract; fix the code or the contract",
+        domain="array",
+    ),
+    StaticCode(
+        "ARR005", Severity.ERROR, "malformed array contract",
+        "fix the contract specification string (see the grammar in "
+        "repro.static.contracts)",
+        domain="array",
+    ),
+)
+
+#: numpy namespaces the AST-side analysis recognises
+_NUMPY_NAMES = ("np", "numpy")
+
+#: constructors returning a fresh array of an explicit shape
+_FRESH_BY_SHAPE = {"zeros", "ones", "empty", "full"}
+#: constructors mirroring another array's shape
+_FRESH_LIKE = {"zeros_like", "ones_like", "empty_like", "full_like"}
+#: conversions that may return the input itself (alias-preserving)
+_ALIASING = {"asarray", "ascontiguousarray", "asfortranarray", "atleast_1d"}
+#: elementwise ufuncs that keep shape and promote ints to float64
+_FLOAT_UFUNCS = {
+    "sqrt", "exp", "expm1", "log", "log1p", "log2", "log10", "sin",
+    "cos", "tan", "sinh", "cosh", "tanh", "arcsin", "arccos", "arctan",
+}
+#: elementwise ufuncs that keep shape and dtype
+_SAME_UFUNCS = {"abs", "absolute", "negative", "clip", "minimum", "maximum"}
+#: reductions (numpy functions and ndarray methods alike)
+_REDUCTIONS = {
+    "sum", "mean", "max", "min", "amax", "amin", "prod", "std", "var",
+    "any", "all", "argmax", "argmin", "nansum", "nanmean",
+}
+#: ndarray methods that write the receiver in place
+_MUTATOR_METHODS = {"sort", "fill", "resize", "partition", "put"}
+
+
+@dataclasses.dataclass(frozen=True)
+class AValue:
+    """Abstract value: what the interpreter knows about one name."""
+
+    shape: Shape = None
+    dtype: str | None = None
+    #: caller-visible parameter this value aliases (views preserve it)
+    source: str | None = None
+    #: for scalar ints only: the dimension this value measures
+    #: (``n = q.shape[0]`` knows it equals symbolic dim ``n_islands``)
+    dim: Dim = None
+
+
+UNKNOWN = AValue()
+
+Env = dict[str, AValue]
+
+
+def _join_env(a: Env, b: Env) -> Env:
+    """Widening merge of two branch environments."""
+    merged: Env = {}
+    for name in set(a) & set(b):
+        va, vb = a[name], b[name]
+        merged[name] = AValue(
+            shape=join_shape(va.shape, vb.shape),
+            dtype=va.dtype if va.dtype == vb.dtype else None,
+            source=va.source if va.source == vb.source else None,
+            dim=va.dim if va.dim == vb.dim else None,
+        )
+    return merged
+
+
+def _spec_value(spec: ArraySpec, source: str | None) -> AValue:
+    return AValue(shape=spec.shape, dtype=spec.dtype, source=source)
+
+
+class KernelInterpreter:
+    """Interpret one annotated kernel body abstractly."""
+
+    def __init__(
+        self,
+        module: ModuleSource,
+        windex: WaiverIndex,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        contract: ArrayContract,
+        qualname: str,
+    ):
+        self.module = module
+        self.windex = windex
+        self.func = func
+        self.contract = contract
+        self.qualname = qualname
+        self.findings: list[Diagnostic] = []
+
+    # ------------------------------------------------------------------
+    def report(self, node: ast.AST, code: str, message: str,
+               witness: tuple[str, ...] = ()) -> None:
+        lineno = getattr(node, "lineno", self.func.lineno)
+        if self.windex.waives(lineno, code):
+            return
+        self.findings.append(
+            diagnostic(
+                code,
+                message,
+                path=str(self.module.path),
+                line=lineno,
+                relpath=self.module.relpath,
+                symbol=self.qualname,
+                witness=witness,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[Diagnostic]:
+        env: Env = {}
+        args = self.func.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            spec = self.contract.spec_for(arg.arg)
+            if spec is not None:
+                env[arg.arg] = _spec_value(spec, source=arg.arg)
+        self.exec_block(self.func.body, env)
+        return self.findings
+
+    # -- statements ----------------------------------------------------
+    def exec_block(self, stmts: list[ast.stmt], env: Env) -> Env:
+        for stmt in stmts:
+            env = self.exec_stmt(stmt, env)
+        return env
+
+    def exec_stmt(self, stmt: ast.stmt, env: Env) -> Env:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self.assign_target(target, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.assign_target(
+                    stmt.target, self.eval(stmt.value, env), env
+                )
+        elif isinstance(stmt, ast.AugAssign):
+            self.exec_augassign(stmt, env)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.check_return(stmt, self.eval(stmt.value, env))
+        elif isinstance(stmt, ast.If):
+            then_env = self.exec_block(stmt.body, dict(env))
+            else_env = self.exec_block(stmt.orelse, dict(env))
+            env = _join_env(then_env, else_env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.bind_loop_target(stmt, env)
+            body_env = self.exec_block(stmt.body, dict(env))
+            env = _join_env(env, body_env)
+            env = self.exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test, env)
+            body_env = self.exec_block(stmt.body, dict(env))
+            env = _join_env(env, body_env)
+            env = self.exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.With):
+            env = self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            env = self.exec_block(stmt.body, env)
+            for handler in stmt.handlers:
+                env = _join_env(env, self.exec_block(handler.body, dict(env)))
+            env = self.exec_block(stmt.orelse, env)
+            env = self.exec_block(stmt.finalbody, env)
+        # nested defs/classes, imports, pass/break/continue: no dataflow
+        return env
+
+    def assign_target(self, target: ast.expr, value: AValue,
+                      env: Env) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, ast.Subscript):
+            self.check_store(target, value, env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.assign_target(elt, UNKNOWN, env)
+        # attribute stores (self.x = ...) are out of scope
+
+    def exec_augassign(self, stmt: ast.AugAssign, env: Env) -> None:
+        value = self.eval(stmt.value, env)
+        if isinstance(stmt.target, ast.Name):
+            current = env.get(stmt.target.id, UNKNOWN)
+            self.check_mutation(stmt, current,
+                                f"augmented assignment to {stmt.target.id!r}")
+            env[stmt.target.id] = self.binop_value(
+                stmt, current, value, stmt.op
+            )
+        elif isinstance(stmt.target, ast.Subscript):
+            self.check_store(stmt.target, value, env)
+
+    # -- mutation / store checks ---------------------------------------
+    def check_store(self, target: ast.Subscript, value: AValue,
+                    env: Env) -> None:
+        """``arr[...] = value`` — alias mutation and narrowing dtype."""
+        base = self.eval(target.value, env)
+        self.check_mutation(
+            target, base,
+            "subscript store into caller-visible array",
+        )
+        if is_narrowing(value.dtype, base.dtype):
+            self.report(
+                target, "ARR002",
+                f"storing {value.dtype} values into a {base.dtype} array "
+                f"silently demotes them",
+            )
+
+    def check_mutation(self, node: ast.AST, base: AValue,
+                       what: str) -> None:
+        if base.source is None or base.source in self.contract.mutates:
+            return
+        if base.shape is not None and len(base.shape) == 0:
+            return  # 0-d contract values are scalars in practice
+        self.report(
+            node, "ARR003",
+            f"{what} mutates parameter {base.source!r}, which the "
+            f"contract does not list in mutates=(...)",
+        )
+
+    # -- return checks -------------------------------------------------
+    def check_return(self, stmt: ast.Return, value: AValue) -> None:
+        spec = self.contract.out
+        if spec is None:
+            return
+        if spec.shape is not None and value.shape is not None:
+            if len(spec.shape) != len(value.shape):
+                self.report(
+                    stmt, "ARR004",
+                    f"returns shape {format_shape(value.shape)} but the "
+                    f"contract declares out={spec.describe()!r}",
+                )
+                return
+            for declared, got in zip(spec.shape, value.shape):
+                if isinstance(declared, int) and isinstance(got, int) \
+                        and declared != got:
+                    self.report(
+                        stmt, "ARR004",
+                        f"returns shape {format_shape(value.shape)} but "
+                        f"the contract declares out={spec.describe()!r}",
+                    )
+                    return
+        if spec.dtype is not None and value.dtype is not None \
+                and spec.dtype != value.dtype:
+            self.report(
+                stmt, "ARR002",
+                f"returns dtype {value.dtype} but the contract declares "
+                f"out={spec.describe()!r}",
+            )
+
+    # -- loop binding --------------------------------------------------
+    def bind_loop_target(self, stmt: ast.For | ast.AsyncFor,
+                         env: Env) -> None:
+        iterated = self.eval(stmt.iter, env)
+        element = UNKNOWN
+        if iterated.shape is not None and len(iterated.shape) >= 1:
+            inner = iterated.shape[1:]
+            element = AValue(
+                shape=inner,
+                dtype=iterated.dtype,
+                source=iterated.source if len(inner) else None,
+            )
+        if isinstance(stmt.target, ast.Name):
+            env[stmt.target.id] = element
+        else:
+            self.assign_target(stmt.target, UNKNOWN, env)
+
+    # -- expressions ---------------------------------------------------
+    def eval(self, node: ast.expr, env: Env) -> AValue:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return AValue(shape=(), dtype="bool")
+            if isinstance(node.value, int):
+                # python ints are weakly typed in numpy arithmetic:
+                # dtype None so `x * 2` never reports a promotion
+                return AValue(shape=(), dtype=None, dim=node.value)
+            if isinstance(node.value, (float, complex)):
+                return AValue(shape=(), dtype=None)
+            return UNKNOWN
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            return self.binop_value(node, left, right, node.op)
+        if isinstance(node, ast.UnaryOp):
+            inner = self.eval(node.operand, env)
+            return dataclasses.replace(inner, source=None)
+        if isinstance(node, ast.Compare):
+            value = self.eval(node.left, env)
+            for comparator in node.comparators:
+                other = self.eval(comparator, env)
+                value = self.binop_value(node, value, other, None)
+            return AValue(shape=value.shape, dtype="bool")
+        if isinstance(node, ast.BoolOp):
+            values = [self.eval(v, env) for v in node.values]
+            merged = values[0]
+            for value in values[1:]:
+                merged = AValue(
+                    shape=join_shape(merged.shape, value.shape),
+                    dtype=merged.dtype if merged.dtype == value.dtype
+                    else None,
+                )
+            return merged
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            then = self.eval(node.body, env)
+            other = self.eval(node.orelse, env)
+            return AValue(
+                shape=join_shape(then.shape, other.shape),
+                dtype=then.dtype if then.dtype == other.dtype else None,
+                source=then.source if then.source == other.source else None,
+            )
+        if isinstance(node, ast.Call):
+            return self.eval_call(node, env)
+        if isinstance(node, ast.Attribute):
+            return self.eval_attribute(node, env)
+        if isinstance(node, ast.Subscript):
+            return self.eval_subscript(node, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.ListComp,
+                             ast.GeneratorExp, ast.Dict, ast.Set)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child, env)
+            return UNKNOWN
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, env)
+        return UNKNOWN
+
+    def binop_value(self, node: ast.AST, left: AValue, right: AValue,
+                    op: ast.operator | None) -> AValue:
+        if isinstance(op, ast.MatMult):
+            result = matmul_shape(left.shape, right.shape)
+            if isinstance(result, BroadcastError):
+                self.report(
+                    node, "ARR001",
+                    f"matmul inner dimensions can never agree: "
+                    f"{format_shape(left.shape)} @ "
+                    f"{format_shape(right.shape)}",
+                )
+                return UNKNOWN
+            return AValue(shape=result,
+                          dtype=promote(left.dtype, right.dtype))
+        try:
+            shape = broadcast(left.shape, right.shape)
+        except BroadcastError:
+            self.report(
+                node, "ARR001",
+                f"operands with shapes {format_shape(left.shape)} and "
+                f"{format_shape(right.shape)} can never broadcast",
+            )
+            return UNKNOWN
+        if {left.dtype, right.dtype} == {"float32", "float64"}:
+            self.report(
+                node, "ARR002",
+                "mixing float32 and float64 operands silently promotes "
+                "the result to float64",
+            )
+        dtype = promote(left.dtype, right.dtype)
+        if isinstance(op, ast.Div):
+            dtype = promote(dtype, "float64") if dtype is not None else None
+        return AValue(shape=shape, dtype=dtype)
+
+    # -- attribute / subscript -----------------------------------------
+    def eval_attribute(self, node: ast.Attribute, env: Env) -> AValue:
+        base = self.eval(node.value, env)
+        if node.attr == "T":
+            shape = None if base.shape is None else tuple(
+                reversed(base.shape)
+            )
+            return dataclasses.replace(base, shape=shape)
+        if node.attr in ("real", "imag"):
+            return dataclasses.replace(base, source=None)
+        return UNKNOWN
+
+    def eval_subscript(self, node: ast.Subscript, env: Env) -> AValue:
+        # n = x.shape[0]: a scalar that measures a known dimension
+        if isinstance(node.value, ast.Attribute) \
+                and node.value.attr == "shape":
+            owner = self.eval(node.value.value, env)
+            if owner.shape is not None \
+                    and isinstance(node.slice, ast.Constant) \
+                    and isinstance(node.slice.value, int) \
+                    and -len(owner.shape) <= node.slice.value \
+                    < len(owner.shape):
+                return AValue(shape=(), dtype="int64",
+                              dim=owner.shape[node.slice.value])
+            return AValue(shape=(), dtype="int64")
+        base = self.eval(node.value, env)
+        if base.shape is None:
+            return AValue(source=base.source)
+        if isinstance(node.slice, ast.Constant) \
+                and isinstance(node.slice.value, int):
+            if len(base.shape) == 0:
+                return UNKNOWN
+            inner = base.shape[1:]
+            return AValue(
+                shape=inner,
+                dtype=base.dtype,
+                source=base.source if len(inner) else None,
+            )
+        if isinstance(node.slice, ast.Slice):
+            if len(base.shape) == 0:
+                return UNKNOWN
+            lower, upper = node.slice.lower, node.slice.upper
+            full = lower is None and upper is None and \
+                node.slice.step is None
+            first: Dim = base.shape[0] if full else None
+            return AValue(
+                shape=(first,) + base.shape[1:],
+                dtype=base.dtype,
+                source=base.source,
+            )
+        # tuple / fancy / boolean indexing: give up on shape, but a
+        # basic-slice view still aliases the base
+        self.eval(node.slice, env)
+        return AValue(dtype=base.dtype, source=base.source)
+
+    # -- calls ---------------------------------------------------------
+    def eval_call(self, node: ast.Call, env: Env) -> AValue:
+        for keyword in node.keywords:
+            if keyword.arg == "out":
+                target = self.eval(keyword.value, env)
+                self.check_mutation(
+                    node, target, "out= argument writes into"
+                )
+        name = dotted_name(node.func)
+        if name is not None:
+            parts = name.split(".")
+            if parts[0] in _NUMPY_NAMES and len(parts) >= 2:
+                return self.eval_numpy_call(node, parts[-1], env)
+            if parts[0] == "len" and len(parts) == 1 and node.args:
+                target = self.eval(node.args[0], env)
+                if target.shape is not None and len(target.shape) >= 1:
+                    return AValue(shape=(), dtype="int64",
+                                  dim=target.shape[0])
+                return AValue(shape=(), dtype="int64")
+        # ndarray method calls: receiver is an expression we know about
+        if isinstance(node.func, ast.Attribute):
+            return self.eval_method_call(node, node.func, env)
+        for arg in node.args:
+            self.eval(arg, env)
+        return UNKNOWN
+
+    def eval_method_call(self, node: ast.Call, func: ast.Attribute,
+                         env: Env) -> AValue:
+        receiver = self.eval(func.value, env)
+        method = func.attr
+        if method in _MUTATOR_METHODS:
+            self.check_mutation(
+                node, receiver, f".{method}() call on"
+            )
+            return UNKNOWN
+        if method == "copy":
+            return dataclasses.replace(receiver, source=None)
+        if method == "astype":
+            dtype = self.dtype_of_arg(node.args[0], env) if node.args \
+                else None
+            return AValue(shape=receiver.shape, dtype=dtype)
+        if method == "reshape":
+            return AValue(dtype=receiver.dtype, source=receiver.source)
+        if method in _REDUCTIONS:
+            return self.reduction_value(node, receiver, method,
+                                        axis_arg_index=0)
+        for arg in node.args:
+            self.eval(arg, env)
+        return UNKNOWN
+
+    def eval_numpy_call(self, node: ast.Call, func: str,
+                        env: Env) -> AValue:
+        if func in _FRESH_BY_SHAPE:
+            shape = self.shape_from_arg(node.args[0], env) if node.args \
+                else None
+            dtype = self.dtype_keyword(node, env, default="float64")
+            return AValue(shape=shape, dtype=dtype)
+        if func in _FRESH_LIKE:
+            template = self.eval(node.args[0], env) if node.args \
+                else UNKNOWN
+            dtype = self.dtype_keyword(node, env, default=template.dtype)
+            return AValue(shape=template.shape, dtype=dtype)
+        if func in _ALIASING:
+            value = self.eval(node.args[0], env) if node.args else UNKNOWN
+            dtype = self.dtype_keyword(node, env, default=value.dtype)
+            return AValue(shape=value.shape, dtype=dtype,
+                          source=value.source)
+        if func == "array":
+            value = self.eval(node.args[0], env) if node.args else UNKNOWN
+            dtype = self.dtype_keyword(node, env, default=value.dtype)
+            return AValue(shape=value.shape, dtype=dtype)
+        if func == "copy":
+            value = self.eval(node.args[0], env) if node.args else UNKNOWN
+            return dataclasses.replace(value, source=None)
+        if func in _REDUCTIONS:
+            receiver = self.eval(node.args[0], env) if node.args \
+                else UNKNOWN
+            return self.reduction_value(node, receiver, func,
+                                        axis_arg_index=1)
+        if func in ("dot", "matmul"):
+            if len(node.args) >= 2:
+                left = self.eval(node.args[0], env)
+                right = self.eval(node.args[1], env)
+                return self.binop_value(node, left, right, ast.MatMult())
+            return UNKNOWN
+        if func == "where":
+            values = [self.eval(arg, env) for arg in node.args]
+            if len(values) == 3:
+                try:
+                    shape = broadcast(
+                        broadcast(values[0].shape, values[1].shape),
+                        values[2].shape,
+                    )
+                except BroadcastError:
+                    self.report(
+                        node, "ARR001",
+                        "np.where operands can never broadcast",
+                    )
+                    return UNKNOWN
+                return AValue(
+                    shape=shape,
+                    dtype=promote(values[1].dtype, values[2].dtype),
+                )
+            return UNKNOWN
+        if func == "interp":
+            values = [self.eval(arg, env) for arg in node.args]
+            if values:
+                return AValue(shape=values[0].shape, dtype="float64")
+            return UNKNOWN
+        if func in _FLOAT_UFUNCS:
+            value = self.eval(node.args[0], env) if node.args else UNKNOWN
+            dtype = "float64" if value.dtype in (
+                None, "bool", "int32", "int64", "float64"
+            ) else value.dtype
+            return AValue(shape=value.shape, dtype=dtype)
+        if func in _SAME_UFUNCS:
+            values = [self.eval(arg, env) for arg in node.args]
+            if not values:
+                return UNKNOWN
+            shape = values[0].shape
+            dtype = values[0].dtype
+            for value in values[1:]:
+                try:
+                    shape = broadcast(shape, value.shape)
+                except BroadcastError:
+                    self.report(
+                        node, "ARR001",
+                        f"np.{func} operands can never broadcast",
+                    )
+                    return UNKNOWN
+                dtype = promote(dtype, value.dtype)
+            return AValue(shape=shape, dtype=dtype)
+        if func == "arange":
+            for arg in node.args:
+                self.eval(arg, env)
+            return AValue(shape=(None,), dtype=None)
+        if func == "linspace":
+            for arg in node.args:
+                self.eval(arg, env)
+            return AValue(shape=(None,), dtype="float64")
+        for arg in node.args:
+            self.eval(arg, env)
+        return UNKNOWN
+
+    def reduction_value(self, node: ast.Call, receiver: AValue,
+                        func: str, axis_arg_index: int) -> AValue:
+        axis: int | None = None
+        axis_given = False
+        if len(node.args) > axis_arg_index:
+            arg = node.args[axis_arg_index]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+                axis, axis_given = arg.value, True
+            elif isinstance(arg, ast.UnaryOp) \
+                    and isinstance(arg.op, ast.USub) \
+                    and isinstance(arg.operand, ast.Constant) \
+                    and isinstance(arg.operand.value, int):
+                axis, axis_given = -arg.operand.value, True
+            else:
+                return UNKNOWN  # dynamic axis: give up
+        keepdims = False
+        for keyword in node.keywords:
+            if keyword.arg == "axis":
+                if isinstance(keyword.value, ast.Constant) \
+                        and isinstance(keyword.value.value, int):
+                    axis, axis_given = keyword.value.value, True
+                elif isinstance(keyword.value, ast.UnaryOp) \
+                        and isinstance(keyword.value.op, ast.USub) \
+                        and isinstance(keyword.value.operand, ast.Constant) \
+                        and isinstance(keyword.value.operand.value, int):
+                    axis = -keyword.value.operand.value
+                    axis_given = True
+                elif isinstance(keyword.value, ast.Constant) \
+                        and keyword.value.value is None:
+                    axis, axis_given = None, True
+                else:
+                    return UNKNOWN
+            elif keyword.arg == "keepdims":
+                keepdims = bool(
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                )
+        if not axis_given:
+            axis = None  # numpy default: reduce everything
+        result = reduce_shape(receiver.shape, axis, keepdims)
+        if isinstance(result, BroadcastError):
+            self.report(
+                node, "ARR004",
+                f"reduction axis {axis} is out of range for shape "
+                f"{format_shape(receiver.shape)}",
+            )
+            return UNKNOWN
+        if func in ("any", "all"):
+            dtype: str | None = "bool"
+        elif func in ("argmax", "argmin"):
+            dtype = "int64"
+        elif func in ("mean", "std", "var", "nanmean"):
+            dtype = promote(receiver.dtype, "float64") \
+                if receiver.dtype is not None else "float64"
+        else:
+            dtype = receiver.dtype
+        return AValue(shape=result, dtype=dtype)
+
+    # -- literal helpers ------------------------------------------------
+    def shape_from_arg(self, node: ast.expr, env: Env) -> Shape:
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return tuple(self.dim_from_arg(e, env) for e in node.elts)
+        dim = self.dim_from_arg(node, env)
+        return (dim,)
+
+    def dim_from_arg(self, node: ast.expr, env: Env) -> Dim:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return node.value
+        value = self.eval(node, env)
+        if value.dim is not None:
+            return value.dim
+        if isinstance(node, ast.Name):
+            return node.id  # symbolic: a size parameter by name
+        return None
+
+    def dtype_of_arg(self, node: ast.expr, env: Env) -> str | None:
+        del env
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return DTYPE_ALIASES.get(node.value)
+        name = dotted_name(node)
+        if name is not None:
+            return DTYPE_ALIASES.get(last_attr(name))
+        return None
+
+    def dtype_keyword(self, node: ast.Call, env: Env,
+                      default: str | None) -> str | None:
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                return self.dtype_of_arg(keyword.value, env)
+        return default
+
+
+# ----------------------------------------------------------------------
+# pass entry point
+# ----------------------------------------------------------------------
+
+def contract_of(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[ArrayContract | None, str | None]:
+    """Parse an ``array_contract`` decorator off the AST.
+
+    Returns ``(contract, error)``; a malformed declaration yields
+    ``(None, message)`` for an ARR005 report.
+    """
+    for dec in func.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        name = dotted_name(dec.func)
+        if name is None or last_attr(name) != "array_contract":
+            continue
+        params: dict[str, ArraySpec] = {}
+        out: ArraySpec | None = None
+        mutates: list[str] = []
+        for keyword in dec.keywords:
+            if keyword.arg is None:
+                return None, "array_contract does not accept **kwargs"
+            if keyword.arg == "mutates":
+                value = keyword.value
+                elts: list[ast.expr]
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    elts = list(value.elts)
+                else:
+                    elts = [value]
+                for elt in elts:
+                    if isinstance(elt, ast.Constant) \
+                            and isinstance(elt.value, str):
+                        mutates.append(elt.value)
+                    else:
+                        return None, "mutates=(...) must list literal " \
+                            "parameter-name strings"
+                continue
+            if not (isinstance(keyword.value, ast.Constant)
+                    and isinstance(keyword.value.value, str)):
+                return None, (
+                    f"contract for {keyword.arg!r} must be a literal "
+                    f"specification string"
+                )
+            try:
+                spec = parse_spec(keyword.value.value)
+            except ContractError as exc:
+                return None, str(exc)
+            if keyword.arg == "out":
+                out = spec
+            else:
+                params[keyword.arg] = spec
+        declared = {
+            a.arg for a in [*func.args.posonlyargs, *func.args.args,
+                            *func.args.kwonlyargs]
+        }
+        for name_ in sorted(set(params) | set(mutates)):
+            if name_ not in declared:
+                return None, (
+                    f"contract names parameter {name_!r}, which "
+                    f"{func.name}() does not have"
+                )
+        return ArrayContract(
+            params=params, out=out, mutates=frozenset(mutates)
+        ), None
+    return None, None
+
+
+def arr_pass(module: ModuleSource, windex: WaiverIndex) -> list[Diagnostic]:
+    """Run the abstract interpreter over every annotated kernel."""
+    from repro.static.visitors import iter_functions
+
+    findings: list[Diagnostic] = []
+    for qualname, func in iter_functions(module.tree):
+        contract, error = contract_of(func)
+        if error is not None:
+            if not windex.waives(func.lineno, "ARR005"):
+                findings.append(
+                    diagnostic(
+                        "ARR005",
+                        error,
+                        path=str(module.path),
+                        line=func.lineno,
+                        relpath=module.relpath,
+                        symbol=qualname,
+                    )
+                )
+            continue
+        if contract is None:
+            continue
+        interpreter = KernelInterpreter(
+            module, windex, func, contract, qualname
+        )
+        findings.extend(interpreter.run())
+    return findings

@@ -9,14 +9,20 @@ over-approximate graph keyed by *bare* function name (``measure`` and
 ``Foo.measure`` collide), which errs toward flagging.  False positives
 are waived per line with a justification, which is exactly the audit
 trail the determinism contract wants.
+
+Promoted from ``repro.dsan.callgraph`` into the shared static core so
+future cross-module rules (and the engine's context object) can reuse
+one graph per run instead of each pass rebuilding its own.
 """
 
 from __future__ import annotations
 
 import ast
 import dataclasses
+from typing import Iterator
 
-from repro.dsan.visitors import ModuleSource, call_name, last_attr
+from repro.static.source import ModuleSource
+from repro.static.visitors import call_name, last_attr
 
 #: Functions whose first argument is shipped to worker processes.
 POOL_SUBMISSION_CALLS = frozenset({"execute_shards"})
@@ -53,8 +59,7 @@ class CallGraph:
 
     # ------------------------------------------------------------------
     def _scan_module(self, module: ModuleSource) -> None:
-        for parent, qualname, func in _iter_functions(module.tree):
-            del parent
+        for qualname, func in _iter_functions(module.tree):
             node = FunctionNode(
                 relpath=module.relpath,
                 qualname=qualname,
@@ -126,15 +131,17 @@ class CallGraph:
 # AST walking helpers
 # ----------------------------------------------------------------------
 
-def _iter_functions(tree: ast.Module):
-    """Yield ``(parent, qualname, function_node)`` for every def."""
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(qualname, function_node)`` for every def."""
     stack: list[tuple[ast.AST, str]] = [(tree, "")]
     while stack:
         node, prefix = stack.pop()
         for child in ast.iter_child_nodes(node):
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 qualname = f"{prefix}{child.name}"
-                yield node, qualname, child
+                yield qualname, child
                 stack.append((child, f"{qualname}.<locals>."))
             elif isinstance(child, ast.ClassDef):
                 stack.append((child, f"{prefix}{child.name}."))
@@ -143,7 +150,9 @@ def _iter_functions(tree: ast.Module):
                 stack.append((child, prefix))
 
 
-def _direct_calls(scope: ast.AST, skip_functions: bool = False):
+def _direct_calls(
+    scope: ast.AST, skip_functions: bool = False
+) -> Iterator[ast.Call]:
     """Every ``Call`` under ``scope``; optionally without descending
     into nested function bodies (their calls belong to that function)."""
     stack = list(ast.iter_child_nodes(scope))

@@ -1,0 +1,231 @@
+"""Array-contract decorators for numpy kernels.
+
+Kernel entry points declare the symbolic shape and dtype of their array
+arguments and results::
+
+    @array_contract(q="(n_islands,) float64", out="() float64")
+    def free_energy_change(q, ...):
+        ...
+
+The decorators are zero-cost at runtime — they parse the specification
+once at import time and attach it as ``__array_contract__`` — and the
+``ARR0xx`` abstract interpreter (:mod:`repro.static.arr`) reads the
+same decorators back off the AST, so the declaration and the check can
+never drift apart.  :func:`hot` and :func:`lowerable` similarly mark
+functions for the ``PERF0xx`` hot-loop hygiene pass and the planned
+numba lowering of the batched engine.
+
+Specification grammar (one string per parameter, ``out`` for the
+return value)::
+
+    spec     := shape [dtype] [order]
+    shape    := "()" | "(" dim ("," dim)* [","] ")" | "any"
+    dim      := integer | identifier | "?"
+    dtype    := "bool" | "int32" | "int64" | "float32" | "float64"
+              | "complex128" | "int" | "float" | "any"
+    order    := "C" | "F"
+
+``()`` is a 0-d scalar, identifiers are symbolic dimensions unified
+across parameters of one contract (two parameters declared ``(n,)``
+must agree), ``?`` is an anonymous unknown, ``any`` leaves shape or
+dtype unconstrained.  ``mutates=("a", ...)`` whitelists parameters the
+kernel intentionally writes in place; writes to any other parameter
+are flagged as ``ARR003``.
+
+This module deliberately imports nothing heavier than the stdlib and
+:mod:`repro.errors`, because the physics kernels import it at the top
+of their own import chain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Callable, TypeVar
+
+from repro.errors import ContractError
+
+__all__ = [
+    "ArrayContract",
+    "ArraySpec",
+    "array_contract",
+    "hot",
+    "lowerable",
+    "parse_spec",
+]
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+#: Canonical dtype names in promotion order, plus accepted aliases.
+DTYPE_ALIASES = {
+    "bool": "bool",
+    "int32": "int32",
+    "int64": "int64",
+    "int": "int64",
+    "float32": "float32",
+    "float64": "float64",
+    "float": "float64",
+    "complex128": "complex128",
+    "complex": "complex128",
+}
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclasses.dataclass(frozen=True)
+class ArraySpec:
+    """Parsed contract for one array value.
+
+    ``shape`` is a tuple of dims — ``int`` for fixed sizes, ``str``
+    for named symbolic dims, ``None`` for ``?`` — or ``None`` when the
+    shape is unconstrained (``any``).  ``dtype`` is a canonical dtype
+    name or ``None`` for unconstrained; ``order`` is ``"C"``/``"F"``
+    or ``None``.
+    """
+
+    shape: tuple[int | str | None, ...] | None
+    dtype: str | None
+    order: str | None = None
+    #: the original text, for error messages and documentation
+    text: str = ""
+
+    @property
+    def rank(self) -> int | None:
+        return None if self.shape is None else len(self.shape)
+
+    def describe(self) -> str:
+        return self.text or "any"
+
+
+def parse_spec(text: str) -> ArraySpec:
+    """Parse one contract string into an :class:`ArraySpec`."""
+    stripped = text.strip()
+    rest = stripped
+    shape: tuple[int | str | None, ...] | None
+    if rest.startswith("("):
+        end = rest.find(")")
+        if end < 0:
+            raise ContractError(f"unclosed shape in contract {text!r}")
+        shape = _parse_shape(rest[1:end], text)
+        rest = rest[end + 1:].strip()
+    elif rest == "any" or rest.startswith("any "):
+        shape = None
+        rest = rest[3:].strip()
+    else:
+        raise ContractError(
+            f"contract {text!r} must start with a shape: '(...)' or 'any'"
+        )
+    dtype: str | None = None
+    order: str | None = None
+    for word in rest.split():
+        if word in ("C", "F") and order is None:
+            order = word
+        elif word == "any" and dtype is None:
+            dtype = None
+        elif word in DTYPE_ALIASES and dtype is None:
+            dtype = DTYPE_ALIASES[word]
+        else:
+            raise ContractError(
+                f"unrecognised token {word!r} in contract {text!r} "
+                f"(expected a dtype or C/F order flag)"
+            )
+    return ArraySpec(shape=shape, dtype=dtype, order=order, text=stripped)
+
+
+def _parse_shape(body: str, text: str) -> tuple[int | str | None, ...]:
+    body = body.strip()
+    if not body:
+        return ()
+    dims: list[int | str | None] = []
+    for part in body.split(","):
+        part = part.strip()
+        if not part:
+            continue  # trailing comma: "(n,)"
+        if part == "?":
+            dims.append(None)
+        elif part.lstrip("-").isdigit():
+            size = int(part)
+            if size < 0:
+                raise ContractError(
+                    f"negative dimension {part} in contract {text!r}"
+                )
+            dims.append(size)
+        elif _IDENT.match(part):
+            dims.append(part)
+        else:
+            raise ContractError(
+                f"bad dimension {part!r} in contract {text!r}"
+            )
+    return tuple(dims)
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayContract:
+    """The full parsed contract of one kernel."""
+
+    params: dict[str, ArraySpec]
+    out: ArraySpec | None
+    mutates: frozenset[str]
+
+    def spec_for(self, name: str) -> ArraySpec | None:
+        return self.params.get(name)
+
+
+def array_contract(
+    *,
+    out: str | None = None,
+    mutates: tuple[str, ...] | str = (),
+    **specs: str,
+) -> Callable[[_F], _F]:
+    """Declare the array shapes/dtypes of a kernel's signature.
+
+    Keyword arguments name parameters and give their spec strings;
+    ``out`` is the return value's spec; ``mutates`` whitelists
+    parameters that are intentionally written in place.
+    """
+    if isinstance(mutates, str):
+        mutates = (mutates,)
+    parsed = {name: parse_spec(spec) for name, spec in specs.items()}
+    out_spec = None if out is None else parse_spec(out)
+    contract = ArrayContract(
+        params=parsed, out=out_spec, mutates=frozenset(mutates)
+    )
+
+    def decorate(func: _F) -> _F:
+        _check_parameters(func, contract)
+        func.__array_contract__ = contract  # type: ignore[attr-defined]
+        return func
+
+    return decorate
+
+
+def _check_parameters(func: Callable[..., object],
+                      contract: ArrayContract) -> None:
+    """Fail at decoration time if the contract names unknown params."""
+    code = getattr(func, "__code__", None)
+    if code is None:
+        return
+    names = set(
+        code.co_varnames[: code.co_argcount + code.co_kwonlyargcount]
+    )
+    for name in sorted(set(contract.params) | contract.mutates):
+        if name not in names:
+            raise ContractError(
+                f"contract on {func.__qualname__}() names parameter "
+                f"{name!r}, which the function does not have"
+            )
+
+
+def hot(func: _F) -> _F:
+    """Mark a kernel as hot-path: the ``PERF0xx`` hygiene rules apply."""
+    func.__hot__ = True  # type: ignore[attr-defined]
+    return func
+
+
+def lowerable(func: _F) -> _F:
+    """Mark a kernel as a numba-lowering candidate: in addition to the
+    hot-path hygiene rules, ``PERF004`` flags constructs the planned
+    ``nopython`` lowering cannot compile."""
+    func.__lowerable__ = True  # type: ignore[attr-defined]
+    func.__hot__ = True  # type: ignore[attr-defined]
+    return func

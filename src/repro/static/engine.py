@@ -1,0 +1,239 @@
+"""The ``repro check`` engine: load once, run every pass, one report.
+
+:func:`check_paths` parses every Python file under the given roots
+once (through the shared :data:`~repro.static.source.GLOBAL_CACHE`),
+builds the cross-module call graph, runs the requested passes over
+each module and returns a :class:`~repro.static.model.StaticReport`
+ordered by path, line and code.  After a full run, waiver comments
+that suppressed nothing are reported as ``W000``.
+
+Passes (run in this order):
+
+========  =============================================  ============
+name      rules                                          module
+========  =============================================  ============
+repo      ``REPRO001-004`` repository style              repro.static.repo
+det       ``DET0xx`` determinism                         repro.dsan.rules
+arr       ``ARR0xx`` array-kernel abstract interpreter   repro.static.arr
+perf      ``PERF0xx`` hot-loop hygiene                   repro.static.perf
+========  =============================================  ============
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Callable
+
+from repro.dsan.diagnostics import DET_CODES
+from repro.errors import SanitizerError
+from repro.static.arr import arr_pass
+from repro.static.callgraph import CallGraph
+from repro.static.model import (
+    Diagnostic,
+    StaticCode,
+    StaticReport,
+    diagnostic,
+    register_codes,
+)
+from repro.static.perf import perf_pass
+from repro.static.repo import repo_pass
+from repro.static.source import GLOBAL_CACHE, ModuleSource, iter_python_files
+from repro.static.waivers import WaiverIndex
+
+# the DET vocabulary lives in repro.dsan.diagnostics (its historical
+# home, still the `repro sanitize` surface); mirror it into the
+# unified registry so every emitter sees one vocabulary
+register_codes(*(
+    StaticCode(info.code, info.severity, info.title, info.fix,
+               domain="determinism")
+    for info in DET_CODES.values()
+))
+
+
+@dataclasses.dataclass
+class AnalysisContext:
+    """Cross-module facts shared by all passes of one run."""
+
+    modules: list[ModuleSource]
+    graph: CallGraph
+    reachable: frozenset[str]
+
+
+def _det_pass(module: ModuleSource, windex: WaiverIndex,
+              ctx: AnalysisContext) -> list[Diagnostic]:
+    from repro.dsan.rules import module_rules
+
+    findings: list[Diagnostic] = []
+    for rule in module_rules(module, windex, ctx.graph, ctx.reachable):
+        rule.visit(module.tree)
+        for lineno, code, message in rule.raw_reports:
+            findings.append(
+                diagnostic(
+                    code, message,
+                    path=str(module.path), line=lineno,
+                    relpath=module.relpath,
+                )
+            )
+    return findings
+
+
+def _repo_pass(module: ModuleSource, windex: WaiverIndex,
+               ctx: AnalysisContext) -> list[Diagnostic]:
+    del ctx
+    return repo_pass(module, windex)
+
+
+def _arr_pass(module: ModuleSource, windex: WaiverIndex,
+              ctx: AnalysisContext) -> list[Diagnostic]:
+    del ctx
+    return arr_pass(module, windex)
+
+
+def _perf_pass(module: ModuleSource, windex: WaiverIndex,
+               ctx: AnalysisContext) -> list[Diagnostic]:
+    del ctx
+    return perf_pass(module, windex)
+
+
+PassFn = Callable[[ModuleSource, WaiverIndex, AnalysisContext],
+                  list[Diagnostic]]
+
+#: Registered passes, in execution order.
+PASSES: dict[str, PassFn] = {
+    "repo": _repo_pass,
+    "det": _det_pass,
+    "arr": _arr_pass,
+    "perf": _perf_pass,
+}
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory — what CI scans."""
+    return Path(__file__).resolve().parent.parent
+
+
+def load_context(
+    roots: list[Path] | None = None,
+    *,
+    relative_to: Path | None = None,
+) -> AnalysisContext:
+    """Parse the scan set once and build the cross-module facts."""
+    if not roots:
+        roots = [default_root()]
+    scan_root = relative_to
+    if scan_root is None:
+        scan_root = roots[0] if roots[0].is_dir() else roots[0].parent
+    modules = [
+        GLOBAL_CACHE.load(path, root=scan_root)
+        for path in iter_python_files(roots)
+    ]
+    graph = CallGraph(modules)
+    return AnalysisContext(
+        modules=modules, graph=graph, reachable=graph.worker_reachable()
+    )
+
+
+def check_paths(
+    roots: list[Path] | None = None,
+    *,
+    relative_to: Path | None = None,
+    passes: tuple[str, ...] | None = None,
+    select: tuple[str, ...] | None = None,
+    baseline: frozenset[str] | None = None,
+    warn_unused_waivers: bool = True,
+) -> StaticReport:
+    """Run the static passes over files/directories (default: ``repro``).
+
+    ``passes`` restricts which rule families run (``None`` = all);
+    ``select`` keeps only findings whose code starts with one of the
+    given prefixes; ``baseline`` moves findings with known
+    fingerprints into the report's ``baselined`` bucket.  ``W000``
+    (unused waiver) is emitted only when every pass ran, since a
+    partial run cannot know whether a waiver is stale.
+    """
+    ctx = load_context(roots, relative_to=relative_to)
+    selected_passes = tuple(PASSES) if passes is None else passes
+    for name in selected_passes:
+        if name not in PASSES:
+            raise SanitizerError(
+                f"unknown pass {name!r} (have: {', '.join(PASSES)})"
+            )
+
+    findings: list[Diagnostic] = []
+    windexes = [(module, WaiverIndex(module)) for module in ctx.modules]
+    for name in PASSES:
+        if name not in selected_passes:
+            continue
+        pass_fn = PASSES[name]
+        for module, windex in windexes:
+            findings.extend(pass_fn(module, windex, ctx))
+
+    if warn_unused_waivers and set(selected_passes) == set(PASSES):
+        for module, windex in windexes:
+            for waiver in windex.unused():
+                findings.append(
+                    diagnostic(
+                        "W000",
+                        f"waiver {waiver.text!r} suppressed nothing; "
+                        f"delete it or fix its code list",
+                        path=str(module.path),
+                        line=waiver.lineno,
+                        relpath=module.relpath,
+                    )
+                )
+
+    if select:
+        findings = [
+            f for f in findings
+            if any(f.code.startswith(prefix) for prefix in select)
+        ]
+
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    baselined: list[Diagnostic] = []
+    if baseline:
+        kept: list[Diagnostic] = []
+        for f in findings:
+            (baselined if f.fingerprint() in baseline else kept).append(f)
+        findings = kept
+    return StaticReport(
+        tuple(findings),
+        files_scanned=len(ctx.modules),
+        baselined=tuple(baselined),
+    )
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+
+def load_baseline(path: Path) -> frozenset[str]:
+    """Read a baseline file: a JSON list of finding fingerprints."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SanitizerError(f"cannot read baseline {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SanitizerError(f"baseline {path} is not valid JSON: {exc}")
+    if isinstance(payload, dict):
+        payload = payload.get("fingerprints", [])
+    if not isinstance(payload, list) or not all(
+        isinstance(item, str) for item in payload
+    ):
+        raise SanitizerError(
+            f"baseline {path} must be a JSON list of fingerprint strings"
+        )
+    return frozenset(payload)
+
+
+def write_baseline(report: StaticReport, path: Path) -> None:
+    """Write every current finding's fingerprint as the new baseline."""
+    fingerprints = sorted(
+        {f.fingerprint() for f in (*report.findings, *report.baselined)}
+    )
+    payload = json.dumps({"fingerprints": fingerprints}, indent=2) + "\n"
+    try:
+        path.write_text(payload, encoding="utf-8")
+    except OSError as exc:
+        raise SanitizerError(f"cannot write baseline {path}: {exc}")

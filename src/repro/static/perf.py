@@ -1,0 +1,335 @@
+"""``PERF0xx``: hot-loop hygiene for kernels marked ``@hot``.
+
+The batched engine's throughput lives or dies on a handful of inner
+kernels; these rules flag the python-level anti-patterns that silently
+cost 10-100x there.  They run only on functions marked
+:func:`repro.static.hot` or :func:`repro.static.lowerable` (PERF004 on
+the latter only), so ordinary setup code — where a list-append loop is
+perfectly fine — is never nagged.
+
+Codes
+=====
+
+========  ========================================================
+PERF001   python-level ``for`` loop over ndarray elements
+PERF002   numpy array allocation inside a loop body
+PERF003   array growth by ``np.append`` / list-append-then-array
+PERF004   construct the planned numba ``nopython`` lowering cannot
+          compile (``try``/``with``, dict/set literals and
+          comprehensions, generators, lambdas, nested defs,
+          star-args)
+========  ========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.diagnostics import Severity
+from repro.static.arr import contract_of
+from repro.static.model import Diagnostic, StaticCode, diagnostic, register_codes
+from repro.static.source import ModuleSource
+from repro.static.visitors import call_name, decorator_names, iter_functions
+from repro.static.waivers import WaiverIndex
+
+register_codes(
+    StaticCode(
+        "PERF001", Severity.WARNING, "python loop over ndarray elements",
+        "vectorise with array expressions, or lower the loop with "
+        "@lowerable so numba compiles it",
+        domain="performance",
+    ),
+    StaticCode(
+        "PERF002", Severity.WARNING, "array allocation inside hot loop",
+        "hoist the allocation out of the loop and reuse the buffer",
+        domain="performance",
+    ),
+    StaticCode(
+        "PERF003", Severity.WARNING, "quadratic array growth",
+        "preallocate and index-assign, or collect into a list outside "
+        "the hot region",
+        domain="performance",
+    ),
+    StaticCode(
+        "PERF004", Severity.WARNING, "construct blocks numba lowering",
+        "replace with a nopython-compatible construct or move it out "
+        "of the @lowerable kernel",
+        domain="performance",
+    ),
+)
+
+#: numpy namespace prefixes
+_NUMPY_NAMES = ("np", "numpy")
+
+#: numpy callables that allocate a fresh array
+_ALLOCATORS = {
+    "zeros", "ones", "empty", "full", "zeros_like", "ones_like",
+    "empty_like", "full_like", "array", "arange", "linspace",
+    "concatenate", "stack", "vstack", "hstack", "tile", "repeat",
+    "copy",
+}
+
+#: numpy callables returning arrays — seeds the array-name inference
+_ARRAY_RETURNING = _ALLOCATORS | {
+    "asarray", "ascontiguousarray", "where", "interp", "sort", "cumsum",
+}
+
+
+def _numpy_callee(node: ast.Call) -> str | None:
+    """``np.zeros(...)`` -> ``"zeros"``; ``None`` for non-numpy calls."""
+    name = call_name(node)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if parts[0] in _NUMPY_NAMES and len(parts) >= 2:
+        return parts[-1]
+    return None
+
+
+def _collect_array_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Names that provably hold ndarrays inside ``func``."""
+    names: set[str] = set()
+    contract, _error = contract_of(func)
+    if contract is not None:
+        for param, spec in contract.params.items():
+            if spec.shape is None or len(spec.shape) >= 1:
+                names.add(param)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = _numpy_callee(node.value)
+            if callee in _ARRAY_RETURNING:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return names
+
+
+def _collect_list_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Names initialised to an empty list inside ``func``."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            value = node.value
+            is_empty_list = isinstance(value, ast.List) and not value.elts
+            is_list_call = (
+                isinstance(value, ast.Call)
+                and call_name(value) == "list"
+                and not value.args
+            )
+            if is_empty_list or is_list_call:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return names
+
+
+def _loop_iterates_array(iter_node: ast.expr, arrays: set[str]) -> bool:
+    """Does this ``for`` iterate ndarray elements at python level?"""
+    if isinstance(iter_node, ast.Name):
+        return iter_node.id in arrays
+    if isinstance(iter_node, ast.Call):
+        name = call_name(iter_node)
+        if name == "enumerate" and iter_node.args:
+            return _loop_iterates_array(iter_node.args[0], arrays)
+        if name == "range" and iter_node.args:
+            # range(len(arr)) / range(arr.shape[0]): indexed iteration
+            first = iter_node.args[0] if len(iter_node.args) == 1 \
+                else iter_node.args[1]
+            if isinstance(first, ast.Call) and call_name(first) == "len" \
+                    and first.args and isinstance(first.args[0], ast.Name):
+                return first.args[0].id in arrays
+            if isinstance(first, ast.Subscript) \
+                    and isinstance(first.value, ast.Attribute) \
+                    and first.value.attr == "shape" \
+                    and isinstance(first.value.value, ast.Name):
+                return first.value.value.id in arrays
+    return False
+
+
+#: statement/expression node types numba nopython cannot lower
+_NON_LOWERABLE: tuple[tuple[type[ast.AST], str], ...] = (
+    (ast.Try, "try/except block"),
+    (ast.With, "with block"),
+    (ast.Dict, "dict literal"),
+    (ast.Set, "set literal"),
+    (ast.DictComp, "dict comprehension"),
+    (ast.SetComp, "set comprehension"),
+    (ast.GeneratorExp, "generator expression"),
+    (ast.Yield, "generator (yield)"),
+    (ast.YieldFrom, "generator (yield from)"),
+    (ast.Lambda, "lambda"),
+)
+
+
+class _HotFunctionScan:
+    """One @hot function's PERF analysis."""
+
+    def __init__(
+        self,
+        module: ModuleSource,
+        windex: WaiverIndex,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        lowerable: bool,
+    ):
+        self.module = module
+        self.windex = windex
+        self.func = func
+        self.qualname = qualname
+        self.lowerable = lowerable
+        self.arrays = _collect_array_names(func)
+        self.lists = _collect_list_names(func)
+        self.findings: list[Diagnostic] = []
+        #: list names appended to inside a loop -> line of the append
+        self.loop_appends: dict[str, int] = {}
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        lineno = getattr(node, "lineno", self.func.lineno)
+        if self.windex.waives(lineno, code):
+            return
+        self.findings.append(
+            diagnostic(
+                code,
+                message,
+                path=str(self.module.path),
+                line=lineno,
+                relpath=self.module.relpath,
+                symbol=self.qualname,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[Diagnostic]:
+        for stmt in self.func.body:
+            self.scan(stmt, loop_depth=0)
+        self.check_materialised_appends()
+        if self.lowerable:
+            self.scan_lowerable()
+        return self.findings
+
+    def scan(self, node: ast.AST, loop_depth: int) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _loop_iterates_array(node.iter, self.arrays):
+                self.report(
+                    node, "PERF001",
+                    "python-level loop over ndarray elements in a hot "
+                    "kernel; vectorise or lower it",
+                )
+            self.scan_children(node, loop_depth + 1)
+            return
+        if isinstance(node, ast.While):
+            self.scan_children(node, loop_depth + 1)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not self.func:
+            return  # nested defs are their own (non-hot) scope
+        if isinstance(node, ast.Call):
+            self.scan_call(node, loop_depth)
+        self.scan_children(node, loop_depth)
+
+    def scan_children(self, node: ast.AST, loop_depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            self.scan(child, loop_depth)
+
+    def scan_call(self, node: ast.Call, loop_depth: int) -> None:
+        callee = _numpy_callee(node)
+        if callee == "append":
+            self.report(
+                node, "PERF003",
+                "np.append reallocates the whole array every call; "
+                "preallocate and index-assign",
+            )
+            return
+        if loop_depth == 0:
+            return
+        if callee in _ALLOCATORS:
+            self.report(
+                node, "PERF002",
+                f"np.{callee} allocates a fresh array every iteration; "
+                f"hoist the buffer out of the loop",
+            )
+            return
+        # list.append inside a loop: remember for the PERF003
+        # list-append-then-np.array pattern
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "append" \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id in self.lists:
+            self.loop_appends.setdefault(
+                node.func.value.id, node.lineno
+            )
+
+    def check_materialised_appends(self) -> None:
+        """`lst.append` in a loop + later `np.array(lst)` -> PERF003."""
+        if not self.loop_appends:
+            return
+        for node in ast.walk(self.func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _numpy_callee(node)
+            if callee not in ("array", "asarray", "concatenate", "stack"):
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.Name) \
+                        and arg.id in self.loop_appends:
+                    self.report(
+                        node, "PERF003",
+                        f"list {arg.id!r} grows inside a loop (line "
+                        f"{self.loop_appends[arg.id]}) and is then "
+                        f"materialised with np.{callee}; preallocate "
+                        f"and index-assign",
+                    )
+
+    def scan_lowerable(self) -> None:
+        for node in ast.walk(self.func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not self.func:
+                self.report(
+                    node, "PERF004",
+                    f"nested function {node.name!r} blocks numba "
+                    f"nopython lowering",
+                )
+                continue
+            if isinstance(node, ast.ClassDef):
+                self.report(
+                    node, "PERF004",
+                    f"class definition {node.name!r} blocks numba "
+                    f"nopython lowering",
+                )
+                continue
+            for node_type, label in _NON_LOWERABLE:
+                if isinstance(node, node_type):
+                    self.report(
+                        node, "PERF004",
+                        f"{label} blocks numba nopython lowering",
+                    )
+                    break
+            if isinstance(node, ast.Call):
+                if any(isinstance(a, ast.Starred) for a in node.args) \
+                        or any(k.arg is None for k in node.keywords):
+                    self.report(
+                        node, "PERF004",
+                        "star-args call blocks numba nopython lowering",
+                    )
+
+
+def perf_pass(module: ModuleSource, windex: WaiverIndex) -> list[Diagnostic]:
+    """Run the hot-loop hygiene rules over every marked kernel."""
+    findings: list[Diagnostic] = []
+    for qualname, func in iter_functions(module.tree):
+        decorators = decorator_names(func)
+        is_lowerable = "lowerable" in decorators
+        if "hot" not in decorators and not is_lowerable:
+            continue
+        scan = _HotFunctionScan(
+            module, windex, func, qualname, lowerable=is_lowerable
+        )
+        findings.extend(scan.run())
+    return findings
+
+
+__all__ = ["perf_pass"]

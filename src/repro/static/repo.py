@@ -1,11 +1,12 @@
 """Repository style rules (``REPRO001-004``) on the shared framework.
 
 Historically these lived as a free-standing AST script in
-``tools/check_source.py``; they now share the visitor infrastructure
-with the determinism sanitizer (:mod:`repro.dsan.rules`) so both code
-gates parse each file once, report the same way, and grow rules in one
-place.  The tool remains a thin shim over this module, and its public
-surface (:func:`check_module`, :func:`main`) is unchanged:
+``tools/check_source.py``, then as ``repro.dsan.repo_rules``; they now
+live in the unified static core so every gate parses each file once,
+reports through one :class:`~repro.static.model.Diagnostic` model and
+grows rules in one place.  The tool remains a thin shim over this
+module, and its public surface (:func:`check_module`, :func:`main`) is
+unchanged:
 
 ``REPRO001``
     No ``except Exception:`` / bare ``except:`` inside ``src/repro`` —
@@ -22,9 +23,10 @@ surface (:func:`check_module`, :func:`main`) is unchanged:
 ``REPRO004``
     ``from __future__ import annotations`` in every module.
 
-A violation is waived for one line with a trailing
-``# repro-lint: allow`` comment.  Exit status: 0 clean, 1 violations,
-2 usage/IO trouble.
+A violation is waived for one line with a ``# repro: allow[CODE]``
+comment (the legacy blanket ``# repro-lint: allow`` form stays
+honoured).  Exit status of the CLI: 0 clean, 1 violations, 2 usage/IO
+trouble.
 """
 
 from __future__ import annotations
@@ -33,7 +35,37 @@ import ast
 import sys
 from pathlib import Path
 
-from repro.dsan.visitors import ModuleSource, RuleVisitor
+from repro.lint.diagnostics import Severity
+from repro.static.model import Diagnostic, StaticCode, diagnostic, register_codes
+from repro.static.source import ModuleSource
+from repro.static.visitors import RuleVisitor
+from repro.static.waivers import WaiverIndex
+
+register_codes(
+    StaticCode(
+        "REPRO001", Severity.ERROR, "broad exception handler",
+        "catch specific SemsimError subclasses (or builtin types you "
+        "expect)",
+        domain="repository",
+    ),
+    StaticCode(
+        "REPRO002", Severity.ERROR, "raises bare builtin exception",
+        "deliberate errors must derive from SemsimError (see "
+        "repro.errors)",
+        domain="repository",
+    ),
+    StaticCode(
+        "REPRO003", Severity.ERROR, "float literal equality",
+        "compare with a tolerance (math.isclose / pytest.approx)",
+        domain="repository",
+    ),
+    StaticCode(
+        "REPRO004", Severity.ERROR, "missing __future__ annotations",
+        "add 'from __future__ import annotations' at the top of the "
+        "module",
+        domain="repository",
+    ),
+)
 
 FORBIDDEN_RAISES = frozenset({
     "ValueError", "TypeError", "RuntimeError", "KeyError", "IndexError",
@@ -44,13 +76,6 @@ FORBIDDEN_RAISES = frozenset({
 #: identifier fragments that mark a float-physics quantity
 PHYSICS_FRAGMENTS = ("energy", "voltage", "delta_w")
 PHYSICS_NAMES = frozenset({"dw", "ej", "e_c", "e_j", "bias", "vds", "vgs"})
-
-WAIVER = "# repro-lint: allow"
-
-
-def _waiver(line: str, code: str) -> bool:
-    del code  # the legacy waiver silences every REPRO rule on the line
-    return WAIVER in line
 
 
 def _is_zero_literal(node: ast.expr) -> bool:
@@ -134,10 +159,10 @@ class RepoRules(RuleVisitor):
         self.generic_visit(node)
 
 
-def check_module(path: Path) -> list[tuple[int, str, str]]:
-    """All rule violations of one source file."""
-    module = ModuleSource.parse(Path(path))
-    checker = RepoRules(module, _waiver)
+def _module_violations(
+    module: ModuleSource, windex: WaiverIndex
+) -> list[tuple[int, str, str]]:
+    checker = RepoRules(module, windex)
     checker.visit(module.tree)
     violations = list(checker.raw_reports)
 
@@ -147,12 +172,34 @@ def check_module(path: Path) -> list[tuple[int, str, str]]:
         and any(alias.name == "annotations" for alias in node.names)
         for node in module.tree.body
     )
-    if not has_future:
+    if not has_future and not windex.waives(1, "REPRO004"):
         violations.append((
             1, "REPRO004",
             "missing 'from __future__ import annotations'",
         ))
     return sorted(violations)
+
+
+def repo_pass(module: ModuleSource, windex: WaiverIndex) -> list[Diagnostic]:
+    """Engine entry point: REPRO001-004 as :class:`Diagnostic` records."""
+    return [
+        diagnostic(
+            code,
+            message,
+            path=str(module.path),
+            line=lineno,
+            relpath=module.relpath,
+        )
+        for lineno, code, message in _module_violations(
+            module, windex
+        )
+    ]
+
+
+def check_module(path: Path) -> list[tuple[int, str, str]]:
+    """All rule violations of one source file (legacy tool surface)."""
+    module = ModuleSource.parse(Path(path))
+    return _module_violations(module, WaiverIndex(module))
 
 
 def main(argv: list[str] | None = None) -> int:

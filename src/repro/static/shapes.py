@@ -1,0 +1,199 @@
+"""The abstract shape/dtype domain of the ARR interpreter.
+
+Values are deliberately three-valued so the pass only ever flags what
+it can *prove*:
+
+* a dimension (``Dim``) is a concrete ``int``, a named symbolic size
+  (``str``, e.g. ``"n_islands"``), or ``None`` — unknown;
+* a shape (``Shape``) is a tuple of dims, or ``None`` — unknown rank;
+* a dtype is a canonical name from :data:`DTYPE_ORDER`, or ``None`` —
+  unknown / weakly typed (python scalars).
+
+Two *different* symbols (``n`` vs ``m``) are compatible — they might
+be equal at runtime — and never flagged; two different concrete ints
+are a provable conflict.  Joins (:func:`join_shape`) widen
+disagreeing components to unknown, which keeps branch merges sound.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Dim",
+    "Shape",
+    "broadcast",
+    "broadcast_dims",
+    "format_shape",
+    "is_narrowing",
+    "join_dim",
+    "join_shape",
+    "matmul_shape",
+    "promote",
+    "reduce_shape",
+]
+
+#: One dimension: concrete, symbolic, or unknown.
+Dim = int | str | None
+#: One shape: known-rank tuple of dims, or unknown rank.
+Shape = tuple[Dim, ...] | None
+
+#: Promotion order of the dtypes the kernels use.  Earlier entries
+#: promote to later ones; storing a later one into an earlier one is a
+#: narrowing (lossy) conversion.
+DTYPE_ORDER = ("bool", "int32", "int64", "float32", "float64", "complex128")
+
+_RANK = {name: i for i, name in enumerate(DTYPE_ORDER)}
+
+
+class BroadcastError(ValueError):
+    """Provably incompatible shapes (carries the offending pair)."""
+
+    def __init__(self, a: Shape, b: Shape):
+        self.a = a
+        self.b = b
+        super().__init__(
+            f"shapes {format_shape(a)} and {format_shape(b)} are not "
+            f"broadcast-compatible"
+        )
+
+
+# ----------------------------------------------------------------------
+# dimensions
+# ----------------------------------------------------------------------
+
+def broadcast_dims(a: Dim, b: Dim) -> Dim:
+    """Numpy broadcast of one aligned dimension pair.
+
+    Raises :class:`BroadcastError` only for a provable conflict: two
+    concrete ints that differ and are both > 1.  A symbolic or unknown
+    dim is compatible with anything (it may be 1, or equal).
+    """
+    if a == 1:
+        return b
+    if b == 1:
+        return a
+    if a is None or b is None:
+        # unknown vs X: the unknown side must be 1 or equal to X for
+        # the program to run at all, so if X is a concrete int > 1 the
+        # result is X; a symbolic X may itself be 1, so stay unknown
+        other = b if a is None else a
+        return other if isinstance(other, int) else None
+    if isinstance(a, int) and isinstance(b, int):
+        if a != b:
+            raise BroadcastError((a,), (b,))
+        return a
+    if a == b:  # same symbol
+        return a
+    # two different symbols, or symbol vs int: possibly equal, or the
+    # symbol may be 1 — result size is not provable
+    return None
+
+
+def join_dim(a: Dim, b: Dim) -> Dim:
+    """Widening join for branch merges: agree or become unknown."""
+    return a if a == b else None
+
+
+# ----------------------------------------------------------------------
+# shapes
+# ----------------------------------------------------------------------
+
+def broadcast(a: Shape, b: Shape) -> Shape:
+    """Numpy broadcast of two shapes (``None`` rank stays unknown).
+
+    Raises :class:`BroadcastError` for provable conflicts only.
+    """
+    if a is None or b is None:
+        return None
+    if len(a) < len(b):
+        a, b = b, a
+    padded = (1,) * (len(a) - len(b)) + b
+    try:
+        return tuple(broadcast_dims(x, y) for x, y in zip(a, padded))
+    except BroadcastError:
+        raise BroadcastError(a, b)
+
+
+def join_shape(a: Shape, b: Shape) -> Shape:
+    """Widening join: component-wise :func:`join_dim`; rank mismatch
+    (or an unknown side) widens to unknown rank."""
+    if a is None or b is None or len(a) != len(b):
+        return None
+    return tuple(join_dim(x, y) for x, y in zip(a, b))
+
+
+def reduce_shape(shape: Shape, axis: int | None,
+                 keepdims: bool = False) -> Shape | BroadcastError:
+    """Shape after a reduction (``sum``/``max``/...) along ``axis``.
+
+    ``axis=None`` is a full reduction to a 0-d scalar.  Returns a
+    :class:`BroadcastError` (not raised) when the axis is provably out
+    of range, so the caller can attach location context.
+    """
+    if shape is None:
+        return None
+    if axis is None:
+        return tuple(1 for _ in shape) if keepdims else ()
+    rank = len(shape)
+    index = axis + rank if axis < 0 else axis
+    if not 0 <= index < rank:
+        return BroadcastError(shape, (axis,))
+    if keepdims:
+        return shape[:index] + (1,) + shape[index + 1:]
+    return shape[:index] + shape[index + 1:]
+
+
+def matmul_shape(a: Shape, b: Shape) -> Shape | BroadcastError:
+    """Result shape of ``a @ b`` for 1-d/2-d operands.
+
+    Returns a :class:`BroadcastError` when the inner dimensions are
+    provably unequal; gives up (``None``) on stacked (>2-d) operands.
+    """
+    if a is None or b is None:
+        return None
+    if len(a) == 0 or len(b) == 0 or len(a) > 2 or len(b) > 2:
+        return None  # scalar matmul is a runtime error; >2-d is stacked
+    inner_a = a[-1]
+    inner_b = b[0] if len(b) == 1 else b[-2]
+    if isinstance(inner_a, int) and isinstance(inner_b, int) \
+            and inner_a != inner_b:
+        return BroadcastError(a, b)
+    rows = a[:-1] if len(a) == 2 else ()
+    cols = b[-1:] if len(b) == 2 else ()
+    return rows + cols
+
+
+def format_shape(shape: Shape) -> str:
+    if shape is None:
+        return "(?rank)"
+    if not shape:
+        return "()"
+    parts = ["?" if d is None else str(d) for d in shape]
+    if len(parts) == 1:
+        return f"({parts[0]},)"
+    return "(" + ", ".join(parts) + ")"
+
+
+# ----------------------------------------------------------------------
+# dtypes
+# ----------------------------------------------------------------------
+
+def promote(a: str | None, b: str | None) -> str | None:
+    """Result dtype of an arithmetic op (unknown absorbs everything)."""
+    if a is None or b is None:
+        return None
+    if a not in _RANK or b not in _RANK:
+        return None
+    return a if _RANK[a] >= _RANK[b] else b
+
+
+def is_narrowing(value: str | None, target: str | None) -> bool:
+    """Would storing ``value`` into ``target`` lose precision?
+
+    Only provable cases return ``True``: both dtypes known and the
+    value's rank strictly above the target's.
+    """
+    if value is None or target is None:
+        return False
+    if value not in _RANK or target not in _RANK:
+        return False
+    return _RANK[value] > _RANK[target]

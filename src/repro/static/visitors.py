@@ -1,117 +1,71 @@
-"""Shared AST visitor infrastructure of the code gates.
+"""Shared AST visitor infrastructure of the static passes.
 
-Both static gates over the *codebase* — the determinism sanitizer
-(``DET0xx``, :mod:`repro.dsan.rules`) and the repository style rules
-(``REPRO00x``, :mod:`repro.dsan.repo_rules`, fronted by
-``tools/check_source.py``) — are built on this module: one parsed
-representation per file (:class:`ModuleSource`), one waiver-aware
-reporting base class (:class:`RuleVisitor`), and small AST helpers the
-rules share (dotted-name resolution, set-expression detection).
+Every source-level rule family — repository style (``REPRO00x``),
+determinism (``DET0xx``), array correctness (``ARR0xx``) and hot-loop
+hygiene (``PERF0xx``) — is built on this module: one waiver-aware
+reporting base class (:class:`RuleVisitor`), a scoped symbol table for
+rules that need name resolution (:class:`ScopedSymbols`) and small AST
+helpers the rules share (dotted-name resolution, set-expression
+detection).
 """
 
 from __future__ import annotations
 
 import ast
-import dataclasses
-from pathlib import Path
-from typing import Callable, Iterator
 
-from repro.errors import SanitizerError
-
-
-@dataclasses.dataclass
-class ModuleSource:
-    """One parsed source file plus the context the rules need."""
-
-    path: Path
-    #: path relative to the scan root, POSIX-style (``core/engine.py``);
-    #: rules use it for module-scoped exemptions
-    relpath: str
-    source: str
-    lines: list[str]
-    tree: ast.Module
-
-    @classmethod
-    def parse(cls, path: Path, root: Path | None = None) -> "ModuleSource":
-        try:
-            source = path.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise SanitizerError(f"cannot read {path}: {exc}")
-        try:
-            tree = ast.parse(source, filename=str(path))
-        except SyntaxError as exc:
-            raise SanitizerError(f"{path}: not parseable python: {exc}")
-        if root is not None:
-            try:
-                relpath = path.resolve().relative_to(root.resolve()).as_posix()
-            except ValueError:
-                relpath = path.name
-        else:
-            relpath = path.name
-        return cls(
-            path=path,
-            relpath=relpath,
-            source=source,
-            lines=source.splitlines(),
-            tree=tree,
-        )
-
-    def line_text(self, lineno: int) -> str:
-        """1-based source line (empty for out-of-range linenos)."""
-        if 1 <= lineno <= len(self.lines):
-            return self.lines[lineno - 1]
-        return ""
-
-
-def iter_python_files(roots: list[Path]) -> Iterator[Path]:
-    """Every ``.py`` file under the given files/directories, sorted."""
-    for root in roots:
-        if root.is_file():
-            yield root
-        elif root.is_dir():
-            yield from sorted(root.rglob("*.py"))
-        else:
-            raise SanitizerError(f"no such file or directory: {root}")
+from repro.static.source import ModuleSource
+from repro.static.waivers import WaiverIndex
 
 
 class RuleVisitor(ast.NodeVisitor):
     """Node visitor with per-line waiver handling.
 
-    ``waiver`` decides, from the source line text and a diagnostic
-    code, whether a report on that line is suppressed; subclasses call
-    :meth:`report` instead of appending directly.
+    Subclasses call :meth:`report` instead of appending directly; the
+    shared :class:`WaiverIndex` decides whether the report is
+    suppressed and records the waiver as used either way.
     """
 
-    def __init__(
-        self,
-        module: ModuleSource,
-        waiver: Callable[[str, str], bool],
-    ):
+    def __init__(self, module: ModuleSource, waivers: WaiverIndex):
         self.module = module
-        self._waiver = waiver
+        self.waivers = waivers
         #: ``(lineno, code, message)`` tuples, in visit order
         self.raw_reports: list[tuple[int, str, str]] = []
 
     def report(self, node: ast.AST, code: str, message: str) -> None:
         lineno = getattr(node, "lineno", 1)
-        if not self._is_waived(lineno, code):
+        if not self.waivers.waives(lineno, code):
             self.raw_reports.append((lineno, code, message))
 
-    def _is_waived(self, lineno: int, code: str) -> bool:
-        """Waived by a trailing comment on the line, or by a comment in
-        the pure-comment block immediately above it (where a waiver's
-        justification is readable)."""
-        if self._waiver(self.module.line_text(lineno), code):
-            return True
-        above = lineno - 1
-        while above >= 1:
-            text = self.module.line_text(above).strip()
-            if not text.startswith("#"):
-                break
-            if self._waiver(text, code):
-                return True
-            above -= 1
-        return False
+
+class ScopedSymbols:
+    """A stack of lexical scopes mapping names to analysis facts.
+
+    The array interpreter and the RNG dataflow rules both need "what
+    does this name mean here" with function-scope granularity; this
+    class is the shared implementation (plain chained dicts — the
+    passes are intraprocedural, so two levels deep in practice).
+    """
+
+    def __init__(self) -> None:
+        self._scopes: list[dict[str, object]] = [{}]
+
+    def push(self) -> None:
+        self._scopes.append({})
+
+    def pop(self) -> None:
+        self._scopes.pop()
+
+    def bind(self, name: str, value: object) -> None:
+        self._scopes[-1][name] = value
+
+    def lookup(self, name: str) -> object | None:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def bound_here(self, name: str) -> bool:
+        return name in self._scopes[-1]
 
 
 # ----------------------------------------------------------------------
@@ -193,3 +147,31 @@ def module_level_assignments(tree: ast.Module) -> frozenset[str]:
                     e.id for e in target.elts if isinstance(e, ast.Name)
                 )
     return frozenset(names)
+
+
+def decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    """Bare names of a function's decorators (call or plain form)."""
+    names: list[str] = []
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = dotted_name(target)
+        if name is not None:
+            names.append(last_attr(name))
+    return names
+
+
+def iter_functions(tree: ast.Module):  # type: ignore[no-untyped-def]
+    """Yield ``(qualname, function_node)`` for every def in the module."""
+    stack: list[tuple[ast.AST, str]] = [(tree, "")]
+    while stack:
+        node, prefix = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child
+                stack.append((child, f"{qualname}.<locals>."))
+            elif isinstance(child, ast.ClassDef):
+                stack.append((child, f"{prefix}{child.name}."))
+            else:
+                # other statements can still nest defs (`if`, `with`)
+                stack.append((child, prefix))

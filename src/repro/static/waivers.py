@@ -1,0 +1,155 @@
+"""Per-line waiver comments, unified across every static pass.
+
+The canonical syntax names the code(s) being waived plus an
+(encouraged) human justification::
+
+    rates = table[idx]  # repro: allow[ARR003] scratch buffer, never escapes
+
+Multiple codes may share one comment (``allow[ARR003,PERF002]``);
+silencing one rule never silences the others on that line.  Two legacy
+forms stay honoured so history does not churn: the determinism
+sanitizer's ``# dsan: allow[...]`` (same per-code semantics) and
+the repository gate's blanket ``# repro-lint: allow`` (which waives
+every ``REPRO00x`` rule on its line, as it always did).
+
+A waiver applies to its own line or — so justifications stay readable
+— to a report on the first code line below a pure-comment block
+containing it.  :class:`WaiverIndex` tracks which comments actually
+suppressed a finding; the framework reports the stale remainder as
+``W000 unused-waiver`` so dead waivers cannot rot in the tree.
+
+Comments are discovered with :mod:`tokenize`, not substring search, so
+waiver syntax quoted inside docstrings or string literals is ignored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+
+from repro.lint.diagnostics import Severity
+from repro.static.model import StaticCode, register_codes
+from repro.static.source import ModuleSource
+
+__all__ = ["Waiver", "WaiverIndex"]
+
+register_codes(
+    StaticCode(
+        "W000", Severity.WARNING, "unused waiver comment",
+        "the waived diagnostic no longer fires here; delete the "
+        "comment (or fix its code list) so waivers stay an accurate "
+        "audit trail",
+        domain="framework",
+    ),
+)
+
+#: the unified syntax: ``repro: allow[...]`` naming one or more codes
+_UNIFIED = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9,\s]+)\]")
+#: legacy determinism-sanitizer syntax: ``dsan: allow[...]``
+_LEGACY_DSAN = re.compile(r"#\s*dsan:\s*allow\[([A-Z0-9,\s]+)\]")
+#: legacy blanket repository-rule waiver (prefix spelled out in parts
+#: so this line never parses as a waiver of its own)
+_LEGACY_REPO = "# repro-lint" + ": allow"
+
+
+@dataclasses.dataclass
+class Waiver:
+    """One waiver comment found in a module."""
+
+    lineno: int
+    #: waived codes; ``None`` means the legacy blanket form, which
+    #: covers every repository (``REPRO``) rule on the line
+    codes: frozenset[str] | None
+    text: str
+    used: bool = False
+
+    def covers(self, code: str) -> bool:
+        if self.codes is None:
+            return code.startswith("REPRO")
+        return code in self.codes
+
+
+def _parse_comment(lineno: int, text: str) -> list[Waiver]:
+    waivers: list[Waiver] = []
+    codes: set[str] = set()
+    for pattern in (_UNIFIED, _LEGACY_DSAN):
+        for match in pattern.finditer(text):
+            codes.update(
+                code.strip()
+                for code in match.group(1).split(",")
+                if code.strip()
+            )
+    if codes:
+        waivers.append(Waiver(lineno, frozenset(codes), text.strip()))
+    elif _LEGACY_REPO in text:
+        waivers.append(Waiver(lineno, None, text.strip()))
+    return waivers
+
+
+class WaiverIndex:
+    """All waiver comments of one module, with usage tracking.
+
+    :meth:`waives` is the single query every rule goes through; it
+    marks the matching comment as used, so after all passes have run
+    :meth:`unused` is exactly the stale set ``W000`` should report.
+    """
+
+    def __init__(self, module: ModuleSource):
+        self.module = module
+        self._by_line: dict[int, list[Waiver]] = {}
+        self.waivers: list[Waiver] = []
+        for lineno, text in _iter_comments(module):
+            for waiver in _parse_comment(lineno, text):
+                self.waivers.append(waiver)
+                self._by_line.setdefault(lineno, []).append(waiver)
+
+    # ------------------------------------------------------------------
+    def waives(self, lineno: int, code: str) -> bool:
+        """Is a report of ``code`` on ``lineno`` waived?  (Marks use.)
+
+        A waiver matches on the report's own line, or anywhere in the
+        pure-comment block immediately above it (where a justification
+        is readable).
+        """
+        if self._match(lineno, code):
+            return True
+        above = lineno - 1
+        while above >= 1:
+            text = self.module.line_text(above).strip()
+            if not text.startswith("#"):
+                break
+            if self._match(above, code):
+                return True
+            above -= 1
+        return False
+
+    def _match(self, lineno: int, code: str) -> bool:
+        for waiver in self._by_line.get(lineno, ()):
+            if waiver.covers(code):
+                waiver.used = True
+                return True
+        return False
+
+    def unused(self) -> list[Waiver]:
+        """Waiver comments that suppressed nothing, in line order."""
+        return [w for w in self.waivers if not w.used]
+
+
+def _iter_comments(module: ModuleSource) -> list[tuple[int, str]]:
+    """``(lineno, text)`` for every real comment token of the module."""
+    comments: list[tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(module.source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        # the file parsed as AST, so this is at most a trailing
+        # continuation quirk; fall back to raw line scanning
+        comments = [
+            (i, line) for i, line in enumerate(module.lines, start=1)
+            if "#" in line
+        ]
+    return comments

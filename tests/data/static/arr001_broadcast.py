@@ -1,0 +1,18 @@
+"""Seeded bug: adds arrays whose concrete shapes cannot broadcast.
+
+Expected finding: exactly one ARR001 on the ``q + offset`` expression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract
+
+
+@array_contract(q="(3,) float64", out="(3,) float64")
+def charge_with_offset(q):
+    """Island charge with a per-island trim — but the trim vector is
+    sized for four islands while the contract pins three."""
+    offset = np.zeros(4)
+    return q + offset

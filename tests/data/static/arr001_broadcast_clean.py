@@ -1,0 +1,13 @@
+"""Clean twin of ``arr001_broadcast``: the trim vector matches."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract
+
+
+@array_contract(q="(3,) float64", out="(3,) float64")
+def charge_with_offset(q):
+    offset = np.zeros(3)
+    return q + offset

@@ -1,0 +1,17 @@
+"""Seeded bug: matrix-vector product with mismatched inner dimension.
+
+Expected finding: exactly one ARR001 on the ``cinv @ rhs`` expression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract
+
+
+@array_contract(cinv="(3, 3) float64", out="(3,) float64")
+def solve_potentials(cinv):
+    """``v = C^-1 q`` — but the right-hand side has four entries."""
+    rhs = np.ones(4)
+    return cinv @ rhs

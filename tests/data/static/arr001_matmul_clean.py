@@ -1,0 +1,13 @@
+"""Clean twin of ``arr001_matmul``: inner dimensions agree."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract
+
+
+@array_contract(cinv="(3, 3) float64", out="(3,) float64")
+def solve_potentials(cinv):
+    rhs = np.ones(3)
+    return cinv @ rhs

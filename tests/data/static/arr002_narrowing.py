@@ -1,0 +1,19 @@
+"""Seeded bug: float64 rates silently narrowed into a float32 store.
+
+Expected finding: exactly one ARR002 on the ``out[0] = rates[0]``
+statement (precision loss the interpreter can prove from the dtypes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract
+
+
+@array_contract(rates="(n_junctions,) float64", out="(n_junctions,) float32")
+def compact_rates(rates):
+    """Pack rates into a single-precision table."""
+    out = np.zeros(rates.shape[0], dtype=np.float32)
+    out[0] = rates[0]
+    return out

@@ -1,0 +1,14 @@
+"""Clean twin of ``arr002_narrowing``: stores stay double precision."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract
+
+
+@array_contract(rates="(n_junctions,) float64", out="(n_junctions,) float64")
+def compact_rates(rates):
+    out = np.zeros(rates.shape[0], dtype=np.float64)
+    out[0] = rates[0]
+    return out

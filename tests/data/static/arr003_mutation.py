@@ -1,0 +1,17 @@
+"""Seeded bug: mutates the caller's occupation array in place.
+
+Expected finding: exactly one ARR003 on ``occupation[0] += delta`` —
+the parameter is not declared in the contract's ``mutates`` list, so
+the caller's charge state is silently corrupted.
+"""
+
+from __future__ import annotations
+
+from repro.static import array_contract
+
+
+@array_contract(occupation="(n_islands,) int64", out="(n_islands,) int64")
+def apply_shift(occupation, delta):
+    """Shift the first island by ``delta`` electrons."""
+    occupation[0] += delta
+    return occupation

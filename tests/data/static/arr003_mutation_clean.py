@@ -1,0 +1,13 @@
+"""Clean twin of ``arr003_mutation``: copy-on-write like
+``Transition.apply``."""
+
+from __future__ import annotations
+
+from repro.static import array_contract
+
+
+@array_contract(occupation="(n_islands,) int64", out="(n_islands,) int64")
+def apply_shift(occupation, delta):
+    new = occupation.copy()
+    new[0] += delta
+    return new

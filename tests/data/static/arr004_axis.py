@@ -1,0 +1,17 @@
+"""Seeded bug: reduction axis out of range for the declared rank.
+
+Expected finding: exactly one ARR004 — ``axis=1`` cannot exist on the
+rank-1 rate vector the contract declares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract
+
+
+@array_contract(rates="(n_junctions,) float64", out="() float64")
+def total_rate(rates):
+    """Total escape rate out of the current charge state."""
+    return np.sum(rates, axis=1)

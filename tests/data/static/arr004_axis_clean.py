@@ -1,0 +1,12 @@
+"""Clean twin of ``arr004_axis``: full reduction to a scalar."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract
+
+
+@array_contract(rates="(n_junctions,) float64", out="() float64")
+def total_rate(rates):
+    return np.sum(rates)

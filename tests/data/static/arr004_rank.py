@@ -1,0 +1,15 @@
+"""Seeded bug: returns a vector where the contract promises a scalar.
+
+Expected finding: exactly one ARR004 on the return statement — the
+declared ``out`` is rank 0 but the body provably returns rank 1.
+"""
+
+from __future__ import annotations
+
+from repro.static import array_contract
+
+
+@array_contract(v="(n_islands,) float64", out="() float64")
+def mean_potential(v):
+    """Mean island potential — except the mean was forgotten."""
+    return v * 2.0

@@ -1,0 +1,12 @@
+"""Clean twin of ``arr004_rank``: reduces before returning."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract
+
+
+@array_contract(v="(n_islands,) float64", out="() float64")
+def mean_potential(v):
+    return np.mean(v * 2.0)

@@ -1,0 +1,20 @@
+"""Seeded bug: Python-level loop over an array in a hot kernel.
+
+Expected finding: exactly one PERF001 on the ``for`` statement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract, hot
+
+
+@hot
+@array_contract(dw="(n_junctions,) float64", out="(n_junctions,) float64")
+def doubled_rates(dw):
+    """Doubles every rate one element at a time."""
+    out = np.empty_like(dw)
+    for i in range(len(dw)):
+        out[i] = dw[i] * 2.0
+    return out

@@ -1,0 +1,11 @@
+"""Clean twin of ``perf001_loop``: one vectorised expression."""
+
+from __future__ import annotations
+
+from repro.static import array_contract, hot
+
+
+@hot
+@array_contract(dw="(n_junctions,) float64", out="(n_junctions,) float64")
+def doubled_rates(dw):
+    return dw * 2.0

@@ -1,0 +1,23 @@
+"""Seeded bug: allocates a fresh array on every loop iteration.
+
+Expected finding: exactly one PERF002 on the ``np.zeros`` call inside
+the loop body.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract, hot
+
+
+@hot
+@array_contract(blocks="(n_islands, 3) float64", out="(n_islands,) float64")
+def column_total(blocks):
+    """Sums the three columns — with a scratch vector per column."""
+    total = np.zeros(blocks.shape[0])
+    for i in range(3):
+        scratch = np.zeros(blocks.shape[0])
+        scratch += blocks[:, i]
+        total += scratch
+    return total

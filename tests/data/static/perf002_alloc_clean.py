@@ -1,0 +1,13 @@
+"""Clean twin of ``perf002_alloc``: one axis reduction, no scratch."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract, hot
+
+
+@hot
+@array_contract(blocks="(n_islands, 3) float64", out="(n_islands,) float64")
+def column_total(blocks):
+    return np.sum(blocks, axis=1)

@@ -1,0 +1,18 @@
+"""Seeded bug: grows an array with ``np.append`` in a hot kernel.
+
+Expected finding: exactly one PERF003 — ``np.append`` copies the whole
+array on every call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract, hot
+
+
+@hot
+@array_contract(dw="(n_junctions,) float64", out="any float64")
+def with_sentinel(dw):
+    """Appends a sentinel rate to the vector."""
+    return np.append(dw, 0.0)

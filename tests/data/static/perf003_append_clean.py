@@ -1,0 +1,13 @@
+"""Clean twin of ``perf003_append``: a single preallocated concatenate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract, hot
+
+
+@hot
+@array_contract(dw="(n_junctions,) float64", out="any float64")
+def with_sentinel(dw):
+    return np.concatenate([dw, np.zeros(1)])

@@ -1,0 +1,21 @@
+"""Seeded bug: a ``@lowerable`` kernel using a construct no array
+compiler lowers.
+
+Expected finding: exactly one PERF004 on the ``try`` statement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract, lowerable
+
+
+@lowerable
+@array_contract(dw="(n_junctions,) float64", out="() float64")
+def robust_total(dw):
+    """Total rate with a defensive fallback nobody can compile."""
+    try:
+        return float(np.sum(dw))
+    except FloatingPointError:
+        return 0.0

@@ -1,0 +1,13 @@
+"""Clean twin of ``perf004_lowerable``: straight-line array code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import array_contract, lowerable
+
+
+@lowerable
+@array_contract(dw="(n_junctions,) float64", out="() float64")
+def robust_total(dw):
+    return np.sum(dw)

@@ -1,0 +1,190 @@
+"""Tests for the ARR/PERF passes against the seeded-bug corpus.
+
+``tests/data/static/`` holds small kernel modules, each carrying exactly
+one known defect, next to a ``*_clean.py`` twin with the defect fixed.
+The analyzer must flag every seeded bug with exactly its expected code
+and stay silent on every twin — both directions guard against rule
+regressions (missed bugs *and* new false positives).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.static import check_paths
+
+CORPUS = Path(__file__).parent / "data" / "static"
+
+#: module stem -> the one code its seeded bug must produce
+EXPECTED = {
+    "arr001_broadcast": "ARR001",
+    "arr001_matmul": "ARR001",
+    "arr002_narrowing": "ARR002",
+    "arr003_mutation": "ARR003",
+    "arr004_axis": "ARR004",
+    "arr004_rank": "ARR004",
+    "perf001_loop": "PERF001",
+    "perf002_alloc": "PERF002",
+    "perf003_append": "PERF003",
+    "perf004_lowerable": "PERF004",
+}
+
+
+def codes_in(path: Path) -> list[str]:
+    report = check_paths([path], relative_to=CORPUS)
+    return [f.code for f in report.findings]
+
+
+class TestSeededBugs:
+    @pytest.mark.parametrize("stem", sorted(EXPECTED))
+    def test_bug_module_yields_exactly_its_code(self, stem):
+        assert codes_in(CORPUS / f"{stem}.py") == [EXPECTED[stem]]
+
+    @pytest.mark.parametrize("stem", sorted(EXPECTED))
+    def test_clean_twin_is_silent(self, stem):
+        assert codes_in(CORPUS / f"{stem}_clean.py") == []
+
+    def test_corpus_is_complete(self):
+        stems = {p.stem for p in CORPUS.glob("*.py")}
+        for stem in EXPECTED:
+            assert stem in stems
+            assert f"{stem}_clean" in stems
+
+
+class TestArrUnit:
+    """Targeted checks of interpreter behaviour beyond the corpus."""
+
+    HEADER = (
+        "from __future__ import annotations\n"
+        "import numpy as np\n"
+        "from repro.static import array_contract, hot\n"
+    )
+
+    def run(self, tmp_path, body):
+        path = tmp_path / "kernel.py"
+        path.write_text(self.HEADER + body)
+        return [f.code for f in
+                check_paths([path], relative_to=tmp_path).findings]
+
+    def test_symbolic_dims_never_conflict(self, tmp_path):
+        # (n_islands,) + (n_leads,) may be fine at runtime; no ARR001
+        body = (
+            '@array_contract(q="(n_islands,) float64",'
+            ' b="(n_leads,) float64")\n'
+            "def f(q, b):\n"
+            "    return q + b\n"
+        )
+        assert self.run(tmp_path, body) == []
+
+    def test_branch_join_widens_instead_of_flagging(self, tmp_path):
+        body = (
+            '@array_contract(q="(3,) float64", out="any float64")\n'
+            "def f(q, flag):\n"
+            "    if flag:\n"
+            "        v = np.zeros(3)\n"
+            "    else:\n"
+            "        v = np.zeros(5)\n"
+            "    return q * 1.0 + 0.0 * np.sum(v)\n"
+        )
+        assert self.run(tmp_path, body) == []
+
+    def test_declared_mutates_allows_inplace(self, tmp_path):
+        body = (
+            '@array_contract(occ="(n,) int64", mutates=("occ",))\n'
+            "def f(occ):\n"
+            "    occ[0] += 1\n"
+        )
+        assert self.run(tmp_path, body) == []
+
+    def test_view_of_parameter_still_guarded(self, tmp_path):
+        # np.asarray returns the caller's array unchanged when dtypes
+        # match: writing through the "local" name is still a mutation
+        body = (
+            '@array_contract(q="(n,) float64")\n'
+            "def f(q):\n"
+            "    view = np.asarray(q)\n"
+            "    view[0] = 0.0\n"
+        )
+        assert self.run(tmp_path, body) == ["ARR003"]
+
+    def test_copy_clears_the_alias(self, tmp_path):
+        body = (
+            '@array_contract(q="(n,) float64")\n'
+            "def f(q):\n"
+            "    local = q.copy()\n"
+            "    local[0] = 0.0\n"
+        )
+        assert self.run(tmp_path, body) == []
+
+    def test_out_kwarg_counts_as_mutation(self, tmp_path):
+        body = (
+            '@array_contract(q="(n,) float64")\n'
+            "def f(q):\n"
+            "    np.multiply(q, 2.0, out=q)\n"
+        )
+        assert self.run(tmp_path, body) == ["ARR003"]
+
+    def test_contract_naming_missing_parameter_is_arr005(self, tmp_path):
+        body = (
+            '@array_contract(nope="(n,) float64")\n'
+            "def f(q):\n"
+            "    return q\n"
+        )
+        assert self.run(tmp_path, body) == ["ARR005"]
+
+    def test_unannotated_functions_are_not_interpreted(self, tmp_path):
+        # without a contract the ARR pass has no entry point: even a
+        # provable conflict stays unreported (opt-in analysis)
+        body = (
+            "def f():\n"
+            "    return np.zeros(3) + np.zeros(4)\n"
+        )
+        assert self.run(tmp_path, body) == []
+
+
+class TestPerfUnit:
+    HEADER = TestArrUnit.HEADER
+
+    def run(self, tmp_path, body):
+        path = tmp_path / "kernel.py"
+        path.write_text(self.HEADER + body)
+        return [f.code for f in
+                check_paths([path], relative_to=tmp_path).findings]
+
+    def test_cold_functions_are_exempt(self, tmp_path):
+        # the same loop in an unmarked function is nobody's business
+        body = (
+            '@array_contract(dw="(n,) float64", out="(n,) float64")\n'
+            "def f(dw):\n"
+            "    out = np.empty_like(dw)\n"
+            "    for i in range(len(dw)):\n"
+            "        out[i] = dw[i] * 2.0\n"
+            "    return out\n"
+        )
+        assert self.run(tmp_path, body) == []
+
+    def test_scalar_loop_in_hot_kernel_allowed(self, tmp_path):
+        body = (
+            "@hot\n"
+            '@array_contract(dw="(n,) float64", out="() float64")\n'
+            "def f(dw):\n"
+            "    total = 0.0\n"
+            "    for _ in range(3):\n"
+            "        total += float(np.sum(dw))\n"
+            "    return total\n"
+        )
+        assert self.run(tmp_path, body) == []
+
+    def test_list_growth_materialised_as_array(self, tmp_path):
+        body = (
+            "@hot\n"
+            '@array_contract(dw="(n,) float64", out="any float64")\n'
+            "def f(dw):\n"
+            "    picked = []\n"
+            "    for _ in range(3):\n"
+            "        picked.append(float(np.sum(dw)))\n"
+            "    return np.array(picked)\n"
+        )
+        assert self.run(tmp_path, body) == ["PERF003"]

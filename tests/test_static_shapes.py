@@ -1,0 +1,149 @@
+"""Unit tests for the symbolic shape/dtype algebra of ``repro.static``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ContractError
+from repro.static import parse_spec
+from repro.static.shapes import (
+    BroadcastError,
+    broadcast,
+    broadcast_dims,
+    format_shape,
+    is_narrowing,
+    join_shape,
+    matmul_shape,
+    promote,
+    reduce_shape,
+)
+
+
+class TestBroadcastDims:
+    def test_ones_yield_the_other_dim(self):
+        assert broadcast_dims(1, 7) == 7
+        assert broadcast_dims("n", 1) == "n"
+
+    def test_equal_ints(self):
+        assert broadcast_dims(5, 5) == 5
+
+    def test_int_mismatch_raises(self):
+        with pytest.raises(BroadcastError):
+            broadcast_dims(3, 4)
+
+    def test_same_symbol_survives(self):
+        assert broadcast_dims("n", "n") == "n"
+
+    def test_differing_symbols_widen_not_flag(self):
+        # "n" may equal "m" at runtime; the algebra must not invent a
+        # conflict it cannot prove
+        assert broadcast_dims("n", "m") is None
+
+    def test_unknown_vs_concrete_is_the_concrete(self):
+        # the unknown dim must equal the concrete one (or be 1, in
+        # which case the result is still the concrete one)
+        assert broadcast_dims(None, 5) == 5
+
+    def test_unknown_vs_symbol_stays_unknown(self):
+        assert broadcast_dims(None, "n") is None
+
+
+class TestBroadcastShapes:
+    def test_right_aligned_padding(self):
+        assert broadcast((4, 3), (3,)) == (4, 3)
+
+    def test_scalar_against_vector(self):
+        assert broadcast((), ("n",)) == ("n",)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(BroadcastError):
+            broadcast((3,), (4,))
+
+    def test_unknown_shape_gives_up(self):
+        assert broadcast(None, (3,)) is None
+
+
+class TestJoin:
+    def test_join_is_widening(self):
+        assert join_shape((3,), (4,)) == (None,)
+        assert join_shape(("n", 3), ("n", 3)) == ("n", 3)
+
+    def test_rank_mismatch_widens_to_unknown(self):
+        assert join_shape((3,), (3, 3)) is None
+
+
+class TestReduce:
+    def test_full_reduction(self):
+        assert reduce_shape(("n", 3), None) == ()
+
+    def test_axis_drops_one_dim(self):
+        assert reduce_shape(("n", 3), 1) == ("n",)
+        assert reduce_shape(("n", 3), -1) == ("n",)
+
+    def test_keepdims(self):
+        assert reduce_shape(("n", 3), 1, keepdims=True) == ("n", 1)
+
+    def test_out_of_range_is_reported_not_raised(self):
+        result = reduce_shape(("n",), 1)
+        assert isinstance(result, BroadcastError)
+
+
+class TestMatmul:
+    def test_mat_vec(self):
+        assert matmul_shape((3, 4), (4,)) == (3,)
+
+    def test_mat_mat(self):
+        assert matmul_shape(("n", 4), (4, "m")) == ("n", "m")
+
+    def test_vec_vec_is_scalar(self):
+        assert matmul_shape((4,), (4,)) == ()
+
+    def test_inner_mismatch(self):
+        assert isinstance(matmul_shape((3, 3), (4,)), BroadcastError)
+
+    def test_symbolic_inner_not_flagged(self):
+        assert matmul_shape(("n", "k"), ("j",)) == ("n",)
+
+
+class TestDtypes:
+    def test_promotion_order(self):
+        assert promote("int64", "float64") == "float64"
+        assert promote("float32", "float64") == "float64"
+        assert promote("float64", "complex128") == "complex128"
+
+    def test_unknown_absorbs(self):
+        assert promote(None, "float64") is None
+
+    def test_narrowing(self):
+        assert is_narrowing("float64", "float32")
+        assert not is_narrowing("float32", "float64")
+        assert not is_narrowing(None, "float32")
+
+
+class TestSpecParsing:
+    def test_scalar_and_vector_specs(self):
+        assert parse_spec("() float64").shape == ()
+        assert parse_spec("(n_islands,) float64").shape == ("n_islands",)
+        assert parse_spec("(n, 3) float64").shape == ("n", 3)
+
+    def test_any_shape(self):
+        assert parse_spec("any float64").shape is None
+
+    def test_dtype_aliases(self):
+        assert parse_spec("(n,) float").dtype == "float64"
+        assert parse_spec("(n,) int").dtype == "int64"
+
+    def test_bad_dtype_raises(self):
+        with pytest.raises(ContractError):
+            parse_spec("(n,) float16")
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ContractError):
+            parse_spec("(n float64")
+        with pytest.raises(ContractError):
+            parse_spec("(n!) float64")
+
+    def test_format_shape_roundtrip(self):
+        assert format_shape(("n_islands",)) == "(n_islands,)"
+        assert format_shape(()) == "()"
+        assert format_shape(None) == "(?rank)"

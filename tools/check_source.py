@@ -2,13 +2,13 @@
 """Repository-rule AST linter for ``src/repro`` (thin shim).
 
 The rule implementations (``REPRO001-004``) live in
-:mod:`repro.dsan.repo_rules`, sharing the visitor framework of the
-determinism sanitizer (``repro sanitize``); this file keeps the
-historical entry point and public surface (:func:`check_module`,
-:func:`main`) stable for CI and the test suite.
+:mod:`repro.static.repo` on the unified static-analysis framework;
+``repro check`` is the full entry point running every rule family.
+This file keeps the historical entry point and public surface
+(:func:`check_module`, :func:`main`) stable for CI and the test suite.
 
-Rules, waivers (``# repro-lint: allow``) and exit codes are documented
-in the rules module.  Usage::
+Rules, waivers and exit codes are documented in the rules module.
+Usage::
 
     python tools/check_source.py [root ...]    # default: src/repro
 """
@@ -19,17 +19,16 @@ import sys
 from pathlib import Path
 
 try:
-    from repro.dsan import repo_rules as _repo_rules
+    from repro.static import repo as _repo
 except ImportError:  # running from a checkout without installation
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-    from repro.dsan import repo_rules as _repo_rules
+    from repro.static import repo as _repo
 
-FORBIDDEN_RAISES = _repo_rules.FORBIDDEN_RAISES
-PHYSICS_FRAGMENTS = _repo_rules.PHYSICS_FRAGMENTS
-PHYSICS_NAMES = _repo_rules.PHYSICS_NAMES
-WAIVER = _repo_rules.WAIVER
-check_module = _repo_rules.check_module
-main = _repo_rules.main
+FORBIDDEN_RAISES = _repo.FORBIDDEN_RAISES
+PHYSICS_FRAGMENTS = _repo.PHYSICS_FRAGMENTS
+PHYSICS_NAMES = _repo.PHYSICS_NAMES
+check_module = _repo.check_module
+main = _repo.main
 
 if __name__ == "__main__":
     sys.exit(main())
