@@ -41,6 +41,16 @@ def telemetry_artifact_path() -> Path:
     return Path(__file__).with_name("BENCH_telemetry.json")
 
 
+def events_per_second(events, seconds) -> float:
+    """Realised tunnel events per wall-clock second — the throughput
+    figure ``repro report`` tracks across the run ledger and the bench
+    artifacts alike.  Accepts a raw count or anything exposing an
+    ``events`` attribute (e.g. ``SolverStats``)."""
+    count = getattr(events, "events", events)
+    seconds = float(seconds)
+    return float(count) / seconds if seconds > 0.0 else 0.0
+
+
 def _jsonify(value):
     """Coerce bench payloads (numpy scalars, float dict keys) to JSON."""
     if isinstance(value, dict):
@@ -71,6 +81,7 @@ def record_bench_telemetry(bench: str, payload: dict) -> Path:
         data = {}
     data[bench] = _jsonify(dict(payload, full_scale=full_scale()))
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    mirror_summaries()
     return path
 
 
@@ -115,4 +126,31 @@ def record_parallel_bench(bench: str, rows: list[dict]) -> Path:
         "rows": _jsonify(rows),
     })
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    mirror_summaries()
     return path
+
+
+# ----------------------------------------------------------------------
+# repo-root summary mirror (BENCH_SUMMARY.json)
+# ----------------------------------------------------------------------
+
+def mirror_summaries() -> Path | None:
+    """Mirror one-line summaries of the latest ``BENCH_*.json``
+    artifacts to ``BENCH_SUMMARY.json`` at the repository root.
+
+    The root mirror is the cheap thing to glance at (and for ``repro
+    report`` to fold in) without opening the full per-bench artifacts.
+    Returns ``None`` when the summariser is unavailable (benches run
+    without the package on the path) — mirroring is best-effort.
+    """
+    try:
+        from repro.monitor import summarize_bench_artifacts
+    except ImportError:
+        return None
+    bench_dir = Path(__file__).parent
+    summary = summarize_bench_artifacts(bench_dir)
+    if not summary:
+        return None
+    target = bench_dir.parent / "BENCH_SUMMARY.json"
+    target.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return target

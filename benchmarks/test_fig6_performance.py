@@ -26,7 +26,9 @@ from repro.errors import ConvergenceError, SemsimError
 from repro.logic import BENCHMARKS, build_benchmark, find_step_stimulus
 from repro.spice import SpiceSimulator
 
-from _harness import full_scale, record_bench_telemetry, run_once
+from _harness import (
+    events_per_second, full_scale, record_bench_telemetry, run_once,
+)
 
 #: simulated window all timings are normalised to (the paper used 10 us)
 WINDOW = 1e-5 if full_scale() else 1e-7
@@ -38,8 +40,11 @@ def _bench_names():
     return [spec.name for spec in BENCHMARKS]  # all 15; budgets scale below
 
 
-def _mc_seconds(mapped, solver: str, events: int) -> tuple[float, float]:
-    """(projected wall seconds, rate evaluations per event)."""
+def _mc_seconds(
+    mapped, solver: str, events: int
+) -> tuple[float, float, float]:
+    """(projected wall seconds, rate evaluations per event, realised
+    events per wall second)."""
     config = SimulationConfig(
         temperature=mapped.params.temperature, solver=solver, seed=33
     )
@@ -53,7 +58,8 @@ def _mc_seconds(mapped, solver: str, events: int) -> tuple[float, float]:
     evals_before = engine.solver.stats.sequential_rate_evaluations
     timed = measure_engine_run(engine, events)
     evals = engine.solver.stats.sequential_rate_evaluations - evals_before
-    return timed.extrapolate_to_time(WINDOW), evals / events
+    rate = events_per_second(timed.events, timed.wall_seconds)
+    return timed.extrapolate_to_time(WINDOW), evals / events, rate
 
 
 def _spice_seconds(mapped) -> float:
@@ -74,12 +80,16 @@ def run_measurements():
         else:
             events = 1200 if junctions <= 1500 else 400
         entry = {"name": name, "junctions": junctions}
-        entry["nonadaptive"], entry["nonadaptive_evals"] = _mc_seconds(
-            mapped, "nonadaptive", events
-        )
-        entry["semsim"], entry["semsim_evals"] = _mc_seconds(
-            mapped, "adaptive", events
-        )
+        (
+            entry["nonadaptive"],
+            entry["nonadaptive_evals"],
+            entry["nonadaptive_events_per_second"],
+        ) = _mc_seconds(mapped, "nonadaptive", events)
+        (
+            entry["semsim"],
+            entry["semsim_evals"],
+            entry["semsim_events_per_second"],
+        ) = _mc_seconds(mapped, "adaptive", events)
         try:
             entry["spice"] = _spice_seconds(mapped)
             entry["spice_status"] = "ok"

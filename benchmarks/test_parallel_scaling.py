@@ -19,7 +19,9 @@ from repro.circuit import build_set
 from repro.core import SimulationConfig, sweep_map
 from repro.telemetry.clock import Stopwatch
 
-from _harness import full_scale, record_parallel_bench, run_once
+from _harness import (
+    events_per_second, full_scale, record_parallel_bench, run_once,
+)
 
 JOBS = (1, 2, 4)
 
@@ -44,8 +46,10 @@ def run_measurements():
         seconds = watch.elapsed()
         rows.append({
             "jobs": jobs,
+            "solver": config.solver,
             "seconds": seconds,
             "speedup": None,  # filled against the serial row below
+            "events_per_second": events_per_second(maps[jobs].stats, seconds),
             "rows": len(gates),
             "points": len(biases),
             "jumps_per_point": jumps,

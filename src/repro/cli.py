@@ -49,6 +49,20 @@ this CLI reproduces that workflow:
     Runtime determinism sanitizer: execute the deck twice under the
     same seed with the pool boundary armed, compare order-sensitive
     event-stream hashes and fail (exit 1) if the replicas diverge.
+``python -m repro run deck.txt --progress``
+    Live monitoring on stderr while the run executes: shards done and
+    in flight, retries, aggregate events/second, ETA and stalled-shard
+    warnings.  Strictly out-of-band — results and event hashes are
+    bit-identical with or without it.  Every ``repro run`` also
+    appends one JSONL record to the run ledger
+    (``~/.cache/repro/ledger.jsonl``; ``--ledger FILE`` or
+    ``REPRO_LEDGER`` overrides, ``--no-ledger`` disables).
+``python -m repro report``
+    Perf trajectories over the run ledger: runs of the same workload
+    are matched by fingerprint and judged for events/second
+    regressions (``--check`` exits 1 on any); ``--format
+    json|openmetrics`` selects machine-readable output and
+    ``--bench-dir`` folds in the committed ``BENCH_*.json`` artifacts.
 ``python -m repro benchmark 74LS138``
     Build one of the paper's logic benchmarks and report its size.
 ``python -m repro benchmarks``
@@ -139,6 +153,22 @@ def _build_parser() -> argparse.ArgumentParser:
              "hashes, and verify every pool boundary (picklable shard "
              "payloads, module-level workers, no worker state leaks); "
              "exit 1 if the replicas diverge",
+    )
+    run.add_argument(
+        "--progress", action="store_true",
+        help="live monitoring on stderr: shards done/in flight/retried, "
+             "aggregate events/second, ETA, stalled-shard warnings; "
+             "out-of-band, so results are bit-identical with or "
+             "without it",
+    )
+    run.add_argument(
+        "--ledger", type=Path, default=None, metavar="FILE",
+        help="append this run's record to FILE instead of the default "
+             "run ledger ($REPRO_LEDGER or ~/.cache/repro/ledger.jsonl)",
+    )
+    run.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not record this run in the run ledger",
     )
 
     info = sub.add_parser("info", help="parse and describe a deck")
@@ -253,6 +283,37 @@ def _build_parser() -> argparse.ArgumentParser:
              "and exit 0",
     )
 
+    report = sub.add_parser(
+        "report",
+        help="perf trajectories and regression verdicts from the run "
+             "ledger",
+    )
+    report.add_argument(
+        "--ledger", type=Path, default=None, metavar="FILE",
+        help="ledger file to read (default: $REPRO_LEDGER or "
+             "~/.cache/repro/ledger.jsonl)",
+    )
+    report.add_argument(
+        "--bench-dir", type=Path, default=None, metavar="DIR",
+        help="directory of BENCH_*.json artifacts to summarise "
+             "alongside (default: ./benchmarks when present)",
+    )
+    report.add_argument(
+        "--format", choices=("text", "json", "openmetrics"),
+        default="text",
+        help="report format (default: text); 'openmetrics' renders the "
+             "latest snapshot per workload as a text exposition",
+    )
+    report.add_argument(
+        "--threshold", type=float, default=0.2, metavar="FRACTION",
+        help="events/second drop (vs the median of earlier runs of the "
+             "same workload) that counts as a regression (default 0.2)",
+    )
+    report.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when any workload regressed (for CI gating)",
+    )
+
     bench = sub.add_parser("benchmark", help="build a paper logic benchmark")
     bench.add_argument("name", help="benchmark name, e.g. '74LS138'")
 
@@ -309,15 +370,35 @@ def _cmd_run(args) -> int:
         print(report.format(), file=sys.stderr)
         return curves[0]
 
-    if args.trace is not None:
-        from repro.telemetry.exporters import write_trace
+    import contextlib
 
-        with telemetry.session() as reg:
+    with contextlib.ExitStack() as stack:
+        if args.progress or not args.no_ledger:
+            # the monitor's inline event feed and the ledger's
+            # recovery-counter deltas both read the parent registry;
+            # open a metrics-only session when no richer one exists
+            if telemetry.ACTIVE is None and args.trace is None:
+                stack.enter_context(telemetry.session(trace=False))
+        if not args.no_ledger:
+            from repro.monitor import ledger_session
+
+            stack.enter_context(ledger_session(args.ledger))
+        if args.progress:
+            from repro.monitor import monitor_session
+
+            stack.enter_context(monitor_session())
+        if args.trace is not None:
+            from repro.telemetry.exporters import write_trace
+
+            with telemetry.session() as reg:
+                curve = _execute()
+            count = write_trace(reg, args.trace)
+            print(
+                f"wrote {count} trace events to {args.trace}",
+                file=sys.stderr,
+            )
+        else:
             curve = _execute()
-        count = write_trace(reg, args.trace)
-        print(f"wrote {count} trace events to {args.trace}", file=sys.stderr)
-    else:
-        curve = _execute()
     lines = ["sweep_voltage_V,current_A"]
     lines += [f"{v:.9g},{i:.9g}" for v, i in zip(curve.voltages, curve.currents)]
     text = "\n".join(lines) + "\n"
@@ -483,6 +564,31 @@ def _cmd_check(args) -> int:
     return report.exit_code
 
 
+def _cmd_report(args) -> int:
+    from repro.monitor import build_report, default_ledger_path, read_ledger
+
+    ledger_path = (
+        args.ledger if args.ledger is not None else default_ledger_path()
+    )
+    bench_dir = args.bench_dir
+    if bench_dir is None:
+        candidate = Path("benchmarks")
+        bench_dir = candidate if candidate.is_dir() else None
+    report = build_report(
+        read_ledger(ledger_path),
+        ledger_path=str(ledger_path),
+        threshold=args.threshold,
+        bench_dir=bench_dir,
+    )
+    if args.format == "json":
+        print(report.as_json())
+    elif args.format == "openmetrics":
+        print(report.as_openmetrics(), end="")
+    else:
+        print(report.format())
+    return report.exit_code if args.check else 0
+
+
 def _cmd_benchmark(args) -> int:
     from repro.logic import build_benchmark
 
@@ -523,6 +629,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sanitize(args)
         if args.command == "check":
             return _cmd_check(args)
+        if args.command == "report":
+            return _cmd_report(args)
         if args.command == "benchmark":
             return _cmd_benchmark(args)
         if args.command == "benchmarks":

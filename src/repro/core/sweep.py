@@ -26,6 +26,7 @@ from repro.core.config import SimulationConfig
 from repro.core.engine import MonteCarloEngine
 from repro.dsan.runtime import fold_hashes
 from repro.errors import FrozenCircuitError, SimulationError
+from repro.monitor.ledger import run_scope
 from repro.parallel.pool import execute_shards
 from repro.parallel.seeds import spawn_seeds
 from repro.recovery.checkpoint import CheckpointStore
@@ -275,23 +276,32 @@ def sweep_iv(
         )
         for i in range(n_chunks)
     ]
-    with _telemetry.span(
-        "sweep.iv", category="sweep",
-        points=len(volts), label=label, chunks=n_chunks,
-    ):
-        results = execute_shards(
-            _run_iv_chunk, shards, jobs=jobs,
-            policy=policy, checkpoint=checkpoint,
+    with run_scope("sweep_iv") as recorder:
+        with _telemetry.span(
+            "sweep.iv", category="sweep",
+            points=len(volts), label=label, chunks=n_chunks,
+        ):
+            results = execute_shards(
+                _run_iv_chunk, shards, jobs=jobs,
+                policy=policy, checkpoint=checkpoint,
+            )
+        currents = (
+            np.concatenate([r.currents for r in results])
+            if results else np.empty(0)
         )
-    currents = (
-        np.concatenate([r.currents for r in results])
-        if results else np.empty(0)
-    )
-    return IVCurve(
-        volts, currents, label,
-        stats=_merge_stats(results),
-        event_hash=_merge_hashes(results),
-    )
+        curve = IVCurve(
+            volts, currents, label,
+            stats=_merge_stats(results),
+            event_hash=_merge_hashes(results),
+        )
+        if recorder is not None:
+            recorder.commit(
+                circuit=circuit, config=cfg, values=volts,
+                jumps_per_point=jumps_per_point, label=label,
+                jobs=jobs, chunks=n_chunks,
+                stats=curve.stats, event_hash=curve.event_hash,
+            )
+    return curve
 
 
 @dataclasses.dataclass
@@ -364,17 +374,27 @@ def sweep_map(
         )
         for gi, vg in enumerate(gates)
     ]
-    with _telemetry.span(
-        "sweep.map", category="sweep",
-        rows=len(gates), points=len(biases),
-    ):
-        results = execute_shards(
-            _run_map_row, shards, jobs=jobs,
-            policy=policy, checkpoint=checkpoint,
+    with run_scope("sweep_map") as recorder:
+        with _telemetry.span(
+            "sweep.map", category="sweep",
+            rows=len(gates), points=len(biases),
+        ):
+            results = execute_shards(
+                _run_map_row, shards, jobs=jobs,
+                policy=policy, checkpoint=checkpoint,
+            )
+        currents = np.vstack([r.currents for r in results])
+        cmap = CurrentMap(
+            biases, gates, currents,
+            stats=_merge_stats(results),
+            event_hash=_merge_hashes(results),
         )
-    currents = np.vstack([r.currents for r in results])
-    return CurrentMap(
-        biases, gates, currents,
-        stats=_merge_stats(results),
-        event_hash=_merge_hashes(results),
-    )
+        if recorder is not None:
+            recorder.commit(
+                circuit=circuit, config=cfg,
+                values=np.concatenate([biases, gates]),
+                jumps_per_point=jumps_per_point, jobs=jobs,
+                chunks=len(gates),
+                stats=cmap.stats, event_hash=cmap.event_hash,
+            )
+    return cmap

@@ -1,0 +1,97 @@
+"""Progress rendering for ``repro run --progress``.
+
+One renderer, two behaviours:
+
+* on a TTY the status line redraws in place (``\\r`` + erase-line), so
+  a long sweep shows a live ticker;
+* on anything else (CI logs, redirected stderr) it prints a plain
+  line at a slower cadence, so logs stay readable instead of filling
+  with control characters.
+
+The renderer is purely presentational: it receives the snapshot dicts
+:class:`repro.monitor.monitor.RunMonitor` builds and never touches the
+run itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TextIO
+
+#: Seconds between plain (non-TTY) progress lines.
+PLAIN_PERIOD = 2.0
+
+
+def format_snapshot(snap: dict[str, Any]) -> str:
+    """One status line from a monitor snapshot."""
+    total = snap.get("total", 0)
+    done = snap.get("done", 0)
+    parts = [f"progress: {done}/{total} shards"]
+    inflight = snap.get("in_flight", 0)
+    if inflight:
+        parts.append(f"{inflight} in flight")
+    retried = snap.get("retried", 0)
+    if retried:
+        parts.append(f"{retried} retried")
+    resumed = snap.get("resumed", 0)
+    if resumed:
+        parts.append(f"{resumed} resumed")
+    events = snap.get("events", 0)
+    if events:
+        parts.append(f"{events:,} events")
+    eps = snap.get("events_per_second", 0.0)
+    if eps:
+        parts.append(f"{eps:,.0f} ev/s")
+    eta = snap.get("eta_seconds")
+    if eta is not None:
+        parts.append(f"ETA {_format_duration(eta)}")
+    for shard, age in snap.get("stalled", []):
+        parts.append(f"shard #{shard} stalled {age:.0f}s")
+    return " · ".join(parts)
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 3600.0:
+        return f"{seconds / 3600.0:.1f}h"
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+class ProgressRenderer:
+    """Write monitor snapshots to a stream, TTY-aware."""
+
+    def __init__(self, out: TextIO, plain_period: float = PLAIN_PERIOD) -> None:
+        self.out = out
+        self.plain_period = plain_period
+        self.tty = bool(getattr(out, "isatty", lambda: False)())
+        self._last_plain = -plain_period  # first update prints immediately
+        self._last_line = ""
+        self._dirty = False
+
+    def update(self, snap: dict[str, Any], now: float) -> None:
+        """Render one snapshot (``now`` is a monotonic timestamp)."""
+        line = format_snapshot(snap)
+        if self.tty:
+            if line != self._last_line:
+                self.out.write("\r\x1b[2K" + line)
+                self.out.flush()
+                self._dirty = True
+        elif (
+            now - self._last_plain >= self.plain_period
+            and line != self._last_line
+        ):
+            self.out.write(line + "\n")
+            self.out.flush()
+            self._last_plain = now
+        self._last_line = line
+
+    def finish(self, snap: dict[str, Any]) -> None:
+        """Write the terminal summary line and release the TTY line."""
+        line = format_snapshot(snap)
+        if self.tty:
+            self.out.write("\r\x1b[2K" + line + "\n")
+        elif line != self._last_line:
+            self.out.write(line + "\n")
+        self.out.flush()
+        self._dirty = False
+        self._last_line = line

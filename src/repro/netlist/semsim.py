@@ -68,6 +68,7 @@ from repro.core.config import SimulationConfig
 from repro.core.engine import MonteCarloEngine
 from repro.core.sweep import IVCurve
 from repro.errors import NetlistError, SimulationError
+from repro.monitor.ledger import run_scope
 from repro.telemetry import registry as _telemetry
 
 if TYPE_CHECKING:
@@ -276,6 +277,34 @@ class SemsimDeck:
         config = self.config(solver, seed)
         if dsan or checkpoint is not None:
             config = config.replace(event_hash=True)
+        with run_scope("deck.run") as recorder:
+            curve = self._execute_deck(
+                circuit, config, jobs=jobs, chunks=chunks,
+                checkpoint=checkpoint, policy=policy,
+            )
+            if recorder is not None:
+                recorder.commit(
+                    circuit=circuit, config=config,
+                    values=self.sweep.values() if self.sweep is not None else None,
+                    jumps_per_point=self.jumps, label=curve.label,
+                    solver=solver, seed=seed, jobs=jobs, chunks=chunks,
+                    replicas=self.runs if self.runs > 1 else None,
+                    stats=curve.stats, event_hash=curve.event_hash,
+                )
+        return curve
+
+    def _execute_deck(
+        self,
+        circuit: Circuit,
+        config: SimulationConfig,
+        jobs: int,
+        chunks: int,
+        checkpoint: "CheckpointStore | None" = None,
+        policy: "ExecutionPolicy | None" = None,
+    ) -> IVCurve:
+        """The deck's execution body (see :meth:`run`), factored out so
+        the run-ledger scope wraps every path uniformly."""
+        dsan = config.event_hash
         junctions = self.recorded_junctions(circuit)
         # series junctions through one island alternate orientation;
         # infer each junction's sign from its position relative to the

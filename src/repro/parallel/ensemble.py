@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.monitor.ledger import run_scope
 from repro.parallel.pool import execute_shards
 from repro.parallel.seeds import spawn_seeds
 from repro.recovery.checkpoint import CheckpointStore
@@ -144,30 +145,39 @@ def ensemble_iv(
         )
         for r in range(replicas)
     ]
-    with _telemetry.span(
-        "ensemble.iv", category="parallel",
-        replicas=replicas, points=len(volts), label=label,
-    ):
-        curves = execute_shards(
-            _run_replica, shards, jobs=jobs,
-            policy=policy, checkpoint=checkpoint,
+    with run_scope("ensemble_iv") as recorder:
+        with _telemetry.span(
+            "ensemble.iv", category="parallel",
+            replicas=replicas, points=len(volts), label=label,
+        ):
+            curves = execute_shards(
+                _run_replica, shards, jobs=jobs,
+                policy=policy, checkpoint=checkpoint,
+            )
+        from repro.core.base import SolverStats
+
+        stats = SolverStats().merge(
+            *(c.stats for c in curves if c.stats is not None)
         )
-    from repro.core.base import SolverStats
+        hashes = [c.event_hash for c in curves]
+        if any(h is None for h in hashes):
+            combined = None
+        else:
+            from repro.dsan.runtime import fold_hashes
 
-    stats = SolverStats().merge(
-        *(c.stats for c in curves if c.stats is not None)
-    )
-    hashes = [c.event_hash for c in curves]
-    if any(h is None for h in hashes):
-        combined = None
-    else:
-        from repro.dsan.runtime import fold_hashes
-
-        combined = fold_hashes([h for h in hashes if h is not None])
-    return EnsembleIV(
-        volts,
-        np.vstack([c.currents for c in curves]),
-        label,
-        stats=stats,
-        event_hash=combined,
-    )
+            combined = fold_hashes([h for h in hashes if h is not None])
+        ensemble = EnsembleIV(
+            volts,
+            np.vstack([c.currents for c in curves]),
+            label,
+            stats=stats,
+            event_hash=combined,
+        )
+        if recorder is not None:
+            recorder.commit(
+                circuit=circuit, config=cfg, values=volts,
+                jumps_per_point=jumps_per_point, label=label,
+                jobs=jobs, replicas=replicas,
+                stats=stats, event_hash=combined,
+            )
+    return ensemble

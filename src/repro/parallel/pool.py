@@ -53,6 +53,8 @@ from typing import Any, Callable, Sequence, TypeVar
 
 from repro.dsan import runtime as _dsan
 from repro.errors import RecoveryError, SimulationError
+from repro.monitor import monitor as _monitor
+from repro.monitor.stream import MonitorHandle
 from repro.recovery import faults as _faults
 from repro.recovery.checkpoint import CheckpointSession, CheckpointStore
 from repro.recovery.policy import ExecutionPolicy
@@ -85,6 +87,7 @@ def _shard_entry(
     collect_metrics: bool,
     dsan_check: bool = False,
     fault: _faults.FaultSpec | None = None,
+    monitor: MonitorHandle | None = None,
 ) -> tuple[_R, _Snapshot | None, list[str] | None]:
     """Subprocess entry: run one shard, optionally under a local
     metrics-only telemetry session whose snapshot rides back with the
@@ -95,17 +98,31 @@ def _shard_entry(
     the names of any slots the shard mutated ride back as the third
     element for the parent to report.  ``fault`` is the test-only
     misbehaviour staged for this attempt, performed before the real
-    worker runs.
+    worker runs.  ``monitor`` is the picklable progress channel from
+    :meth:`repro.monitor.RunMonitor.worker_channel`; while the shard
+    runs, a daemon thread samples the worker-local registry and streams
+    advisory datagrams to the parent — strictly read-only, so the
+    result (and the dsan fingerprints bracketing the shard) are
+    bit-identical with or without it.
     """
     if fault is not None:
         _faults.perform(fault)
     before = _dsan.state_fingerprint() if dsan_check else None
-    if not collect_metrics:
+    if not collect_metrics and monitor is None:
         value, metrics = worker(payload), None
     else:
+        # a metrics-only session gives the emitter something to sample
+        # even when the parent has no registry of its own
         with _telemetry.session(trace=False) as reg:
-            value = worker(payload)
-        metrics = reg.metrics()
+            emitter = monitor.emitter() if monitor is not None else None
+            if emitter is not None:
+                emitter.start()
+            try:
+                value = worker(payload)
+            finally:
+                if emitter is not None:
+                    emitter.stop()
+        metrics = reg.metrics() if collect_metrics else None
     leaks: list[str] | None = None
     if before is not None:
         leaks = _dsan.diff_fingerprints(before, _dsan.state_fingerprint())
@@ -122,6 +139,7 @@ def _run_inline(
     dsan_check: bool,
     results: dict[int, _R],
     start_attempts: dict[int, int] | None = None,
+    mon: _monitor.RunMonitor | None = None,
 ) -> int:
     """Run ``indices`` in this process with the retry policy applied.
 
@@ -144,6 +162,8 @@ def _run_inline(
                 time.sleep(policy.backoff_delay(attempt))
             spec = plan.spec_for(index, attempt) if plan is not None else None
             before = _dsan.state_fingerprint() if dsan_check else None
+            if mon is not None:
+                mon.shard_started(index, attempt)
             try:
                 if spec is not None:
                     _faults.perform(spec, inline=True)
@@ -151,6 +171,8 @@ def _run_inline(
             except Exception as exc:  # repro-lint: allow — any worker exception feeds the retry policy
                 if policy.retry_raised and attempt < policy.max_attempts:
                     retried += 1
+                    if mon is not None:
+                        mon.shard_retried(index)
                     continue
                 if policy.retry_raised or not first:
                     raise RecoveryError(
@@ -169,6 +191,8 @@ def _run_inline(
             results[index] = value
             if session is not None:
                 session.record(index, value)
+            if mon is not None:
+                mon.shard_finished(index)
             break
     _dsan.raise_state_leaks(leaked)
     return retried
@@ -185,6 +209,7 @@ def _run_pooled(
     dsan_check: bool,
     collect: bool,
     results: dict[int, _R],
+    mon: _monitor.RunMonitor | None = None,
 ) -> tuple[
     dict[int, _Snapshot | None],
     list[tuple[int, list[str]]],
@@ -221,9 +246,11 @@ def _run_pooled(
             if policy.shard_timeout is not None
             else None
         )
+        handle = mon.worker_channel(index) if mon is not None else None
         try:
             future = pool.submit(
-                _shard_entry, worker, items[index], collect, dsan_check, spec
+                _shard_entry, worker, items[index], collect, dsan_check,
+                spec, handle,
             )
         except BrokenProcessPool:
             # the pool died between completions; uncharge and rebuild
@@ -231,6 +258,8 @@ def _run_pooled(
             queue.appendleft(index)
             return False
         inflight[future] = (index, deadline)
+        if mon is not None:
+            mon.shard_started(index, attempts[index])
         return True
 
     def exhaust(index: int, why: str, cause: BaseException | None) -> None:
@@ -271,6 +300,8 @@ def _run_pooled(
                     broken = True
                     if attempts[index] < policy.max_attempts:
                         retried += 1
+                        if mon is not None:
+                            mon.shard_retried(index)
                         queue.append(index)
                     else:
                         exhaust(index, "worker process died", exc)
@@ -280,6 +311,8 @@ def _run_pooled(
                 except Exception as exc:  # repro-lint: allow — any worker exception feeds the retry policy
                     if policy.retry_raised and attempts[index] < policy.max_attempts:
                         retried += 1
+                        if mon is not None:
+                            mon.shard_retried(index)
                         queue.append(index)
                     elif policy.retry_raised:
                         exhaust(
@@ -294,6 +327,8 @@ def _run_pooled(
                         shard_leaks.append((index, leaks))
                     if session is not None:
                         session.record(index, value)
+                    if mon is not None:
+                        mon.shard_finished(index)
             if policy.shard_timeout is not None:
                 now = wall_time()
                 expired = [
@@ -309,6 +344,8 @@ def _run_pooled(
                     broken = True
                     if attempts[index] < policy.max_attempts:
                         retried += 1
+                        if mon is not None:
+                            mon.shard_retried(index)
                         queue.append(index)
                     else:
                         exhaust(
@@ -382,41 +419,64 @@ def execute_shards(
         results.update(session.completed())
     resumed = len(results)
     remaining = [index for index in range(len(items)) if index not in results]
-    with _telemetry.span(
-        "parallel.execute", category="parallel", shards=len(items), jobs=jobs,
-    ):
-        retried = 0
-        rebuilds = 0
-        if jobs == 1 or len(remaining) <= 1:
-            retried = _run_inline(
-                worker, items, remaining, pol, plan, session, dsan_check, results
-            )
-        else:
-            collect = parent is not None
-            snapshots, shard_leaks, retried, rebuilds, leftover = _run_pooled(
-                worker, items, remaining, jobs, pol, plan, session,
-                dsan_check, collect, results,
-            )
-            if leftover:
-                retried += _run_inline(
-                    worker, items, sorted(leftover), pol, plan, session,
-                    dsan_check, results, start_attempts=leftover,
+    mon = _monitor.current()
+    # only the outermost batch of a run is monitored (an inline
+    # ensemble replica re-enters the pool for its inner sweep); nested
+    # begin_batch calls return False but still need their end_batch
+    live = mon if mon is not None and mon.begin_batch(
+        len(items), resumed=resumed
+    ) else None
+    batch_open = mon is not None
+    try:
+        with _telemetry.span(
+            "parallel.execute", category="parallel", shards=len(items), jobs=jobs,
+        ):
+            retried = 0
+            rebuilds = 0
+            if jobs == 1 or len(remaining) <= 1:
+                retried = _run_inline(
+                    worker, items, remaining, pol, plan, session, dsan_check,
+                    results, mon=live,
                 )
-            _dsan.raise_state_leaks(sorted(shard_leaks))
+                if mon is not None and batch_open:
+                    mon.end_batch()
+                    batch_open = False
+            else:
+                collect = parent is not None
+                snapshots, shard_leaks, retried, rebuilds, leftover = _run_pooled(
+                    worker, items, remaining, jobs, pol, plan, session,
+                    dsan_check, collect, results, mon=live,
+                )
+                if leftover:
+                    retried += _run_inline(
+                        worker, items, sorted(leftover), pol, plan, session,
+                        dsan_check, results, start_attempts=leftover, mon=live,
+                    )
+                _dsan.raise_state_leaks(sorted(shard_leaks))
+                if mon is not None and batch_open:
+                    # close the batch before folding snapshots into the
+                    # parent registry: the monitor already counted the
+                    # streamed shard events, and the fold would double
+                    # them in the terminal summary
+                    mon.end_batch()
+                    batch_open = False
+                if parent is not None:
+                    # fold in shard order so the merged registry is
+                    # deterministic whatever the completion order was
+                    for index in sorted(snapshots):
+                        metrics = snapshots[index]
+                        if metrics is not None:
+                            parent.merge_snapshot(metrics, shard=index)
+                    parent.counter("parallel.shards").add(len(items))
+                    parent.gauge("parallel.jobs").set(min(jobs, len(remaining)))
             if parent is not None:
-                # fold in shard order so the merged registry is
-                # deterministic whatever the completion order was
-                for index in sorted(snapshots):
-                    metrics = snapshots[index]
-                    if metrics is not None:
-                        parent.merge_snapshot(metrics)
-                parent.counter("parallel.shards").add(len(items))
-                parent.gauge("parallel.jobs").set(min(jobs, len(remaining)))
-        if parent is not None:
-            if resumed:
-                parent.counter("recovery.resume_hits").add(resumed)
-            if retried:
-                parent.counter("recovery.shards_retried").add(retried)
-            if rebuilds:
-                parent.counter("recovery.pool_rebuilds").add(rebuilds)
+                if resumed:
+                    parent.counter("recovery.resume_hits").add(resumed)
+                if retried:
+                    parent.counter("recovery.shards_retried").add(retried)
+                if rebuilds:
+                    parent.counter("recovery.pool_rebuilds").add(rebuilds)
+    finally:
+        if mon is not None and batch_open:
+            mon.end_batch()
     return [results[index] for index in range(len(items))]

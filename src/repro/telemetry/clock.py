@@ -24,6 +24,22 @@ def wall_time() -> float:
     return time.perf_counter()
 
 
+def utc_time() -> float:
+    """Seconds since the Unix epoch (UTC).
+
+    The one *absolute* timestamp source in the package — used where a
+    record must be comparable across processes and machines (the run
+    ledger, bench artifacts), never inside simulation code, where only
+    :func:`wall_time` differences are meaningful.
+    """
+    return time.time()
+
+
+def iso_utc(timestamp: float) -> str:
+    """Render an epoch timestamp as ``YYYY-mm-ddTHH:MM:SSZ`` (UTC)."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(timestamp))
+
+
 class Stopwatch:
     """Minimal monotonic stopwatch.
 

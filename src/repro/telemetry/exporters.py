@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import re
 from pathlib import Path
 from typing import Any
 
@@ -103,6 +104,82 @@ def write_trace(
     raise TelemetryError(
         f"unknown trace format {fmt!r} (expected 'chrome', 'jsonl' or 'auto')"
     )
+
+
+_METRIC_NAME_SAFE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _openmetrics_name(name: str, prefix: str) -> str:
+    """Coerce a dotted metric name to the OpenMetrics charset."""
+    flat = _METRIC_NAME_SAFE.sub("_", name.replace(".", "_"))
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _openmetrics_labels(labels: dict[str, str] | None) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key, value in sorted(labels.items()):
+        escaped = str(value).replace("\\", "\\\\").replace('"', '\\"')
+        parts.append(f'{key}="{escaped}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def openmetrics_exposition(
+    metrics: dict[str, dict[str, Any]],
+    *,
+    prefix: str = "repro",
+    labels: dict[str, str] | None = None,
+    terminate: bool = True,
+) -> str:
+    """Render a :meth:`TelemetryRegistry.metrics` snapshot as an
+    OpenMetrics text exposition.
+
+    Counters become ``<prefix>_<name>_total`` counter families, gauges
+    plain gauges, histograms a ``count``/``sum`` pair plus ``min``/
+    ``max``/``std`` gauges.  This is the wire format the future HTTP
+    monitoring service will serve; ``repro report --format openmetrics``
+    uses it today for the latest ledger snapshot.  ``terminate=False``
+    omits the ``# EOF`` line so several expositions can concatenate.
+    """
+    tag = _openmetrics_labels(labels)
+    lines: list[str] = []
+    for name in sorted(metrics.get("counters", {})):
+        metric = _openmetrics_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total{tag} {metrics['counters'][name]}")
+    for name in sorted(metrics.get("gauges", {})):
+        metric = _openmetrics_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{tag} {metrics['gauges'][name]:.10g}")
+    for name in sorted(metrics.get("histograms", {})):
+        stats = metrics["histograms"][name]
+        metric = _openmetrics_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count{tag} {int(stats.get('count', 0))}")
+        lines.append(f"{metric}_sum{tag} {stats.get('total', 0.0):.10g}")
+        for part in ("min", "max", "std"):
+            if part in stats:
+                lines.append(
+                    f"{metric}_{part}{tag} {float(stats[part]):.10g}"
+                )
+    if terminate:
+        lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    registry: TelemetryRegistry,
+    path: str | Path,
+    *,
+    labels: dict[str, str] | None = None,
+) -> int:
+    """Write the registry's metric snapshot as OpenMetrics text;
+    returns the number of metric families written."""
+    metrics = registry.metrics()
+    Path(path).write_text(openmetrics_exposition(metrics, labels=labels))
+    return sum(len(metrics.get(kind, {}))
+               for kind in ("counters", "gauges", "histograms"))
 
 
 @dataclasses.dataclass

@@ -78,21 +78,33 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming moments of an observed quantity (no samples kept)."""
+    """Streaming moments of an observed quantity (no samples kept).
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    Carries the Welford second moment ``m2`` alongside count/total/
+    min/max, so a histogram (and any merge of histograms — see
+    :meth:`TelemetryRegistry.merge_snapshot`) reports a correct
+    standard deviation without retaining samples.
+    """
+
+    __slots__ = ("name", "count", "total", "m2", "minimum", "maximum")
 
     def __init__(self, name: str):
         self.name = name
         self.count = 0
         self.total = 0.0
+        self.m2 = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
 
     def observe(self, value: float) -> None:
         value = float(value)
+        old_mean = self.total / self.count if self.count else 0.0
         self.count += 1
         self.total += value
+        # Welford update phrased against the running total: m2
+        # accumulates sum((x - mean)^2) without catastrophic
+        # cancellation
+        self.m2 += (value - old_mean) * (value - self.total / self.count)
         if value < self.minimum:
             self.minimum = value
         if value > self.maximum:
@@ -102,11 +114,20 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the observed values."""
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(max(self.m2, 0.0) / self.count)
+
     def as_dict(self) -> dict[str, float]:
         return {
             "count": float(self.count),
             "total": self.total,
             "mean": self.mean,
+            "m2": self.m2,
+            "std": self.std,
             "min": self.minimum if self.count else 0.0,
             "max": self.maximum if self.count else 0.0,
         }
@@ -215,6 +236,9 @@ class TelemetryRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        # highest shard index that contributed each merged gauge, so
+        # snapshot folding is deterministic whatever the fold order
+        self._gauge_shards: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # metrics
@@ -250,33 +274,65 @@ class TelemetryRegistry:
             },
         }
 
-    def merge_snapshot(self, metrics: dict[str, dict[str, Any]]) -> None:
+    def merge_snapshot(
+        self,
+        metrics: dict[str, dict[str, Any]],
+        shard: int | None = None,
+    ) -> None:
         """Fold a :meth:`metrics` snapshot from another registry into
         this one — how parallel workers report back to the parent
         session.
 
-        Counters add, histograms combine their streaming moments, and
-        gauges adopt the snapshot's value (last-wins, matching their
-        in-process semantics).  Trace events are per-process and are
-        *not* transported.
+        Counters add and histograms combine their streaming moments
+        (Chan's parallel variance merge for ``m2``, so the merged
+        histogram reports a correct std).  Gauges are last-value
+        metrics: with ``shard`` given, the value from the *highest*
+        shard index wins regardless of the order the snapshots are
+        folded in, so a merged gauge is deterministic and
+        jobs-invariant; without ``shard`` the snapshot simply adopts
+        (in-process last-wins semantics).  Trace events are
+        per-process and are *not* transported.
         """
         for name, value in metrics.get("counters", {}).items():
             self.counter(name).add(int(value))
         for name, value in metrics.get("gauges", {}).items():
-            self.gauge(name).set(float(value))
+            if shard is None:
+                self.gauge(name).set(float(value))
+                continue
+            seen = self._gauge_shards.get(name)
+            if seen is None or shard >= seen:
+                self._gauge_shards[name] = shard
+                self.gauge(name).set(float(value))
         for name, moments in metrics.get("histograms", {}).items():
             count = int(moments.get("count", 0))
             if count <= 0:
                 continue
             hist = self.histogram(name)
+            total = float(moments.get("total", 0.0))
+            if hist.count:
+                # Chan et al. parallel merge: combine the two second
+                # moments plus the between-parts mean-shift term
+                delta = total / count - hist.total / hist.count
+                hist.m2 += float(moments.get("m2", 0.0)) + (
+                    delta * delta * hist.count * count / (hist.count + count)
+                )
+            else:
+                hist.m2 = float(moments.get("m2", 0.0))
             hist.count += count
-            hist.total += float(moments.get("total", 0.0))
+            hist.total += total
             low = float(moments.get("min", math.inf))
             high = float(moments.get("max", -math.inf))
             if low < hist.minimum:
                 hist.minimum = low
             if high > hist.maximum:
                 hist.maximum = high
+
+    def peek_counter(self, name: str) -> int:
+        """Current value of a counter *without* creating it (0 when the
+        counter does not exist).  Safe to call from an observer thread:
+        it never mutates the registry."""
+        found = self._counters.get(name)
+        return found.value if found is not None else 0
 
     # ------------------------------------------------------------------
     # tracing
@@ -310,6 +366,35 @@ class TelemetryRegistry:
                 args=args,
             )
         )
+
+
+def snapshot_delta(
+    current: dict[str, dict[str, Any]],
+    previous: dict[str, dict[str, Any]] | None,
+) -> dict[str, dict[str, Any]]:
+    """Incremental difference between two :meth:`TelemetryRegistry.metrics`
+    snapshots of the *same* registry.
+
+    Counters subtract (new counters appear whole); gauges and histogram
+    moments are carried as-is, since they are absolute state rather
+    than accumulation.  This is the unit the live-monitoring layer
+    streams over its out-of-band queue: a worker periodically sends
+    ``snapshot_delta(now, last_sent)`` so the parent can aggregate
+    progress without waiting for the shard to finish.
+    """
+    if previous is None:
+        return current
+    counters: dict[str, Any] = {}
+    last = previous.get("counters", {})
+    for name, value in current.get("counters", {}).items():
+        step = int(value) - int(last.get(name, 0))
+        if step:
+            counters[name] = step
+    return {
+        "counters": counters,
+        "gauges": dict(current.get("gauges", {})),
+        "histograms": dict(current.get("histograms", {})),
+    }
 
 
 #: The process-wide active registry; ``None`` means telemetry is

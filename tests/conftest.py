@@ -32,6 +32,14 @@ def update_golden(request):
     return bool(request.config.getoption("--update-golden"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a throwaway path for every test, so CLI
+    invocations under test never append to the developer's real ledger
+    in ``~/.cache/repro/``."""
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "test-ledger.jsonl"))
+
+
 @pytest.fixture
 def set_circuit():
     """The paper's Fig. 1b SET at a 20 mV symmetric bias."""

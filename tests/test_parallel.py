@@ -152,6 +152,36 @@ class TestExecuteShards:
         assert merged["histograms"]["h"]["min"] == 1.0
         assert merged["histograms"]["h"]["max"] == 9.0
         assert merged["histograms"]["h"]["total"] == 15.0
+        # the Chan parallel merge carries the second moment, so the
+        # merged std equals the population std of the pooled samples
+        assert merged["histograms"]["h"]["std"] == pytest.approx(
+            np.std([5.0, 1.0, 9.0])
+        )
+
+    def test_merge_snapshot_std_matches_pooled_population(self):
+        values = [0.5, 1.5, 2.5, 4.0, 8.0, 16.0, 0.25]
+        shards = [values[:3], values[3:5], values[5:]]
+        parent = TelemetryRegistry(trace=False)
+        for samples in shards:
+            child = TelemetryRegistry(trace=False)
+            for v in samples:
+                child.histogram("h").observe(v)
+            parent.merge_snapshot(child.metrics())
+        assert parent.histogram("h").std == pytest.approx(np.std(values))
+
+    def test_merge_snapshot_gauges_are_shard_deterministic(self):
+        """With shard keys, gauge folding is completion-order invariant:
+        the highest shard index wins, so ``repro profile`` metrics don't
+        depend on which worker reported last."""
+        def merged_gauge(order):
+            parent = TelemetryRegistry(trace=False)
+            for shard in order:
+                child = TelemetryRegistry(trace=False)
+                child.gauge("g").set(float(shard))
+                parent.merge_snapshot(child.metrics(), shard=shard)
+            return parent.gauge("g").value
+
+        assert merged_gauge([0, 1, 2]) == merged_gauge([2, 0, 1]) == 2.0
 
 
 # ----------------------------------------------------------------------

@@ -71,8 +71,13 @@ class TestMetrics:
             hist.observe(value)
         assert hist.count == 3
         assert hist.mean == pytest.approx(2.0)
+        # population variance of (1, 2, 3) is 2/3; m2 = count * variance
         assert hist.as_dict() == pytest.approx(
-            {"count": 3.0, "total": 6.0, "mean": 2.0, "min": 1.0, "max": 3.0}
+            {
+                "count": 3.0, "total": 6.0, "mean": 2.0,
+                "min": 1.0, "max": 3.0,
+                "m2": 2.0, "std": (2.0 / 3.0) ** 0.5,
+            }
         )
 
     def test_empty_histogram_is_well_defined(self):
