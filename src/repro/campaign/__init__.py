@@ -1,0 +1,62 @@
+"""Persistent campaign manager and content-addressed result cache.
+
+The paper's experiments are parameter sweeps repeated across seeds;
+``repro.campaign`` makes those *incremental*.  A
+:class:`CampaignStore` is a durable, content-addressed database of
+computed cells; a :class:`Campaign` crosses one workload with an
+explicit :class:`ParameterSpace` and replica count, and
+:meth:`Campaign.run_missing` computes only the cells the store does
+not already hold — a second identical run simulates nothing and
+returns bit-identical arrays (provable via the folded dsan event
+hash), an overlapping grid computes only its new cells.
+
+The same store also backs ``--campaign`` on the sweep entry points
+(:func:`repro.core.sweep.sweep_iv` / ``sweep_map`` /
+:func:`repro.parallel.ensemble_iv` and ``repro run``), caching whole
+sweep shards by payload content.
+
+See the module docstrings of :mod:`repro.campaign.store` and
+:mod:`repro.campaign.campaign` for the layout and identity contracts.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.campaign import (
+    Campaign,
+    CampaignCell,
+    CampaignRun,
+    CampaignStatus,
+    CellResult,
+    ParameterSpace,
+    PointSources,
+    cell_key,
+)
+from repro.campaign.store import (
+    BoundWorkloadCache,
+    CacheSession,
+    CampaignStore,
+    GcStats,
+    WorkloadStore,
+    bind_sweep_cache,
+    default_campaign_root,
+    payload_cell_key,
+)
+
+__all__ = [
+    "BoundWorkloadCache",
+    "CacheSession",
+    "Campaign",
+    "CampaignCell",
+    "CampaignRun",
+    "CampaignStatus",
+    "CampaignStore",
+    "CellResult",
+    "GcStats",
+    "ParameterSpace",
+    "PointSources",
+    "WorkloadStore",
+    "bind_sweep_cache",
+    "cell_key",
+    "default_campaign_root",
+    "payload_cell_key",
+]

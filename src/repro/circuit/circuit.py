@@ -65,6 +65,31 @@ class Circuit:
     superconductor: Superconductor | None = None
 
     # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle the declared fields only, never the memo caches.
+
+        The lazily materialised ``*_cache`` slots below are set with
+        ``object.__setattr__`` and would otherwise ride along in the
+        default dataclass state — making a circuit's pickle bytes
+        depend on *which views have been touched so far*.  That breaks
+        every consumer that treats the pickle as a content address
+        (campaign cell keys, checkpoint run fingerprints) and ships
+        redundant derived data to pool workers, who rebuild the caches
+        lazily anyway.
+        """
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.endswith("_cache")
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------------
     # sizes
     # ------------------------------------------------------------------
     @property

@@ -63,6 +63,21 @@ this CLI reproduces that workflow:
     regressions (``--check`` exits 1 on any); ``--format
     json|openmetrics`` selects machine-readable output and
     ``--bench-dir`` folds in the committed ``BENCH_*.json`` artifacts.
+``python -m repro run deck.txt --campaign DIR``
+    Consult the persistent content-addressed result store under
+    ``DIR`` before simulating: sweep shards already computed are
+    replayed from the store, fresh ones are persisted as they land.  A
+    re-run of the same deck computes nothing and returns bit-identical
+    results (same combined event hash); a ``campaign cache: N cached,
+    M computed`` summary goes to stderr.
+``python -m repro campaign run deck.txt --param g=0:0.1:21 ...``
+    Parameter-space campaigns (ns-3 ``sem`` style): cross the deck's
+    workload with explicit ``--param`` axes and ``--replicas``, then
+    compute *only the cells missing from the store*.  ``status`` diffs
+    the grid against the store without running, ``results`` assembles
+    the dense numpy grid (``--out grid.npz`` to export) and ``gc``
+    applies retention policy (``--keep-current-code``,
+    ``--older-than DAYS``).
 ``python -m repro benchmark 74LS138``
     Build one of the paper's logic benchmarks and report its size.
 ``python -m repro benchmarks``
@@ -79,8 +94,14 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.errors import SemsimError, SimulationError
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.campaign import Campaign
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -169,6 +190,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--no-ledger", action="store_true",
         help="do not record this run in the run ledger",
+    )
+    run.add_argument(
+        "--campaign", type=Path, default=None, metavar="DIR",
+        help="consult the content-addressed result store under DIR "
+             "before simulating: sweep shards already computed are "
+             "replayed, fresh ones are persisted (forces the "
+             "shard/merge path and event hashing, so a fully cached "
+             "re-run is bit-identical); a 'campaign cache: N cached, "
+             "M computed' summary is printed on stderr",
     )
 
     info = sub.add_parser("info", help="parse and describe a deck")
@@ -318,6 +348,93 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("name", help="benchmark name, e.g. '74LS138'")
 
     sub.add_parser("benchmarks", help="list the paper's 15 benchmarks")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="parameter-space campaigns over the persistent "
+             "content-addressed result store",
+    )
+    csub = campaign.add_subparsers(dest="action", required=True)
+
+    def _campaign_identity(p) -> None:
+        p.add_argument("deck", type=Path, help="path to the input deck")
+        p.add_argument(
+            "--param", action="append", default=[], metavar="NAME=SPEC",
+            required=True,
+            help="one parameter dimension: NAME=START:STOP:COUNT "
+                 "(inclusive linspace) or NAME=V1,V2,... ; NAME is a "
+                 "source name or a deck node number (node N drives "
+                 "source vN); repeat for a grid",
+        )
+        p.add_argument("--replicas", type=int, default=1, metavar="R",
+                       help="independent repetitions per point (default 1)")
+        p.add_argument("--jumps", type=int, default=0, metavar="N",
+                       help="tunnel events per cell (default: the deck's "
+                            "jumps directive)")
+        p.add_argument("--solver",
+                       choices=("adaptive", "nonadaptive"),
+                       default="adaptive")
+        p.add_argument("--seed", type=int, default=0,
+                       help="campaign root seed; every cell's seed is "
+                            "spawned from it at a content-derived "
+                            "coordinate")
+        p.add_argument("--store", type=Path, default=None, metavar="DIR",
+                       help="campaign store root (default "
+                            "$REPRO_CAMPAIGN_DIR or "
+                            "<cache dir>/campaigns)")
+        p.add_argument("--label", default="", help="campaign label")
+
+    crun = csub.add_parser(
+        "run", help="compute every cell of the grid not yet in the store"
+    )
+    _campaign_identity(crun)
+    crun.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (0 = all cores); results are "
+             "bit-identical for every N",
+    )
+    crun.add_argument(
+        "--ledger", type=Path, default=None, metavar="FILE",
+        help="run-ledger override (as for 'repro run')",
+    )
+    crun.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not record this campaign run in the run ledger",
+    )
+
+    cstatus = csub.add_parser(
+        "status", help="diff the requested grid against the store"
+    )
+    _campaign_identity(cstatus)
+
+    cresults = csub.add_parser(
+        "results",
+        help="assemble the stored grid as a dense array (never computes)",
+    )
+    _campaign_identity(cresults)
+    cresults.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write the grid and its axes to FILE as a numpy .npz "
+             "archive instead of printing a summary",
+    )
+
+    cgc = csub.add_parser(
+        "gc", help="apply retention policy to the campaign store"
+    )
+    cgc.add_argument("--store", type=Path, default=None, metavar="DIR")
+    cgc.add_argument(
+        "--keep-current-code", action="store_true",
+        help="drop cells computed by any other code version than the "
+             "current one",
+    )
+    cgc.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="drop cells older than DAYS days",
+    )
+    cgc.add_argument(
+        "--fingerprint", default=None, metavar="HEX",
+        help="restrict collection to one workload directory",
+    )
     return parser
 
 
@@ -341,13 +458,18 @@ def _cmd_run(args) -> int:
         policy = ExecutionPolicy(
             max_attempts=args.retries + 1, shard_timeout=args.shard_timeout
         )
+    campaign = None
+    if args.campaign is not None:
+        from repro.campaign import CampaignStore
+
+        campaign = CampaignStore(args.campaign)
 
     def _execute():
         if not args.dsan:
             return deck.run(
                 solver=args.solver, seed=args.seed,
                 jobs=args.jobs, chunks=args.chunks,
-                checkpoint=checkpoint, policy=policy,
+                checkpoint=checkpoint, policy=policy, campaign=campaign,
             )
         # shadow-run verification: execute the identically seeded deck
         # twice with the pool boundary armed, compare the event-stream
@@ -361,7 +483,7 @@ def _cmd_run(args) -> int:
             curves.append(deck.run(
                 solver=args.solver, seed=args.seed,
                 jobs=args.jobs, chunks=args.chunks, dsan=True,
-                checkpoint=checkpoint, policy=policy,
+                checkpoint=checkpoint, policy=policy, campaign=campaign,
             ))
             return curves[-1].event_hash
 
@@ -373,10 +495,11 @@ def _cmd_run(args) -> int:
     import contextlib
 
     with contextlib.ExitStack() as stack:
-        if args.progress or not args.no_ledger:
-            # the monitor's inline event feed and the ledger's
-            # recovery-counter deltas both read the parent registry;
-            # open a metrics-only session when no richer one exists
+        if args.progress or not args.no_ledger or campaign is not None:
+            # the monitor's inline event feed, the ledger's
+            # recovery-counter deltas and the campaign cache summary
+            # all read the parent registry; open a metrics-only
+            # session when no richer one exists
             if telemetry.ACTIVE is None and args.trace is None:
                 stack.enter_context(telemetry.session(trace=False))
         if not args.no_ledger:
@@ -387,11 +510,13 @@ def _cmd_run(args) -> int:
             from repro.monitor import monitor_session
 
             stack.enter_context(monitor_session())
+        summary_registry = None
         if args.trace is not None:
             from repro.telemetry.exporters import write_trace
 
             with telemetry.session() as reg:
                 curve = _execute()
+            summary_registry = reg
             count = write_trace(reg, args.trace)
             print(
                 f"wrote {count} trace events to {args.trace}",
@@ -399,6 +524,9 @@ def _cmd_run(args) -> int:
             )
         else:
             curve = _execute()
+            summary_registry = telemetry.ACTIVE
+        if campaign is not None and summary_registry is not None:
+            _print_cache_summary(summary_registry)
     lines = ["sweep_voltage_V,current_A"]
     lines += [f"{v:.9g},{i:.9g}" for v, i in zip(curve.voltages, curve.currents)]
     text = "\n".join(lines) + "\n"
@@ -410,6 +538,156 @@ def _cmd_run(args) -> int:
     # the work-counter table goes to stderr so stdout stays a clean CSV
     if curve.stats is not None:
         print(curve.stats.format_table(), file=sys.stderr)
+    return 0
+
+
+def _print_cache_summary(registry) -> int:
+    """Report campaign cache traffic on stderr; returns cells computed."""
+    cached = registry.peek_counter("campaign.cell_hits")
+    computed = registry.peek_counter("campaign.cells_computed")
+    print(
+        f"campaign cache: {cached} cached, {computed} computed",
+        file=sys.stderr,
+    )
+    return computed
+
+
+def _parse_param(spec: str) -> "tuple[str, np.ndarray]":
+    """``NAME=START:STOP:COUNT`` or ``NAME=V1,V2,...`` → (name, values)."""
+    import numpy as np
+
+    name, sep, body = spec.partition("=")
+    name = name.strip()
+    if not sep or not name or not body:
+        raise SimulationError(
+            f"--param needs NAME=START:STOP:COUNT or NAME=V1,V2,... "
+            f"(got {spec!r})"
+        )
+    try:
+        if ":" in body:
+            start_s, stop_s, count_s = body.split(":")
+            count = int(count_s)
+            if count < 1:
+                raise SimulationError(
+                    f"bad --param {spec!r}: COUNT must be >= 1"
+                )
+            values = np.linspace(float(start_s), float(stop_s), count)
+        else:
+            values = np.asarray(
+                [float(part) for part in body.split(",") if part.strip()],
+                dtype=float,
+            )
+    except ValueError as exc:
+        raise SimulationError(f"bad --param {spec!r}: {exc}") from exc
+    return name, values
+
+
+def _build_campaign(args) -> "Campaign":
+    """Assemble a :class:`repro.campaign.Campaign` from deck + --param."""
+    from repro.campaign import Campaign, CampaignStore, PointSources
+    from repro.netlist import parse_semsim
+
+    deck = parse_semsim(args.deck.read_text())
+    circuit = deck.build_circuit()
+    dims = dict(_parse_param(spec) for spec in args.param)
+    if len(dims) != len(args.param):
+        raise SimulationError("duplicate --param dimension name")
+    # map dimension names onto circuit sources: a deck node number N
+    # drives its source vN, a full source name passes straight through
+    source_names = {source.name for source in circuit.sources}
+    rename = {}
+    for name in dims:
+        if name in source_names:
+            continue
+        if f"v{name}" in source_names:
+            rename[name] = f"v{name}"
+        else:
+            raise SimulationError(
+                f"--param dimension {name!r} matches no source "
+                f"(deck has {sorted(source_names)})"
+            )
+    jumps = args.jumps if args.jumps > 0 else deck.jumps
+    return Campaign(
+        circuit,
+        dims,
+        deck.config(args.solver, args.seed),
+        replicas=args.replicas,
+        jumps_per_point=jumps,
+        measure_junctions=deck.recorded_junctions(circuit),
+        source_setter=PointSources(rename),
+        label=args.label or str(args.deck),
+        store=CampaignStore(args.store) if args.store is not None else None,
+    )
+
+
+def _cmd_campaign(args) -> int:
+    from repro.telemetry import registry as telemetry
+
+    if args.action == "gc":
+        from repro.campaign import CampaignStore
+
+        store = (
+            CampaignStore(args.store) if args.store is not None
+            else CampaignStore()
+        )
+        keep_version = None
+        if args.keep_current_code:
+            from repro.monitor.ledger import _detect_code_version
+
+            keep_version = _detect_code_version()
+        stats = store.gc(
+            keep_code_version=keep_version,
+            older_than=(
+                args.older_than * 86400.0
+                if args.older_than is not None else None
+            ),
+            fingerprint=args.fingerprint,
+        )
+        print(f"campaign store {store.root}: {stats.format()}")
+        return 0
+
+    campaign = _build_campaign(args)
+    if args.action == "status":
+        print(campaign.status().format())
+        return 0
+    if args.action == "results":
+        grid = campaign.get_results_array()
+        if args.out is not None:
+            import numpy as np
+
+            axes = {
+                f"axis_{name}": values
+                for name, values in zip(
+                    campaign.space.names, campaign.space.values
+                )
+            }
+            np.savez(args.out, currents=grid, **axes)
+            print(f"wrote grid {grid.shape} to {args.out}")
+        else:
+            print(
+                f"workload {campaign.fingerprint}: grid {grid.shape} "
+                f"(dims {', '.join(campaign.space.names)} x replicas); "
+                f"current range [{grid.min():.6g}, {grid.max():.6g}] A"
+            )
+        return 0
+
+    # action == "run"
+    import contextlib
+
+    with contextlib.ExitStack() as stack:
+        if telemetry.ACTIVE is None:
+            stack.enter_context(telemetry.session(trace=False))
+        if not args.no_ledger:
+            from repro.monitor import ledger_session
+
+            stack.enter_context(ledger_session(args.ledger))
+        outcome = campaign.run_missing(jobs=args.jobs)
+        print(outcome.format())
+        if outcome.event_hash is not None:
+            print(f"combined event hash: {outcome.event_hash}")
+        registry = telemetry.ACTIVE
+        if registry is not None:
+            _print_cache_summary(registry)
     return 0
 
 
@@ -635,6 +913,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_benchmark(args)
         if args.command == "benchmarks":
             return _cmd_benchmarks()
+        if args.command == "campaign":
+            return _cmd_campaign(args)
     except (OSError, UnicodeDecodeError) as exc:
         # missing file, permission trouble, undecodable bytes: exit 2
         print(f"error: {exc}", file=sys.stderr)

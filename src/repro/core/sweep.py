@@ -16,7 +16,8 @@ alone; ``jobs`` only changes how fast the same numbers appear.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -32,6 +33,9 @@ from repro.parallel.seeds import spawn_seeds
 from repro.recovery.checkpoint import CheckpointStore
 from repro.recovery.policy import ExecutionPolicy
 from repro.telemetry import registry as _telemetry
+
+if TYPE_CHECKING:  # deferred: repro.campaign imports back into core
+    from repro.campaign.store import CampaignStore
 
 
 @dataclasses.dataclass
@@ -207,6 +211,7 @@ def sweep_iv(
     jobs: int | None = 1,
     checkpoint: CheckpointStore | None = None,
     policy: ExecutionPolicy | None = None,
+    campaign: "CampaignStore | str | Path | None" = None,
 ) -> IVCurve:
     """Sweep a bias and measure the device current at each point.
 
@@ -246,10 +251,21 @@ def sweep_iv(
     policy:
         A :class:`repro.recovery.ExecutionPolicy` controlling per-chunk
         retry, timeout and pool-rebuild behaviour.
+    campaign:
+        A :class:`repro.campaign.CampaignStore` (or its directory
+        path): every chunk is first looked up in the durable
+        content-addressed store and freshly computed chunks are
+        persisted as they land, so re-running the same sweep computes
+        nothing and returns bit-identical results.  Forces event-stream
+        hashing (the cache's bit-identity oracle).
     """
     if source_setter is None:
         source_setter = symmetric_bias()
     cfg = config if config is not None else SimulationConfig()
+    if campaign is not None:
+        # force the hash before shard configs are derived, so cached
+        # and computed chunks are interchangeable and provably equal
+        cfg = cfg.replace(event_hash=True)
     if chunks < 1:
         raise SimulationError(f"chunks must be >= 1, got {chunks}")
     volts = np.asarray(voltages, dtype=float)
@@ -276,6 +292,14 @@ def sweep_iv(
         )
         for i in range(n_chunks)
     ]
+    cache = None
+    if campaign is not None:
+        from repro.campaign.store import bind_sweep_cache
+
+        cache = bind_sweep_cache(
+            campaign, circuit, cfg, kind="sweep_iv",
+            values=volts, jumps_per_point=jumps_per_point, label=label,
+        )
     with run_scope("sweep_iv") as recorder:
         with _telemetry.span(
             "sweep.iv", category="sweep",
@@ -283,7 +307,7 @@ def sweep_iv(
         ):
             results = execute_shards(
                 _run_iv_chunk, shards, jobs=jobs,
-                policy=policy, checkpoint=checkpoint,
+                policy=policy, checkpoint=checkpoint, cache=cache,
             )
         currents = (
             np.concatenate([r.currents for r in results])
@@ -337,6 +361,7 @@ def sweep_map(
     jobs: int | None = 1,
     checkpoint: CheckpointStore | None = None,
     policy: ExecutionPolicy | None = None,
+    campaign: "CampaignStore | str | Path | None" = None,
 ) -> CurrentMap:
     """Monte Carlo current map over a (bias, gate) grid.
 
@@ -346,13 +371,17 @@ def sweep_map(
     from ``config.seed`` — rows are decorrelated MC experiments, and
     the map is bit-identical for every ``jobs`` value.  ``checkpoint``
     persists each completed row (resumable via ``resume=True``);
-    ``policy`` adds per-row retry/timeout fault tolerance.
+    ``policy`` adds per-row retry/timeout fault tolerance; ``campaign``
+    caches completed rows in the durable content-addressed store (and
+    forces event hashing), so an identical map re-run computes nothing.
     """
     if not len(bias_voltages) or not len(gate_voltages):
         raise SimulationError("sweep_map needs non-empty grids")
     if bias_setter is None:
         bias_setter = symmetric_bias()
     cfg = config if config is not None else SimulationConfig()
+    if campaign is not None:
+        cfg = cfg.replace(event_hash=True)
     biases = np.asarray(bias_voltages, dtype=float)
     gates = np.asarray(gate_voltages, dtype=float)
     # independent per-row seeds: with a shared seed every row would
@@ -374,6 +403,15 @@ def sweep_map(
         )
         for gi, vg in enumerate(gates)
     ]
+    cache = None
+    if campaign is not None:
+        from repro.campaign.store import bind_sweep_cache
+
+        cache = bind_sweep_cache(
+            campaign, circuit, cfg, kind="sweep_map",
+            values=np.concatenate([biases, gates]),
+            jumps_per_point=jumps_per_point,
+        )
     with run_scope("sweep_map") as recorder:
         with _telemetry.span(
             "sweep.map", category="sweep",
@@ -381,7 +419,7 @@ def sweep_map(
         ):
             results = execute_shards(
                 _run_map_row, shards, jobs=jobs,
-                policy=policy, checkpoint=checkpoint,
+                policy=policy, checkpoint=checkpoint, cache=cache,
             )
         currents = np.vstack([r.currents for r in results])
         cmap = CurrentMap(

@@ -95,6 +95,14 @@ class RecoveryError(SimulationError):
         super().__init__(message)
 
 
+class CampaignError(SimulationError):
+    """Raised by the campaign layer (``repro.campaign``) for misuse of
+    the content-addressed result store: an empty or malformed parameter
+    space, an unwritable store directory, or a cell payload that cannot
+    be content-addressed.  Store *corruption* is never fatal — corrupt
+    cells are dropped and recomputed."""
+
+
 class DeterminismError(SemsimError):
     """Raised by the *runtime* determinism sanitizer (``--dsan``) when
     a reproducibility contract is violated: shadow-run event-stream

@@ -28,6 +28,7 @@ from repro.monitor.ledger import (
     fingerprint_workload,
     ledger_session,
     read_ledger,
+    repro_cache_dir,
     run_scope,
     set_ledger,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "ledger_session",
     "monitor_session",
     "read_ledger",
+    "repro_cache_dir",
     "run_scope",
     "set_ledger",
     "set_monitor",

@@ -41,7 +41,7 @@ import json
 import os
 from contextlib import contextmanager
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.telemetry import registry as _telemetry
 from repro.telemetry.clock import utc_time, wall_time
@@ -54,21 +54,52 @@ if TYPE_CHECKING:  # import cycle guard: circuit/config are heavy imports
 #: Ledger record schema version (bump on incompatible field changes).
 SCHEMA_VERSION = 1
 
-#: Recovery/pool counters copied from the parent telemetry registry
-#: into each record (deltas over the run).
+#: Recovery/pool/cache counters copied from the parent telemetry
+#: registry into each record (deltas over the run).
 TRACKED_COUNTERS = (
     "recovery.resume_hits",
     "recovery.shards_retried",
     "recovery.pool_rebuilds",
+    "campaign.cell_hits",
+    "campaign.cells_computed",
 )
 
 
+def repro_cache_dir() -> Path:
+    """The durable per-user cache root shared by the run ledger and the
+    campaign result store.
+
+    ``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``.  Service and
+    CI containers frequently run without a usable ``$HOME`` — either
+    ``Path.home()`` raises outright or resolves to ``/`` — and in that
+    case the cache falls back to a repo-local ``.repro/`` directory
+    instead of failing the run or scattering state under the root
+    directory.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    try:
+        home: Path | None = Path.home()
+    except (KeyError, RuntimeError, OSError):
+        home = None
+    if home is None or str(home) in ("", "/"):
+        return Path(".repro")
+    return home / ".cache" / "repro"
+
+
 def default_ledger_path() -> Path:
-    """``$REPRO_LEDGER`` when set, else ``~/.cache/repro/ledger.jsonl``."""
+    """``$REPRO_LEDGER`` when set, else ``<cache dir>/ledger.jsonl``
+    (see :func:`repro_cache_dir` for the no-``$HOME`` fallback)."""
     override = os.environ.get("REPRO_LEDGER")
     if override:
-        return Path(override).expanduser()
-    return Path.home() / ".cache" / "repro" / "ledger.jsonl"
+        path = Path(override)
+        try:
+            return path.expanduser()
+        except RuntimeError:
+            # "~" with no resolvable home: use the path verbatim
+            return path
+    return repro_cache_dir() / "ledger.jsonl"
 
 
 # ----------------------------------------------------------------------
@@ -115,9 +146,15 @@ def fingerprint_workload(
     kind: str,
     values: Any = None,
     jumps_per_point: int = 0,
+    extra: Sequence[str] = (),
 ) -> str:
     """Fingerprint of one runnable workload: circuit + sweep shape +
-    event budget + physics configuration."""
+    event budget + physics configuration.
+
+    ``extra`` appends further identity parts (the campaign layer adds
+    the solver, measured junctions and parameter-space axes); an empty
+    ``extra`` leaves historical fingerprints unchanged.
+    """
     parts = [
         fingerprint_circuit(circuit),
         _config_identity(config),
@@ -125,6 +162,7 @@ def fingerprint_workload(
         repr([float(v) for v in values] if values is not None else None),
         str(int(jumps_per_point)),
     ]
+    parts.extend(str(part) for part in extra)
     return _hash_text("\n".join(parts))
 
 
@@ -162,12 +200,26 @@ class Ledger:
         self._depth = 0
 
     def append(self, record: dict[str, Any]) -> None:
-        """Append one record as a single line write (crash-tolerant:
-        at worst the *final* line is torn, which readers skip)."""
+        """Append one record as one ``os.write`` on an ``O_APPEND`` fd.
+
+        Buffered text appends can interleave *partial* lines when two
+        runs (different processes sharing one ledger — exactly the
+        overlapping-user scenario the campaign cache serves) flush
+        concurrently, corrupting more than the tolerated torn final
+        line.  A single ``write(2)`` on an ``O_APPEND`` descriptor is
+        atomic with respect to the file offset, so concurrent appends
+        produce whole interleaved lines and a crash mid-append tears at
+        most the final one.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record, sort_keys=True) + "\n"
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        fd = os.open(
+            str(self.path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
 
     def next_run_id(self, fingerprint: str, timestamp: float) -> str:
         self._sequence += 1

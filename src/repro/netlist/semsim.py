@@ -72,6 +72,7 @@ from repro.monitor.ledger import run_scope
 from repro.telemetry import registry as _telemetry
 
 if TYPE_CHECKING:
+    from repro.campaign.store import CampaignStore
     from repro.recovery.checkpoint import CheckpointStore
     from repro.recovery.policy import ExecutionPolicy
 
@@ -239,6 +240,7 @@ class SemsimDeck:
         dsan: bool = False,
         checkpoint: "CheckpointStore | None" = None,
         policy: "ExecutionPolicy | None" = None,
+        campaign: "CampaignStore | None" = None,
     ) -> IVCurve:
         """Execute the deck: sweep if requested, one point otherwise.
 
@@ -271,16 +273,24 @@ class SemsimDeck:
         combined hash; ``policy`` (an
         :class:`repro.recovery.ExecutionPolicy`) adds per-shard
         retry/timeout fault tolerance.
+
+        ``campaign`` (a :class:`repro.campaign.CampaignStore`) consults
+        the durable content-addressed result cache before simulating:
+        sweep shards already in the store are replayed, fresh ones are
+        persisted as they land.  Like ``checkpoint`` it forces the
+        shard/merge path and event-stream hashing, so a fully cached
+        re-run returns bit-identical arrays with the same combined
+        event hash.
         """
         with _telemetry.span("deck.build", category="deck"):
             circuit = self.build_circuit()
         config = self.config(solver, seed)
-        if dsan or checkpoint is not None:
+        if dsan or checkpoint is not None or campaign is not None:
             config = config.replace(event_hash=True)
         with run_scope("deck.run") as recorder:
             curve = self._execute_deck(
                 circuit, config, jobs=jobs, chunks=chunks,
-                checkpoint=checkpoint, policy=policy,
+                checkpoint=checkpoint, policy=policy, campaign=campaign,
             )
             if recorder is not None:
                 recorder.commit(
@@ -301,6 +311,7 @@ class SemsimDeck:
         chunks: int,
         checkpoint: "CheckpointStore | None" = None,
         policy: "ExecutionPolicy | None" = None,
+        campaign: "CampaignStore | None" = None,
     ) -> IVCurve:
         """The deck's execution body (see :meth:`run`), factored out so
         the run-ledger scope wraps every path uniformly."""
@@ -316,6 +327,11 @@ class SemsimDeck:
                     "checkpoint/resume needs a sweep deck: an operating-"
                     "point deck runs as a single unsharded measurement"
                 )
+            if campaign is not None:
+                raise SimulationError(
+                    "--campaign needs a sweep deck: an operating-point "
+                    "deck runs as a single unsharded measurement"
+                )
             engine = MonteCarloEngine(circuit, config)
             with _telemetry.span("deck.run", category="deck", points=1):
                 current = engine.measure_current(
@@ -330,11 +346,12 @@ class SemsimDeck:
         if (
             jobs != 1 or chunks != 1 or self.runs > 1 or dsan
             or checkpoint is not None or policy is not None
+            or campaign is not None
         ):
             return self._run_sharded(
                 circuit, config, values, junctions, orientations,
                 jobs=jobs, chunks=chunks,
-                checkpoint=checkpoint, policy=policy,
+                checkpoint=checkpoint, policy=policy, campaign=campaign,
             )
         engine = MonteCarloEngine(circuit, config)
         currents = np.empty_like(values)
@@ -368,6 +385,7 @@ class SemsimDeck:
         chunks: int,
         checkpoint: "CheckpointStore | None" = None,
         policy: "ExecutionPolicy | None" = None,
+        campaign: "CampaignStore | None" = None,
     ) -> IVCurve:
         """Sweep through the shard/merge layer (``jobs``/``chunks``/
         ensemble ``runs``) instead of the in-place serial loop."""
@@ -395,6 +413,7 @@ class SemsimDeck:
                     jobs=jobs,
                     checkpoint=checkpoint,
                     policy=policy,
+                    campaign=campaign,
                 )
                 return ensemble.mean_curve()
             return sweep_iv(
@@ -408,6 +427,7 @@ class SemsimDeck:
                 jobs=jobs,
                 checkpoint=checkpoint,
                 policy=policy,
+                campaign=campaign,
             )
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from repro.parallel.ensemble import EnsembleIV, ensemble_iv
 from repro.parallel.pool import execute_shards, resolve_jobs
-from repro.parallel.seeds import as_seed_sequence, spawn_seeds
+from repro.parallel.seeds import as_seed_sequence, spawn_seed_at, spawn_seeds
 
 __all__ = [
     "EnsembleIV",
@@ -32,5 +32,6 @@ __all__ = [
     "ensemble_iv",
     "execute_shards",
     "resolve_jobs",
+    "spawn_seed_at",
     "spawn_seeds",
 ]

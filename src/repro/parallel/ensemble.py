@@ -11,6 +11,7 @@ simulation.
 from __future__ import annotations
 
 import dataclasses
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
@@ -24,6 +25,7 @@ from repro.recovery.policy import ExecutionPolicy
 from repro.telemetry import registry as _telemetry
 
 if TYPE_CHECKING:  # deferred: repro.core.sweep imports repro.parallel
+    from repro.campaign.store import CampaignStore
     from repro.circuit.circuit import Circuit
     from repro.core.base import SolverStats
     from repro.core.config import SimulationConfig
@@ -115,6 +117,7 @@ def ensemble_iv(
     jobs: int | None = 1,
     checkpoint: CheckpointStore | None = None,
     policy: ExecutionPolicy | None = None,
+    campaign: "CampaignStore | str | Path | None" = None,
 ) -> EnsembleIV:
     """Run ``replicas`` independent I-V sweeps and stack the results.
 
@@ -123,13 +126,18 @@ def ensemble_iv(
     bit-identical for every ``jobs`` value; ``jobs`` distributes the
     replicas over worker processes.  ``checkpoint`` persists each
     completed replica's curve to a resumable manifest; ``policy`` adds
-    per-replica retry/timeout fault tolerance.
+    per-replica retry/timeout fault tolerance; ``campaign`` caches
+    completed replica curves in the durable content-addressed store
+    (forcing event hashing), so re-running the ensemble — or a larger
+    one sharing its root seed — computes only new replicas.
     """
     from repro.core.config import SimulationConfig
 
     if replicas < 1:
         raise SimulationError(f"replicas must be >= 1, got {replicas}")
     cfg = config if config is not None else SimulationConfig()
+    if campaign is not None:
+        cfg = cfg.replace(event_hash=True)
     volts = np.asarray(voltages, dtype=float)
     seeds = spawn_seeds(cfg.seed, replicas)
     shards = [
@@ -145,6 +153,14 @@ def ensemble_iv(
         )
         for r in range(replicas)
     ]
+    cache = None
+    if campaign is not None:
+        from repro.campaign.store import bind_sweep_cache
+
+        cache = bind_sweep_cache(
+            campaign, circuit, cfg, kind="ensemble_iv",
+            values=volts, jumps_per_point=jumps_per_point, label=label,
+        )
     with run_scope("ensemble_iv") as recorder:
         with _telemetry.span(
             "ensemble.iv", category="parallel",
@@ -152,7 +168,7 @@ def ensemble_iv(
         ):
             curves = execute_shards(
                 _run_replica, shards, jobs=jobs,
-                policy=policy, checkpoint=checkpoint,
+                policy=policy, checkpoint=checkpoint, cache=cache,
             )
         from repro.core.base import SolverStats
 

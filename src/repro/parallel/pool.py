@@ -49,7 +49,7 @@ import concurrent.futures
 import os
 import time
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Sequence, TypeVar
+from typing import Any, Callable, Protocol, Sequence, TypeVar
 
 from repro.dsan import runtime as _dsan
 from repro.errors import RecoveryError, SimulationError
@@ -70,6 +70,47 @@ _TICK = 0.05
 _DEFAULT_POLICY = ExecutionPolicy()
 
 _Snapshot = dict[str, dict[str, Any]]
+
+
+class ResultSink(Protocol):
+    """Anything that wants each completed shard's result as it lands:
+    a :class:`~repro.recovery.CheckpointSession` (per-run manifest) or
+    a campaign cache session (durable cross-run store)."""
+
+    def record(self, shard: int, result: Any) -> None: ...
+
+
+class ShardCacheSession(Protocol):
+    """One batch's binding to a cross-run result cache."""
+
+    def hits(self) -> dict[int, Any]:
+        """Previously computed results, keyed by shard index."""
+        ...
+
+    def record(self, shard: int, result: Any) -> None:
+        """Persist one freshly computed shard result."""
+        ...
+
+
+class ShardCache(Protocol):
+    """A content-addressed cross-run result cache (duck-typed so this
+    module never imports :mod:`repro.campaign`; see
+    :class:`repro.campaign.CampaignStore` for the implementation)."""
+
+    def begin(
+        self, worker: Callable[..., Any], payloads: list[Any]
+    ) -> ShardCacheSession: ...
+
+
+class _RecordFanout:
+    """Fans each completed shard's result out to every sink."""
+
+    def __init__(self, sinks: Sequence[ResultSink]):
+        self._sinks = tuple(sinks)
+
+    def record(self, shard: int, result: Any) -> None:
+        for sink in self._sinks:
+            sink.record(shard, result)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -135,7 +176,7 @@ def _run_inline(
     indices: Sequence[int],
     policy: ExecutionPolicy,
     plan: _faults.FaultPlan | None,
-    session: CheckpointSession | None,
+    session: ResultSink | None,
     dsan_check: bool,
     results: dict[int, _R],
     start_attempts: dict[int, int] | None = None,
@@ -205,7 +246,7 @@ def _run_pooled(
     jobs: int,
     policy: ExecutionPolicy,
     plan: _faults.FaultPlan | None,
-    session: CheckpointSession | None,
+    session: ResultSink | None,
     dsan_check: bool,
     collect: bool,
     results: dict[int, _R],
@@ -381,6 +422,7 @@ def execute_shards(
     *,
     policy: ExecutionPolicy | None = None,
     checkpoint: CheckpointStore | None = None,
+    cache: ShardCache | None = None,
 ) -> list[_R]:
     """Run ``worker`` over every payload; results come back in order.
 
@@ -398,6 +440,16 @@ def execute_shards(
     re-running them.  Recovery activity is visible as telemetry
     counters: ``recovery.shards_retried``, ``recovery.pool_rebuilds``
     and ``recovery.resume_hits`` (emitted only when nonzero).
+
+    With ``cache`` (a :class:`ShardCache`, e.g. a campaign store
+    binding) every shard is first looked up in a durable *cross-run*
+    store: hits are replayed without any simulation, and each freshly
+    computed result is persisted as it lands — so an interrupted batch
+    loses at most the shards in flight, and a re-run of an overlapping
+    batch computes only the genuinely new cells.  Cache activity is
+    emitted as the ``campaign.cell_hits`` / ``campaign.cells_computed``
+    counters (always, when a cache is present, so "0 computed" is an
+    observable fact).
     """
     items = list(payloads)
     jobs = resolve_jobs(jobs)
@@ -418,13 +470,26 @@ def execute_shards(
         session = checkpoint.begin(worker, items)
         results.update(session.completed())
     resumed = len(results)
+    cached = 0
+    sink: ResultSink | None = session
+    if cache is not None:
+        cache_session = cache.begin(worker, items)
+        hits = cache_session.hits()
+        for index in sorted(hits):
+            if index not in results:
+                results[index] = hits[index]
+                cached += 1
+        sink = (
+            _RecordFanout((session, cache_session))
+            if session is not None else cache_session
+        )
     remaining = [index for index in range(len(items)) if index not in results]
     mon = _monitor.current()
     # only the outermost batch of a run is monitored (an inline
     # ensemble replica re-enters the pool for its inner sweep); nested
     # begin_batch calls return False but still need their end_batch
     live = mon if mon is not None and mon.begin_batch(
-        len(items), resumed=resumed
+        len(items), resumed=resumed + cached
     ) else None
     batch_open = mon is not None
     try:
@@ -435,7 +500,7 @@ def execute_shards(
             rebuilds = 0
             if jobs == 1 or len(remaining) <= 1:
                 retried = _run_inline(
-                    worker, items, remaining, pol, plan, session, dsan_check,
+                    worker, items, remaining, pol, plan, sink, dsan_check,
                     results, mon=live,
                 )
                 if mon is not None and batch_open:
@@ -444,12 +509,12 @@ def execute_shards(
             else:
                 collect = parent is not None
                 snapshots, shard_leaks, retried, rebuilds, leftover = _run_pooled(
-                    worker, items, remaining, jobs, pol, plan, session,
+                    worker, items, remaining, jobs, pol, plan, sink,
                     dsan_check, collect, results, mon=live,
                 )
                 if leftover:
                     retried += _run_inline(
-                        worker, items, sorted(leftover), pol, plan, session,
+                        worker, items, sorted(leftover), pol, plan, sink,
                         dsan_check, results, start_attempts=leftover, mon=live,
                     )
                 _dsan.raise_state_leaks(sorted(shard_leaks))
@@ -476,6 +541,13 @@ def execute_shards(
                     parent.counter("recovery.shards_retried").add(retried)
                 if rebuilds:
                     parent.counter("recovery.pool_rebuilds").add(rebuilds)
+                if cache is not None:
+                    # always emitted while a cache is bound, so a fully
+                    # cached batch observably reports "0 computed"
+                    parent.counter("campaign.cell_hits").add(cached)
+                    parent.counter("campaign.cells_computed").add(
+                        len(remaining)
+                    )
     finally:
         if mon is not None and batch_open:
             mon.end_batch()

@@ -46,6 +46,30 @@ def describe_seed(seed: int | np.random.SeedSequence) -> str:
     return repr(seed)
 
 
+def spawn_seed_at(
+    seed: int | np.random.SeedSequence, key: tuple[int, ...]
+) -> np.random.SeedSequence:
+    """The child of ``seed`` at an explicit spawn-key coordinate.
+
+    :func:`spawn_seeds` indexes children positionally, which ties a
+    shard's stream to its position in one particular grid.  The
+    campaign layer instead derives ``key`` from the *content* of a cell
+    (parameter point and replica index), so the same physical cell
+    draws the same stream in every grid that contains it — the property
+    that makes cached cells reusable across overlapping sweeps.
+    """
+    for part in key:
+        if part < 0:
+            raise SimulationError(f"spawn-key parts must be >= 0, got {part}")
+    root = as_seed_sequence(seed)
+    entropy = root.entropy if root.entropy is not None else 0
+    return np.random.SeedSequence(
+        entropy=entropy,
+        spawn_key=tuple(root.spawn_key) + tuple(int(part) for part in key),
+        pool_size=root.pool_size,
+    )
+
+
 def spawn_seeds(
     seed: int | np.random.SeedSequence, n: int
 ) -> list[np.random.SeedSequence]:

@@ -38,7 +38,13 @@ from repro.recovery.faults import (
     injected_faults,
     install_faults,
 )
-from repro.recovery.manifest import MANIFEST_VERSION, Manifest, ShardRecord
+from repro.recovery.manifest import (
+    MANIFEST_VERSION,
+    Manifest,
+    ShardRecord,
+    describe_version_skew,
+    environment_meta,
+)
 from repro.recovery.policy import ExecutionPolicy
 
 __all__ = [
@@ -55,6 +61,8 @@ __all__ = [
     "clear_faults",
     "corrupt_record",
     "current_plan",
+    "describe_version_skew",
+    "environment_meta",
     "injected_faults",
     "install_faults",
 ]

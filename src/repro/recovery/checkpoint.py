@@ -24,7 +24,11 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.errors import RecoveryError
-from repro.recovery.manifest import Manifest, decode_result
+from repro.recovery.manifest import (
+    Manifest,
+    decode_result,
+    describe_version_skew,
+)
 
 _MANIFEST_NAME = "manifest.json"
 
@@ -87,11 +91,30 @@ class CheckpointStore:
                 f"{len(payloads)} — shard layout changed"
             )
         if stored.fingerprint != fresh.fingerprint:
+            # pickle-based fingerprints are only comparable under the
+            # interpreter/numpy that wrote them — say *which* kind of
+            # drift this is, so users don't delete valid checkpoints
+            # blindly
+            skew = describe_version_skew(stored.meta)
+            if skew:
+                detail = (
+                    f"environment version skew ({skew}); run fingerprints "
+                    "hash pickle bytes and are only comparable under the "
+                    "same Python and numpy versions — the checkpoint "
+                    "itself may be intact, but it cannot be verified "
+                    "against this interpreter; re-run under the original "
+                    "versions or start fresh without --resume"
+                )
+            else:
+                detail = (
+                    "same Python/numpy versions, so the workload itself "
+                    "changed: deck, config, seed or shard layout differ "
+                    "from the run that wrote the checkpoint"
+                )
             raise RecoveryError(
                 f"checkpoint at {self.directory} belongs to a different run "
                 f"(fingerprint {stored.fingerprint} != {fresh.fingerprint}): "
-                "deck, config, seed or shard layout changed since the "
-                "checkpoint was written"
+                f"{detail}"
             )
         return CheckpointSession(self, stored)
 

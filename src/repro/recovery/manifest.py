@@ -26,12 +26,45 @@ import dataclasses
 import hashlib
 import json
 import pickle
+import platform
 from typing import Any, Callable
+
+import numpy as np
 
 from repro.errors import RecoveryError
 from repro.parallel.seeds import describe_seed as _describe_seed
 
 MANIFEST_VERSION = 1
+
+#: Environment facts recorded in every manifest's ``meta``.  The run
+#: fingerprint hashes *pickle bytes*, which are only comparable under
+#: the same interpreter and numpy — recording both lets a resume
+#: failure say "version skew" instead of a bare mismatch.
+ENVIRONMENT_KEYS = ("python", "numpy")
+
+
+def environment_meta() -> dict[str, str]:
+    """The interpreter/numpy versions a manifest is written under."""
+    return {"python": platform.python_version(), "numpy": np.__version__}
+
+
+def describe_version_skew(
+    stored: dict[str, Any], current: dict[str, Any] | None = None
+) -> str:
+    """Human-readable environment drift between a stored manifest's
+    ``meta`` and the current process, e.g. ``"python 3.10.2 -> 3.12.1"``.
+
+    Returns an empty string when every recorded version matches (or the
+    manifest predates version recording), so callers can distinguish
+    *payload* changes from *environment* changes.
+    """
+    env = current if current is not None else environment_meta()
+    drifted = []
+    for key in ENVIRONMENT_KEYS:
+        recorded = stored.get(key)
+        if recorded is not None and str(recorded) != str(env.get(key)):
+            drifted.append(f"{key} {recorded} -> {env.get(key)}")
+    return ", ".join(drifted)
 
 _DIGEST_SIZE = 16
 
@@ -154,6 +187,8 @@ class Manifest:
     ) -> Manifest:
         info = dict(meta or {})
         info.setdefault("worker", f"{worker.__module__}.{worker.__qualname__}")
+        for key, value in environment_meta().items():
+            info.setdefault(key, value)
         seeds = [payload_seed(payload) for payload in payloads]
         if any(seed is not None for seed in seeds):
             info.setdefault("seeds", seeds)

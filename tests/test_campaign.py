@@ -1,0 +1,552 @@
+"""Tests for repro.campaign — the content-addressed result store and
+the campaign manager.
+
+The load-bearing guarantees under test:
+
+* a second identical run computes **zero** cells and returns
+  bit-identical arrays with the same folded dsan event hash, for both
+  serial and pooled execution;
+* an overlapping grid computes only its missing cells (observable via
+  the ``campaign.cell_hits`` / ``campaign.cells_computed`` counters);
+* store corruption is never fatal — bad cells are dropped, counted and
+  recomputed;
+* gc applies retention (code version, age, fingerprint scope) and
+  prunes emptied workload directories.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignStore,
+    ParameterSpace,
+    PointSources,
+    cell_key,
+    payload_cell_key,
+)
+from repro.campaign.campaign import _point_spawn_key
+from repro.circuit import build_set
+from repro.core import SimulationConfig, sweep_iv, sweep_map
+from repro.errors import CampaignError
+from repro.parallel import ensemble_iv
+from repro.telemetry import registry as telemetry
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+CONFIG = SimulationConfig(seed=11)
+JUMPS = 150
+
+
+def make_campaign(circuit, store, *, dims=None, replicas=2, jumps=JUMPS):
+    return Campaign(
+        circuit,
+        dims if dims is not None else {"vg": [0.0, 0.002]},
+        CONFIG,
+        replicas=replicas,
+        jumps_per_point=jumps,
+        store=store,
+        label="unit",
+    )
+
+
+# ----------------------------------------------------------------------
+# parameter space
+# ----------------------------------------------------------------------
+
+class TestParameterSpace:
+    def test_shape_size_and_c_order_points(self):
+        space = ParameterSpace({"a": [1.0, 2.0], "b": [10.0, 20.0, 30.0]})
+        assert space.names == ("a", "b")
+        assert space.shape == (2, 3)
+        assert space.size == 6
+        points = list(space.points())
+        assert points[0] == (("a", 1.0), ("b", 10.0))
+        # C order: the last dimension varies fastest
+        assert points[1] == (("a", 1.0), ("b", 20.0))
+        assert points[3] == (("a", 2.0), ("b", 10.0))
+
+    def test_rejects_empty_space_and_bad_axes(self):
+        with pytest.raises(CampaignError, match="at least one dimension"):
+            ParameterSpace({})
+        with pytest.raises(CampaignError, match="non-empty 1-D"):
+            ParameterSpace({"a": []})
+        with pytest.raises(CampaignError, match="non-empty 1-D"):
+            ParameterSpace({"a": [[1.0, 2.0]]})
+
+    def test_campaign_validates_replicas_and_jumps(self, set_circuit):
+        with pytest.raises(CampaignError, match="replicas"):
+            Campaign(set_circuit, {"vg": [0.0]}, CONFIG, replicas=0)
+        with pytest.raises(CampaignError, match="jumps_per_point"):
+            Campaign(set_circuit, {"vg": [0.0]}, CONFIG, jumps_per_point=0)
+
+    def test_point_sources_rename(self):
+        setter = PointSources({"g": "v3"})
+        assert setter({"g": 0.5, "vs": 0.1}) == {"v3": 0.5, "vs": 0.1}
+
+
+# ----------------------------------------------------------------------
+# content identity
+# ----------------------------------------------------------------------
+
+class TestCellIdentity:
+    def test_cell_key_depends_on_every_identity_input(self):
+        point = (("vg", 0.001),)
+        seed = 42
+        base = cell_key(point, 0, seed, 100)
+        assert cell_key(point, 0, seed, 100) == base
+        assert cell_key((("vg", 0.002),), 0, seed, 100) != base
+        assert cell_key(point, 1, seed, 100) != base
+        assert cell_key(point, 0, 43, 100) != base
+        assert cell_key(point, 0, seed, 200) != base
+
+    def test_point_spawn_key_is_content_derived(self):
+        a = _point_spawn_key((("vg", 0.001),))
+        assert a == _point_spawn_key((("vg", 0.001),))
+        assert a != _point_spawn_key((("vg", 0.002),))
+        assert all(0 <= part < 2**32 for part in a)
+
+    def test_circuit_pickle_is_stable_across_cache_warming(self):
+        """The frozen Circuit's lazy memo caches must never leak into
+        its pickle state — payload content addresses depend on it."""
+        circuit = build_set(vs=+0.01, vd=-0.01, vg=0.0)
+        before = pickle.dumps(circuit, protocol=pickle.HIGHEST_PROTOCOL)
+        # touch every lazily cached view
+        circuit.resolved_junctions()
+        circuit.island_adjacency()
+        circuit.junction_neighbors()
+        circuit.junctions_on_island()
+        after = pickle.dumps(circuit, protocol=pickle.HIGHEST_PROTOCOL)
+        assert before == after
+        # and the restored circuit rebuilds its views correctly
+        clone = pickle.loads(after)
+        assert clone.junction_neighbors() == circuit.junction_neighbors()
+
+    def test_payload_cell_key_rejects_unpicklable_payloads(self):
+        with pytest.raises(CampaignError, match="content-addressed"):
+            payload_cell_key(build_set, lambda: None)
+
+    def test_fingerprint_ignores_grid_values_but_not_dims(self, set_circuit):
+        a = make_campaign(set_circuit, None, dims={"vg": [0.0, 0.001]})
+        b = make_campaign(set_circuit, None, dims={"vg": [0.0, 0.5]})
+        c = make_campaign(set_circuit, None, dims={"vs": [0.0, 0.001]})
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != c.fingerprint
+
+
+# ----------------------------------------------------------------------
+# run_missing: hit/miss, bit identity
+# ----------------------------------------------------------------------
+
+class TestRunMissing:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_second_identical_run_computes_nothing(
+        self, set_circuit, tmp_path, jobs
+    ):
+        store = CampaignStore(tmp_path / "store")
+        first = make_campaign(set_circuit, store)
+        with telemetry.session(trace=False) as reg:
+            run1 = first.run_missing(jobs=jobs)
+            assert reg.peek_counter("campaign.cells_computed") == 4
+            assert reg.peek_counter("campaign.cell_hits") == 0
+        assert (run1.cached, run1.computed) == (0, 4)
+        assert run1.currents.shape == (2, 2)
+        assert run1.event_hash is not None
+
+        # a *fresh* campaign object against the same store: all cached
+        second = make_campaign(set_circuit, store)
+        with telemetry.session(trace=False) as reg:
+            run2 = second.run_missing(jobs=jobs)
+            assert reg.peek_counter("campaign.cells_computed") == 0
+            assert reg.peek_counter("campaign.cell_hits") == 4
+        assert (run2.cached, run2.computed) == (4, 0)
+        # bit-identical grid and identical folded event hash: the
+        # cached replay is provably the same simulation
+        assert np.array_equal(run1.currents, run2.currents)
+        assert run2.event_hash == run1.event_hash
+        assert second.combined_hash() == run1.event_hash
+        assert np.array_equal(second.get_results_array(), run1.currents)
+
+    def test_pooled_and_serial_runs_are_bit_identical(
+        self, set_circuit, tmp_path
+    ):
+        serial = make_campaign(
+            set_circuit, CampaignStore(tmp_path / "a")
+        ).run_missing(jobs=1)
+        pooled = make_campaign(
+            set_circuit, CampaignStore(tmp_path / "b")
+        ).run_missing(jobs=2)
+        assert np.array_equal(serial.currents, pooled.currents)
+        assert serial.event_hash == pooled.event_hash
+
+    def test_overlapping_grid_computes_only_missing_cells(
+        self, set_circuit, tmp_path
+    ):
+        store = CampaignStore(tmp_path / "store")
+        small = make_campaign(
+            set_circuit, store, dims={"vg": [0.0, 0.001, 0.002]}, replicas=1
+        )
+        run_small = small.run_missing()
+        assert (run_small.cached, run_small.computed) == (0, 3)
+
+        # a superset grid shares the workload directory and the three
+        # already computed points; only the two new points run
+        big = make_campaign(
+            set_circuit, store,
+            dims={"vg": [0.0, 0.001, 0.002, 0.003, 0.004]}, replicas=1,
+        )
+        assert big.fingerprint == small.fingerprint
+        with telemetry.session(trace=False) as reg:
+            run_big = big.run_missing()
+            assert reg.peek_counter("campaign.cell_hits") == 3
+            assert reg.peek_counter("campaign.cells_computed") == 2
+        assert (run_big.cached, run_big.computed) == (3, 2)
+        # the shared prefix is bit-identical: content-derived seeds
+        # decouple a cell's RNG stream from its grid position
+        assert np.array_equal(
+            run_big.currents[:3], run_small.currents
+        )
+
+    def test_status_reports_grid_vs_store_diff(self, set_circuit, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        campaign = make_campaign(set_circuit, store)
+        before = campaign.status()
+        assert (before.total, before.present, before.missing) == (4, 0, 4)
+        campaign.run_missing()
+        after = campaign.status()
+        assert (after.present, after.missing) == (4, 0)
+        assert "4/4" in after.format()
+
+    def test_results_array_requires_a_complete_grid(
+        self, set_circuit, tmp_path
+    ):
+        campaign = make_campaign(set_circuit, CampaignStore(tmp_path / "s"))
+        with pytest.raises(CampaignError, match="missing"):
+            campaign.get_results_array()
+        assert campaign.combined_hash() is None
+
+    def test_xarray_export_is_gated_on_the_optional_dep(
+        self, set_circuit, tmp_path
+    ):
+        campaign = make_campaign(
+            set_circuit, CampaignStore(tmp_path / "s"),
+            dims={"vg": [0.0]}, replicas=1,
+        )
+        campaign.run_missing()
+        if importlib.util.find_spec("xarray") is None:
+            with pytest.raises(CampaignError, match="xarray"):
+                campaign.to_xarray()
+        else:
+            arr = campaign.to_xarray()
+            assert arr.dims == ("vg", "replica")
+            assert arr.shape == (1, 1)
+
+
+# ----------------------------------------------------------------------
+# corruption: never fatal
+# ----------------------------------------------------------------------
+
+class TestCorruption:
+    def _one_cell_path(self, store, campaign):
+        workload = store.workload(campaign.fingerprint)
+        keys = workload.keys()
+        assert keys
+        return workload.cell_path(keys[0])
+
+    def test_unparseable_cell_is_dropped_and_recomputed(
+        self, set_circuit, tmp_path
+    ):
+        store = CampaignStore(tmp_path / "store")
+        campaign = make_campaign(set_circuit, store)
+        reference = campaign.run_missing()
+        self._one_cell_path(store, campaign).write_text("not json at all")
+
+        with telemetry.session(trace=False) as reg:
+            rerun = make_campaign(set_circuit, store).run_missing()
+            assert reg.peek_counter("campaign.corrupt_cells") == 1
+        assert (rerun.cached, rerun.computed) == (3, 1)
+        assert np.array_equal(rerun.currents, reference.currents)
+        assert rerun.event_hash == reference.event_hash
+
+    def test_checksum_mismatch_is_treated_as_corruption(
+        self, set_circuit, tmp_path
+    ):
+        store = CampaignStore(tmp_path / "store")
+        campaign = make_campaign(set_circuit, store)
+        campaign.run_missing()
+        path = self._one_cell_path(store, campaign)
+        record = json.loads(path.read_text())
+        record["checksum"] = "0" * 32
+        path.write_text(json.dumps(record))
+
+        with telemetry.session(trace=False) as reg:
+            rerun = make_campaign(set_circuit, store).run_missing()
+            assert reg.peek_counter("campaign.corrupt_cells") == 1
+        assert (rerun.cached, rerun.computed) == (3, 1)
+        # the bad file was overwritten with a good cell
+        assert make_campaign(set_circuit, store).status().missing == 0
+
+    def test_wrong_schema_is_a_miss(self, set_circuit, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        campaign = make_campaign(set_circuit, store)
+        campaign.run_missing()
+        path = self._one_cell_path(store, campaign)
+        record = json.loads(path.read_text())
+        record["schema"] = 999
+        path.write_text(json.dumps(record))
+        workload = store.workload(campaign.fingerprint)
+        assert workload.load(path.stem) is None
+        assert not path.exists()  # dropped from disk
+
+
+# ----------------------------------------------------------------------
+# gc retention
+# ----------------------------------------------------------------------
+
+class TestGc:
+    def test_no_criteria_is_a_scan_only(self, set_circuit, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        make_campaign(set_circuit, store).run_missing()
+        stats = store.gc()
+        assert (stats.scanned, stats.removed, stats.kept) == (4, 0, 4)
+        assert "kept 4" in stats.format()
+
+    def test_code_version_retention_prunes_empty_workloads(
+        self, set_circuit, tmp_path
+    ):
+        store = CampaignStore(tmp_path / "store")
+        campaign = make_campaign(set_circuit, store)
+        campaign.run_missing()
+        directory = store.workload(campaign.fingerprint).directory
+        assert directory.is_dir()
+        stats = store.gc(keep_code_version="some-other-version")
+        assert stats.removed == 4
+        assert stats.workloads_removed == 1
+        assert not directory.exists()
+
+    def test_age_retention_removes_only_old_cells(
+        self, set_circuit, tmp_path
+    ):
+        store = CampaignStore(tmp_path / "store")
+        campaign = make_campaign(set_circuit, store)
+        campaign.run_missing()
+        workload = store.workload(campaign.fingerprint)
+        old = workload.cell_path(workload.keys()[0])
+        record = json.loads(old.read_text())
+        record["ts"] = 0.0  # backdate one cell to the epoch
+        old.write_text(json.dumps(record))
+        stats = store.gc(older_than=86400.0)
+        assert (stats.removed, stats.kept) == (1, 3)
+        assert not old.exists()
+
+    def test_fingerprint_scopes_the_pass(self, set_circuit, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        a = make_campaign(set_circuit, store, replicas=1)
+        b = make_campaign(set_circuit, store, replicas=1, jumps=JUMPS + 10)
+        a.run_missing()
+        b.run_missing()
+        assert a.fingerprint != b.fingerprint
+        stats = store.gc(
+            keep_code_version="other", fingerprint=a.fingerprint
+        )
+        assert stats.removed == 2  # only a's cells
+        assert store.workload(b.fingerprint).keys()  # b untouched
+
+    def test_unreadable_cells_are_always_collected(
+        self, set_circuit, tmp_path
+    ):
+        store = CampaignStore(tmp_path / "store")
+        campaign = make_campaign(set_circuit, store, replicas=1)
+        campaign.run_missing()
+        workload = store.workload(campaign.fingerprint)
+        workload.cell_path(workload.keys()[0]).write_text("garbage")
+        stats = store.gc()  # no criteria, yet corruption still goes
+        assert stats.removed == 1
+        assert stats.kept == 1
+
+
+# ----------------------------------------------------------------------
+# sweep entry points: campaign= plumbing
+# ----------------------------------------------------------------------
+
+class TestSweepCaching:
+    VOLTS = [0.015, 0.02]
+
+    def test_sweep_iv_reruns_entirely_from_cache(
+        self, set_circuit, tmp_path
+    ):
+        store = tmp_path / "store"
+        kwargs = dict(
+            config=CONFIG, jumps_per_point=JUMPS, chunks=2,
+            campaign=store,
+        )
+        with telemetry.session(trace=False) as reg:
+            first = sweep_iv(set_circuit, self.VOLTS, **kwargs)
+            assert reg.peek_counter("campaign.cells_computed") == 2
+        with telemetry.session(trace=False) as reg:
+            again = sweep_iv(set_circuit, self.VOLTS, **kwargs)
+            assert reg.peek_counter("campaign.cells_computed") == 0
+            assert reg.peek_counter("campaign.cell_hits") == 2
+        assert np.array_equal(first.currents, again.currents)
+        assert first.event_hash is not None
+        assert again.event_hash == first.event_hash
+
+    def test_sweep_map_caches_gate_rows(self, set_circuit, tmp_path):
+        store = tmp_path / "store"
+        kwargs = dict(
+            config=CONFIG, jumps_per_point=100, campaign=store,
+        )
+        first = sweep_map(
+            set_circuit, [0.015, 0.02], [0.0, 0.001], **kwargs
+        )
+        with telemetry.session(trace=False) as reg:
+            again = sweep_map(
+                set_circuit, [0.015, 0.02], [0.0, 0.001], **kwargs
+            )
+            assert reg.peek_counter("campaign.cells_computed") == 0
+            assert reg.peek_counter("campaign.cell_hits") == 2  # per row
+        assert np.array_equal(first.currents, again.currents)
+
+    def test_ensemble_growth_reuses_existing_replicas(
+        self, set_circuit, tmp_path
+    ):
+        store = tmp_path / "store"
+        kwargs = dict(
+            config=CONFIG, jumps_per_point=100, campaign=store,
+        )
+        small = ensemble_iv(set_circuit, self.VOLTS, 2, **kwargs)
+        with telemetry.session(trace=False) as reg:
+            grown = ensemble_iv(set_circuit, self.VOLTS, 3, **kwargs)
+            # replica seeds are position-spawned, so the first two
+            # replicas are byte-identical payloads: cache hits
+            assert reg.peek_counter("campaign.cell_hits") == 2
+            assert reg.peek_counter("campaign.cells_computed") == 1
+        assert np.array_equal(
+            grown.replica_currents[:2], small.replica_currents
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI round trip
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def sweep_deck(tmp_path):
+    deck = tmp_path / "probe.deck"
+    deck.write_text(
+        "junc 1 1 4 1e-6 1e-18\n"
+        "junc 2 2 4 1e-6 1e-18\n"
+        "cap 3 4 3e-18\n"
+        "vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\n"
+        "symm 1\n"
+        "num j 2\nnum ext 3\nnum nodes 4\n"
+        "temp 5\n"
+        "record 1 2 2\n"
+        "jumps 150 1\n"
+        "sweep 2 0.02 0.02\n"
+    )
+    return deck
+
+
+class TestCampaignCli:
+    def _identity(self, sweep_deck, store):
+        return [
+            str(sweep_deck), "--param", "2=0:0.01:3", "--replicas", "2",
+            "--jumps", "150", "--seed", "5", "--store", str(store),
+        ]
+
+    def test_run_status_results_gc_round_trip(
+        self, sweep_deck, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        store = tmp_path / "store"
+        identity = self._identity(sweep_deck, store)
+
+        assert main(["campaign", "status", *identity]) == 0
+        assert "0/6" in capsys.readouterr().out
+
+        assert main(["campaign", "run", *identity, "--no-ledger"]) == 0
+        captured = capsys.readouterr()
+        assert "0 cached + 6 computed" in captured.out
+        assert "combined event hash:" in captured.out
+        first_hash = [
+            line for line in captured.out.splitlines()
+            if "combined event hash:" in line
+        ][0]
+
+        # the second run is entirely served from the store
+        assert main(["campaign", "run", *identity, "--no-ledger"]) == 0
+        captured = capsys.readouterr()
+        assert "6 cached + 0 computed" in captured.out
+        assert first_hash in captured.out
+        assert "campaign cache: 6 cached, 0 computed" in captured.err
+
+        assert main(["campaign", "status", *identity]) == 0
+        assert "6/6" in capsys.readouterr().out
+
+        out = tmp_path / "grid.npz"
+        assert main([
+            "campaign", "results", *identity, "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        with np.load(out) as data:
+            assert data["currents"].shape == (3, 2)
+            assert np.array_equal(data["axis_2"], [0.0, 0.005, 0.01])
+
+        # retention: nothing to remove under the current code version
+        assert main([
+            "campaign", "gc", "--store", str(store), "--keep-current-code",
+        ]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_bad_param_spec_is_a_clean_error(
+        self, sweep_deck, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        code = main([
+            "campaign", "status", str(sweep_deck),
+            "--param", "nonsense", "--store", str(tmp_path / "s"),
+        ])
+        assert code == 1
+        assert "--param" in capsys.readouterr().err
+
+    def test_unknown_dimension_names_the_sources(
+        self, sweep_deck, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        code = main([
+            "campaign", "status", str(sweep_deck),
+            "--param", "bogus=0:1:3", "--store", str(tmp_path / "s"),
+        ])
+        assert code == 1
+        assert "matches no source" in capsys.readouterr().err
+
+    def test_run_deck_with_campaign_store(
+        self, sweep_deck, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        store = tmp_path / "store"
+        args = [
+            "run", str(sweep_deck), "--campaign", str(store), "--no-ledger",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "campaign cache:" in first.err
+        assert ", 0 computed" not in first.err
+
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert "0 computed" in second.err
+        # the CSV on stdout is bit-identical to the first run's
+        assert second.out.splitlines()[: len(first.out.splitlines())] \
+            == first.out.splitlines()

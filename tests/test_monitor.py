@@ -108,6 +108,7 @@ class TestLedger:
         assert record["event_hash"] == curve.event_hash
         assert record["counters"] == {
             "resume_hits": 0, "shards_retried": 0, "pool_rebuilds": 0,
+            "cell_hits": 0, "cells_computed": 0,
         }
         assert record["run_id"] and record["fingerprint"]
         assert record["code_version"].startswith("1.")
@@ -167,6 +168,95 @@ class TestLedger:
         )
         assert shorter != base
         assert fingerprint_circuit(circuit) == fingerprint_circuit(build_set())
+
+    def test_fingerprint_extra_parts_extend_identity(self):
+        circuit = build_set()
+        base = fingerprint_workload(
+            circuit, CONFIG, kind="campaign", jumps_per_point=JUMPS,
+        )
+        # an empty extra leaves historical fingerprints unchanged
+        assert base == fingerprint_workload(
+            circuit, CONFIG, kind="campaign", jumps_per_point=JUMPS,
+            extra=(),
+        )
+        extended = fingerprint_workload(
+            circuit, CONFIG, kind="campaign", jumps_per_point=JUMPS,
+            extra=("solver=adaptive",),
+        )
+        assert extended != base
+
+
+# ----------------------------------------------------------------------
+# ledger robustness: concurrent appends, no-$HOME fallback
+# ----------------------------------------------------------------------
+
+def _hammer_ledger(path, writer, n):
+    ledger = Ledger(path)
+    for i in range(n):
+        # padding widens the window a buffered writer would tear in
+        ledger.append({"writer": writer, "i": i, "pad": "x" * 512})
+
+
+class TestLedgerRobustness:
+    def test_concurrent_appends_interleave_whole_lines(self, tmp_path):
+        import multiprocessing
+
+        path = tmp_path / "ledger.jsonl"
+        writers, per_writer = 4, 40
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(target=_hammer_ledger, args=(str(path), w, per_writer))
+            for w in range(writers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(60.0)
+            assert proc.exitcode == 0
+        # every line must parse — concurrent appends may interleave
+        # *lines* but never bytes within a line
+        lines = path.read_text().splitlines()
+        assert len(lines) == writers * per_writer
+        records = [json.loads(line) for line in lines]
+        for w in range(writers):
+            seen = [r["i"] for r in records if r["writer"] == w]
+            assert sorted(seen) == list(range(per_writer))
+
+    def test_default_paths_fall_back_without_home(self, monkeypatch, tmp_path):
+        from pathlib import Path as _Path
+
+        from repro.campaign.store import default_campaign_root
+        from repro.monitor.ledger import default_ledger_path, repro_cache_dir
+
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_CAMPAIGN_DIR", raising=False)
+        monkeypatch.delenv("HOME", raising=False)
+
+        def _no_home():
+            raise RuntimeError("Could not determine home directory.")
+
+        monkeypatch.setattr(_Path, "home", staticmethod(_no_home))
+        assert repro_cache_dir() == _Path(".repro")
+        assert default_ledger_path() == _Path(".repro") / "ledger.jsonl"
+        # the campaign store shares the same resolution (satellite 2)
+        assert default_campaign_root() == _Path(".repro") / "campaigns"
+        # a degenerate root home gets the same treatment
+        monkeypatch.setattr(_Path, "home", staticmethod(lambda: _Path("/")))
+        assert repro_cache_dir() == _Path(".repro")
+        # ...while a usable home keeps the historical location
+        monkeypatch.setattr(
+            _Path, "home", staticmethod(lambda: tmp_path / "user")
+        )
+        assert repro_cache_dir() == tmp_path / "user" / ".cache" / "repro"
+        # env overrides beat everything, even with no home
+        monkeypatch.setattr(_Path, "home", staticmethod(_no_home))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert repro_cache_dir() == tmp_path / "cache"
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "l.jsonl"))
+        assert default_ledger_path() == tmp_path / "l.jsonl"
+        monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path / "camp"))
+        assert default_campaign_root() == tmp_path / "camp"
 
 
 # ----------------------------------------------------------------------

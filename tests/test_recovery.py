@@ -166,6 +166,49 @@ class TestCheckpointStore:
                 checkpoint=CheckpointStore(tmp_path, resume=True),
             )
 
+    def test_fingerprint_mismatch_names_payload_change(self, tmp_path):
+        # same interpreter, different payloads: the message must blame
+        # the workload, not the environment
+        store = CheckpointStore(tmp_path)
+        execute_shards(_double, [1, 2, 3], jobs=1, checkpoint=store)
+        with pytest.raises(RecoveryError, match="workload itself changed"):
+            execute_shards(
+                _double, [1, 2, 4], jobs=1,
+                checkpoint=CheckpointStore(tmp_path, resume=True),
+            )
+
+    def test_fingerprint_mismatch_names_version_skew(self, tmp_path):
+        import json
+
+        store = CheckpointStore(tmp_path)
+        execute_shards(_double, [1, 2, 3], jobs=1, checkpoint=store)
+        # simulate a manifest written by another interpreter/numpy: the
+        # fingerprint cannot match, and the diagnostic must say why
+        data = json.loads(store.manifest_path.read_text())
+        data["meta"]["python"] = "3.0.0"
+        data["meta"]["numpy"] = "0.1"
+        data["fingerprint"] = "0" * len(data["fingerprint"])
+        store.manifest_path.write_text(json.dumps(data))
+        with pytest.raises(
+            RecoveryError, match=r"version skew \(python 3\.0\.0 -> "
+        ):
+            execute_shards(
+                _double, [1, 2, 3], jobs=1,
+                checkpoint=CheckpointStore(tmp_path, resume=True),
+            )
+
+    def test_manifest_records_environment_versions(self, tmp_path):
+        import json
+        import platform
+
+        import numpy as np
+
+        store = CheckpointStore(tmp_path)
+        execute_shards(_double, [1, 2], jobs=1, checkpoint=store)
+        meta = json.loads(store.manifest_path.read_text())["meta"]
+        assert meta["python"] == platform.python_version()
+        assert meta["numpy"] == np.__version__
+
     def test_shard_count_mismatch_rejected(self, tmp_path):
         store = CheckpointStore(tmp_path)
         execute_shards(_double, [1, 2, 3], jobs=1, checkpoint=store)
