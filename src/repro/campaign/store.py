@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterator
 
 from repro.errors import CampaignError, RecoveryError
+from repro.ioutil import write_atomic_text
 from repro.monitor.ledger import (
     _detect_code_version,
     fingerprint_workload,
@@ -229,14 +230,7 @@ class WorkloadStore:
         )
 
     def _write_atomic(self, path: Path, text: str) -> None:
-        tmp = path.with_name(path.name + ".tmp")
-        try:
-            tmp.write_text(text, encoding="utf-8")
-            os.replace(tmp, path)
-        except OSError as exc:
-            raise CampaignError(
-                f"cannot write campaign cell {path}: {exc}"
-            ) from exc
+        write_atomic_text(path, text, error=CampaignError)
 
 
 class CampaignStore:

@@ -28,7 +28,7 @@ from repro.circuit.circuit import Circuit
 from repro.circuit.components import NodeRef
 from repro.constants import E_CHARGE
 from repro.errors import CircuitError
-from repro.static import array_contract, hot
+from repro.static import array_contract, hot, units
 
 #: Circuits up to this many islands use the dense inverse backend.
 DENSE_LIMIT_DEFAULT = 1200
@@ -176,6 +176,7 @@ class Electrostatics:
         """The Maxwell capacitance matrix over islands (dense copy)."""
         return self._cmat.toarray()
 
+    @units("-> 1/F")
     def cinv_column(self, island: int) -> np.ndarray:
         """Column ``island`` of ``C^-1`` (cached in the sparse backend)."""
         if self._cinv is not None:
@@ -188,6 +189,7 @@ class Electrostatics:
             self._column_cache[island] = col
         return col
 
+    @units("-> 1/F")
     def cinv_entry(self, row: int, col: int) -> float:
         """Single entry of ``C^-1``."""
         if self._cinv is not None:
@@ -198,11 +200,13 @@ class Electrostatics:
     # potentials
     # ------------------------------------------------------------------
     @hot
+    @units("occupation: 1 -> C")
     @array_contract(occupation="(n_islands,) int64", out="(n_islands,) float64")
     def island_charges(self, occupation: np.ndarray) -> np.ndarray:
         """Total island charge ``q = -e*n + q0`` for integer occupations."""
         return -E_CHARGE * occupation + self._q0
 
+    @units("occupation: 1, vext: V -> V")
     @array_contract(
         occupation="(n_islands,) int64",
         vext="(n_external,) float64",
@@ -215,6 +219,7 @@ class Electrostatics:
             return self._cinv @ rhs
         return self._lu.solve(rhs)
 
+    @units("v_islands: V, vext: V -> V")
     def node_potential(
         self, ref: NodeRef, v_islands: np.ndarray, vext: np.ndarray
     ) -> float:
@@ -226,6 +231,7 @@ class Electrostatics:
     # ------------------------------------------------------------------
     # free energy and updates
     # ------------------------------------------------------------------
+    @units("-> 1/F")
     def charging_coefficient(self, ref_a: NodeRef, ref_b: NodeRef) -> float:
         """``K_aa - 2 K_ab + K_bb`` with lead entries taken as zero.
 
@@ -241,6 +247,7 @@ class Electrostatics:
             total -= 2.0 * self.cinv_entry(ref_a.index, ref_b.index)
         return total
 
+    @units("v_islands: V, vext: V, dq: C -> J")
     @array_contract(
         v_islands="(n_islands,) float64",
         vext="(n_external,) float64",
@@ -266,6 +273,7 @@ class Electrostatics:
         )
 
     @hot
+    @units("dq: C -> V")
     @array_contract(out="(n_islands,) float64")
     def potential_update(
         self, ref_a: NodeRef, ref_b: NodeRef, dq: float = -E_CHARGE
@@ -283,6 +291,7 @@ class Electrostatics:
             dv += dq * self.cinv_column(ref_b.index)
         return dv
 
+    @units("dvext: V -> V")
     @array_contract(dvext="(n_external,) float64", out="(n_islands,) float64")
     def source_potential_update(self, dvext: np.ndarray) -> np.ndarray:
         """Island potential change caused by a source-voltage change.
@@ -298,6 +307,7 @@ class Electrostatics:
     # ------------------------------------------------------------------
     # total energy (used by tests and the master-equation solver)
     # ------------------------------------------------------------------
+    @units("occupation: 1, vext: V -> J")
     def total_free_energy(self, occupation: np.ndarray, vext: np.ndarray) -> float:
         """Island free energy of a charge configuration, up to a
         state-independent constant.

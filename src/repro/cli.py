@@ -281,8 +281,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser(
         "check",
-        help="unified static analysis: repository, determinism, array "
-             "and hot-loop rules over the simulator sources",
+        help="unified static analysis: repository, determinism, array, "
+             "hot-loop, numerical-stability and dimensional rules over "
+             "the simulator sources",
     )
     check.add_argument(
         "paths", type=Path, nargs="*",
@@ -311,6 +312,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-baseline", type=Path, default=None, metavar="FILE",
         help="write the fingerprints of every current finding to FILE "
              "and exit 0",
+    )
+    check.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="analyse modules with N worker processes (0 = one per "
+             "CPU core; default: 1, serial)",
+    )
+    check.add_argument(
+        "--changed", action="store_true",
+        help="report findings only for modules changed per git status "
+             "plus everything that transitively depends on them",
+    )
+    check.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="incremental-analysis cache directory (default: the "
+             "shared repro cache under ~/.cache/repro/static)",
+    )
+    check.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental cache and re-analyse every module",
     )
 
     report = sub.add_parser(
@@ -802,11 +822,45 @@ def _cmd_sanitize(args) -> int:
     return report.exit_code
 
 
+def _changed_python_files(anchor: Path) -> list[str]:
+    """Locally modified ``.py`` files per ``git status`` near ``anchor``."""
+    import subprocess
+
+    base = anchor if anchor.is_dir() else anchor.parent
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"], cwd=base,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=base,
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as exc:
+        raise SimulationError(
+            f"--changed needs a git checkout around {base}: {exc}"
+        ) from exc
+    files: list[str] = []
+    for line in status.splitlines():
+        if len(line) < 4:
+            continue
+        path = line[3:]
+        if " -> " in path:  # rename: report the new location
+            path = path.split(" -> ", 1)[1]
+        path = path.strip().strip('"')
+        if path.endswith(".py"):
+            files.append(str(Path(top) / path))
+    return files
+
+
 def _cmd_check(args) -> int:
+    import os
+
     from repro.static import (
         check_paths,
         code_table,
         default_root,
+        default_static_cache_root,
         load_baseline,
         report_as_json,
         report_as_sarif,
@@ -825,7 +879,27 @@ def _cmd_check(args) -> int:
     baseline = None
     if args.baseline is not None:
         baseline = load_baseline(args.baseline)
-    report = check_paths(paths, select=select, baseline=baseline)
+    jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
+    if jobs < 1:
+        raise SimulationError(f"--jobs must be >= 0, got {args.jobs}")
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = (
+            args.cache_dir if args.cache_dir is not None
+            else default_static_cache_root()
+        )
+    changed = _changed_python_files(paths[0]) if args.changed else None
+    report = check_paths(
+        paths, select=select, baseline=baseline, jobs=jobs,
+        cache_dir=cache_dir, changed=changed,
+    )
+    if report.baseline_legacy_matches:
+        print(
+            f"note: {report.baseline_legacy_matches} baseline entries "
+            "matched only by deprecated line-number fingerprints; re-run "
+            "--write-baseline to upgrade the baseline file",
+            file=sys.stderr,
+        )
     if args.write_baseline is not None:
         write_baseline(report, args.write_baseline)
         print(

@@ -1,0 +1,34 @@
+"""Small shared I/O primitives.
+
+Currently one: the atomic text-write codec introduced for the campaign
+store's content-addressed cells (write to a sibling ``.tmp`` file, then
+``os.replace`` into place so readers never observe a torn write).  The
+static-analysis summary cache persists with the same codec, so the
+implementation lives here where both can import it without pulling in
+either package's heavier dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def write_atomic_text(
+    path: Path,
+    text: str,
+    *,
+    error: type[Exception] = OSError,
+) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    On failure raises ``error`` (a caller-supplied exception class, so
+    each subsystem keeps its own error taxonomy) chained to the OS
+    error.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise error(f"cannot write {path}: {exc}") from exc

@@ -14,7 +14,7 @@ from repro.circuit.electrostatics import Electrostatics
 from repro.circuit.junction_table import JunctionTable
 from repro.constants import E_CHARGE
 from repro.physics.rates import TunnelingModel
-from repro.static import array_contract
+from repro.static import array_contract, units
 
 
 @dataclasses.dataclass(frozen=True)
@@ -50,6 +50,7 @@ def _transfer(ref_a, ref_b, n_electrons: int) -> tuple[tuple[int, int], ...]:
     return tuple(sorted(changes.items()))
 
 
+@units("occupation: 1, vext: V")
 @array_contract(occupation="(n_islands,) int64", vext="(n_external,) float64")
 def enumerate_transitions(
     stat: Electrostatics,

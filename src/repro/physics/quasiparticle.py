@@ -34,7 +34,7 @@ from repro.errors import PhysicsError
 from repro.physics.bcs import reduced_dos
 from repro.physics.fermi import fermi
 from repro.physics.orthodox import orthodox_rate
-from repro.static import array_contract, hot
+from repro.static import array_contract, hot, units
 
 #: Gauss-Legendre order used on every integration (sub)segment.
 _GL_ORDER = 64
@@ -43,6 +43,7 @@ _GL_NODES, _GL_WEIGHTS = np.polynomial.legendre.leggauss(_GL_ORDER)
 _THERMAL_WINDOW = 45.0
 
 
+@units("e: J, dw: J, delta1: J, delta2: J, temperature: K -> 1")
 @array_contract(e="any float64", out="any float64")
 def _integrand(e: np.ndarray, dw: float, delta1: float, delta2: float,
                temperature: float) -> np.ndarray:
@@ -73,6 +74,7 @@ def _sqrt_segment(edge: float, other: float, func) -> float:
     return 0.5 * float(np.sum(_GL_WEIGHTS * values))
 
 
+@units("dw: J, resistance: ohm, delta1: J, delta2: J, temperature: K -> 1/s")
 @array_contract(dw="() float64", out="() float64")
 def qp_rate(dw: float, resistance: float, delta1: float, delta2: float,
             temperature: float) -> float:
@@ -125,6 +127,8 @@ def qp_rate(dw: float, resistance: float, delta1: float, delta2: float,
     return total / (E_CHARGE * E_CHARGE * resistance)
 
 
+@units("voltage: V, resistance: ohm, delta1: J, delta2: J, "
+       "temperature: K -> A")
 def qp_current(voltage: float, resistance: float, delta1: float, delta2: float,
                temperature: float) -> float:
     """Quasi-particle I-V of a single voltage-biased junction (Eq. 3).
@@ -147,6 +151,8 @@ class QuasiparticleRateTable:
     far above), which the tests check against direct quadrature.
     """
 
+    @units("resistance: ohm, delta1: J, delta2: J, temperature: K, "
+           "dw_max: J")
     def __init__(
         self,
         resistance: float,
@@ -180,6 +186,7 @@ class QuasiparticleRateTable:
         )
 
     @hot
+    @units("dw: J -> 1/s")
     @array_contract(dw="any float64", out="any float64")
     def __call__(self, dw):
         """Interpolated rate; accepts scalars or arrays."""

@@ -8,7 +8,7 @@ promoted from the determinism sanitizer
 with stable codes and severities (:mod:`repro.static.model`) and
 text/JSON/SARIF emitters (:mod:`repro.static.emit`).
 
-Four rule families run on the core:
+Six rule families run on the core:
 
 * ``REPRO00x`` repository style rules (:mod:`repro.static.repo`,
   historically ``tools/check_source.py``);
@@ -19,7 +19,15 @@ Four rule families run on the core:
   kernels annotated with :func:`array_contract`
   (:mod:`repro.static.arr`);
 * ``PERF0xx`` hot-loop hygiene over kernels marked :func:`hot` or
-  :func:`lowerable` (:mod:`repro.static.perf`).
+  :func:`lowerable` (:mod:`repro.static.perf`);
+* ``NUM0xx`` numerical stability — overflow-prone ``exp``,
+  cancellation shapes, float32 accumulation, with recognisers for the
+  repo's own guard idioms (:mod:`repro.static.numstab`);
+* ``UNIT0xx`` dimensional analysis — an interprocedural abstract
+  interpreter over an SI dimension lattice, driven by
+  :func:`units` contracts and callgraph-ordered function summaries
+  (:mod:`repro.static.unitcheck`, scheduled by
+  :mod:`repro.static.summaries`).
 
 A finding is waived for one line with a trailing ``# repro:
 allow[CODE] justification`` comment (the legacy ``# dsan: allow[...]``
@@ -27,8 +35,8 @@ and blanket ``# repro-lint: allow`` forms stay honoured); waivers that
 suppress nothing are themselves reported as ``W000``.
 
 The contract decorators (:func:`array_contract`, :func:`hot`,
-:func:`lowerable`) are zero-cost at runtime — they only attach parsed
-metadata — so kernels import them freely.  Everything else in this
+:func:`lowerable`, :func:`units`) are zero-cost at runtime — they only
+attach parsed metadata — so kernels import them freely.  Everything else in this
 package is loaded lazily (PEP 562) to keep kernel import time flat.
 """
 
@@ -43,6 +51,14 @@ from repro.static.contracts import (
     hot,
     lowerable,
     parse_spec,
+    units,
+)
+from repro.static.dimensions import (
+    Dimension,
+    UnitContract,
+    format_dimension,
+    parse_unit,
+    parse_units_spec,
 )
 
 #: Analysis-side names resolved lazily (PEP 562): the engine pulls in
@@ -59,6 +75,10 @@ _LAZY_EXPORTS = {
     "default_root": "repro.static.engine",
     "load_baseline": "repro.static.engine",
     "write_baseline": "repro.static.engine",
+    "PASS_NAMES": "repro.static.engine",
+    "StaticCache": "repro.static.summaries",
+    "default_static_cache_root": "repro.static.summaries",
+    "run_units": "repro.static.summaries",
     "code_table": "repro.static.emit",
     "report_as_json": "repro.static.emit",
     "report_as_sarif": "repro.static.emit",
@@ -80,19 +100,29 @@ __all__ = [
     "ArrayContract",
     "ArraySpec",
     "Diagnostic",
+    "Dimension",
+    "PASS_NAMES",
     "STATIC_CODES",
     "Severity",
+    "StaticCache",
     "StaticCode",
     "StaticReport",
+    "UnitContract",
     "array_contract",
     "check_paths",
     "code_table",
     "default_root",
+    "default_static_cache_root",
+    "format_dimension",
     "hot",
     "load_baseline",
     "lowerable",
     "parse_spec",
+    "parse_unit",
+    "parse_units_spec",
     "report_as_json",
     "report_as_sarif",
+    "run_units",
+    "units",
     "write_baseline",
 ]

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import ast
 import dataclasses
-from typing import Iterator
 
 from repro.static.source import ModuleSource
 from repro.static.visitors import call_name, last_attr
@@ -44,7 +43,18 @@ class FunctionNode:
 
 
 class CallGraph:
-    """Name-keyed call graph over a set of parsed modules."""
+    """Name-keyed call graph over a set of parsed modules.
+
+    Besides the function-level facts the DET rules consume, the graph
+    condenses to a *module* dependency graph for the summary engine:
+    module A depends on module B when A calls a bare name that B
+    defines (as a function, or as a class — constructor calls resolve
+    to the class's ``__init__`` summary).  :meth:`module_sccs` orders
+    the modules dependencies-first with cycles collapsed, which is the
+    schedule for callgraph-ordered summary computation, and
+    :meth:`dependents_of` is the reverse closure behind ``repro check
+    --changed`` and transitive cache invalidation.
+    """
 
     def __init__(self, modules: list[ModuleSource]):
         #: bare name -> definitions sharing it
@@ -53,39 +63,160 @@ class CallGraph:
         self.calls: dict[str, set[str]] = {}
         #: bare names of functions passed to a pool submission call
         self.worker_entries: set[str] = set()
+        #: relpath -> bare names this module defines at any level
+        #: (functions *and* classes: summary providers)
+        self.provides: dict[str, set[str]] = {}
+        #: relpath -> bare names called anywhere in the module
+        self.module_calls: dict[str, set[str]] = {}
+        self.relpaths: list[str] = [m.relpath for m in modules]
         for module in modules:
             self._scan_module(module)
         self.worker_entries |= IMPLICIT_WORKER_ENTRIES & set(self.definitions)
+        #: bare name -> relpaths providing a definition of it
+        self._providers: dict[str, list[str]] = {}
+        for relpath, names in self.provides.items():
+            for name in names:
+                self._providers.setdefault(name, []).append(relpath)
 
     # ------------------------------------------------------------------
     def _scan_module(self, module: ModuleSource) -> None:
-        for qualname, func in _iter_functions(module.tree):
-            node = FunctionNode(
-                relpath=module.relpath,
-                qualname=qualname,
-                name=func.name,
-                lineno=func.lineno,
-                node=func,
-            )
-            self.definitions.setdefault(func.name, []).append(node)
-            callees = self.calls.setdefault(func.name, set())
-            for call in _direct_calls(func, skip_functions=True):
-                name = call_name(call)
-                if name is None:
+        """One walk per module: definitions, per-function call edges,
+        module-wide called names and pool submissions all in a single
+        traversal (this is the hot loop of ``load_context``)."""
+        provides = self.provides.setdefault(module.relpath, set())
+        called = self.module_calls.setdefault(module.relpath, set())
+        # (node, qualname prefix, innermost enclosing function name)
+        stack: list[tuple[ast.AST, str, str | None]] = [
+            (module.tree, "", None)
+        ]
+        while stack:
+            node, prefix, func = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    qualname = f"{prefix}{child.name}"
+                    self.definitions.setdefault(child.name, []).append(
+                        FunctionNode(
+                            relpath=module.relpath,
+                            qualname=qualname,
+                            name=child.name,
+                            lineno=child.lineno,
+                            node=child,
+                        )
+                    )
+                    provides.add(child.name)
+                    self.calls.setdefault(child.name, set())
+                    stack.append(
+                        (child, f"{qualname}.<locals>.", child.name)
+                    )
                     continue
-                callees.add(last_attr(name))
-                if last_attr(name) in POOL_SUBMISSION_CALLS and call.args:
-                    entry = _callable_bare_name(call.args[0])
-                    if entry is not None:
-                        self.worker_entries.add(entry)
-        # module-level pool submissions count too
-        for call in _direct_calls(module.tree, skip_functions=True):
-            name = call_name(call)
-            if name is not None and last_attr(name) in POOL_SUBMISSION_CALLS \
-                    and call.args:
-                entry = _callable_bare_name(call.args[0])
-                if entry is not None:
-                    self.worker_entries.add(entry)
+                if isinstance(child, ast.ClassDef):
+                    provides.add(child.name)
+                    stack.append((child, f"{prefix}{child.name}.", None))
+                    continue
+                if isinstance(child, ast.Lambda):
+                    # calls inside a lambda belong to no named function
+                    stack.append((child, prefix, None))
+                    continue
+                if isinstance(child, ast.Call):
+                    name = call_name(child)
+                    if name is not None:
+                        bare = last_attr(name)
+                        called.add(bare)
+                        if func is not None:
+                            self.calls[func].add(bare)
+                        if bare in POOL_SUBMISSION_CALLS and child.args:
+                            entry = _callable_bare_name(child.args[0])
+                            if entry is not None:
+                                self.worker_entries.add(entry)
+                stack.append((child, prefix, func))
+
+    # ------------------------------------------------------------------
+    # module dependency graph (summary engine schedule)
+    # ------------------------------------------------------------------
+
+    def providers_of(self, name: str) -> list[str]:
+        """Relpaths of modules defining ``name`` (function or class)."""
+        return self._providers.get(name, [])
+
+    def module_deps(self) -> dict[str, set[str]]:
+        """Relpath -> relpaths it depends on (self-edges dropped)."""
+        deps: dict[str, set[str]] = {}
+        for relpath in self.relpaths:
+            wanted: set[str] = set()
+            for name in self.module_calls.get(relpath, ()):
+                wanted.update(self._providers.get(name, ()))
+            wanted.discard(relpath)
+            deps[relpath] = wanted
+        return deps
+
+    def module_sccs(self) -> list[tuple[str, ...]]:
+        """Strongly connected components of the module graph, ordered
+        dependencies-first (Tarjan, iterative)."""
+        deps = self.module_deps()
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[tuple[str, ...]] = []
+        counter = 0
+        for start in self.relpaths:
+            if start in index:
+                continue
+            # iterative Tarjan: (node, iterator over successors)
+            work = [(start, iter(sorted(deps.get(start, ()))))]
+            index[start] = lowlink[start] = counter
+            counter += 1
+            stack.append(start)
+            on_stack.add(start)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter
+                        counter += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(deps.get(succ, ())))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    sccs.append(tuple(sorted(component)))
+        return sccs
+
+    def dependents_of(self, changed: set[str]) -> set[str]:
+        """``changed`` plus every module transitively depending on one
+        of them — the re-analysis set after an edit."""
+        reverse: dict[str, set[str]] = {r: set() for r in self.relpaths}
+        for relpath, wanted in self.module_deps().items():
+            for dep in wanted:
+                reverse.setdefault(dep, set()).add(relpath)
+        seen = set(changed) & set(self.relpaths)
+        frontier = list(seen)
+        while frontier:
+            current = frontier.pop()
+            for dependent in reverse.get(current, ()):
+                if dependent not in seen:
+                    seen.add(dependent)
+                    frontier.append(dependent)
+        return seen
 
     # ------------------------------------------------------------------
     def worker_reachable(self) -> frozenset[str]:
@@ -130,42 +261,6 @@ class CallGraph:
 # ----------------------------------------------------------------------
 # AST walking helpers
 # ----------------------------------------------------------------------
-
-def _iter_functions(
-    tree: ast.Module,
-) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
-    """Yield ``(qualname, function_node)`` for every def."""
-    stack: list[tuple[ast.AST, str]] = [(tree, "")]
-    while stack:
-        node, prefix = stack.pop()
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                qualname = f"{prefix}{child.name}"
-                yield qualname, child
-                stack.append((child, f"{qualname}.<locals>."))
-            elif isinstance(child, ast.ClassDef):
-                stack.append((child, f"{prefix}{child.name}."))
-            else:
-                # other statements can still nest defs (`if`, `with`)
-                stack.append((child, prefix))
-
-
-def _direct_calls(
-    scope: ast.AST, skip_functions: bool = False
-) -> Iterator[ast.Call]:
-    """Every ``Call`` under ``scope``; optionally without descending
-    into nested function bodies (their calls belong to that function)."""
-    stack = list(ast.iter_child_nodes(scope))
-    while stack:
-        node = stack.pop()
-        if skip_functions and isinstance(
-            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
-        ):
-            continue
-        if isinstance(node, ast.Call):
-            yield node
-        stack.extend(ast.iter_child_nodes(node))
-
 
 def _callable_bare_name(node: ast.expr) -> str | None:
     """Bare name of a callable reference (``worker`` / ``mod.worker``)."""

@@ -44,6 +44,7 @@ import re
 from typing import Callable, TypeVar
 
 from repro.errors import ContractError
+from repro.static.dimensions import UnitContract, parse_units_spec
 
 __all__ = [
     "ArrayContract",
@@ -52,6 +53,7 @@ __all__ = [
     "hot",
     "lowerable",
     "parse_spec",
+    "units",
 ]
 
 _F = TypeVar("_F", bound=Callable[..., object])
@@ -212,6 +214,49 @@ def _check_parameters(func: Callable[..., object],
         if name not in names:
             raise ContractError(
                 f"contract on {func.__qualname__}() names parameter "
+                f"{name!r}, which the function does not have"
+            )
+
+
+def units(spec: str) -> Callable[[_F], _F]:
+    """Declare the physical dimensions of a kernel's signature.
+
+    One string in the grammar of
+    :func:`repro.static.dimensions.parse_units_spec`::
+
+        @units("delta_w: J, resistance: ohm, temperature: K -> 1/s")
+        def orthodox_rate(delta_w, resistance, temperature):
+            ...
+
+    Zero-cost at runtime: the spec is parsed once at import time and
+    attached as ``__units__``; the ``UNIT0xx`` abstract interpreter
+    (:mod:`repro.static.unitcheck`) reads the same decorator back off the
+    AST and checks every use site — including calls from *other*
+    modules, through the function-summary engine — against it.
+    """
+    contract = parse_units_spec(spec)
+
+    def decorate(func: _F) -> _F:
+        _check_unit_parameters(func, contract)
+        func.__units__ = contract  # type: ignore[attr-defined]
+        return func
+
+    return decorate
+
+
+def _check_unit_parameters(func: Callable[..., object],
+                           contract: UnitContract) -> None:
+    """Fail at decoration time if the spec names unknown parameters."""
+    code = getattr(func, "__code__", None)
+    if code is None:
+        return
+    names = set(
+        code.co_varnames[: code.co_argcount + code.co_kwonlyargcount]
+    )
+    for name in sorted(contract.params):
+        if name not in names:
+            raise ContractError(
+                f"units contract on {func.__qualname__}() names parameter "
                 f"{name!r}, which the function does not have"
             )
 

@@ -1,0 +1,302 @@
+"""The physical-dimension lattice behind the ``UNIT0xx`` pass.
+
+A :class:`Dimension` is a vector of rational exponents over the seven
+SI base dimensions (kg, m, s, A, K, mol, cd).  Multiplication adds the
+vectors, division subtracts, powers scale — so derived-unit identities
+the physics relies on (``C^2 * ohm = J*s``, ``C/F = V``, ``C*V = J``)
+hold *exactly*, with no table of special cases.  The spec parser
+understands the derived units the simulator speaks (``J``, ``V``,
+``C``, ``F``, ``ohm``, ``Hz``, ``eV``, ...) and compositions of them
+(``J/K``, ``1/s``, ``C^2``, ``J*s``).
+
+Like :mod:`repro.static.contracts`, this module imports nothing
+heavier than the stdlib and :mod:`repro.errors`: the kernels pull it
+in at import time through the :func:`~repro.static.contracts.units`
+decorator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+from repro.errors import ContractError
+
+__all__ = [
+    "DIMENSIONLESS",
+    "Dimension",
+    "UnitContract",
+    "format_dimension",
+    "parse_unit",
+    "parse_units_spec",
+]
+
+#: The seven SI base dimensions, in canonical order.
+BASE_SYMBOLS = ("kg", "m", "s", "A", "K", "mol", "cd")
+
+_Vec = tuple[Fraction, ...]
+
+_ZERO: _Vec = (Fraction(0),) * 7
+
+
+def _base(symbol: str) -> _Vec:
+    index = BASE_SYMBOLS.index(symbol)
+    return tuple(
+        Fraction(1 if i == index else 0) for i in range(7)
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Dimension:
+    """A point of the dimension lattice: rational SI-base exponents."""
+
+    exponents: _Vec = _ZERO
+
+    def __mul__(self, other: "Dimension") -> "Dimension":
+        return Dimension(tuple(
+            a + b for a, b in zip(self.exponents, other.exponents)
+        ))
+
+    def __truediv__(self, other: "Dimension") -> "Dimension":
+        return Dimension(tuple(
+            a - b for a, b in zip(self.exponents, other.exponents)
+        ))
+
+    def __pow__(self, power: Fraction | int) -> "Dimension":
+        p = Fraction(power)
+        return Dimension(tuple(a * p for a in self.exponents))
+
+    @property
+    def is_dimensionless(self) -> bool:
+        return all(a == 0 for a in self.exponents)
+
+    def encode(self) -> str:
+        """Canonical serialisation (``kg:1,m:2,s:-2``; ``1`` if empty)."""
+        parts = [
+            f"{sym}:{exp}"
+            for sym, exp in zip(BASE_SYMBOLS, self.exponents)
+            if exp != 0
+        ]
+        return ",".join(parts) or "1"
+
+    @classmethod
+    def decode(cls, text: str) -> "Dimension":
+        if text == "1":
+            return DIMENSIONLESS
+        exps = {sym: Fraction(0) for sym in BASE_SYMBOLS}
+        for part in text.split(","):
+            sym, _, exp = part.partition(":")
+            if sym not in exps:
+                raise ContractError(f"bad dimension encoding {text!r}")
+            exps[sym] = Fraction(exp)
+        return cls(tuple(exps[sym] for sym in BASE_SYMBOLS))
+
+    def __str__(self) -> str:
+        return format_dimension(self)
+
+
+DIMENSIONLESS = Dimension()
+
+_KG = Dimension(_base("kg"))
+_M = Dimension(_base("m"))
+_S = Dimension(_base("s"))
+_A = Dimension(_base("A"))
+_KELVIN = Dimension(_base("K"))
+_MOL = Dimension(_base("mol"))
+_CD = Dimension(_base("cd"))
+
+_J = _KG * _M * _M / (_S * _S)
+_W = _J / _S
+_C = _A * _S
+_V = _J / _C
+_F = _C / _V
+_OHM = _V / _A
+_HZ = DIMENSIONLESS / _S
+_N = _J / _M
+
+#: Every unit symbol the spec grammar accepts.
+UNIT_SYMBOLS: dict[str, Dimension] = {
+    "1": DIMENSIONLESS,
+    "kg": _KG,
+    "m": _M,
+    "s": _S,
+    "A": _A,
+    "K": _KELVIN,
+    "mol": _MOL,
+    "cd": _CD,
+    "J": _J,
+    "W": _W,
+    "C": _C,
+    "V": _V,
+    "F": _F,
+    "ohm": _OHM,
+    "Ohm": _OHM,
+    "Hz": _HZ,
+    "N": _N,
+    #: electron-volt — an energy *scale*, dimensionally a joule
+    "eV": _J,
+}
+
+#: Preferred names for pretty-printing, most specific first.
+_DISPLAY: tuple[tuple[str, Dimension], ...] = (
+    ("1", DIMENSIONLESS),
+    ("J", _J),
+    ("V", _V),
+    ("C", _C),
+    ("F", _F),
+    ("ohm", _OHM),
+    ("W", _W),
+    ("N", _N),
+    ("A", _A),
+    ("K", _KELVIN),
+    ("s", _S),
+    ("kg", _KG),
+    ("m", _M),
+    ("1/s", _HZ),
+    ("J/K", _J / _KELVIN),
+    ("J*s", _J * _S),
+    ("1/F", DIMENSIONLESS / _F),
+    ("V/s", _V / _S),
+    ("C^2", _C * _C),
+    ("J^2", _J * _J),
+    ("1/J", DIMENSIONLESS / _J),
+    ("A/V", _A / _V),
+)
+
+
+def format_dimension(dim: Dimension) -> str:
+    """Human-readable unit name: a derived symbol when one matches
+    exactly, otherwise the base-exponent product (``kg m^2 s^-2``)."""
+    for name, known in _DISPLAY:
+        if dim == known:
+            return name
+    parts = []
+    for sym, exp in zip(BASE_SYMBOLS, dim.exponents):
+        if exp == 0:
+            continue
+        parts.append(sym if exp == 1 else f"{sym}^{exp}")
+    return " ".join(parts) or "1"
+
+
+def parse_unit(text: str) -> Dimension:
+    """Parse one unit expression: symbols joined by ``*`` and ``/``,
+    each optionally raised with ``^`` to an integer or fractional
+    power (``J``, ``J/K``, ``1/s``, ``C^2``, ``J*s``, ``m^1/2``)."""
+    stripped = text.strip()
+    if not stripped:
+        raise ContractError("empty unit expression")
+    result = DIMENSIONLESS
+    divide = False
+    token = ""
+    # split on * and / while remembering which operator preceded
+    for piece, op in _tokenize(stripped):
+        token = piece.strip()
+        if not token:
+            raise ContractError(f"empty term in unit expression {text!r}")
+        factor = _parse_term(token, text)
+        result = result / factor if divide else result * factor
+        divide = op == "/"
+    return result
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    """``(term, following_operator)`` pairs; the last operator is ``""``."""
+    pairs: list[tuple[str, str]] = []
+    term = ""
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        # a '/' directly after '^' belongs to a fractional exponent
+        if ch in "*/" and not term.rstrip().endswith("^") \
+                and not _in_exponent(term):
+            pairs.append((term, ch))
+            term = ""
+        else:
+            term += ch
+        i += 1
+    pairs.append((term, ""))
+    return pairs
+
+
+def _in_exponent(term: str) -> bool:
+    """Is the parse position inside ``^p/q`` (so ``/`` is a fraction
+    bar, not a unit divide)?  True right after ``^<digits>``."""
+    idx = term.rfind("^")
+    if idx < 0:
+        return False
+    tail = term[idx + 1:].strip()
+    return bool(tail) and all(c.isdigit() or c == "-" for c in tail)
+
+
+def _parse_term(token: str, context: str) -> Dimension:
+    name, caret, power = token.partition("^")
+    name = name.strip()
+    if name not in UNIT_SYMBOLS:
+        raise ContractError(
+            f"unknown unit {name!r} in {context!r} "
+            f"(known: {', '.join(sorted(UNIT_SYMBOLS))})"
+        )
+    dim = UNIT_SYMBOLS[name]
+    if not caret:
+        return dim
+    try:
+        exponent = Fraction(power.strip().replace(" ", ""))
+    except (ValueError, ZeroDivisionError):
+        raise ContractError(
+            f"bad exponent {power!r} in unit expression {context!r}"
+        )
+    return dim ** exponent
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitContract:
+    """Parsed ``@units`` specification of one function.
+
+    ``params`` maps parameter names to their declared dimensions;
+    ``ret`` is the declared return dimension (``None`` when the spec
+    has no ``->`` clause).  ``text`` is the original spec string.
+    """
+
+    params: dict[str, Dimension]
+    ret: Dimension | None
+    text: str = ""
+
+    def param(self, name: str) -> Dimension | None:
+        return self.params.get(name)
+
+
+def parse_units_spec(text: str) -> UnitContract:
+    """Parse ``"delta_w: J, resistance: ohm, temperature: K -> 1/s"``.
+
+    Either side is optional: ``"-> J"`` declares only the return,
+    ``"energy: J"`` only a parameter.  Parameter names not mentioned
+    are unconstrained.
+    """
+    head, arrow, tail = text.partition("->")
+    ret: Dimension | None = None
+    if arrow:
+        if not tail.strip():
+            raise ContractError(f"empty return unit in spec {text!r}")
+        ret = parse_unit(tail)
+    params: dict[str, Dimension] = {}
+    head = head.strip()
+    if head:
+        for clause in head.split(","):
+            name, colon, unit = clause.partition(":")
+            name = name.strip()
+            if not colon or not name or not unit.strip():
+                raise ContractError(
+                    f"bad parameter clause {clause.strip()!r} in units "
+                    f"spec {text!r} (expected 'name: unit')"
+                )
+            if not name.isidentifier():
+                raise ContractError(
+                    f"bad parameter name {name!r} in units spec {text!r}"
+                )
+            if name in params:
+                raise ContractError(
+                    f"parameter {name!r} declared twice in units "
+                    f"spec {text!r}"
+                )
+            params[name] = parse_unit(unit)
+    return UnitContract(params=params, ret=ret, text=text.strip())

@@ -18,7 +18,8 @@ __all__ = ["code_table", "report_as_json", "report_as_sarif"]
 
 #: Order the domains render in — mirrors pass execution order.
 _DOMAIN_ORDER = (
-    "repository", "determinism", "array", "performance", "framework"
+    "repository", "determinism", "array", "performance", "numerics",
+    "units", "framework",
 )
 
 

@@ -13,6 +13,7 @@ table and the ``repro check --codes`` listing render from it.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 
 from repro.errors import SanitizerError
 from repro.lint.diagnostics import Severity
@@ -75,6 +76,11 @@ class Diagnostic:
     relpath: str = ""
     symbol: str | None = None
     witness: tuple[str, ...] = ()
+    #: the stripped source text of the finding's line — the
+    #: position-independent identity ``--baseline`` fingerprints hash,
+    #: so pure refactors (moving code around a file) don't churn
+    #: baseline files.  Attached by the engine after the passes run.
+    context: str = ""
 
     def format(self) -> str:
         where = f" [{self.symbol}]" if self.symbol else ""
@@ -96,10 +102,34 @@ class Diagnostic:
             "line": self.line,
             "symbol": self.symbol,
             "witness": list(self.witness),
+            "context": self.context,
         }
 
     def fingerprint(self) -> str:
-        """Stable identity used by ``--baseline`` files."""
+        """Stable identity used by ``--baseline`` files.
+
+        Hashes the finding's code context (its stripped source line),
+        not its position, so refactors that merely move code don't
+        invalidate baselines.  Two identical findings on textually
+        identical lines of one file share a fingerprint — acceptable
+        for a suppression list.  Falls back to the legacy positional
+        form when no context was attached.
+        """
+        if not self.context:
+            return self.legacy_fingerprint()
+        digest = hashlib.blake2b(
+            self.context.encode("utf-8"), digest_size=8
+        ).hexdigest()
+        return f"{self.relpath or self.path}:{self.code}:h{digest}"
+
+    def legacy_fingerprint(self) -> str:
+        """The pre-context positional identity (path:code:line).
+
+        Still accepted when matching ``--baseline`` files so existing
+        baselines keep working; ``--write-baseline`` emits the
+        context-hashed form, and the CLI notes when a baseline still
+        relies on deprecated positional entries.
+        """
         return f"{self.relpath or self.path}:{self.code}:{self.line}"
 
 
@@ -136,6 +166,14 @@ class StaticReport:
     files_scanned: int = 0
     #: findings suppressed by a ``--baseline`` file (still inspectable)
     baselined: tuple[Diagnostic, ...] = ()
+    #: modules actually (re-)analysed this run; differs from
+    #: ``files_scanned`` when the incremental summary cache served some
+    analyzed: int = -1
+    #: modules served entirely from the incremental cache
+    cached: int = 0
+    #: baselined findings matched only via their deprecated positional
+    #: fingerprint — the CLI suggests rewriting the baseline when > 0
+    baseline_legacy_matches: int = 0
 
     @property
     def max_severity(self) -> Severity | None:
@@ -167,9 +205,15 @@ class StaticReport:
             return 0
         return 1 if worst is Severity.WARNING else 2
 
+    def _cache_note(self) -> str:
+        if self.analyzed < 0:
+            return ""
+        return f", {self.cached} cached, {self.analyzed} analyzed"
+
     def summary(self) -> str:
         if not self.findings:
             text = f"clean ({self.files_scanned} files"
+            text += self._cache_note()
             if self.baselined:
                 text += f", {len(self.baselined)} baselined"
             return text + ")"
@@ -183,6 +227,7 @@ class StaticReport:
             if n:
                 counts.append(f"{n} {noun}{'s' if n != 1 else ''}")
         text = ", ".join(counts) + f" ({self.files_scanned} files"
+        text += self._cache_note()
         if self.baselined:
             text += f", {len(self.baselined)} baselined"
         return text + ")"

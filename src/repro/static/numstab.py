@@ -1,0 +1,522 @@
+"""``NUM0xx``: numerical-stability rules for the rate kernels.
+
+The orthodox-theory expressions this simulator evaluates —
+``dw / (1 - exp(-dw/kT))`` and friends — overflow, underflow or
+catastrophically cancel exactly in the regimes the adaptive solver
+exercises (deep Coulomb blockade: ``|dw| >> kT``).  The working
+kernels guard for this (range guards in :mod:`repro.physics.bcs`,
+masked ``expm1`` in :mod:`repro.physics.fermi`, the log-sum-exp shift
+in :mod:`repro.spice`); these rules flag re-introductions of the
+naive forms.
+
+========  ==========================================================
+code      meaning
+========  ==========================================================
+NUM001    ``exp`` of an unbounded-sign quantity without a clamp/guard
+NUM002    ``x / (exp(x) - 1)``-style cancellation (guarded kernel exists)
+NUM003    float ``==``/``!=`` on a computed expression
+NUM004    subtraction of two exponentials (catastrophic cancellation)
+NUM005    accumulation into a float32 buffer
+========  ==========================================================
+
+Guard recognition is deliberately conservative — a report means the
+pass *proved* no guard is present on any path it understands.  The
+recognised guard idioms: a literal or clipped argument, a mask
+subscript, ``expr - x.max()`` shifts (including a prior
+``name -= x.max()``), ``-abs(x)``, and a preceding range test of the
+argument against a numeric literal (``if arg > 500.0: return 0.0``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.diagnostics import Severity
+from repro.static.model import (
+    Diagnostic,
+    StaticCode,
+    diagnostic,
+    register_codes,
+)
+from repro.static.source import ModuleSource
+from repro.static.visitors import call_name, last_attr
+from repro.static.waivers import WaiverIndex
+
+__all__ = ["numstab_pass"]
+
+register_codes(
+    StaticCode(
+        "NUM001", Severity.WARNING,
+        "exp() of an unbounded-sign quantity without clamping",
+        "clamp or shift the argument first (np.clip, x - x.max(), a "
+        "range guard), or use the guarded kernel "
+        "(repro.physics.fermi.bose_weight / np.expm1 with a mask)",
+        domain="numerics",
+    ),
+    StaticCode(
+        "NUM002", Severity.WARNING,
+        "x/(exp(x)-1)-style cancellation",
+        "exp(x)-1 loses all precision near x=0; use np.expm1 or the "
+        "guarded bose_weight kernel in repro.physics.fermi",
+        domain="numerics",
+    ),
+    StaticCode(
+        "NUM003", Severity.WARNING,
+        "float equality on a computed expression",
+        "floating arithmetic is not exact; compare with a tolerance "
+        "(math.isclose / np.isclose) or restructure the test",
+        domain="numerics",
+    ),
+    StaticCode(
+        "NUM004", Severity.WARNING,
+        "subtraction of two exponentials",
+        "exp(a)-exp(b) cancels catastrophically for a close to b; "
+        "factor as exp(b)*expm1(a-b) or work in log space",
+        domain="numerics",
+    ),
+    StaticCode(
+        "NUM005", Severity.WARNING,
+        "accumulation into a float32 buffer",
+        "running sums in float32 lose ~7 digits over long loops; "
+        "accumulate in float64 and cast once at the end",
+        domain="numerics",
+    ),
+)
+
+#: exp-family calls whose argument overflowing matters
+_EXP_CALLS = frozenset({"exp", "exp2", "expm1", "cosh", "sinh"})
+
+#: calls that bound their result/argument
+_CLAMP_CALLS = frozenset({"clip", "minimum", "maximum", "min", "max",
+                          "where", "clamp"})
+
+_FLOAT32ISH = frozenset({"float32", "float16", "half", "single"})
+
+
+def numstab_pass(module: ModuleSource,
+                 windex: WaiverIndex) -> list[Diagnostic]:
+    """Run the NUM0xx rules over one module."""
+    checker = _Checker(module)
+    checker.run()
+    findings: list[Diagnostic] = []
+    for lineno, code, message in checker.reports:
+        if windex.waives(lineno, code):
+            continue
+        findings.append(diagnostic(
+            code, message,
+            path=str(module.path), line=lineno, relpath=module.relpath,
+        ))
+    return findings
+
+
+class _Checker:
+    """Statement-ordered walk with per-function guard state."""
+
+    def __init__(self, module: ModuleSource) -> None:
+        self.module = module
+        self.reports: list[tuple[int, str, str]] = []
+
+    def run(self) -> None:
+        self._walk_scope(self.module.tree.body)
+
+    # -- scope walking -------------------------------------------------
+    def _walk_scope(self, body: list[ast.stmt]) -> None:
+        """One function (or the module top level): linear statement
+        order, tracking bounded names and float32 accumulators."""
+        state = _ScopeState()
+        self._walk_block(body, state, in_loop=False)
+
+    def _walk_block(self, body: list[ast.stmt], state: "_ScopeState",
+                    in_loop: bool) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, state, in_loop)
+
+    def _walk_stmt(self, stmt: ast.stmt, state: "_ScopeState",
+                   in_loop: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._walk_scope(stmt.body)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self._walk_block(stmt.body, _ScopeState(), in_loop=False)
+            return
+        # compound statements: check their header expressions, then
+        # recurse into the blocks (never double-scan the bodies)
+        if isinstance(stmt, ast.If):
+            self._scan_exprs([stmt.test], state)
+            self._note_range_guard(stmt.test, state)
+            self._walk_block(stmt.body, state, in_loop)
+            self._walk_block(stmt.orelse, state, in_loop)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_exprs([stmt.iter], state)
+            self._walk_block(stmt.body, state, in_loop=True)
+            self._walk_block(stmt.orelse, state, in_loop)
+            return
+        if isinstance(stmt, ast.While):
+            self._scan_exprs([stmt.test], state)
+            self._note_range_guard(stmt.test, state)
+            self._walk_block(stmt.body, state, in_loop=True)
+            self._walk_block(stmt.orelse, state, in_loop)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._scan_exprs(
+                [item.context_expr for item in stmt.items], state
+            )
+            self._walk_block(stmt.body, state, in_loop)
+            return
+        if isinstance(stmt, ast.Try):
+            self._walk_block(stmt.body, state, in_loop)
+            for handler in stmt.handlers:
+                self._walk_block(handler.body, state, in_loop)
+            self._walk_block(stmt.orelse, state, in_loop)
+            self._walk_block(stmt.finalbody, state, in_loop)
+            return
+        # simple statements: expression checks in source order, then
+        # the state updates the *next* statements observe
+        for node in _walk_stmt_expressions(stmt):
+            self._check_node(node, state)
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._note_assign(target, stmt.value, state)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._note_assign(stmt.target, stmt.value, state)
+        elif isinstance(stmt, ast.AugAssign):
+            self._note_augassign(stmt, state, in_loop)
+
+    # -- state tracking ------------------------------------------------
+    def _note_assign(self, target: ast.expr, value: ast.expr,
+                     state: "_ScopeState") -> None:
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        if _is_bounded_expr(value, state):
+            state.bounded.add(name)
+        else:
+            state.bounded.discard(name)
+        if _allocates_float32(value):
+            state.float32.add(name)
+        elif not _copies_any(value, state.float32):
+            state.float32.discard(name)
+
+    def _note_augassign(self, stmt: ast.AugAssign, state: "_ScopeState",
+                        in_loop: bool) -> None:
+        if not isinstance(stmt.target, ast.Name):
+            return
+        name = stmt.target.id
+        # `x -= x.max()` and `x = np.clip(...)` bound the name
+        if isinstance(stmt.op, ast.Sub) and _contains_max_shift(stmt.value):
+            state.bounded.add(name)
+        if in_loop and name in state.float32 and \
+                isinstance(stmt.op, (ast.Add, ast.Sub)):
+            self.reports.append((
+                stmt.lineno, "NUM005",
+                f"accumulating into float32 buffer {name!r} inside a "
+                f"loop",
+            ))
+
+    def _note_range_guard(self, test: ast.expr, state: "_ScopeState") -> None:
+        """``if arg > 500.0: ...`` marks ``arg`` as range-checked for
+        the rest of the scope (the guarded branch returns/clamps)."""
+        for node in ast.walk(test):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            has_literal = any(
+                isinstance(op, ast.Constant) and
+                isinstance(op.value, (int, float))
+                for op in operands
+            )
+            if not has_literal:
+                continue
+            if not any(
+                isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                for op in node.ops
+            ):
+                continue
+            for operand in operands:
+                root = _root_name(operand)
+                if root is not None:
+                    state.bounded.add(root)
+
+    # -- expression checks ----------------------------------------------
+    def _scan_exprs(self, roots: list[ast.expr],
+                    state: "_ScopeState") -> None:
+        for root in roots:
+            for node in _walk_expr(root):
+                self._check_node(node, state)
+
+    def _check_node(self, node: ast.expr, state: "_ScopeState") -> None:
+        if isinstance(node, ast.Call):
+            self._check_exp_call(node, state)
+            self._check_float32_reduce(node)
+        elif isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                self._check_expm1_denominator(node)
+            elif isinstance(node.op, ast.Sub):
+                self._check_exp_difference(node)
+        elif isinstance(node, ast.Compare):
+            self._check_float_equality(node)
+
+    def _check_exp_call(self, node: ast.Call, state: "_ScopeState") -> None:
+        name = call_name(node)
+        if name is None or last_attr(name) not in _EXP_CALLS:
+            return
+        if not node.args:
+            return
+        argument = node.args[0]
+        if _is_bounded_expr(argument, state):
+            return
+        self.reports.append((
+            node.lineno, "NUM001",
+            f"{last_attr(name)}() of an unclamped quantity; large "
+            f"energy ratios overflow — clamp/shift the argument or "
+            f"use a guarded kernel",
+        ))
+
+    def _check_expm1_denominator(self, node: ast.BinOp) -> None:
+        denominator = _strip(node.right)
+        if _is_expm1_shape(denominator):
+            self.reports.append((
+                node.lineno, "NUM002",
+                "dividing by exp(x)-1 cancels catastrophically near "
+                "x=0; use np.expm1 (see the guarded "
+                "repro.physics.fermi.bose_weight kernel)",
+            ))
+
+    def _check_exp_difference(self, node: ast.BinOp) -> None:
+        if _has_exp_factor(node.left) and _has_exp_factor(node.right):
+            self.reports.append((
+                node.lineno, "NUM004",
+                "difference of two exponentials cancels "
+                "catastrophically; factor as exp(b)*expm1(a-b) or "
+                "work in log space",
+            ))
+
+    def _check_float_equality(self, node: ast.Compare) -> None:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        if any(_is_computed_float(op) for op in operands):
+            self.reports.append((
+                node.lineno, "NUM003",
+                "float equality on a computed expression; floating "
+                "arithmetic is inexact — compare with a tolerance",
+            ))
+
+    def _check_float32_reduce(self, node: ast.Call) -> None:
+        name = call_name(node)
+        if name is None or last_attr(name) not in ("sum", "cumsum",
+                                                   "nansum", "add"):
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "dtype" and _is_float32_dtype(keyword.value):
+                self.reports.append((
+                    node.lineno, "NUM005",
+                    f"{last_attr(name)}() reducing in float32; "
+                    f"accumulate in float64 and cast the result",
+                ))
+
+
+class _ScopeState:
+    """Names with a proven bound / float32 allocation, per scope."""
+
+    def __init__(self) -> None:
+        self.bounded: set[str] = set()
+        self.float32: set[str] = set()
+
+
+# ----------------------------------------------------------------------
+# expression predicates
+# ----------------------------------------------------------------------
+
+def _strip(node: ast.expr) -> ast.expr:
+    while isinstance(node, ast.UnaryOp) and \
+            isinstance(node.op, (ast.UAdd, ast.USub)):
+        node = node.operand
+    return node
+
+
+def _root_name(node: ast.expr) -> str | None:
+    node = _strip(node)
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _contains_max_shift(node: ast.expr) -> bool:
+    """Does the expression contain a ``x.max(...)``/``np.max(...)``
+    term (the log-sum-exp shift)?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = call_name(sub)
+            if name is not None and last_attr(name) in ("max", "amax",
+                                                        "nanmax"):
+                return True
+    return False
+
+
+def _is_bounded_expr(node: ast.expr, state: "_ScopeState") -> bool:
+    """Is the exp() argument provably bounded?  (Conservative: any
+    recognised guard idiom silences NUM001.)"""
+    stripped = _strip(node)
+    # all-literal arguments are trivially bounded
+    if all(
+        isinstance(leaf, ast.Constant)
+        for leaf in ast.walk(stripped)
+        if isinstance(leaf, ast.expr) and not isinstance(
+            leaf, (ast.BinOp, ast.UnaryOp, ast.Tuple)
+        )
+    ):
+        return True
+    # a mask subscript (x[normal]) means the caller pre-selected the
+    # safe range
+    if any(isinstance(sub, ast.Subscript) for sub in ast.walk(stripped)):
+        return True
+    # a clamp call anywhere in the argument
+    for sub in ast.walk(stripped):
+        if isinstance(sub, ast.Call):
+            name = call_name(sub)
+            if name is not None and last_attr(name) in _CLAMP_CALLS:
+                return True
+    # -abs(x) is bounded above by zero
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = node.operand
+        if isinstance(inner, ast.Call):
+            inner_name = call_name(inner)
+            if inner_name is not None and \
+                    last_attr(inner_name) in ("abs", "absolute", "fabs"):
+                return True
+    # the log-sum-exp shift: expr - x.max()
+    if isinstance(stripped, ast.BinOp) and isinstance(stripped.op, ast.Sub) \
+            and _contains_max_shift(stripped.right):
+        return True
+    # every root name previously bounded (range guard / -= max shift)
+    roots = {
+        _root_name(sub)
+        for sub in ast.walk(stripped)
+        if isinstance(sub, ast.Name)
+    }
+    roots.discard(None)
+    if roots and all(root in state.bounded for root in roots):
+        return True
+    return False
+
+
+def _copies_any(node: ast.expr, names: set[str]) -> bool:
+    root = _root_name(node)
+    return root is not None and root in names
+
+
+def _is_float32_dtype(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in _FLOAT32ISH
+    if isinstance(node, ast.Attribute):
+        return node.attr in _FLOAT32ISH
+    if isinstance(node, ast.Name):
+        return node.id in _FLOAT32ISH
+    return False
+
+
+def _allocates_float32(node: ast.expr) -> bool:
+    """``np.zeros(..., dtype=np.float32)`` and friends, or
+    ``x.astype(np.float32)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = call_name(node)
+    if name is None:
+        return False
+    base = last_attr(name)
+    if base == "astype":
+        return bool(node.args) and _is_float32_dtype(node.args[0])
+    if base in ("zeros", "ones", "empty", "full", "zeros_like",
+                "ones_like", "empty_like", "full_like", "array",
+                "asarray"):
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                return _is_float32_dtype(keyword.value)
+    return False
+
+
+def _is_exp_call(node: ast.expr) -> bool:
+    node = _strip(node)
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        return name is not None and last_attr(name) in ("exp", "exp2")
+    return False
+
+
+def _has_exp_factor(node: ast.expr) -> bool:
+    node = _strip(node)
+    if _is_exp_call(node):
+        return True
+    if isinstance(node, ast.BinOp) and \
+            isinstance(node.op, (ast.Mult, ast.Div)):
+        return _has_exp_factor(node.left) or _has_exp_factor(node.right)
+    return False
+
+
+def _is_expm1_shape(node: ast.expr) -> bool:
+    """``exp(x) - 1`` or ``1 - exp(x)`` (scaled 1s included)."""
+    if not isinstance(node, ast.BinOp) or not isinstance(node.op, ast.Sub):
+        return False
+    left, right = _strip(node.left), _strip(node.right)
+    if _is_exp_call(left) and _is_one(right):
+        return True
+    if _is_one(left) and _is_exp_call(right):
+        return True
+    return False
+
+
+def _is_one(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and \
+        isinstance(node.value, (int, float)) and \
+        abs(float(node.value) - 1.0) < 1e-12
+
+
+def _is_computed_float(node: ast.expr) -> bool:
+    """An arithmetic expression that provably produces an inexact
+    float: a BinOp chain containing a float literal or a true
+    division."""
+    if not isinstance(node, ast.BinOp):
+        return False
+    if not isinstance(node.op, (ast.Add, ast.Sub, ast.Mult,
+                                ast.Div, ast.Pow)):
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return True
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return True
+    return False
+
+
+def _walk_stmt_expressions(stmt: ast.stmt) -> list[ast.expr]:
+    """Every expression node of one simple statement, without
+    descending into nested function/class/lambda bodies."""
+    found: list[ast.expr] = []
+    stack: list[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)) and node is not stmt:
+            continue
+        if isinstance(node, ast.expr):
+            found.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return found
+
+
+def _walk_expr(root: ast.expr) -> list[ast.expr]:
+    """Every expression node under ``root`` (lambda bodies excluded)."""
+    found: list[ast.expr] = []
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda) and node is not root:
+            continue
+        if isinstance(node, ast.expr):
+            found.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return found

@@ -2,19 +2,30 @@
 
 Every pass of one ``repro check`` run shares a single parsed
 representation per file (:class:`ModuleSource`): the raw text, the
-split lines and the AST.  :class:`SourceCache` memoises parses keyed
-by path and mtime so repeated analyses (the CLI, the test suite, an
-editor integration) never re-parse an unchanged file.
+split lines, the AST and a content hash.  :class:`SourceCache`
+memoises parses keyed by path and *content hash* — not mtime, which
+CI checkouts and archive extraction make unreliable — so repeated
+analyses (the CLI, the test suite, an editor integration) never
+re-parse an unchanged file, and the on-disk summary cache
+(:mod:`repro.static.summaries`) can key its cells on the same hash.
 """
 
 from __future__ import annotations
 
 import ast
 import dataclasses
+import hashlib
 from pathlib import Path
 from typing import Iterator
 
 from repro.errors import SanitizerError
+
+
+def content_hash_of(source: str) -> str:
+    """Stable identity of a module's text (hex blake2b, 32 chars)."""
+    return hashlib.blake2b(
+        source.encode("utf-8"), digest_size=16
+    ).hexdigest()
 
 
 @dataclasses.dataclass
@@ -28,6 +39,9 @@ class ModuleSource:
     source: str
     lines: list[str]
     tree: ast.Module
+    #: blake2b hex digest of ``source`` — the identity the incremental
+    #: summary cache keys its cells on
+    content_hash: str = ""
 
     @classmethod
     def parse(cls, path: Path, root: Path | None = None) -> "ModuleSource":
@@ -35,6 +49,12 @@ class ModuleSource:
             source = path.read_text(encoding="utf-8")
         except OSError as exc:
             raise SanitizerError(f"cannot read {path}: {exc}")
+        return cls.parse_text(source, path, root=root)
+
+    @classmethod
+    def parse_text(
+        cls, source: str, path: Path, root: Path | None = None
+    ) -> "ModuleSource":
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
@@ -45,6 +65,7 @@ class ModuleSource:
             source=source,
             lines=source.splitlines(),
             tree=tree,
+            content_hash=content_hash_of(source),
         )
 
     def line_text(self, lineno: int) -> str:
@@ -76,32 +97,34 @@ def iter_python_files(roots: list[Path]) -> Iterator[Path]:
 
 
 class SourceCache:
-    """Mtime-keyed memo of parsed modules.
+    """Content-hash-keyed memo of parsed modules.
 
     A process-wide instance backs the framework entry points so the
     CLI, ``repro sanitize`` and the tests all reuse one parse per
-    file; ``relpath`` is recomputed per scan root because the same
-    file may be scanned under different anchors.
+    file.  Each load re-reads the file's bytes and hashes them — a
+    ``touch`` or a fresh checkout with scrambled mtimes never
+    invalidates anything, while any content change always does.
+    ``relpath`` is recomputed per scan root because the same file may
+    be scanned under different anchors.
     """
 
     def __init__(self) -> None:
-        self._memo: dict[Path, tuple[float, ModuleSource]] = {}
+        self._memo: dict[Path, ModuleSource] = {}
 
     def load(self, path: Path, root: Path | None = None) -> ModuleSource:
         key = path.resolve()
         try:
-            mtime = path.stat().st_mtime
+            source = path.read_text(encoding="utf-8")
         except OSError as exc:
-            raise SanitizerError(f"cannot stat {path}: {exc}")
-        hit = self._memo.get(key)
-        if hit is not None and hit[0] == mtime:
-            module = hit[1]
-            wanted = relpath_of(path, root)
-            if module.relpath != wanted:
-                module = dataclasses.replace(module, relpath=wanted)
-            return module
-        module = ModuleSource.parse(path, root=root)
-        self._memo[key] = (mtime, module)
+            raise SanitizerError(f"cannot read {path}: {exc}")
+        digest = content_hash_of(source)
+        module = self._memo.get(key)
+        if module is None or module.content_hash != digest:
+            module = ModuleSource.parse_text(source, path, root=root)
+            self._memo[key] = module
+        wanted = relpath_of(path, root)
+        if module.relpath != wanted:
+            module = dataclasses.replace(module, relpath=wanted)
         return module
 
     def clear(self) -> None:

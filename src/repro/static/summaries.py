@@ -1,0 +1,478 @@
+"""Interprocedural summary scheduling and the on-disk incremental cache.
+
+This module turns the per-function unit interpreter
+(:mod:`repro.static.unitcheck`) into a whole-program analysis:
+
+* the module dependency graph (:meth:`CallGraph.module_sccs`) is
+  condensed into strongly connected components and processed
+  dependencies-first, so every call site is checked against the
+  callee's *final* summary;
+* mutually recursive modules (one SCC) iterate
+  :func:`~repro.static.unitcheck.infer_summaries` to a fixpoint; if the
+  cycle refuses to stabilise within a few sweeps, only the ``@units``
+  declarations are trusted and inferred returns degrade to unknown;
+* results persist in :class:`StaticCache` — one JSON cell per
+  (relpath, content hash), written with the campaign store's atomic
+  codec (:func:`repro.ioutil.write_atomic_text`).  A module's units
+  cell is keyed by its *SCC state*: a hash over the member contents
+  and the states of every dependency SCC, which is exactly the
+  transitive-invalidation contract (edit one module → its SCC and all
+  dependent SCCs re-key, everything else stays warm).
+
+The engine drives :func:`run_units`; ``--jobs N`` fans independent
+SCCs of one wave (same dependency depth) out over a fork pool via
+:func:`scc_worker`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.ioutil import write_atomic_text
+from repro.static.callgraph import CallGraph
+from repro.static.model import Diagnostic, Severity
+from repro.static.source import ModuleSource
+from repro.static.unitcheck import (
+    FunctionSummary,
+    SummaryTable,
+    analyze_module,
+    declared_summaries,
+    infer_summaries,
+    merge_summary,
+    module_unit_facts,
+)
+from repro.static.waivers import WaiverIndex
+
+__all__ = [
+    "ANALYSIS_VERSION",
+    "ModuleUnitsResult",
+    "StaticCache",
+    "UnitsOutcome",
+    "cell_id",
+    "default_static_cache_root",
+    "process_scc",
+    "run_units",
+    "scc_states",
+]
+
+#: Bumped whenever rule semantics change, so stale cells from an older
+#: analyzer version read as misses instead of wrong answers.
+ANALYSIS_VERSION = "static-2"
+
+#: Summary-cycle sweeps before giving up on convergence.
+_MAX_FIXPOINT_SWEEPS = 5
+
+
+# ----------------------------------------------------------------------
+# finding (de)hydration — cells store findings path-free so a cache
+# shared between checkouts rehydrates against the local paths
+# ----------------------------------------------------------------------
+
+def finding_to_json(finding: Diagnostic) -> dict[str, Any]:
+    return {
+        "code": finding.code,
+        "severity": int(finding.severity),
+        "message": finding.message,
+        "line": finding.line,
+        "symbol": finding.symbol,
+        "witness": list(finding.witness),
+    }
+
+
+def finding_from_json(
+    payload: dict[str, Any], module: ModuleSource
+) -> Diagnostic:
+    return Diagnostic(
+        code=str(payload["code"]),
+        severity=Severity(int(payload["severity"])),
+        message=str(payload["message"]),
+        path=str(module.path),
+        line=int(payload["line"]),
+        relpath=module.relpath,
+        symbol=(
+            None if payload.get("symbol") is None
+            else str(payload["symbol"])
+        ),
+        witness=tuple(str(w) for w in payload.get("witness", ())),
+    )
+
+
+# ----------------------------------------------------------------------
+# the on-disk cache
+# ----------------------------------------------------------------------
+
+def default_static_cache_root() -> Path:
+    """``<repro cache dir>/static`` (honours ``$REPRO_CACHE_DIR``)."""
+    from repro.monitor.ledger import repro_cache_dir
+
+    return repro_cache_dir() / "static"
+
+
+def cell_id(relpath: str, content_hash: str) -> str:
+    """Cache-cell name for one module revision.
+
+    Content-addressed, with a short relpath tag mixed in because the
+    repository rules are allowed to condition on *where* a file lives
+    (``__init__`` conventions, test exemptions) — identical text at
+    two paths must not share analysis results.
+    """
+    tag = hashlib.blake2b(
+        relpath.encode("utf-8"), digest_size=4
+    ).hexdigest()
+    return f"{content_hash}-{tag}"
+
+
+class StaticCache:
+    """One JSON cell per module revision, atomically written.
+
+    A cell holds up to three sub-entries with independent validity:
+
+    ``local``
+        repo/arr/perf/num findings — pure functions of the module
+        text, valid for the cell's whole lifetime.
+    ``det``
+        determinism findings, keyed by the scan set's global content
+        hash (worker reachability is a whole-program fact).
+    ``units``
+        unit findings plus the module's function summaries, keyed by
+        the SCC state hash (see :func:`scc_states`).
+
+    Every sub-entry also records which waiver linenos it consumed, so
+    ``W000`` stale-waiver reporting stays exact on fully cached runs.
+    Cache I/O failures are swallowed: a broken cache degrades to a
+    cold run, never to a failed one.
+    """
+
+    def __init__(self, root: Path):
+        self.root = root
+        root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, cell: str) -> Path:
+        return self.root / f"{cell}.json"
+
+    def load(self, cell: str) -> dict[str, Any]:
+        try:
+            payload = json.loads(
+                self._path(cell).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return {}
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != ANALYSIS_VERSION
+        ):
+            return {}
+        return payload
+
+    def update(self, cell: str, **entries: dict[str, Any]) -> None:
+        payload = self.load(cell)
+        payload["version"] = ANALYSIS_VERSION
+        payload.update(entries)
+        try:
+            write_atomic_text(self._path(cell), json.dumps(payload))
+        except OSError:  # pragma: no cover - disk-full etc.
+            pass
+
+
+# ----------------------------------------------------------------------
+# SCC states (the units cache key)
+# ----------------------------------------------------------------------
+
+def scc_states(
+    modules: dict[str, ModuleSource],
+    sccs: list[tuple[str, ...]],
+    deps: dict[str, set[str]],
+) -> dict[str, str]:
+    """Per-module units-cache key: hash of the module's SCC.
+
+    ``H(version, member relpaths+contents, dependency SCC states)`` —
+    every member of one SCC shares a state, and a content change
+    anywhere in the transitive dependency cone changes it.
+    """
+    state: dict[str, str] = {}
+    for members in sccs:
+        h = hashlib.blake2b(digest_size=16)
+        h.update(ANALYSIS_VERSION.encode("utf-8"))
+        for rel in members:  # members arrive sorted
+            h.update(rel.encode("utf-8"))
+            h.update(modules[rel].content_hash.encode("utf-8"))
+        dep_states = {
+            state[dep]
+            for rel in members
+            for dep in deps.get(rel, ())
+            if dep not in members
+        }
+        for dep_state in sorted(dep_states):
+            h.update(dep_state.encode("utf-8"))
+        digest = h.hexdigest()
+        for rel in members:
+            state[rel] = digest
+    return state
+
+
+# ----------------------------------------------------------------------
+# one SCC: fixpoint + final checking pass
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class ModuleUnitsResult:
+    """The units phase's output for one module."""
+
+    findings: list[Diagnostic]
+    used_waivers: set[int]
+    #: this module's own function summaries (``None`` = ambiguous name)
+    summaries: dict[str, FunctionSummary | None]
+
+
+def _merge_into(
+    table: SummaryTable,
+    summaries: dict[str, FunctionSummary | None],
+) -> None:
+    for name, summary in summaries.items():
+        if summary is None:
+            table[name] = None
+        else:
+            merge_summary(table, name, summary)
+
+
+def process_scc(
+    members: list[ModuleSource], table: SummaryTable
+) -> dict[str, ModuleUnitsResult]:
+    """Analyse one SCC against the (stable) summaries of its deps.
+
+    Singleton SCCs converge in one sweep plus a confirmation pass;
+    genuine cycles iterate until the member summaries stop changing.
+    On non-convergence only declared contracts survive — inferred
+    return dimensions degrade to unknown, erring silent.
+    """
+    facts = {m.relpath: module_unit_facts(m) for m in members}
+    order = sorted(facts)
+    per_mod: dict[str, dict[str, FunctionSummary | None]] = {
+        rel: dict(declared_summaries(facts[rel])) for rel in order
+    }
+    for _ in range(_MAX_FIXPOINT_SWEEPS):
+        working: SummaryTable = dict(table)
+        for rel in order:
+            _merge_into(working, per_mod[rel])
+        refreshed = {
+            rel: dict(infer_summaries(facts[rel], working))
+            for rel in order
+        }
+        if refreshed == per_mod:
+            break
+        per_mod = refreshed
+    else:  # no fixpoint: trust only what was declared
+        for summaries in per_mod.values():
+            for name, summary in list(summaries.items()):
+                if summary is not None and not summary.declared:
+                    summaries[name] = dataclasses.replace(
+                        summary, ret=None
+                    )
+
+    final: SummaryTable = dict(table)
+    for rel in order:
+        _merge_into(final, per_mod[rel])
+    results: dict[str, ModuleUnitsResult] = {}
+    for module in members:
+        windex = WaiverIndex(module)
+        findings = analyze_module(facts[module.relpath], windex, final)
+        results[module.relpath] = ModuleUnitsResult(
+            findings=findings,
+            used_waivers={w.lineno for w in windex.waivers if w.used},
+            summaries=per_mod[module.relpath],
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# pool worker (fork-inherited module set)
+# ----------------------------------------------------------------------
+
+#: Set by the engine before the fork pool is created; workers inherit
+#: the parsed modules through the fork snapshot instead of pickling.
+_POOL_MODULES: dict[str, ModuleSource] = {}
+
+
+def set_pool_modules(modules: Iterable[ModuleSource]) -> None:
+    _POOL_MODULES.clear()
+    _POOL_MODULES.update({m.relpath: m for m in modules})
+
+
+def scc_worker(
+    payload: tuple[tuple[str, ...], SummaryTable],
+) -> dict[str, ModuleUnitsResult]:
+    members, table = payload
+    return process_scc([_POOL_MODULES[rel] for rel in members], table)
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class UnitsOutcome:
+    """Everything the units phase produced for one run."""
+
+    findings: dict[str, list[Diagnostic]]
+    used_waivers: dict[str, set[int]]
+    #: modules whose interpretation actually ran (cache misses)
+    reanalyzed: set[str]
+    table: SummaryTable
+
+
+def _load_cached_scc(
+    cache: StaticCache,
+    members: tuple[str, ...],
+    by_rel: dict[str, ModuleSource],
+    state: str,
+) -> dict[str, ModuleUnitsResult] | None:
+    """All members' cached units entries, or ``None`` on any miss."""
+    out: dict[str, ModuleUnitsResult] = {}
+    for rel in members:
+        module = by_rel[rel]
+        entry = cache.load(cell_id(rel, module.content_hash)).get("units")
+        if not isinstance(entry, dict) or entry.get("key") != state:
+            return None
+        try:
+            out[rel] = ModuleUnitsResult(
+                findings=[
+                    finding_from_json(p, module)
+                    for p in entry["findings"]
+                ],
+                used_waivers={int(n) for n in entry["used"]},
+                summaries={
+                    str(name): (
+                        None if p is None
+                        else FunctionSummary.from_json(p)
+                    )
+                    for name, p in entry["summaries"].items()
+                },
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+    return out
+
+
+def _store_scc(
+    cache: StaticCache,
+    result: dict[str, ModuleUnitsResult],
+    by_rel: dict[str, ModuleSource],
+    state: str,
+) -> None:
+    for rel, mres in result.items():
+        cache.update(
+            cell_id(rel, by_rel[rel].content_hash),
+            units={
+                "key": state,
+                "findings": [finding_to_json(f) for f in mres.findings],
+                "used": sorted(mres.used_waivers),
+                "summaries": {
+                    name: (None if s is None else s.to_json())
+                    for name, s in sorted(mres.summaries.items())
+                },
+            },
+        )
+
+
+def _waves(
+    sccs: list[tuple[str, ...]], deps: dict[str, set[str]]
+) -> list[list[tuple[str, ...]]]:
+    """Group SCCs by dependency depth; SCCs of one wave are mutually
+    independent and may run in parallel."""
+    scc_of: dict[str, int] = {}
+    for index, members in enumerate(sccs):
+        for rel in members:
+            scc_of[rel] = index
+    level: list[int] = []
+    for index, members in enumerate(sccs):
+        depth = 0
+        for rel in members:
+            for dep in deps.get(rel, ()):
+                dep_scc = scc_of[dep]
+                if dep_scc != index:
+                    depth = max(depth, level[dep_scc] + 1)
+        level.append(depth)
+    waves: dict[int, list[tuple[str, ...]]] = {}
+    for index, members in enumerate(sccs):
+        waves.setdefault(level[index], []).append(members)
+    return [waves[depth] for depth in sorted(waves)]
+
+
+def run_units(
+    modules: list[ModuleSource],
+    graph: CallGraph,
+    *,
+    cache: StaticCache | None = None,
+    executor_factory: Callable[[], Any] | None = None,
+) -> UnitsOutcome:
+    """The whole-program units phase: summaries in SCC order, then the
+    checking pass per module, cached and wave-parallel.
+
+    ``executor_factory`` (lazily) yields a fork-based executor whose
+    children inherited :func:`set_pool_modules`; ``None`` (or a
+    factory returning ``None``) runs serially.
+    """
+    by_rel = {m.relpath: m for m in modules}
+    deps = graph.module_deps()
+    sccs = graph.module_sccs()
+    states = scc_states(by_rel, sccs, deps)
+
+    table: SummaryTable = {}
+    findings: dict[str, list[Diagnostic]] = {}
+    used: dict[str, set[int]] = {}
+    reanalyzed: set[str] = set()
+
+    def absorb(result: dict[str, ModuleUnitsResult], live: bool) -> None:
+        for rel in sorted(result):
+            mres = result[rel]
+            findings[rel] = mres.findings
+            used[rel] = mres.used_waivers
+            _merge_into(table, mres.summaries)
+            if live:
+                reanalyzed.add(rel)
+
+    for wave in _waves(sccs, deps):
+        pending: list[tuple[str, ...]] = []
+        for members in wave:
+            cached = (
+                None if cache is None
+                else _load_cached_scc(
+                    cache, members, by_rel, states[members[0]]
+                )
+            )
+            if cached is not None:
+                absorb(cached, live=False)
+            else:
+                pending.append(members)
+        if not pending:
+            continue
+        executor = (
+            executor_factory()
+            if executor_factory is not None and len(pending) > 1
+            else None
+        )
+        if executor is not None:
+            snapshot = dict(table)
+            results = list(executor.map(
+                scc_worker,
+                [(members, snapshot) for members in pending],
+            ))
+        else:
+            results = [
+                process_scc([by_rel[rel] for rel in members], table)
+                for members in pending
+            ]
+        for members, result in zip(pending, results):
+            absorb(result, live=True)
+            if cache is not None:
+                _store_scc(cache, result, by_rel, states[members[0]])
+    return UnitsOutcome(
+        findings=findings,
+        used_waivers=used,
+        reanalyzed=reanalyzed,
+        table=table,
+    )

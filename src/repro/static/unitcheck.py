@@ -1,0 +1,1155 @@
+"""``UNIT0xx``: interprocedural dimensional analysis of the kernels.
+
+An abstract interpreter over the dimension lattice of
+:mod:`repro.static.dimensions` walks every function of a module and
+propagates physical dimensions through arithmetic, numpy/math
+intrinsics, the :mod:`repro.constants` symbols (pre-seeded:
+``E_CHARGE: C``, ``K_B: J/K``, ...), locals, and — the
+interprocedural part — *function summaries*: every function annotated
+with :func:`repro.static.contracts.units` contributes its declared
+signature, every unannotated function an inferred return dimension, so
+``free_energy_change`` feeding ``orthodox_rate`` is checked across the
+call (and across modules; :mod:`repro.static.summaries` schedules the
+computation callgraph-first with a fixpoint over cycles).
+
+Abstract values form a small lattice: ``PENDING`` (⊥, used only while
+a summary cycle stabilises) < numeric ``LITERAL`` (dimension-
+polymorphic: ``0.0`` adopts the dimension of whatever it meets) <
+a concrete :class:`~repro.static.dimensions.Dimension` < ``UNKNOWN``
+(⊤).  Every rule only fires when both sides are *provably* known —
+unknown values silence the checks rather than guessing.
+
+========  ==========================================================
+code      meaning
+========  ==========================================================
+UNIT001   add/subtract/compare of unlike dimensions
+UNIT002   call argument dimension contradicts the callee's contract
+UNIT003   return value contradicts the function's declared unit
+UNIT004   transcendental (exp/log/erf/...) of a dimensional quantity
+UNIT005   raw literal duplicating a named physical constant
+UNIT006   malformed ``@units`` contract
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from fractions import Fraction
+
+from repro.errors import ContractError
+from repro.lint.diagnostics import Severity
+from repro.static.dimensions import (
+    DIMENSIONLESS,
+    Dimension,
+    UnitContract,
+    format_dimension,
+    parse_unit,
+    parse_units_spec,
+)
+from repro.static.model import (
+    Diagnostic,
+    StaticCode,
+    diagnostic,
+    register_codes,
+)
+from repro.static.source import ModuleSource
+from repro.static.visitors import call_name, dotted_name, last_attr
+from repro.static.waivers import WaiverIndex
+
+__all__ = [
+    "CONSTANT_UNITS",
+    "FunctionSummary",
+    "SummaryTable",
+    "UValue",
+    "analyze_module",
+    "infer_summaries",
+]
+
+register_codes(
+    StaticCode(
+        "UNIT001", Severity.ERROR,
+        "arithmetic on unlike physical dimensions",
+        "adding, subtracting or comparing quantities of different "
+        "dimensions is always a physics bug; convert one side "
+        "explicitly (the constants module has the conversion factors)",
+        domain="units",
+    ),
+    StaticCode(
+        "UNIT002", Severity.ERROR,
+        "argument dimension contradicts the callee's @units contract",
+        "pass a quantity of the declared dimension, or fix the "
+        "callee's contract if the declaration is wrong",
+        domain="units",
+    ),
+    StaticCode(
+        "UNIT003", Severity.ERROR,
+        "return value contradicts the function's declared unit",
+        "make the returned expression carry the declared dimension, "
+        "or fix the @units return clause",
+        domain="units",
+    ),
+    StaticCode(
+        "UNIT004", Severity.ERROR,
+        "transcendental function of a dimensional quantity",
+        "exp/log/erf and friends require dimensionless arguments; "
+        "divide by the natural scale (k_B*T, an energy gap, ...) first",
+        domain="units",
+    ),
+    StaticCode(
+        "UNIT005", Severity.WARNING,
+        "raw literal duplicates a named physical constant",
+        "use the symbol from repro.constants so the dimension is "
+        "carried by the name and the value stays exact",
+        domain="units",
+    ),
+    StaticCode(
+        "UNIT006", Severity.ERROR,
+        "malformed @units contract",
+        "fix the specification string (see repro.static.dimensions "
+        "for the grammar) or the parameter name it mentions",
+        domain="units",
+    ),
+)
+
+#: Dimensions of the :mod:`repro.constants` vocabulary; the
+#: interpreter resolves these through the module's actual imports.
+CONSTANT_UNITS: dict[str, Dimension] = {
+    "E_CHARGE": parse_unit("C"),
+    "K_B": parse_unit("J/K"),
+    "H_PLANCK": parse_unit("J*s"),
+    "HBAR": parse_unit("J*s"),
+    "R_QUANTUM": parse_unit("ohm"),
+    "R_K": parse_unit("ohm"),
+    "BCS_RATIO": DIMENSIONLESS,
+    "EV": parse_unit("J"),
+    "MEV": parse_unit("J"),
+}
+
+
+# ----------------------------------------------------------------------
+# the value lattice
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class UValue:
+    """One abstract value: ⊥ < literal < Dimension < ⊤ (unknown)."""
+
+    dim: Dimension | None = None
+    literal: bool = False
+    pending: bool = False
+
+    @property
+    def known(self) -> bool:
+        return self.dim is not None
+
+
+UNKNOWN = UValue()
+LITERAL = UValue(literal=True)
+PENDING = UValue(pending=True)
+DIMLESS = UValue(dim=DIMENSIONLESS)
+
+
+def join(a: UValue, b: UValue) -> UValue:
+    """Least upper bound of two abstract values (at control-flow merges)."""
+    if a == b:
+        return a
+    if a.pending:
+        return b
+    if b.pending:
+        return a
+    if a.literal and b.known:
+        return b
+    if b.literal and a.known:
+        return a
+    return UNKNOWN
+
+
+def _fmt(value: UValue) -> str:
+    if value.dim is not None:
+        return format_dimension(value.dim)
+    return "literal" if value.literal else "unknown"
+
+
+# ----------------------------------------------------------------------
+# function summaries
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class FunctionSummary:
+    """What the rest of the scan set knows about one function.
+
+    ``params`` covers positional-or-keyword then keyword-only
+    parameters in order (``self``/``cls`` already dropped), each with
+    its declared dimension or ``None``; the first ``n_positional``
+    entries are positionally matchable.  ``ret`` is the declared — or,
+    for unannotated functions, *inferred* — return dimension.
+    """
+
+    params: tuple[tuple[str, Dimension | None], ...]
+    n_positional: int
+    has_vararg: bool
+    ret: Dimension | None
+    declared: bool
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "params": [
+                [name, None if dim is None else dim.encode()]
+                for name, dim in self.params
+            ],
+            "n_positional": self.n_positional,
+            "has_vararg": self.has_vararg,
+            "ret": None if self.ret is None else self.ret.encode(),
+            "declared": self.declared,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, object]) -> "FunctionSummary":
+        raw_params = payload["params"]
+        assert isinstance(raw_params, list)
+        params = tuple(
+            (str(name), None if enc is None else Dimension.decode(str(enc)))
+            for name, enc in raw_params
+        )
+        ret = payload["ret"]
+        return cls(
+            params=params,
+            n_positional=int(payload["n_positional"]),  # type: ignore[call-overload]
+            has_vararg=bool(payload["has_vararg"]),
+            ret=None if ret is None else Dimension.decode(str(ret)),
+            declared=bool(payload["declared"]),
+        )
+
+
+#: bare callable name -> summary; ``None`` marks a name defined with
+#: *conflicting* summaries somewhere in the scan set (ambiguous — the
+#: interpreter then treats calls to it as unknown, erring silent).
+SummaryTable = dict[str, "FunctionSummary | None"]
+
+
+def merge_summary(table: SummaryTable, name: str,
+                  summary: FunctionSummary) -> bool:
+    """Add ``summary`` under ``name``; collisions with a *different*
+    existing summary degrade the entry to ambiguous.  Returns whether
+    the table changed."""
+    if name not in table:
+        table[name] = summary
+        return True
+    existing = table[name]
+    if existing == summary:
+        return False
+    if existing is None:
+        return False
+    table[name] = None
+    return True
+
+
+# ----------------------------------------------------------------------
+# intrinsic tables
+# ----------------------------------------------------------------------
+
+#: receiver roots treated as numeric libraries, not objects with
+#: summarised methods
+_LIB_ROOTS = frozenset({"np", "numpy", "math", "cmath", "scipy", "special"})
+
+_TRANSCENDENTAL = frozenset({
+    "exp", "expm1", "exp2", "log", "log1p", "log2", "log10",
+    "sin", "cos", "tan", "sinh", "cosh", "tanh",
+    "arcsin", "arccos", "arctan", "arcsinh", "arccosh", "arctanh",
+    "asin", "acos", "atan", "asinh", "acosh", "atanh",
+    "erf", "erfc", "erfinv", "erfcinv", "degrees", "radians",
+    "logaddexp", "logaddexp2",
+})
+
+_PRESERVE_FIRST = frozenset({
+    "asarray", "array", "ascontiguousarray", "asfarray",
+    "abs", "absolute", "fabs",
+    "sum", "nansum", "mean", "nanmean", "median", "nanmedian",
+    "max", "min", "amax", "amin", "nanmax", "nanmin",
+    "clip", "ptp", "copy", "reshape", "ravel", "flatten", "squeeze",
+    "atleast_1d", "atleast_2d", "diff", "cumsum", "sort", "sorted",
+    "nan_to_num", "real", "imag", "conj", "conjugate", "transpose",
+    "round", "around", "floor", "ceil", "trunc", "rint", "fix",
+    "ediff1d", "unique", "diag", "tile", "repeat", "broadcast_to",
+    "take", "flip", "roll", "float", "int", "complex", "positive",
+    "negative", "float64", "float32", "concatenate", "stack",
+    "hstack", "vstack",
+})
+
+#: methods on array-like objects that preserve the receiver's dimension
+_PRESERVE_METHODS = frozenset({
+    "sum", "mean", "max", "min", "copy", "reshape", "ravel", "flatten",
+    "squeeze", "astype", "clip", "item", "take", "transpose", "round",
+    "cumsum", "std", "ptp", "tolist",
+})
+
+_JOIN_ALL = frozenset({
+    "maximum", "minimum", "fmax", "fmin", "hypot", "linspace",
+    "arange", "mod", "fmod", "remainder", "copysign", "nextafter",
+})
+
+_PRODUCT_FNS = frozenset({"dot", "matmul", "inner", "vdot", "outer",
+                          "cross", "multiply"})
+
+_LITERAL_FNS = frozenset({
+    "zeros", "ones", "empty", "zeros_like", "ones_like", "empty_like",
+    "eye", "identity",
+})
+
+_DIMLESS_FNS = frozenset({
+    "sign", "len", "argmax", "argmin", "argsort", "searchsorted",
+    "count_nonzero", "isnan", "isfinite", "isinf", "isclose",
+    "allclose", "array_equal", "any", "all", "bool", "signbit",
+    "heaviside", "range", "enumerate", "ndim",
+})
+
+_LITERAL_ATTRS = frozenset({"pi", "e", "inf", "nan", "tau", "euler_gamma"})
+
+_DIMLESS_ATTRS = frozenset({"shape", "size", "ndim", "itemsize"})
+
+_PRESERVE_ATTRS = frozenset({"T", "real", "imag", "flat"})
+
+
+# ----------------------------------------------------------------------
+# module-level facts
+# ----------------------------------------------------------------------
+
+def _constant_bindings(tree: ast.Module) -> tuple[dict[str, Dimension],
+                                                  set[str]]:
+    """Names bound to :mod:`repro.constants` symbols by the module's
+    imports, plus local aliases of the constants module itself."""
+    names: dict[str, Dimension] = {}
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "repro.constants":
+                for alias in node.names:
+                    dim = CONSTANT_UNITS.get(alias.name)
+                    if dim is not None:
+                        names[alias.asname or alias.name] = dim
+            elif node.module == "repro":
+                for alias in node.names:
+                    if alias.name == "constants":
+                        aliases.add(alias.asname or "constants")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.constants":
+                    aliases.add(alias.asname or "repro")
+    return names, aliases
+
+
+def _params_of(func: ast.FunctionDef | ast.AsyncFunctionDef,
+               in_class: bool) -> tuple[list[ast.arg], list[ast.arg], bool]:
+    """(positional params, keyword-only params, has *args) with a
+    leading ``self``/``cls`` dropped for methods."""
+    positional = list(func.args.posonlyargs) + list(func.args.args)
+    if in_class and positional and positional[0].arg in ("self", "cls"):
+        positional = positional[1:]
+    return positional, list(func.args.kwonlyargs), \
+        func.args.vararg is not None
+
+
+@dataclasses.dataclass
+class _FunctionFacts:
+    """One function of the module, ready for interpretation."""
+
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: the name calls resolve to: the function's own, or the class
+    #: name for ``__init__`` (constructor calls)
+    summary_name: str
+    contract: UnitContract | None
+    positional: list[ast.arg]
+    kwonly: list[ast.arg]
+    has_vararg: bool
+
+    def base_summary(self, ret: Dimension | None,
+                     declared: bool) -> FunctionSummary:
+        contract = self.contract
+        params = tuple(
+            (arg.arg, None if contract is None else contract.param(arg.arg))
+            for arg in (*self.positional, *self.kwonly)
+        )
+        return FunctionSummary(
+            params=params,
+            n_positional=len(self.positional),
+            has_vararg=self.has_vararg,
+            ret=ret,
+            declared=declared,
+        )
+
+
+@dataclasses.dataclass
+class ModuleUnitFacts:
+    """Everything the interpreter derives from one module's AST."""
+
+    module: ModuleSource
+    functions: list[_FunctionFacts]
+    constants: dict[str, Dimension]
+    constant_module_aliases: set[str]
+    #: (lineno, message) for malformed contracts — UNIT006
+    contract_errors: list[tuple[int, str]]
+
+
+def _extract_contract(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    param_names: set[str],
+    errors: list[tuple[int, str]],
+) -> UnitContract | None:
+    for dec in func.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        name = dotted_name(dec.func)
+        if name is None or last_attr(name) != "units":
+            continue
+        if len(dec.args) != 1 or dec.keywords:
+            errors.append((
+                dec.lineno,
+                f"@units on {func.name}() takes exactly one "
+                f"specification string",
+            ))
+            return None
+        spec = dec.args[0]
+        if not isinstance(spec, ast.Constant) or \
+                not isinstance(spec.value, str):
+            errors.append((
+                dec.lineno,
+                f"@units on {func.name}() must be a literal string "
+                f"so the static pass can read it",
+            ))
+            return None
+        try:
+            contract = parse_units_spec(spec.value)
+        except ContractError as exc:
+            errors.append((dec.lineno, str(exc)))
+            return None
+        unknown = sorted(set(contract.params) - param_names)
+        if unknown:
+            errors.append((
+                dec.lineno,
+                f"@units on {func.name}() names parameter(s) "
+                f"{', '.join(unknown)} the function does not have",
+            ))
+            return None
+        return contract
+    return None
+
+
+def module_unit_facts(module: ModuleSource) -> ModuleUnitFacts:
+    """Parse contracts and constant imports off one module's AST."""
+    constants, aliases = _constant_bindings(module.tree)
+    # The module *defining* the canonical vocabulary (repro.constants)
+    # binds the names to raw literals; seed their dimensions so e.g.
+    # ``K_B * temperature`` carries J/K there too.
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in CONSTANT_UNITS:
+                constants.setdefault(target.id, CONSTANT_UNITS[target.id])
+    errors: list[tuple[int, str]] = []
+    functions: list[_FunctionFacts] = []
+
+    def visit(body: list[ast.stmt], class_name: str | None) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                positional, kwonly, vararg = _params_of(
+                    node, in_class=class_name is not None
+                )
+                names = {a.arg for a in (*positional, *kwonly)}
+                contract = _extract_contract(node, names, errors)
+                summary_name = node.name
+                if node.name == "__init__" and class_name is not None:
+                    summary_name = class_name
+                functions.append(_FunctionFacts(
+                    node=node,
+                    summary_name=summary_name,
+                    contract=contract,
+                    positional=positional,
+                    kwonly=kwonly,
+                    has_vararg=vararg,
+                ))
+                visit(node.body, None)
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, node.name)
+            elif isinstance(node, (ast.If, ast.Try, ast.With)):
+                # defs can nest under conditionals at module level
+                for sub in ast.iter_child_nodes(node):
+                    if isinstance(sub, ast.stmt):
+                        visit([sub], class_name)
+    visit(module.tree.body, None)
+    return ModuleUnitFacts(
+        module=module,
+        functions=functions,
+        constants=constants,
+        constant_module_aliases=aliases,
+        contract_errors=errors,
+    )
+
+
+# ----------------------------------------------------------------------
+# the interpreter
+# ----------------------------------------------------------------------
+
+Env = dict[str, UValue]
+
+
+class _Interp:
+    """Abstract interpretation of one function body."""
+
+    def __init__(
+        self,
+        facts: ModuleUnitFacts,
+        table: SummaryTable,
+        contract: UnitContract | None,
+        sink: "list[tuple[int, str, str]] | None",
+    ) -> None:
+        self.facts = facts
+        self.table = table
+        self.contract = contract
+        self.sink = sink
+        self.returns: list[UValue] = []
+
+    # -- reporting ----------------------------------------------------
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        if self.sink is not None:
+            lineno = getattr(node, "lineno", 1)
+            self.sink.append((lineno, code, message))
+
+    # -- statements ---------------------------------------------------
+    def exec_block(self, body: list[ast.stmt], env: Env) -> Env:
+        for stmt in body:
+            env = self.exec_stmt(stmt, env)
+        return env
+
+    def exec_stmt(self, stmt: ast.stmt, env: Env) -> Env:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.eval(stmt.value, env)
+                self._bind(stmt.target, stmt.value, value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            current = self._load_target(stmt.target, env)
+            value = self.eval(stmt.value, env)
+            combined = self._binop_value(
+                stmt.op, current, value, stmt
+            )
+            self._bind(stmt.target, None, combined, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self.eval(stmt.value, env)
+                self._check_return(stmt, value)
+                self.returns.append(value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test, env)
+            env_true = self.exec_block(stmt.body, dict(env))
+            env_false = self.exec_block(stmt.orelse, dict(env))
+            env = _join_env(env_true, env_false)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iterable = self.eval(stmt.iter, env)
+            # iterating a dimensional array yields same-dimension items
+            element = iterable if iterable.known else UNKNOWN
+            self._bind(stmt.target, None, element, env)
+            body_env = self.exec_block(stmt.body, dict(env))
+            env = _join_env(env, body_env)
+            env = self.exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test, env)
+            body_env = self.exec_block(stmt.body, dict(env))
+            env = _join_env(env, body_env)
+            env = self.exec_block(stmt.orelse, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, None, UNKNOWN, env)
+            env = self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            env_body = self.exec_block(stmt.body, dict(env))
+            merged = _join_env(env, env_body)
+            for handler in stmt.handlers:
+                if handler.name:
+                    merged[handler.name] = UNKNOWN
+                merged = _join_env(
+                    merged, self.exec_block(handler.body, dict(merged))
+                )
+            merged = self.exec_block(stmt.orelse, merged)
+            env = self.exec_block(stmt.finalbody, merged)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc, env)
+        # nested defs/classes analysed separately; imports, pass,
+        # break, continue, global, nonlocal carry no dimension facts
+        return env
+
+    def _bind(self, target: ast.expr, value_node: ast.expr | None,
+              value: UValue, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            parts: list[UValue] | None = None
+            if isinstance(value_node, (ast.Tuple, ast.List)) and \
+                    len(value_node.elts) == len(target.elts):
+                parts = [self.eval(e, env) for e in value_node.elts]
+            for i, elt in enumerate(target.elts):
+                part = parts[i] if parts is not None else value
+                if isinstance(elt, ast.Starred):
+                    elt = elt.value
+                    part = UNKNOWN
+                self._bind(elt, None, part, env)
+        elif isinstance(target, ast.Subscript):
+            # storing a known dimension into a fresh buffer teaches the
+            # buffer its dimension (out = np.empty_like(x); out[m] = kt)
+            base = target.value
+            self.eval(target.slice, env)
+            if isinstance(base, ast.Name) and value.known:
+                current = env.get(base.id, UNKNOWN)
+                if current.literal:
+                    env[base.id] = value
+                elif current.known and not value.literal and \
+                        current.dim != value.dim:
+                    self.report(
+                        target, "UNIT001",
+                        f"storing {_fmt(value)} into an array of "
+                        f"{_fmt(current)}",
+                    )
+        # attribute stores (self.x = ...) carry no local facts
+
+    def _load_target(self, target: ast.expr, env: Env) -> UValue:
+        if isinstance(target, ast.Name):
+            return env.get(target.id, self._global_value(target.id))
+        return self.eval(target, env)
+
+    def _check_return(self, stmt: ast.Return, value: UValue) -> None:
+        if self.contract is None or self.contract.ret is None:
+            return
+        declared = self.contract.ret
+        assert stmt.value is not None
+        # a tuple return declares the unit of each element
+        if isinstance(stmt.value, ast.Tuple):
+            return  # elements were evaluated; tuples stay unconstrained
+        if value.known and not value.literal and value.dim != declared:
+            self.report(
+                stmt, "UNIT003",
+                f"returns {_fmt(value)} but is declared "
+                f"'-> {format_dimension(declared)}'",
+            )
+
+    # -- expressions --------------------------------------------------
+    def eval(self, node: ast.expr, env: Env) -> UValue:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return DIMLESS
+            if isinstance(node.value, (int, float, complex)):
+                return LITERAL
+            return UNKNOWN
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            return self._global_value(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, env)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand, env)
+            if isinstance(node.op, ast.Not):
+                return DIMLESS
+            return operand
+        if isinstance(node, ast.BoolOp):
+            result = PENDING
+            for value_node in node.values:
+                result = join(result, self.eval(value_node, env))
+            return result
+        if isinstance(node, ast.Compare):
+            self._check_compare(node, env)
+            return DIMLESS
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return join(self.eval(node.body, env),
+                        self.eval(node.orelse, env))
+        if isinstance(node, ast.Subscript):
+            base = self.eval(node.value, env)
+            self.eval(node.slice, env)
+            if base.known or base.literal:
+                return base
+            return UNKNOWN
+        if isinstance(node, (ast.Tuple, ast.List)):
+            result = PENDING
+            for elt in node.elts:
+                result = join(result, self.eval(elt, env))
+            return result if result != PENDING else LITERAL
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval(node.value, env)
+            self._bind(node.target, node.value, value, env)
+            return value
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            inner = dict(env)
+            for gen in node.generators:
+                self.eval(gen.iter, env)
+                self._bind(gen.target, None, UNKNOWN, inner)
+            return self.eval(node.elt, inner)
+        if isinstance(node, ast.DictComp):
+            return UNKNOWN
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval(part, env)
+            return UNKNOWN
+        # lambdas, dicts, sets, f-strings, await, yield: no facts
+        return UNKNOWN
+
+    def _global_value(self, name: str) -> UValue:
+        dim = self.facts.constants.get(name)
+        if dim is not None:
+            return UValue(dim=dim)
+        return UNKNOWN
+
+    def _eval_attribute(self, node: ast.Attribute, env: Env) -> UValue:
+        dotted = dotted_name(node)
+        if dotted is not None:
+            root, _, _ = dotted.partition(".")
+            leaf = last_attr(dotted)
+            if leaf in CONSTANT_UNITS and (
+                root in self.facts.constant_module_aliases
+                or dotted.startswith("repro.constants.")
+            ):
+                return UValue(dim=CONSTANT_UNITS[leaf])
+            if root in _LIB_ROOTS and leaf in _LITERAL_ATTRS:
+                return LITERAL
+        base = self.eval(node.value, env)
+        if node.attr in _DIMLESS_ATTRS:
+            return DIMLESS
+        if node.attr in _PRESERVE_ATTRS and (base.known or base.literal):
+            return base
+        return UNKNOWN
+
+    def _check_addlike(self, node: ast.AST, op_word: str,
+                       left: UValue, right: UValue) -> UValue:
+        if left.known and right.known and not left.literal \
+                and not right.literal and left.dim != right.dim:
+            self.report(
+                node, "UNIT001",
+                f"{op_word} {_fmt(left)} and {_fmt(right)}",
+            )
+            return UNKNOWN
+        if left.pending or right.pending:
+            return PENDING
+        if left.known and (right.literal or right == left):
+            return left
+        if right.known and left.literal:
+            return right
+        if left.literal and right.literal:
+            return LITERAL
+        return UNKNOWN
+
+    def _binop_value(self, op: ast.operator, left: UValue,
+                     right: UValue, node: ast.AST) -> UValue:
+        if isinstance(op, (ast.Add, ast.Sub, ast.Mod)):
+            return self._check_addlike(node, "combining", left, right)
+        if isinstance(op, (ast.Mult, ast.MatMult)):
+            return self._product(left, right, invert=False)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            return self._product(left, right, invert=True)
+        if isinstance(op, ast.Pow):
+            return UNKNOWN  # handled with the AST exponent in _eval_binop
+        return UNKNOWN
+
+    @staticmethod
+    def _product(left: UValue, right: UValue, *, invert: bool) -> UValue:
+        if left.pending or right.pending:
+            return PENDING
+        if left.literal and right.literal:
+            return LITERAL
+        if left.known and right.known:
+            ldim = left.dim if not left.literal else DIMENSIONLESS
+            rdim = right.dim if not right.literal else DIMENSIONLESS
+            assert ldim is not None and rdim is not None
+            return UValue(dim=ldim / rdim if invert else ldim * rdim)
+        if left.known and right.literal:
+            return left
+        if right.known and left.literal:
+            if invert:
+                assert right.dim is not None
+                return UValue(dim=DIMENSIONLESS / right.dim)
+            return right
+        return UNKNOWN
+
+    def _eval_binop(self, node: ast.BinOp, env: Env) -> UValue:
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        if isinstance(node.op, ast.Pow):
+            return self._pow(node, left, node.right, right)
+        return self._binop_value(node.op, left, right, node)
+
+    def _pow(self, node: ast.AST, base: UValue,
+             exp_node: ast.expr, exponent: UValue) -> UValue:
+        if exponent.known and not exponent.literal and \
+                not (exponent.dim is not None
+                     and exponent.dim.is_dimensionless):
+            self.report(
+                node, "UNIT004",
+                f"exponent carries dimension {_fmt(exponent)}; "
+                f"exponents must be dimensionless",
+            )
+            return UNKNOWN
+        if base.literal:
+            return LITERAL
+        if not base.known:
+            return UNKNOWN
+        power = _literal_number(exp_node)
+        if power is None:
+            # dimensional base raised to a non-constant power is only
+            # sound when the base is dimensionless
+            assert base.dim is not None
+            if base.dim.is_dimensionless:
+                return DIMLESS
+            return UNKNOWN
+        assert base.dim is not None
+        return UValue(dim=base.dim ** power)
+
+    def _check_compare(self, node: ast.Compare, env: Env) -> None:
+        values = [self.eval(node.left, env)]
+        values += [self.eval(comp, env) for comp in node.comparators]
+        for op, left, right in zip(node.ops, values, values[1:]):
+            if isinstance(op, (ast.Is, ast.IsNot, ast.In, ast.NotIn)):
+                continue
+            self._check_addlike(node, "comparing", left, right)
+
+    # -- calls --------------------------------------------------------
+    def _eval_call(self, node: ast.Call, env: Env) -> UValue:
+        name = call_name(node)
+        args = [self.eval(a, env) for a in node.args]
+        kwargs = {
+            kw.arg: self.eval(kw.value, env)
+            for kw in node.keywords
+        }
+        if name is None:
+            return UNKNOWN
+        base = last_attr(name)
+        root, _, _ = name.partition(".")
+        is_attr_call = "." in name
+        lib_call = not is_attr_call or root in _LIB_ROOTS
+
+        if lib_call:
+            intrinsic = self._intrinsic(node, base, args, kwargs)
+            if intrinsic is not None:
+                return intrinsic
+        # user-defined summaries: plain names, methods and constructors
+        summary = self.table.get(base)
+        if summary is not None:
+            self._check_call_args(node, base, summary, args, kwargs)
+            if summary.ret is not None:
+                return UValue(dim=summary.ret)
+            return UNKNOWN
+        if base in self.table:
+            return UNKNOWN  # ambiguous name: stay silent
+        if is_attr_call and base in _PRESERVE_METHODS and \
+                isinstance(node.func, ast.Attribute):
+            receiver_value = self.eval(node.func.value, env)
+            if receiver_value.known or receiver_value.literal:
+                return receiver_value
+        return UNKNOWN
+
+    def _intrinsic(self, node: ast.Call, base: str,
+                   args: list[UValue],
+                   kwargs: dict[str | None, UValue]) -> UValue | None:
+        if base in _TRANSCENDENTAL:
+            for arg_node, value in zip(node.args, args):
+                if value.known and not value.literal:
+                    assert value.dim is not None
+                    if not value.dim.is_dimensionless:
+                        self.report(
+                            node, "UNIT004",
+                            f"{base}() of a quantity with dimension "
+                            f"{_fmt(value)}; divide by its natural "
+                            f"scale first",
+                        )
+            return DIMLESS
+        if base == "sqrt":
+            return self._root(args, Fraction(1, 2))
+        if base == "cbrt":
+            return self._root(args, Fraction(1, 3))
+        if base == "square":
+            if args and args[0].known and not args[0].literal:
+                assert args[0].dim is not None
+                return UValue(dim=args[0].dim ** 2)
+            return args[0] if args else UNKNOWN
+        if base == "reciprocal":
+            if args and args[0].known and not args[0].literal:
+                assert args[0].dim is not None
+                return UValue(dim=DIMENSIONLESS / args[0].dim)
+            return args[0] if args else UNKNOWN
+        if base == "power":
+            if len(node.args) == 2:
+                return self._pow(node, args[0], node.args[1], args[1])
+            return UNKNOWN
+        if base == "interp":
+            return args[2] if len(args) >= 3 else UNKNOWN
+        if base == "where":
+            if len(args) >= 3:
+                return join(args[1], args[2])
+            return UNKNOWN
+        if base == "full":
+            return args[1] if len(args) >= 2 else UNKNOWN
+        if base in _PRODUCT_FNS:
+            if len(args) >= 2:
+                return self._product(args[0], args[1], invert=False)
+            return UNKNOWN
+        if base in _JOIN_ALL:
+            result = PENDING
+            for value in args:
+                result = join(result, value)
+            return result if result != PENDING else UNKNOWN
+        if base in _PRESERVE_FIRST:
+            if base in ("max", "min") and len(args) > 1:
+                result = args[0]
+                for value in args[1:]:
+                    result = join(result, value)
+                return result
+            return args[0] if args else UNKNOWN
+        if base in _LITERAL_FNS:
+            return LITERAL
+        if base in _DIMLESS_FNS:
+            return DIMLESS
+        return None
+
+    @staticmethod
+    def _root(args: list[UValue], power: Fraction) -> UValue:
+        if args and args[0].known and not args[0].literal:
+            assert args[0].dim is not None
+            return UValue(dim=args[0].dim ** power)
+        return args[0] if args else UNKNOWN
+
+    def _check_call_args(self, node: ast.Call, name: str,
+                         summary: FunctionSummary,
+                         args: list[UValue],
+                         kwargs: dict[str | None, UValue]) -> None:
+        by_name = dict(summary.params)
+        for index, value in enumerate(args):
+            if index >= summary.n_positional:
+                break
+            if index < len(node.args) and \
+                    isinstance(node.args[index], ast.Starred):
+                break
+            pname, expected = summary.params[index]
+            self._check_arg(node, name, pname, expected, value)
+        for kwarg, value in kwargs.items():
+            if kwarg is None:
+                continue
+            if kwarg in by_name:
+                self._check_arg(node, name, kwarg, by_name[kwarg], value)
+
+    def _check_arg(self, node: ast.Call, func: str, param: str,
+                   expected: Dimension | None, value: UValue) -> None:
+        if expected is None:
+            return
+        if value.known and not value.literal and value.dim != expected:
+            self.report(
+                node, "UNIT002",
+                f"{func}() expects {param}: "
+                f"{format_dimension(expected)}, got {_fmt(value)}",
+            )
+
+
+def _literal_number(node: ast.expr) -> Fraction | None:
+    """The exponent as an exact rational, for constant powers."""
+    negate = False
+    while isinstance(node, ast.UnaryOp) and \
+            isinstance(node.op, (ast.USub, ast.UAdd)):
+        if isinstance(node.op, ast.USub):
+            negate = not negate
+        node = node.operand
+    if isinstance(node, ast.Constant) and \
+            isinstance(node.value, (int, float)) and \
+            not isinstance(node.value, bool):
+        try:
+            value = Fraction(str(node.value))
+        except ValueError:
+            return None
+        return -value if negate else value
+    return None
+
+
+def _join_env(a: Env, b: Env) -> Env:
+    merged: Env = {}
+    for key in set(a) | set(b):
+        merged[key] = join(a.get(key, UNKNOWN), b.get(key, UNKNOWN))
+    return merged
+
+
+# ----------------------------------------------------------------------
+# module drivers
+# ----------------------------------------------------------------------
+
+def _module_env(facts: ModuleUnitFacts, table: SummaryTable) -> Env:
+    """Dimensions of module-level names (``_WINDOW = 45.0`` and
+    constant-derived globals)."""
+    interp = _Interp(facts, table, contract=None, sink=None)
+    env: Env = {}
+    for stmt in facts.module.tree.body:
+        if isinstance(stmt, ast.Assign) or isinstance(stmt, ast.AnnAssign):
+            try:
+                interp.exec_stmt(stmt, env)
+            except RecursionError:  # pragma: no cover
+                break
+    # canonical constants keep their vocabulary dimension even where
+    # the module defines them from raw literals (repro.constants)
+    for name, dim in facts.constants.items():
+        env[name] = UValue(dim=dim)
+    return env
+
+
+def _interpret_function(
+    facts: ModuleUnitFacts,
+    func: _FunctionFacts,
+    table: SummaryTable,
+    module_env: Env,
+    sink: list[tuple[int, str, str]] | None,
+) -> UValue:
+    """Run one function; returns the join of its return values."""
+    interp = _Interp(facts, table, func.contract, sink)
+    env: Env = dict(module_env)
+    contract = func.contract
+    for arg in (*func.positional, *func.kwonly):
+        dim = None if contract is None else contract.param(arg.arg)
+        env[arg.arg] = UNKNOWN if dim is None else UValue(dim=dim)
+    if func.node.args.vararg is not None:
+        env[func.node.args.vararg.arg] = UNKNOWN
+    if func.node.args.kwarg is not None:
+        env[func.node.args.kwarg.arg] = UNKNOWN
+    interp.exec_block(func.node.body, env)
+    result = PENDING
+    for value in interp.returns:
+        result = join(result, value)
+    return result
+
+
+def declared_summaries(facts: ModuleUnitFacts) -> dict[str, FunctionSummary]:
+    """The summaries read directly off ``@units`` decorators."""
+    summaries: dict[str, FunctionSummary] = {}
+    for func in facts.functions:
+        if func.contract is not None:
+            ret = func.contract.ret
+            summary = func.base_summary(ret, declared=True)
+            merge_summary(summaries, func.summary_name, summary)
+    return summaries
+
+
+def infer_summaries(
+    facts: ModuleUnitFacts,
+    table: SummaryTable,
+) -> dict[str, FunctionSummary]:
+    """One inference sweep: interpret every function against ``table``
+    and emit a summary per function — declared where a contract
+    exists, inferred-return otherwise.  Callers iterate this to a
+    fixpoint over summary cycles."""
+    module_env = _module_env(facts, table)
+    summaries: dict[str, FunctionSummary] = {}
+    for func in facts.functions:
+        if func.contract is not None and func.contract.ret is not None:
+            summary = func.base_summary(func.contract.ret, declared=True)
+        else:
+            result = _interpret_function(
+                facts, func, table, module_env, sink=None
+            )
+            ret = result.dim if result.known and not result.literal else None
+            summary = func.base_summary(
+                ret, declared=func.contract is not None
+            )
+        merge_summary(summaries, func.summary_name, summary)
+    return summaries
+
+
+#: literals this close (relative) to a named constant are flagged
+_CONSTANT_REL_TOL = 1e-3
+
+
+def _find_magic_literals(
+    module: ModuleSource,
+    values: list[tuple[str, float]],
+) -> list[tuple[int, str, str]]:
+    """UNIT005: raw literals duplicating a named physical constant."""
+    reports: list[tuple[int, str, str]] = []
+    defining_lines: set[int] = set()
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            # module-level assignments *define* named constants
+            for sub in ast.walk(stmt):
+                lineno = getattr(sub, "lineno", None)
+                if lineno is not None:
+                    defining_lines.add(lineno)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Constant) or \
+                not isinstance(node.value, float):
+            continue
+        if node.lineno in defining_lines or node.value == 0.0:
+            continue
+        magnitude = abs(node.value)
+        for name, reference in values:
+            if reference == 0.0:
+                continue
+            if abs(magnitude - abs(reference)) <= \
+                    _CONSTANT_REL_TOL * abs(reference):
+                reports.append((
+                    node.lineno, "UNIT005",
+                    f"literal {node.value!r} duplicates "
+                    f"repro.constants.{name}; use the named constant",
+                ))
+                break
+    return reports
+
+
+def _constant_values() -> list[tuple[str, float]]:
+    import repro.constants as constants
+
+    values: list[tuple[str, float]] = []
+    for name in CONSTANT_UNITS:
+        value = getattr(constants, name, None)
+        if isinstance(value, float) and name not in ("BCS_RATIO",):
+            values.append((name, value))
+    return values
+
+
+def analyze_module(
+    facts: ModuleUnitFacts,
+    windex: WaiverIndex,
+    table: SummaryTable,
+) -> list[Diagnostic]:
+    """The final checking pass of one module: interpret every function
+    with the stabilised summary table and emit UNIT0xx findings."""
+    module = facts.module
+    raw: list[tuple[int, str, str]] = []
+    for lineno, message in facts.contract_errors:
+        raw.append((lineno, "UNIT006", message))
+    module_env = _module_env(facts, table)
+    for func in facts.functions:
+        _interpret_function(facts, func, table, module_env, sink=raw)
+    raw.extend(_find_magic_literals(module, _constant_values()))
+    findings: list[Diagnostic] = []
+    for lineno, code, message in raw:
+        if windex.waives(lineno, code):
+            continue
+        findings.append(diagnostic(
+            code, message,
+            path=str(module.path), line=lineno, relpath=module.relpath,
+        ))
+    return findings

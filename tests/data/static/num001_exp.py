@@ -1,0 +1,13 @@
+"""Seeded bug: ``exp`` of an unclamped quantity.
+
+Expected finding: exactly one NUM001 on the ``np.exp`` call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def boltzmann_weight(ratio):
+    """Overflows for large negative free-energy changes."""
+    return np.exp(ratio)

@@ -1,0 +1,10 @@
+"""Clean twin of ``num001_exp``: the argument is clamped first."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def boltzmann_weight(ratio):
+    """The clip keeps ``exp`` inside its safe range."""
+    return np.exp(np.clip(ratio, None, 500.0))

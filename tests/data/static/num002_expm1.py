@@ -1,0 +1,15 @@
+"""Seeded bug: divides by ``exp(x) - 1`` instead of ``expm1``.
+
+Expected finding: exactly one NUM002 on the division.  The ``exp``
+argument is mask-selected, so NUM001 stays silent and the cancellation
+is the only defect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bose_occupation(ratio, normal):
+    """Loses all precision for ``|x| << 1``."""
+    return ratio[normal] / (np.exp(ratio[normal]) - 1.0)

@@ -1,0 +1,10 @@
+"""Clean twin of ``num002_expm1``: uses ``np.expm1``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bose_occupation(ratio, normal):
+    """``expm1`` keeps full precision near ``x = 0``."""
+    return ratio[normal] / np.expm1(ratio[normal])

@@ -1,0 +1,11 @@
+"""Seeded bug: float ``==`` on a computed expression.
+
+Expected finding: exactly one NUM003 on the comparison.
+"""
+
+from __future__ import annotations
+
+
+def is_converged(total: float, count: float, target: float) -> bool:
+    """The mean is a rounded float; exact equality is luck."""
+    return (total / count) == target

@@ -1,0 +1,10 @@
+"""Clean twin of ``num003_equality``: compares with a tolerance."""
+
+from __future__ import annotations
+
+import math
+
+
+def is_converged(total: float, count: float, target: float) -> bool:
+    """``isclose`` absorbs the rounding of the division."""
+    return math.isclose(total / count, target)

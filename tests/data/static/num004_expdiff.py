@@ -1,0 +1,14 @@
+"""Seeded bug: subtracts two exponentials.
+
+Expected finding: exactly one NUM004 on the subtraction.  Both ``exp``
+arguments are bounded above by ``-abs``, so NUM001 stays silent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def tail_difference(first, second):
+    """Cancels catastrophically when the two tails are close."""
+    return np.exp(-np.abs(first)) - np.exp(-np.abs(second))

@@ -1,0 +1,11 @@
+"""Clean twin of ``num004_expdiff``: factored through ``expm1``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def tail_difference(first, second):
+    """``exp(b) * expm1(a - b)`` evaluates the difference stably."""
+    shift = np.clip(np.abs(second) - np.abs(first), -50.0, 50.0)
+    return np.exp(-np.abs(second)) * np.expm1(shift)

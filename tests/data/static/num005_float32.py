@@ -1,0 +1,16 @@
+"""Seeded bug: loop accumulation into a float32 buffer.
+
+Expected finding: exactly one NUM005 on the ``+=`` statement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def running_total(chunks):
+    """Running float32 sums lose ~7 digits over long campaigns."""
+    acc = np.zeros(8, dtype=np.float32)
+    for chunk in chunks:
+        acc += chunk
+    return acc

@@ -1,0 +1,15 @@
+"""Seeded bug: adds an energy to a raw temperature.
+
+Expected finding: exactly one UNIT001 on the ``energy + temperature``
+expression (joules plus kelvin).
+"""
+
+from __future__ import annotations
+
+from repro.static import units
+
+
+@units("energy: J, temperature: K -> J")
+def biased_energy(energy: float, temperature: float) -> float:
+    """Meant to add the thermal energy ``k_B * T`` but forgot ``k_B``."""
+    return energy + temperature

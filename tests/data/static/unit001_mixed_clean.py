@@ -1,0 +1,12 @@
+"""Clean twin of ``unit001_mixed``: the kelvin is scaled by ``k_B``."""
+
+from __future__ import annotations
+
+from repro.constants import K_B
+from repro.static import units
+
+
+@units("energy: J, temperature: K -> J")
+def biased_energy(energy: float, temperature: float) -> float:
+    """Adds the thermal energy ``k_B * T`` to ``energy``."""
+    return energy + K_B * temperature

@@ -1,0 +1,20 @@
+"""Seeded bug: passes a voltage where the callee declares joules.
+
+Expected finding: exactly one UNIT002 on the ``occupation(...)`` call.
+"""
+
+from __future__ import annotations
+
+from repro.static import units
+
+
+@units("energy: J, temperature: K -> 1")
+def occupation(energy: float, temperature: float) -> float:
+    """Stand-in occupation factor; only the contract matters here."""
+    return 0.5
+
+
+@units("voltage: V, temperature: K -> 1")
+def gate_occupation(voltage: float, temperature: float) -> float:
+    """Forgot to convert the gate voltage to an energy (``-e * V``)."""
+    return occupation(voltage, temperature)

@@ -1,0 +1,18 @@
+"""Clean twin of ``unit002_argdim``: the voltage becomes an energy."""
+
+from __future__ import annotations
+
+from repro.constants import E_CHARGE
+from repro.static import units
+
+
+@units("energy: J, temperature: K -> 1")
+def occupation(energy: float, temperature: float) -> float:
+    """Stand-in occupation factor; only the contract matters here."""
+    return 0.5
+
+
+@units("voltage: V, temperature: K -> 1")
+def gate_occupation(voltage: float, temperature: float) -> float:
+    """Converts the gate voltage to an electron energy before the call."""
+    return occupation(-E_CHARGE * voltage, temperature)

@@ -1,0 +1,15 @@
+"""Seeded bug: returns charge times voltage (joules) from a function
+declared to return volts.
+
+Expected finding: exactly one UNIT003 on the ``return`` statement.
+"""
+
+from __future__ import annotations
+
+from repro.static import units
+
+
+@units("charge: C, voltage: V -> V")
+def stored_potential(charge: float, voltage: float) -> float:
+    """The product is an energy, not a potential."""
+    return charge * voltage

@@ -1,0 +1,11 @@
+"""Clean twin of ``unit003_return``: the declaration matches the body."""
+
+from __future__ import annotations
+
+from repro.static import units
+
+
+@units("charge: C, voltage: V -> J")
+def stored_energy(charge: float, voltage: float) -> float:
+    """Charge times voltage is an energy."""
+    return charge * voltage

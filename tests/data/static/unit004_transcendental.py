@@ -1,0 +1,16 @@
+"""Seeded bug: takes the logarithm of a dimensional quantity.
+
+Expected finding: exactly one UNIT004 on the ``np.log`` call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import units
+
+
+@units("energy: J -> 1")
+def log_energy(energy: float) -> float:
+    """``log`` of raw joules; the energy must be reduced by a scale."""
+    return float(np.log(energy))

@@ -1,0 +1,14 @@
+"""Clean twin of ``unit004_transcendental``: the argument is reduced
+to a dimensionless ratio first."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.static import units
+
+
+@units("energy: J, scale: J -> 1")
+def log_energy(energy: float, scale: float) -> float:
+    """``log`` of the dimensionless ratio ``E / E0``."""
+    return float(np.log(energy / scale))

@@ -1,0 +1,11 @@
+"""Seeded bug: a raw literal duplicating the Boltzmann constant.
+
+Expected finding: exactly one UNIT005 on the ``1.38e-23`` literal.
+"""
+
+from __future__ import annotations
+
+
+def thermal_scale(temperature: float) -> float:
+    """Hard-codes ``k_B`` instead of importing ``repro.constants.K_B``."""
+    return 1.38e-23 * temperature

@@ -1,0 +1,10 @@
+"""Clean twin of ``unit005_magic``: uses the named constant."""
+
+from __future__ import annotations
+
+from repro.constants import K_B
+
+
+def thermal_scale(temperature: float) -> float:
+    """Uses ``repro.constants.K_B`` rather than a magic literal."""
+    return K_B * temperature

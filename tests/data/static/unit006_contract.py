@@ -1,0 +1,14 @@
+"""Seeded bug: a ``@units`` contract naming an unknown unit.
+
+Expected finding: exactly one UNIT006 on the decorator line.
+"""
+
+from __future__ import annotations
+
+from repro.static import units
+
+
+@units("energy: Jool -> 1")
+def qp_weight(energy: float) -> float:
+    """The contract misspells joule, so it cannot be parsed."""
+    return 0.5

@@ -1,0 +1,11 @@
+"""Clean twin of ``unit006_contract``: a well-formed contract."""
+
+from __future__ import annotations
+
+from repro.static import units
+
+
+@units("energy: J -> 1")
+def qp_weight(energy: float) -> float:
+    """A parseable contract; the body is unconstrained."""
+    return 0.5

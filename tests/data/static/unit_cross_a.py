@@ -1,0 +1,16 @@
+"""Half of the cross-module seeded bug: a correctly annotated helper.
+
+This module is clean on its own.  ``unit_cross_b`` feeds the volts this
+function returns into a joule-expecting contract — a mismatch only the
+interprocedural summary engine can see.
+"""
+
+from __future__ import annotations
+
+from repro.static import units
+
+
+@units("charge: C, capacitance: F -> V")
+def island_potential(charge: float, capacitance: float) -> float:
+    """Potential of an isolated island, ``q / C``."""
+    return charge / capacitance

@@ -1,0 +1,29 @@
+"""Half of the cross-module seeded bug: misuses ``unit_cross_a``.
+
+Expected finding: exactly one UNIT002 on the ``boltzmann_factor`` call
+— but only when this module is analysed *together with*
+``unit_cross_a``, because the volts flow out of ``island_potential``'s
+summary.  Analysed alone, the callee is unknown and the module is
+clean; the test suite checks both directions.
+"""
+
+from __future__ import annotations
+
+from unit_cross_a import island_potential
+
+from repro.static import units
+
+
+@units("energy: J, temperature: K -> 1")
+def boltzmann_factor(energy: float, temperature: float) -> float:
+    """Stand-in thermal factor; only the contract matters here."""
+    return 0.5
+
+
+@units("charge: C, capacitance: F, temperature: K -> 1")
+def blockade_factor(charge: float, capacitance: float,
+                    temperature: float) -> float:
+    """Passes a potential (V) where an energy (J) is required."""
+    return boltzmann_factor(
+        island_potential(charge, capacitance), temperature
+    )

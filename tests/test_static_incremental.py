@@ -1,0 +1,254 @@
+"""Tests for the incremental / parallel static-analysis engine.
+
+Covers the on-disk summary cache (content-keyed, transitively
+invalidated through the callgraph), the ``changed=`` closure, the
+``jobs`` fan-out, and the line-number-insensitive baseline
+fingerprints with legacy acceptance.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.static import check_paths, load_baseline, write_baseline
+
+HEADER = "from __future__ import annotations\n\n"
+
+
+def _write_project(root: Path) -> None:
+    """Three modules in a chain: leaf <- mid <- top, plus a bystander."""
+    (root / "leaf.py").write_text(HEADER + textwrap.dedent(
+        """
+        from repro.static import units
+
+
+        @units("charge: C, capacitance: F -> V")
+        def potential(charge, capacitance):
+            return charge / capacitance
+        """
+    ).lstrip())
+    (root / "mid.py").write_text(HEADER + textwrap.dedent(
+        """
+        from leaf import potential
+
+        from repro.constants import E_CHARGE
+        from repro.static import units
+
+
+        @units("capacitance: F -> J")
+        def charging_energy(capacitance):
+            return -E_CHARGE * potential(-E_CHARGE, capacitance)
+        """
+    ).lstrip())
+    (root / "top.py").write_text(HEADER + textwrap.dedent(
+        """
+        from mid import charging_energy
+
+        from repro.static import units
+
+
+        @units("capacitance: F -> J")
+        def doubled(capacitance):
+            return 2.0 * charging_energy(capacitance)
+        """
+    ).lstrip())
+    (root / "bystander.py").write_text(HEADER + textwrap.dedent(
+        """
+        def unrelated(x):
+            return x + 1
+        """
+    ).lstrip())
+
+
+def run(root: Path, cache: Path | None, **kw):
+    return check_paths([root], relative_to=root, cache_dir=cache, **kw)
+
+
+class TestIncrementalCache:
+    def test_warm_rerun_reanalyzes_nothing(self, tmp_path):
+        project, cache = tmp_path / "p", tmp_path / "cache"
+        project.mkdir()
+        _write_project(project)
+        cold = run(project, cache)
+        assert cold.findings == ()
+        assert cold.analyzed == 4 and cold.cached == 0
+        warm = run(project, cache)
+        assert warm.findings == ()
+        assert warm.analyzed == 0 and warm.cached == 4
+
+    def test_same_content_different_mtime_still_hits(self, tmp_path):
+        import os
+
+        project, cache = tmp_path / "p", tmp_path / "cache"
+        project.mkdir()
+        _write_project(project)
+        run(project, cache)
+        # a no-op touch changes the mtime but not the content hash
+        os.utime(project / "leaf.py")
+        warm = run(project, cache)
+        assert warm.analyzed == 0 and warm.cached == 4
+
+    def test_edit_invalidates_dependents_transitively(self, tmp_path):
+        project, cache = tmp_path / "p", tmp_path / "cache"
+        project.mkdir()
+        _write_project(project)
+        run(project, cache)
+        # change leaf's *declared return*: mid and top summaries depend
+        # on it through the callgraph, so all three must re-analyse
+        source = (project / "leaf.py").read_text()
+        (project / "leaf.py").write_text(
+            source + "\n\ndef helper(x):\n    return x\n"
+        )
+        after = run(project, cache)
+        assert after.analyzed == 3 and after.cached == 1
+
+    def test_cached_findings_identical_to_fresh(self, tmp_path):
+        project, cache = tmp_path / "p", tmp_path / "cache"
+        project.mkdir()
+        _write_project(project)
+        # seed a violation so there is a finding to rehydrate
+        (project / "bad.py").write_text(HEADER + textwrap.dedent(
+            """
+            from repro.static import units
+
+
+            @units("charge: C, voltage: V -> V")
+            def energy(charge, voltage):
+                return charge * voltage
+            """
+        ).lstrip())
+        cold = run(project, cache)
+        warm = run(project, cache)
+        fresh = run(project, None)
+        as_tuples = lambda r: [  # noqa: E731 - local shorthand
+            (f.relpath, f.line, f.code, f.message, f.context)
+            for f in r.findings
+        ]
+        assert as_tuples(cold) == as_tuples(fresh)
+        assert as_tuples(warm) == as_tuples(fresh)
+        assert warm.analyzed == 0
+
+    def test_cache_disabled_for_partial_pass_runs(self, tmp_path):
+        project, cache = tmp_path / "p", tmp_path / "cache"
+        project.mkdir()
+        _write_project(project)
+        partial = run(project, cache, passes=("units",))
+        assert partial.analyzed == -1  # sentinel: no cache accounting
+        assert not cache.exists() or not any(cache.iterdir())
+
+
+class TestJobs:
+    def test_parallel_matches_serial(self, tmp_path):
+        project, cache = tmp_path / "p", tmp_path / "cache"
+        project.mkdir()
+        _write_project(project)
+        (project / "bad.py").write_text(HEADER + textwrap.dedent(
+            """
+            from repro.static import units
+
+
+            @units("energy: J, temperature: K -> J")
+            def f(energy, temperature):
+                return energy + temperature
+            """
+        ).lstrip())
+        serial = run(project, None)
+        parallel = run(project, None, jobs=4)
+        key = lambda r: [  # noqa: E731 - local shorthand
+            (f.relpath, f.line, f.code, f.message) for f in r.findings
+        ]
+        assert key(parallel) == key(serial)
+        assert key(serial) == [("bad.py", 8, "UNIT001",
+                                serial.findings[0].message)]
+
+    def test_parallel_cold_cache_populates_correctly(self, tmp_path):
+        project, cache = tmp_path / "p", tmp_path / "cache"
+        project.mkdir()
+        _write_project(project)
+        cold = run(project, cache, jobs=4)
+        assert cold.analyzed == 4
+        warm = run(project, cache)  # serial warm read of parallel write
+        assert warm.analyzed == 0 and warm.cached == 4
+
+
+class TestChanged:
+    def test_changed_closure_limits_the_report(self, tmp_path):
+        project = tmp_path / "p"
+        project.mkdir()
+        _write_project(project)
+        # introduce a violation in every module so reporting scope shows
+        for name in ("leaf", "mid", "top", "bystander"):
+            path = project / f"{name}.py"
+            path.write_text(
+                path.read_text()
+                + "\n\ndef bad():\n    return 1.38e-23\n"
+            )
+        full = run(project, None)
+        assert sorted({f.relpath for f in full.findings}) == [
+            "bystander.py", "leaf.py", "mid.py", "top.py",
+        ]
+        # changing only leaf.py must report leaf + its dependents
+        scoped = run(project, None, changed=[str(project / "leaf.py")])
+        assert sorted({f.relpath for f in scoped.findings}) == [
+            "leaf.py", "mid.py", "top.py",
+        ]
+
+    def test_changed_outside_scan_set_is_ignored(self, tmp_path):
+        project = tmp_path / "p"
+        project.mkdir()
+        _write_project(project)
+        report = run(project, None, changed=[str(tmp_path / "elsewhere.py")])
+        assert report.findings == ()
+
+
+class TestBaselines:
+    def _report_with_finding(self, tmp_path):
+        project = tmp_path / "p"
+        project.mkdir(exist_ok=True)
+        (project / "bad.py").write_text(HEADER + textwrap.dedent(
+            """
+            from repro.static import units
+
+
+            @units("charge: C, voltage: V -> V")
+            def energy(charge, voltage):
+                return charge * voltage
+            """
+        ).lstrip())
+        return project, run(project, None)
+
+    def test_fingerprint_survives_line_shifts(self, tmp_path):
+        project, report = self._report_with_finding(tmp_path)
+        (finding,) = report.findings
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(report, baseline_file)
+        # shift the finding down two lines without touching its text
+        source = (project / "bad.py").read_text()
+        (project / "bad.py").write_text(
+            source.replace(HEADER, HEADER + "\n\n", 1)
+        )
+        shifted = run(project, None, baseline=load_baseline(baseline_file))
+        assert shifted.findings == ()
+        (baselined,) = shifted.baselined
+        assert baselined.line == finding.line + 2
+        assert shifted.baseline_legacy_matches == 0
+
+    def test_legacy_line_fingerprints_still_accepted(self, tmp_path):
+        project, report = self._report_with_finding(tmp_path)
+        (finding,) = report.findings
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(json.dumps(
+            {"fingerprints": [finding.legacy_fingerprint()]}
+        ))
+        masked = run(project, None, baseline=load_baseline(baseline_file))
+        assert masked.findings == ()
+        assert masked.baseline_legacy_matches == 1
+
+    def test_written_baselines_use_context_hashes(self, tmp_path):
+        project, report = self._report_with_finding(tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(report, baseline_file)
+        payload = json.loads(baseline_file.read_text())
+        assert all(":h" in fp for fp in payload["fingerprints"])

@@ -1,0 +1,114 @@
+"""Tests for the numerical-stability (NUM) pass.
+
+Corpus pins for every NUM code plus targeted checks of the guard
+recognition — the pass must stay silent when the repo's own guarded
+idioms (range tests, masked ``expm1``, log-sum-exp shifts) are used.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.static import check_paths
+
+CORPUS = Path(__file__).parent / "data" / "static"
+
+#: module stem -> the one code its seeded bug must produce
+EXPECTED = {
+    "num001_exp": "NUM001",
+    "num002_expm1": "NUM002",
+    "num003_equality": "NUM003",
+    "num004_expdiff": "NUM004",
+    "num005_float32": "NUM005",
+}
+
+
+def codes_in(path: Path) -> list[str]:
+    report = check_paths([path], relative_to=CORPUS)
+    return [f.code for f in report.findings]
+
+
+class TestSeededBugs:
+    @pytest.mark.parametrize("stem", sorted(EXPECTED))
+    def test_bug_module_yields_exactly_its_code(self, stem):
+        assert codes_in(CORPUS / f"{stem}.py") == [EXPECTED[stem]]
+
+    @pytest.mark.parametrize("stem", sorted(EXPECTED))
+    def test_clean_twin_is_silent(self, stem):
+        assert codes_in(CORPUS / f"{stem}_clean.py") == []
+
+    def test_corpus_is_complete(self):
+        stems = {p.stem for p in CORPUS.glob("*.py")}
+        for stem in EXPECTED:
+            assert stem in stems
+            assert f"{stem}_clean" in stems
+
+
+class TestGuardRecognition:
+    """Idioms from the working kernels that must not be flagged."""
+
+    HEADER = (
+        "from __future__ import annotations\n"
+        "import numpy as np\n"
+    )
+
+    def run(self, tmp_path, body):
+        path = tmp_path / "kernel.py"
+        path.write_text(self.HEADER + body)
+        return [f.code for f in
+                check_paths([path], relative_to=tmp_path).findings]
+
+    def test_range_guard_bounds_the_name(self, tmp_path):
+        # the bcs.py idiom: an early-return range test
+        body = (
+            "def f(arg):\n"
+            "    if arg > 500.0:\n"
+            "        return 0.0\n"
+            "    return np.exp(arg)\n"
+        )
+        assert self.run(tmp_path, body) == []
+
+    def test_max_shift_is_bounded(self, tmp_path):
+        # the log-sum-exp shift used in repro.spice
+        body = (
+            "def f(x):\n"
+            "    return np.exp(x - x.max())\n"
+        )
+        assert self.run(tmp_path, body) == []
+
+    def test_mask_subscript_is_bounded(self, tmp_path):
+        # the fermi.py idiom: expm1 over a pre-selected safe range
+        body = (
+            "def f(x, normal):\n"
+            "    out = np.empty_like(x)\n"
+            "    out[normal] = x[normal] / np.expm1(x[normal])\n"
+            "    return out\n"
+        )
+        assert self.run(tmp_path, body) == []
+
+    def test_comparison_against_zero_is_allowed(self, tmp_path):
+        # exact zero tests of *names* are idiomatic (T == 0 dispatch)
+        body = (
+            "def f(temperature):\n"
+            "    return temperature == 0.0\n"
+        )
+        assert self.run(tmp_path, body) == []
+
+    def test_float32_sum_keyword_flagged(self, tmp_path):
+        body = (
+            "def f(x):\n"
+            "    return np.sum(x, dtype=np.float32)\n"
+        )
+        assert self.run(tmp_path, body) == ["NUM005"]
+
+    def test_float64_accumulation_is_silent(self, tmp_path):
+        body = (
+            "def f(chunks):\n"
+            "    acc = np.zeros(4)\n"
+            "    for chunk in chunks:\n"
+            "        acc += chunk\n"
+            "    return acc\n"
+        )
+        assert self.run(tmp_path, body) == []
