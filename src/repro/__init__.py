@@ -42,6 +42,7 @@ from repro.core import (
     SimulationConfig,
     sweep_iv,
     sweep_map,
+    sweep_master_iv,
     symmetric_bias,
 )
 from repro.errors import (
@@ -88,6 +89,7 @@ __all__ = [
     "ensemble_iv",
     "sweep_iv",
     "sweep_map",
+    "sweep_master_iv",
     "symmetric_bias",
     "__version__",
 ]

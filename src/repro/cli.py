@@ -78,6 +78,26 @@ this CLI reproduces that workflow:
     the dense numpy grid (``--out grid.npz`` to export) and ``gc``
     applies retention policy (``--keep-current-code``,
     ``--older-than DAYS``).
+``python -m repro fuzz run --seed 0 --budget 25 --jobs 2``
+    Differential fuzzing campaign: draw ``--budget`` random cases from
+    the device/logic families (seed-deterministic — the case set and
+    every verdict are bit-identical for any ``--jobs``), cross-check
+    each against every applicable oracle (adaptive MC, non-adaptive
+    MC, master equation, SPICE compact model; logic cases check the
+    technology mapper instead), shrink the first failures to minimal
+    reproducer decks and, with ``--out DIR``, write the failure corpus
+    plus a ``report.json``.  ``--campaign DIR`` caches whole verdicts
+    content-addressed; ``--inject-bug sign-flip`` is the CI fixture
+    that proves the oracle catches a corrupted solver.  Exit 1 when
+    any case fails.
+``python -m repro fuzz replay PATH [PATH ...]``
+    Re-run pinned reproducer entries (directories written by ``fuzz
+    run --out`` or promoted into the golden corpus) and verify they
+    reproduce their recorded verdicts, oracle currents (bit-for-bit,
+    ``float.hex``) and event hashes.  Exit 1 on any divergence.
+``python -m repro fuzz corpus promote SRC --dest tests/data/golden/fuzz``
+    Copy fuzz corpus entries into the pinned golden corpus the test
+    suite replays on every run.
 ``python -m repro benchmark 74LS138``
     Build one of the paper's logic benchmarks and report its size.
 ``python -m repro benchmarks``
@@ -455,6 +475,105 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fingerprint", default=None, metavar="HEX",
         help="restrict collection to one workload directory",
     )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random circuits cross-checked "
+             "against every applicable oracle",
+    )
+    fsub = fuzz.add_subparsers(dest="action", required=True)
+
+    frun = fsub.add_parser(
+        "run", help="generate and differentially check a case budget"
+    )
+    frun.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign root seed; the case set and every verdict are "
+             "a pure function of (seed, budget, families)",
+    )
+    frun.add_argument(
+        "--budget", type=int, default=25, metavar="N",
+        help="number of generated cases (default 25)",
+    )
+    frun.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (0 = all cores); verdicts are "
+             "bit-identical for every N",
+    )
+    frun.add_argument(
+        "--families", default=None, metavar="A,B,...",
+        help="comma-separated case families to draw from (default: "
+             "set,series_array,trap,logic)",
+    )
+    frun.add_argument(
+        "--replicas", type=int, default=3, metavar="R",
+        help="independent MC replicas per solver per case (default 3); "
+             "more replicas tighten the statistical tolerance",
+    )
+    frun.add_argument(
+        "--out", type=Path, default=None, metavar="DIR",
+        help="write the failure corpus and report.json under DIR",
+    )
+    frun.add_argument(
+        "--campaign", type=Path, default=None, metavar="DIR",
+        help="cache whole case verdicts content-addressed in the "
+             "campaign store under DIR; a re-run with unchanged cases "
+             "replays them bit-identically",
+    )
+    frun.add_argument(
+        "--inject-bug", choices=("sign-flip",), default=None,
+        metavar="KIND", dest="inject_bug",
+        help="seed a known solver bug into the non-adaptive MC path "
+             "(CI fixture proving the differential oracle catches a "
+             "corrupted solver); 'sign-flip' negates the tunnelling "
+             "energy balance",
+    )
+    frun.add_argument(
+        "--shrink", type=int, default=1, metavar="K",
+        help="shrink the first K failures to minimal reproducers "
+             "(default 1; 0 disables shrinking)",
+    )
+    frun.add_argument(
+        "--shrink-evals", type=int, default=40, metavar="N",
+        help="evaluation budget per shrink (each evaluation re-runs "
+             "the full differential check)",
+    )
+    frun.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retries per pooled case after a worker dies or times out",
+    )
+    frun.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per pooled case",
+    )
+
+    freplay = fsub.add_parser(
+        "replay",
+        help="re-run pinned reproducer entries and verify they "
+             "reproduce bit-for-bit",
+    )
+    freplay.add_argument(
+        "paths", type=Path, nargs="+", metavar="PATH",
+        help="corpus entry directories, or directories of entries",
+    )
+
+    fcorpus = fsub.add_parser("corpus", help="manage the reproducer corpus")
+    fcorpus_sub = fcorpus.add_subparsers(dest="corpus_action", required=True)
+    fpromote = fcorpus_sub.add_parser(
+        "promote", help="copy fuzz corpus entries into the pinned corpus"
+    )
+    fpromote.add_argument(
+        "source", type=Path,
+        help="fuzz output corpus directory (e.g. OUT/corpus)",
+    )
+    fpromote.add_argument(
+        "--dest", type=Path, default=Path("tests/data/golden/fuzz"),
+        help="pinned corpus directory (default tests/data/golden/fuzz)",
+    )
+    fpromote.add_argument(
+        "--name", action="append", default=[], metavar="ENTRY",
+        help="promote only the named entries (repeatable; default all)",
+    )
     return parser
 
 
@@ -709,6 +828,85 @@ def _cmd_campaign(args) -> int:
         if registry is not None:
             _print_cache_summary(registry)
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    if args.action == "corpus":
+        from repro.gen import promote
+
+        names = tuple(args.name) if args.name else None
+        promoted = promote(args.source, args.dest, names)
+        for path in promoted:
+            print(f"promoted {path.name} -> {path}")
+        print(f"{len(promoted)} entr{'y' if len(promoted) == 1 else 'ies'} "
+              f"pinned under {args.dest}")
+        return 0
+
+    if args.action == "replay":
+        from repro.gen import iter_corpus, replay
+        from repro.gen.corpus import _RECORD
+
+        entries = []
+        for path in args.paths:
+            if (path / _RECORD).is_file():
+                entries.append(path)
+            else:
+                entries.extend(iter_corpus(path))
+        if not entries:
+            raise SemsimError(
+                "no corpus entries found under "
+                + ", ".join(str(p) for p in args.paths)
+            )
+        bad = 0
+        for entry in entries:
+            verdict, divergences = replay(entry)
+            if divergences:
+                bad += 1
+                print(f"DIVERGED {entry.name}:")
+                for d in divergences:
+                    print(f"  {d.what}")
+            else:
+                print(f"ok {entry.name} ({verdict.kind})")
+        print(f"replayed {len(entries)} entries, {bad} diverged")
+        return 1 if bad else 0
+
+    # action == "run"
+    import contextlib
+
+    from repro.gen import DEFAULT_FAMILIES, FuzzConfig, run_fuzz, write_artifacts
+    from repro.recovery.policy import ExecutionPolicy
+    from repro.telemetry import registry as telemetry
+
+    families = (
+        tuple(f.strip() for f in args.families.split(",") if f.strip())
+        if args.families is not None
+        else DEFAULT_FAMILIES
+    )
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        families=families,
+        replicas=args.replicas,
+        bug=args.inject_bug,
+        shrink=args.shrink,
+        shrink_evaluations=args.shrink_evals,
+    )
+    policy = ExecutionPolicy(
+        max_attempts=args.retries + 1, shard_timeout=args.shard_timeout
+    )
+    with contextlib.ExitStack() as stack:
+        if telemetry.ACTIVE is None:
+            stack.enter_context(telemetry.session(trace=False))
+        report = run_fuzz(
+            config, jobs=args.jobs, policy=policy, campaign=args.campaign
+        )
+    print(report.format())
+    if args.out is not None:
+        root = write_artifacts(report, args.out)
+        print(f"wrote report.json and {len(report.failures)} corpus "
+              f"entr{'y' if len(report.failures) == 1 else 'ies'} "
+              f"under {root}")
+    return 0 if report.ok else 1
 
 
 def _cmd_profile(args) -> int:
@@ -989,6 +1187,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_benchmarks()
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
     except (OSError, UnicodeDecodeError) as exc:
         # missing file, permission trouble, undecodable bytes: exit 2
         print(f"error: {exc}", file=sys.stderr)

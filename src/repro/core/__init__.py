@@ -15,7 +15,14 @@ from repro.core.recording import (
     NodeVoltageRecorder,
     Recorder,
 )
-from repro.core.sweep import CurrentMap, IVCurve, sweep_iv, sweep_map, symmetric_bias
+from repro.core.sweep import (
+    CurrentMap,
+    IVCurve,
+    sweep_iv,
+    sweep_map,
+    sweep_master_iv,
+    symmetric_bias,
+)
 from repro.core.waveform import (
     Constant,
     DriveResult,
@@ -53,5 +60,6 @@ __all__ = [
     "draw_time",
     "sweep_iv",
     "sweep_map",
+    "sweep_master_iv",
     "symmetric_bias",
 ]

@@ -328,6 +328,74 @@ def sweep_iv(
     return curve
 
 
+def sweep_master_iv(
+    circuit: Circuit,
+    voltages: Sequence[float],
+    *,
+    temperature: float,
+    source_setter: Callable[[float], dict] | None = None,
+    measure_junctions: Sequence[int] = (0,),
+    orientations: Sequence[int] | None = None,
+    include_cotunneling: bool = False,
+    max_states: int = 4000,
+    label: str = "",
+) -> IVCurve:
+    """Exact master-equation I-V curve over the same sweep layout.
+
+    The deterministic sibling of :func:`sweep_iv`: one
+    :class:`~repro.master.solver.MasterEquationSolver` steady-state
+    solve per point, with the recorded-junction currents averaged under
+    the same ``orientations`` convention as
+    :meth:`~repro.core.engine.MonteCarloEngine.measure_current` — so an
+    MC curve and a master curve over the same deck are directly
+    comparable, point by point.  This is the reference oracle of the
+    differential fuzzer (:mod:`repro.gen`).
+
+    There is no seed, no chunking and no event hash: the curve is a
+    pure function of the circuit and the sweep values.
+    """
+    from repro.master.solver import MasterEquationSolver
+
+    if source_setter is None:
+        source_setter = symmetric_bias()
+    junctions = list(measure_junctions)
+    if not junctions:
+        raise SimulationError("sweep_master_iv needs at least one junction")
+    orient = (
+        list(orientations) if orientations is not None else [1] * len(junctions)
+    )
+    if len(orient) != len(junctions):
+        raise SimulationError("orientations must match junctions in length")
+    index_of = {s.name: k + 1 for k, s in enumerate(circuit.sources)}
+    solver = MasterEquationSolver(
+        circuit,
+        temperature,
+        include_cotunneling=include_cotunneling,
+        max_states=max_states,
+    )
+    volts = np.asarray(voltages, dtype=float)
+    currents = np.empty_like(volts)
+    with _telemetry.span(
+        "sweep.master_iv", category="sweep", points=len(volts), label=label,
+    ):
+        for i, v in enumerate(volts):
+            vext = circuit.external_voltages()
+            for name, value in source_setter(float(v)).items():
+                if name not in index_of:
+                    raise SimulationError(f"unknown source: {name!r}")
+                vext[index_of[name]] = value
+            result = solver.steady_state(vext)
+            currents[i] = float(
+                np.mean(
+                    [
+                        o * result.junction_currents[j]
+                        for j, o in zip(junctions, orient)
+                    ]
+                )
+            )
+    return IVCurve(volts, currents, label or "master equation")
+
+
 @dataclasses.dataclass
 class CurrentMap:
     """2-D current map over (bias, gate), Fig. 5 style."""

@@ -103,6 +103,14 @@ class CampaignError(SimulationError):
     cells are dropped and recomputed."""
 
 
+class GeneratorError(SemsimError):
+    """Raised by the scenario generator (``repro.gen``) for misuse of
+    the generator itself: unknown device families, malformed parameter
+    spaces, or a corpus entry that cannot be replayed.  A *generated*
+    case that fails its own lint gate is never an exception — the
+    differential driver records it as a ``generator-bug`` verdict."""
+
+
 class DeterminismError(SemsimError):
     """Raised by the *runtime* determinism sanitizer (``--dsan``) when
     a reproducibility contract is violated: shadow-run event-stream

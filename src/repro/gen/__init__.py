@@ -1,0 +1,88 @@
+"""``repro.gen`` — scenario generation and differential fuzzing.
+
+The scenario-diversity engine and standing correctness ratchet: a
+seed-deterministic generator of SET circuits and logic netlists
+(:mod:`~repro.gen.circuits`, :mod:`~repro.gen.netlists`) whose bounded
+parameter spaces (:mod:`~repro.gen.spaces`) feed a differential driver
+(:mod:`~repro.gen.differential`) cross-checking adaptive MC,
+non-adaptive MC, the exact master equation and the SPICE compact
+model; failures shrink to minimal reproducers
+(:mod:`~repro.gen.shrink`) and pin into a replayable corpus
+(:mod:`~repro.gen.corpus`).  :mod:`~repro.gen.fuzz` wires it all into
+the campaign-cached, shard-pooled ``repro fuzz`` command.
+"""
+
+from __future__ import annotations
+
+from repro.gen.circuits import (
+    CIRCUIT_FAMILIES,
+    DEFAULT_FAMILIES,
+    FAMILY_SPACES,
+    GeneratedCase,
+    build_case,
+    generate_case,
+)
+from repro.gen.corpus import iter_corpus, load_case, promote, replay, write_case
+from repro.gen.differential import (
+    CaseVerdict,
+    Comparison,
+    OracleCurve,
+    PointCheck,
+    Tolerance,
+    run_case,
+    seeded_bug,
+)
+from repro.gen.fuzz import (
+    FuzzConfig,
+    FuzzReport,
+    generate_cases,
+    run_fuzz,
+    write_artifacts,
+)
+from repro.gen.netlists import LOGIC_SPACE, build_logic_netlist, generate_logic_case
+from repro.gen.shrink import ShrinkResult, shrink_case
+from repro.gen.spaces import (
+    Choice,
+    Distribution,
+    IntRange,
+    LogUniform,
+    ParamSpace,
+    Uniform,
+)
+
+__all__ = [
+    "CIRCUIT_FAMILIES",
+    "CaseVerdict",
+    "Choice",
+    "Comparison",
+    "DEFAULT_FAMILIES",
+    "Distribution",
+    "FAMILY_SPACES",
+    "FuzzConfig",
+    "FuzzReport",
+    "GeneratedCase",
+    "IntRange",
+    "LOGIC_SPACE",
+    "LogUniform",
+    "OracleCurve",
+    "ParamSpace",
+    "PointCheck",
+    "ShrinkResult",
+    "Tolerance",
+    "Uniform",
+    "build_case",
+    "build_logic_netlist",
+    "generate_case",
+    "generate_cases",
+    "generate_logic_case",
+    "iter_corpus",
+    "load_case",
+    "promote",
+    "replay",
+    "run_case",
+    "run_fuzz",
+    "seeded_bug",
+    "shrink_case",
+    "write_artifacts",
+    "write_case",
+]

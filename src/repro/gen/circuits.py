@@ -1,0 +1,448 @@
+"""Random SET device families for the differential fuzzer.
+
+Each family is a :class:`~repro.gen.spaces.ParamSpace` plus a pure
+builder ``params -> SemsimDeck``: *all* randomness happens in the one
+``ParamSpace.draw`` call, so a case is a deterministic function of
+``(root seed, case index)`` and the property tests can audit every
+drawn value against its declared bounds.  The rendered deck text (full
+``repr`` precision, so parsing it back gives bit-identical floats) is
+the case's canonical form — replaying a reproducer deck re-runs the
+exact circuit the fuzzer saw.
+
+Families
+--------
+``set``
+    A (possibly strongly asymmetric) metallic SET transistor:
+    two junctions, one gate capacitor, background charge, symmetric
+    source-drain sweep.  The ``degenerate`` capacitance regime forces
+    ``c2 = c1 (1 + eps)`` with ``eps`` down to 1e-9 — the
+    near-degenerate edge that historically breaks charging-energy
+    bookkeeping.
+``series_array``
+    An N-junction (N in 2..4) series array with per-junction parameter
+    dispersion, stray capacitances from every internal island to
+    ground, optional common gate, and per-island background charges —
+    the Matsuoka/Likharev-style multi-island device the paper's
+    hand-picked examples never cover.
+``trap``
+    An SET whose island couples through a third, slower junction to a
+    single-electron trap island with its own gate: current through the
+    transport junctions is modulated by the trap occupation, which
+    probes long-timescale ergodicity of the MC solvers against the
+    exact master equation.
+
+Parameter regimes are chosen so generated decks pass ``repro lint``
+strict by construction (R_T well above R_K, charging energy well above
+k_B T, sweeps that actually cross the blockade threshold); a deck that
+does not is recorded by the differential driver as a *generator bug*,
+never silently skipped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import TYPE_CHECKING, Callable, Mapping
+
+import numpy as np
+
+from repro.constants import E_CHARGE, K_B
+from repro.errors import GeneratorError
+from repro.gen.spaces import (
+    Choice,
+    IntRange,
+    LogUniform,
+    ParamSpace,
+    Uniform,
+    Value,
+)
+from repro.netlist.semsim import RecordSpec, SemsimDeck, SweepSpec, parse_semsim
+from repro.netlist.writer import write_semsim
+from repro.parallel.seeds import spawn_seed_at
+
+if TYPE_CHECKING:
+    from repro.logic.netlist import LogicNetlist
+
+__all__ = [
+    "CIRCUIT_FAMILIES",
+    "DEFAULT_FAMILIES",
+    "FAMILY_SPACES",
+    "GeneratedCase",
+    "build_case",
+    "case_name",
+    "generate_case",
+]
+
+# maximum junction count any family emits; per-junction jitter columns
+# are always drawn for all slots so the stream layout never depends on
+# an earlier draw
+_MAX_JUNCTIONS = 4
+
+_SET_SPACE = ParamSpace(
+    {
+        "r1": LogUniform(2.0e5, 5.0e6),
+        "r2": LogUniform(2.0e5, 5.0e6),
+        "c1": LogUniform(4.0e-19, 2.5e-18),
+        "c2": LogUniform(4.0e-19, 2.5e-18),
+        "cap_regime": Choice(("free", "degenerate"), weights=(3.0, 1.0)),
+        "degeneracy_eps": LogUniform(1.0e-9, 1.0e-6),
+        "cg_frac": LogUniform(0.1, 0.6),
+        "q0": Uniform(-0.45, 0.45),
+        "vg_frac": Uniform(0.0, 1.0),
+        "t_ratio": LogUniform(10.0, 50.0),
+        "vmax_frac": Uniform(0.5, 1.6),
+        "points": IntRange(3, 5),
+        "jumps": IntRange(1600, 2600),
+    }
+)
+
+_ARRAY_SPACE = ParamSpace(
+    {
+        "n_junctions": IntRange(2, _MAX_JUNCTIONS),
+        "r_base": LogUniform(2.0e5, 4.0e6),
+        "r_spread": Uniform(0.0, 0.8),
+        "c_base": LogUniform(5.0e-19, 2.0e-18),
+        "c_spread": Uniform(0.0, 0.6),
+        "r_jitter_1": Uniform(-1.0, 1.0),
+        "r_jitter_2": Uniform(-1.0, 1.0),
+        "r_jitter_3": Uniform(-1.0, 1.0),
+        "r_jitter_4": Uniform(-1.0, 1.0),
+        "c_jitter_1": Uniform(-1.0, 1.0),
+        "c_jitter_2": Uniform(-1.0, 1.0),
+        "c_jitter_3": Uniform(-1.0, 1.0),
+        "c_jitter_4": Uniform(-1.0, 1.0),
+        "stray_frac": LogUniform(0.05, 0.4),
+        "gated": Choice((0, 1)),
+        "gate_frac": LogUniform(0.05, 0.3),
+        "vg_frac": Uniform(0.0, 1.0),
+        "q_1": Uniform(-0.45, 0.45),
+        "q_2": Uniform(-0.45, 0.45),
+        "q_3": Uniform(-0.45, 0.45),
+        "t_ratio": LogUniform(10.0, 40.0),
+        "vmax_frac": Uniform(0.4, 1.5),
+        "points": IntRange(3, 4),
+        "jumps": IntRange(1600, 2600),
+    }
+)
+
+_TRAP_SPACE = ParamSpace(
+    {
+        "r1": LogUniform(2.0e5, 4.0e6),
+        "r2": LogUniform(2.0e5, 4.0e6),
+        "c1": LogUniform(4.0e-19, 1.5e-18),
+        "c2": LogUniform(4.0e-19, 1.5e-18),
+        # the trap junction is 1-2 decades slower than transport, so
+        # trap occupation still flips many times within the MC budget
+        "r_trap": LogUniform(2.0e6, 2.0e7),
+        "c_trap": LogUniform(2.0e-19, 1.0e-18),
+        "cg_frac": LogUniform(0.1, 0.5),
+        "ctg_frac": LogUniform(0.1, 0.5),
+        "stray_frac": LogUniform(0.05, 0.4),
+        "q_island": Uniform(-0.45, 0.45),
+        "q_trap": Uniform(-0.45, 0.45),
+        "vg_frac": Uniform(0.0, 1.0),
+        "vtg_frac": Uniform(0.0, 1.0),
+        "t_ratio": LogUniform(10.0, 40.0),
+        "vmax_frac": Uniform(0.5, 1.6),
+        "points": IntRange(3, 4),
+        "jumps": IntRange(1800, 2800),
+    }
+)
+
+#: declared parameter space per circuit family
+FAMILY_SPACES: dict[str, ParamSpace] = {
+    "set": _SET_SPACE,
+    "series_array": _ARRAY_SPACE,
+    "trap": _TRAP_SPACE,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratedCase:
+    """One fuzz case: family + drawn parameters + rendered artifact.
+
+    ``deck_text`` is the canonical form: the builders render every
+    float with ``repr`` so ``parse_semsim(deck_text)`` reconstructs
+    the identical deck.  ``derived`` records quantities computed *from*
+    the params (charging energy, sweep amplitude, ...) purely for the
+    reproducer record — they are never drawn.
+    """
+
+    name: str
+    family: str
+    index: int
+    root_seed: int
+    params: Mapping[str, Value]
+    derived: Mapping[str, float]
+    deck_text: str
+
+    @property
+    def seed_key(self) -> tuple[int, ...]:
+        """SeedSequence spawn-key coordinate of this case."""
+        return (self.index,)
+
+    def deck(self) -> SemsimDeck:
+        """Parse the canonical deck text back into a deck."""
+        if self.family == "logic":
+            raise GeneratorError(
+                f"{self.name}: logic cases carry a netlist, not a deck"
+            )
+        return parse_semsim(self.deck_text)
+
+    def netlist(self) -> "LogicNetlist":
+        """Parse the canonical netlist text (``logic`` family only)."""
+        if self.family != "logic":
+            raise GeneratorError(
+                f"{self.name}: {self.family!r} cases carry a deck, "
+                "not a netlist"
+            )
+        from repro.netlist.logic_text import parse_logic
+
+        return parse_logic(self.deck_text)
+
+
+def case_name(root_seed: int, index: int, family: str) -> str:
+    return f"fuzz-s{root_seed}-i{index:05d}-{family}"
+
+
+def _sweep_for(
+    vmax_total: float, points: int
+) -> tuple[SweepSpec, RecordSpec]:
+    """A symmetric sweep of ``points`` bias values on node 2.
+
+    ``SweepSpec.values`` reconstructs the point count as
+    ``round(2 max / step) + 1``, so ``step = 2 max / (points - 1)``
+    round-trips exactly.
+    """
+    maximum = vmax_total / 2.0
+    step = 2.0 * maximum / (points - 1)
+    return SweepSpec("2", maximum, step), RecordSpec(1, 2, 2)
+
+
+def _build_set(params: Mapping[str, Value]) -> tuple[SemsimDeck, dict[str, float]]:
+    r1 = float(params["r1"])
+    r2 = float(params["r2"])
+    c1 = float(params["c1"])
+    if params["cap_regime"] == "degenerate":
+        c2 = c1 * (1.0 + float(params["degeneracy_eps"]))
+    else:
+        c2 = float(params["c2"])
+    cg = float(params["cg_frac"]) * (c1 + c2)
+    c_sum = c1 + c2 + cg
+    e_c = E_CHARGE**2 / (2.0 * c_sum)
+    temperature = e_c / (K_B * float(params["t_ratio"]))
+    vg = float(params["vg_frac"]) * E_CHARGE / cg
+    vmax_total = float(params["vmax_frac"]) * E_CHARGE / c_sum
+    sweep, record = _sweep_for(vmax_total, int(params["points"]))
+    deck = SemsimDeck(
+        junctions=[
+            ("1", "1", "4", 1.0 / r1, c1),
+            ("2", "2", "4", 1.0 / r2, c2),
+        ],
+        capacitors=[("3", "4", cg)],
+        charges=[("4", float(params["q0"]))],
+        sources=[("1", -sweep.maximum), ("2", sweep.maximum), ("3", vg)],
+        symmetric_node="1",
+        temperature=temperature,
+        record=record,
+        jumps=int(params["jumps"]),
+        sweep=sweep,
+    )
+    derived = {
+        "c2_effective": c2,
+        "charging_energy_j": e_c,
+        "temperature_k": temperature,
+        "gate_voltage_v": vg,
+        "vmax_total_v": vmax_total,
+    }
+    return deck, derived
+
+
+def _build_series_array(
+    params: Mapping[str, Value],
+) -> tuple[SemsimDeck, dict[str, float]]:
+    n = int(params["n_junctions"])
+    r_spread = float(params["r_spread"])
+    c_spread = float(params["c_spread"])
+    resistances = [
+        float(params["r_base"])
+        * math.exp(r_spread * float(params[f"r_jitter_{i}"]))
+        for i in range(1, n + 1)
+    ]
+    capacitances = [
+        float(params["c_base"])
+        * math.exp(c_spread * float(params[f"c_jitter_{i}"]))
+        for i in range(1, n + 1)
+    ]
+    # nodes: leads "1"/"2", islands "11".."13" between junctions,
+    # common gate "3" when gated
+    islands = [f"1{i}" for i in range(1, n)]
+    chain = ["1", *islands, "2"]
+    junctions = [
+        (str(i + 1), chain[i], chain[i + 1], 1.0 / resistances[i], capacitances[i])
+        for i in range(n)
+    ]
+    c_stray = float(params["stray_frac"]) * float(params["c_base"])
+    capacitors = [(island, "0", c_stray) for island in islands]
+    gated = int(params["gated"]) == 1
+    c_gate = float(params["gate_frac"]) * float(params["c_base"])
+    if gated:
+        capacitors.extend(("3", island, c_gate) for island in islands)
+    charges = [
+        (island, float(params[f"q_{i}"]))
+        for i, island in enumerate(islands, start=1)
+    ]
+    # island charging scale from a typical internal island's total cap
+    c_island = (
+        capacitances[0] + capacitances[1] + c_stray + (c_gate if gated else 0.0)
+    )
+    e_c = E_CHARGE**2 / (2.0 * c_island)
+    temperature = e_c / (K_B * float(params["t_ratio"]))
+    # blockade threshold grows with junction count; aim the sweep there
+    vmax_total = (
+        float(params["vmax_frac"]) * n * E_CHARGE / (2.0 * c_island)
+    )
+    sweep, _ = _sweep_for(vmax_total, int(params["points"]))
+    record = RecordSpec(1, n, 2)
+    sources = [("1", -sweep.maximum), ("2", sweep.maximum)]
+    if gated:
+        vg = float(params["vg_frac"]) * E_CHARGE / (c_gate * len(islands))
+        sources.append(("3", vg))
+    else:
+        vg = 0.0
+    deck = SemsimDeck(
+        junctions=junctions,
+        capacitors=capacitors,
+        charges=charges,
+        sources=sources,
+        symmetric_node="1",
+        temperature=temperature,
+        record=record,
+        jumps=int(params["jumps"]),
+        sweep=sweep,
+    )
+    derived = {
+        "charging_energy_j": e_c,
+        "temperature_k": temperature,
+        "gate_voltage_v": vg,
+        "vmax_total_v": vmax_total,
+        "stray_capacitance_f": c_stray,
+    }
+    return deck, derived
+
+
+def _build_trap(params: Mapping[str, Value]) -> tuple[SemsimDeck, dict[str, float]]:
+    r1 = float(params["r1"])
+    r2 = float(params["r2"])
+    c1 = float(params["c1"])
+    c2 = float(params["c2"])
+    r_trap = float(params["r_trap"])
+    c_trap = float(params["c_trap"])
+    cg = float(params["cg_frac"]) * (c1 + c2)
+    ctg = float(params["ctg_frac"]) * c_trap
+    c_stray = float(params["stray_frac"]) * c_trap
+    # nodes: 1 source lead, 2 drain lead, 3 gate, 4 SET island,
+    # 5 trap island, 6 trap gate
+    c_sum_island = c1 + c2 + cg + c_trap
+    e_c = E_CHARGE**2 / (2.0 * c_sum_island)
+    temperature = e_c / (K_B * float(params["t_ratio"]))
+    vg = float(params["vg_frac"]) * E_CHARGE / cg
+    vtg = float(params["vtg_frac"]) * E_CHARGE / ctg
+    vmax_total = float(params["vmax_frac"]) * E_CHARGE / c_sum_island
+    sweep, record = _sweep_for(vmax_total, int(params["points"]))
+    deck = SemsimDeck(
+        junctions=[
+            ("1", "1", "4", 1.0 / r1, c1),
+            ("2", "2", "4", 1.0 / r2, c2),
+            ("3", "4", "5", 1.0 / r_trap, c_trap),
+        ],
+        capacitors=[("3", "4", cg), ("6", "5", ctg), ("5", "0", c_stray)],
+        charges=[("4", float(params["q_island"])), ("5", float(params["q_trap"]))],
+        sources=[
+            ("1", -sweep.maximum),
+            ("2", sweep.maximum),
+            ("3", vg),
+            ("6", vtg),
+        ],
+        symmetric_node="1",
+        temperature=temperature,
+        record=record,  # transport junctions only; the trap junction
+        jumps=int(params["jumps"]),  # carries no steady-state current
+        sweep=sweep,
+    )
+    derived = {
+        "charging_energy_j": e_c,
+        "temperature_k": temperature,
+        "gate_voltage_v": vg,
+        "trap_gate_voltage_v": vtg,
+        "vmax_total_v": vmax_total,
+    }
+    return deck, derived
+
+
+_Builder = Callable[[Mapping[str, Value]], "tuple[SemsimDeck, dict[str, float]]"]
+
+#: builder per circuit family (logic netlists live in repro.gen.netlists)
+CIRCUIT_FAMILIES: dict[str, _Builder] = {
+    "set": _build_set,
+    "series_array": _build_series_array,
+    "trap": _build_trap,
+}
+
+
+def build_case(
+    family: str, params: Mapping[str, Value], *, root_seed: int, index: int
+) -> GeneratedCase:
+    """Build a case from explicit parameters (no randomness).
+
+    The shrinker uses this to re-render a case after rounding params;
+    the fuzzer calls it with a freshly drawn vector.
+    """
+    try:
+        builder = CIRCUIT_FAMILIES[family]
+    except KeyError:
+        raise GeneratorError(
+            f"unknown circuit family {family!r}; "
+            f"known: {sorted(CIRCUIT_FAMILIES)}"
+        ) from None
+    deck, derived = builder(params)
+    return GeneratedCase(
+        name=case_name(root_seed, index, family),
+        family=family,
+        index=index,
+        root_seed=root_seed,
+        params=dict(params),
+        derived=derived,
+        deck_text=write_semsim(deck, precise=True),
+    )
+
+
+#: every family the fuzzer draws from by default
+DEFAULT_FAMILIES: tuple[str, ...] = ("set", "series_array", "trap", "logic")
+
+
+def generate_case(
+    root_seed: int,
+    index: int,
+    families: tuple[str, ...] = DEFAULT_FAMILIES,
+) -> GeneratedCase:
+    """Draw case ``index`` of the campaign rooted at ``root_seed``.
+
+    Each case gets its own spawned ``SeedSequence`` at coordinate
+    ``(index,)``, so the case set is independent of generation order
+    and of how many cases the campaign requests.
+    """
+    from repro.gen.netlists import draw_logic_case
+
+    for family in families:
+        if family != "logic" and family not in FAMILY_SPACES:
+            raise GeneratorError(
+                f"unknown circuit family {family!r}; "
+                f"known: {sorted([*FAMILY_SPACES, 'logic'])}"
+            )
+    rng = np.random.default_rng(spawn_seed_at(root_seed, (index,)))
+    family = str(Choice(tuple(families)).draw(rng))
+    if family == "logic":
+        return draw_logic_case(rng, root_seed=root_seed, index=index)
+    params = FAMILY_SPACES[family].draw(rng)
+    return build_case(family, params, root_seed=root_seed, index=index)

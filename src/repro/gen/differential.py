@@ -1,0 +1,481 @@
+"""Differential oracles: run one generated case every way we know how.
+
+For device cases the oracle matrix is
+
+=============  ==============  ===========================================
+subject        reference       kind of check
+=============  ==============  ===========================================
+adaptive MC    master eq.      statistical (the paper's central claim)
+non-adaptive   master eq.      statistical (baseline solver honesty)
+adaptive MC    non-adaptive    statistical (the two MC solvers agree)
+SPICE model    master eq.      deterministic (single-island SETs only)
+=============  ==============  ===========================================
+
+and for ``logic`` cases the oracle is structural: the technology
+mapper's :func:`~repro.logic.mapping.decompose` must preserve the
+logic function on random input vectors.
+
+Tolerance model
+---------------
+A Monte Carlo point estimate carries shot noise, so equality is a
+budgeted comparison::
+
+    |mc - ref|  <=  z * sem  +  rel * |ref|  +  floor_frac * scale  +  abs_floor
+
+* ``z * sem`` — ``sem`` is the standard error over ``replicas``
+  independently seeded repeats of the whole curve; ``z`` is wide
+  (default 6) because with few replicas the sem estimate itself is
+  noisy.
+* ``rel * |ref|`` — finite-sample bias of a short MC run (warm-up
+  transients, chunk-boundary relaxation) scales with the signal.
+* ``floor_frac * scale`` — points deep in Coulomb blockade carry
+  currents orders of magnitude below the curve's scale (``scale`` =
+  max |reference| over the sweep); shot noise there is an absolute
+  offset, not a relative one.
+* ``abs_floor`` — guards the all-blockade curve where ``scale``
+  itself is ~0.
+
+A *sign-flipped rate* produces currents wrong by O(scale) at every
+conducting point, far outside every term, which is what makes the
+seeded-bug check (:func:`seeded_bug`) a meaningful calibration of the
+budget: loose enough for honest noise, tight enough for real physics
+bugs.
+
+Verdicts are ``pass``, ``mismatch``, or ``generator-bug`` — a case
+that fails ``repro lint`` strict indicts the generator, not the
+solvers, and is never silently skipped.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import math
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.core.sweep import sweep_master_iv
+from repro.dsan.runtime import fold_hashes
+from repro.errors import GeneratorError
+from repro.gen.circuits import GeneratedCase
+from repro.lint import lint_deck, lint_logic_netlist
+from repro.netlist.semsim import (
+    DeckSweepSetter,
+    SemsimDeck,
+    _series_orientations,
+)
+from repro.parallel.seeds import spawn_seed_at
+from repro.spice.model import SETDeviceModel
+
+__all__ = [
+    "CaseVerdict",
+    "Comparison",
+    "OracleCurve",
+    "PointCheck",
+    "Tolerance",
+    "run_case",
+    "seeded_bug",
+]
+
+#: stable solver column of a replica's spawn key (never reused)
+_SOLVER_IDS = {"adaptive": 1, "nonadaptive": 2, "logic": 9}
+
+
+@dataclasses.dataclass(frozen=True)
+class Tolerance:
+    """Statistical equivalence budget (see the module docstring)."""
+
+    z: float = 6.0
+    rel: float = 0.10
+    floor_frac: float = 0.04
+    abs_floor: float = 1.0e-18
+    #: relative budget for deterministic pairs (SPICE vs master)
+    det_rel: float = 0.02
+    det_floor_frac: float = 1.0e-3
+
+    def budget(self, reference: float, sem: float, scale: float) -> float:
+        return (
+            self.z * sem
+            + self.rel * abs(reference)
+            + self.floor_frac * scale
+            + self.abs_floor
+        )
+
+    def det_budget(self, reference: float, scale: float) -> float:
+        return (
+            self.det_rel * abs(reference)
+            + self.det_floor_frac * scale
+            + self.abs_floor
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PointCheck:
+    """One sweep point (or stimulus vector) of one oracle pair."""
+
+    index: int
+    voltage: float
+    reference: float
+    observed: float
+    sem: float
+    budget: float
+    ok: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class Comparison:
+    """All points of one (subject, reference) oracle pair."""
+
+    subject: str
+    reference: str
+    checks: tuple[PointCheck, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    @property
+    def failures(self) -> tuple[PointCheck, ...]:
+        return tuple(c for c in self.checks if not c.ok)
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleCurve:
+    """One oracle's replica-averaged curve over the deck's sweep."""
+
+    name: str
+    currents: tuple[float, ...]
+    sems: tuple[float, ...]
+    event_hash: str | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class CaseVerdict:
+    """The differential outcome of one generated case."""
+
+    name: str
+    family: str
+    kind: str  # "pass" | "mismatch" | "generator-bug"
+    comparisons: tuple[Comparison, ...]
+    oracles: tuple[OracleCurve, ...]
+    voltages: tuple[float, ...]
+    lint_findings: tuple[str, ...] = ()
+    #: fold of every MC replica's event-stream hash, in a fixed order —
+    #: the bit-reproducibility signature of the whole case
+    event_hash: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == "pass"
+
+    def oracle(self, name: str) -> OracleCurve:
+        for curve in self.oracles:
+            if curve.name == name:
+                return curve
+        raise GeneratorError(f"{self.name}: no oracle {name!r} in verdict")
+
+
+@contextlib.contextmanager
+def seeded_bug(kind: str | None) -> Iterator[None]:
+    """Inject a known physics bug into one MC solver's rate queries.
+
+    ``"sign-flip"`` negates the free-energy change fed to the orthodox
+    rate formula — the classic bookkeeping bug this fuzzer exists to
+    catch.  The patch wraps
+    :meth:`~repro.physics.rates.TunnelingModel.sequential_rates`, the
+    query the *non-adaptive* solver issues on every step; the
+    differential driver scopes it around non-adaptive runs only, so
+    the adaptive solver, the master equation and SPICE stay honest and
+    the ``nonadaptive vs master`` / ``adaptive vs nonadaptive`` checks
+    *must* fire.  Test fixture only: nothing in production code passes
+    ``bug=``.
+    """
+    if kind is None:
+        yield
+        return
+    if kind != "sign-flip":
+        raise GeneratorError(
+            f"unknown seeded bug {kind!r}; known: ['sign-flip']"
+        )
+    from repro.physics.rates import TunnelingModel
+
+    original = TunnelingModel.sequential_rates
+
+    def _flipped(
+        self: TunnelingModel, dw_fw: np.ndarray, dw_bw: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return original(self, -np.asarray(dw_fw), -np.asarray(dw_bw))
+
+    TunnelingModel.sequential_rates = _flipped  # type: ignore[method-assign]
+    try:
+        yield
+    finally:
+        TunnelingModel.sequential_rates = original  # type: ignore[method-assign]
+
+
+def _replica_seed(case: GeneratedCase, solver: str, replica: int) -> int:
+    """Deterministic integer seed for one (case, solver, replica)."""
+    seq = spawn_seed_at(
+        case.root_seed, (case.index, _SOLVER_IDS[solver], replica)
+    )
+    return int(seq.generate_state(1, np.uint64)[0])
+
+
+def _spice_curve(
+    deck: SemsimDeck, voltages: np.ndarray
+) -> OracleCurve | None:
+    """Map a single-island two-junction deck onto the SPICE compact
+    model, or ``None`` when the device does not map."""
+    if (
+        len(deck.junctions) != 2
+        or deck.superconductor is not None
+        or deck.cotunnel
+        or deck.symmetric_node is None
+    ):
+        return None
+    (_, a1, b1, g1, c1), (_, a2, b2, g2, c2) = deck.junctions
+    if b1 != b2:  # both junctions must share the island node
+        return None
+    island = b1
+    if a1 != deck.symmetric_node or a2 != (deck.sweep.node if deck.sweep else None):
+        return None
+    gate_caps = []
+    gate_voltages = []
+    sources = dict(deck.sources)
+    for na, nb, cap in deck.capacitors:
+        if nb == island and na in sources:
+            gate_caps.append(cap)
+            gate_voltages.append(sources[na])
+        elif na == island and nb in sources:
+            gate_caps.append(cap)
+            gate_voltages.append(sources[nb])
+        else:
+            return None  # stray/trap capacitance: outside the model
+    q0 = 0.0
+    for node, q in deck.charges:
+        if node == island:
+            q0 += q
+        elif q != 0.0:
+            return None
+    model = SETDeviceModel(
+        r1=1.0 / g1,
+        c1=c1,
+        r2=1.0 / g2,
+        c2=c2,
+        gate_capacitances=gate_caps,
+        bias_charge_e=q0,
+        temperature=deck.temperature,
+    )
+    currents = tuple(
+        float(model.current(-v, +v, gate_voltages)) for v in voltages
+    )
+    return OracleCurve("spice", currents, tuple(0.0 for _ in currents))
+
+
+def _compare(
+    subject: OracleCurve,
+    reference: OracleCurve,
+    voltages: np.ndarray,
+    tolerance: Tolerance,
+    *,
+    deterministic: bool = False,
+) -> Comparison:
+    scale = max((abs(c) for c in reference.currents), default=0.0)
+    checks = []
+    for i, v in enumerate(voltages):
+        ref = reference.currents[i]
+        obs = subject.currents[i]
+        sem = math.hypot(subject.sems[i], reference.sems[i])
+        if deterministic:
+            budget = tolerance.det_budget(ref, scale)
+        else:
+            budget = tolerance.budget(ref, sem, scale)
+        checks.append(
+            PointCheck(
+                index=i,
+                voltage=float(v),
+                reference=ref,
+                observed=obs,
+                sem=sem,
+                budget=budget,
+                ok=abs(obs - ref) <= budget,
+            )
+        )
+    return Comparison(subject.name, reference.name, tuple(checks))
+
+
+def _generator_bug(case: GeneratedCase, findings: tuple[str, ...]) -> CaseVerdict:
+    return CaseVerdict(
+        name=case.name,
+        family=case.family,
+        kind="generator-bug",
+        comparisons=(),
+        oracles=(),
+        voltages=(),
+        lint_findings=findings,
+    )
+
+
+def _run_device_case(
+    case: GeneratedCase,
+    *,
+    replicas: int,
+    tolerance: Tolerance,
+    bug: str | None,
+) -> CaseVerdict:
+    deck = case.deck()
+    report = lint_deck(deck)
+    if report.errors:
+        return _generator_bug(
+            case, tuple(str(d) for d in report.errors)
+        )
+    if deck.sweep is None:
+        return _generator_bug(case, ("generated deck carries no sweep",))
+    circuit = deck.build_circuit()
+    junctions = deck.recorded_junctions(circuit)
+    orientations = _series_orientations(circuit, junctions)
+    voltages = deck.sweep.values()
+    setter = DeckSweepSetter(
+        f"v{deck.sweep.node}",
+        f"v{deck.symmetric_node}" if deck.symmetric_node is not None else None,
+    )
+    master_curve = sweep_master_iv(
+        circuit,
+        voltages,
+        temperature=deck.temperature,
+        source_setter=setter,
+        measure_junctions=junctions,
+        orientations=orientations,
+        include_cotunneling=deck.cotunnel,
+        label=case.name,
+    )
+    oracles = [
+        OracleCurve(
+            "master",
+            tuple(float(c) for c in master_curve.currents),
+            tuple(0.0 for _ in master_curve.currents),
+        )
+    ]
+    hashes: list[str] = []
+    for solver in ("adaptive", "nonadaptive"):
+        rows = []
+        for replica in range(replicas):
+            seed = _replica_seed(case, solver, replica)
+            # the seeded bug corrupts only the non-adaptive solver, so
+            # the reference oracles stay honest and must disagree
+            with seeded_bug(bug if solver == "nonadaptive" else None):
+                curve = deck.run(solver, seed=seed, dsan=True)
+            rows.append(np.asarray(curve.currents))
+            if curve.event_hash is not None:
+                hashes.append(curve.event_hash)
+        stack = np.stack(rows)
+        mean = stack.mean(axis=0)
+        if replicas > 1:
+            sems = stack.std(axis=0, ddof=1) / math.sqrt(replicas)
+        else:
+            sems = np.zeros_like(mean)
+        oracles.append(
+            OracleCurve(
+                solver,
+                tuple(float(x) for x in mean),
+                tuple(float(s) for s in sems),
+            )
+        )
+    spice = _spice_curve(deck, voltages)
+    if spice is not None:
+        oracles.append(spice)
+    by_name = {o.name: o for o in oracles}
+    comparisons = [
+        _compare(by_name["adaptive"], by_name["master"], voltages, tolerance),
+        _compare(by_name["nonadaptive"], by_name["master"], voltages, tolerance),
+        _compare(by_name["adaptive"], by_name["nonadaptive"], voltages, tolerance),
+    ]
+    if spice is not None:
+        comparisons.append(
+            _compare(
+                spice, by_name["master"], voltages, tolerance,
+                deterministic=True,
+            )
+        )
+    ok = all(c.ok for c in comparisons)
+    return CaseVerdict(
+        name=case.name,
+        family=case.family,
+        kind="pass" if ok else "mismatch",
+        comparisons=tuple(comparisons),
+        oracles=tuple(oracles),
+        voltages=tuple(float(v) for v in voltages),
+        event_hash=fold_hashes(hashes) if hashes else None,
+    )
+
+
+def _run_logic_case(case: GeneratedCase) -> CaseVerdict:
+    from repro.logic.mapping import decompose
+
+    netlist = case.netlist()
+    report = lint_logic_netlist(netlist)
+    if report.errors:
+        return _generator_bug(case, tuple(str(d) for d in report.errors))
+    decomposed = decompose(netlist)
+    mapped_report = lint_logic_netlist(decomposed)
+    rng = np.random.default_rng(
+        spawn_seed_at(case.root_seed, (case.index, _SOLVER_IDS["logic"], 0))
+    )
+    n_vectors = int(case.params["n_vectors"])
+    checks = []
+    for i in range(n_vectors):
+        vector = {
+            name: bool(rng.integers(2)) for name in netlist.inputs
+        }
+        want = netlist.output_values(vector)
+        got = decomposed.output_values(vector)
+        agree = sum(want[o] == got[o] for o in netlist.outputs)
+        total = len(netlist.outputs)
+        checks.append(
+            PointCheck(
+                index=i,
+                voltage=0.0,
+                reference=1.0,
+                observed=agree / total if total else 1.0,
+                sem=0.0,
+                budget=0.0,
+                ok=want == got,
+            )
+        )
+    comparison = Comparison("decomposed", "netlist", tuple(checks))
+    ok = comparison.ok and not mapped_report.errors
+    return CaseVerdict(
+        name=case.name,
+        family=case.family,
+        kind="pass" if ok else "mismatch",
+        comparisons=(comparison,),
+        oracles=(),
+        voltages=(),
+        lint_findings=tuple(str(d) for d in mapped_report.errors),
+    )
+
+
+def run_case(
+    case: GeneratedCase,
+    *,
+    replicas: int = 3,
+    tolerance: Tolerance | None = None,
+    bug: str | None = None,
+) -> CaseVerdict:
+    """Cross-check one generated case against every applicable oracle.
+
+    Deterministic: replica seeds are spawned at content-stable
+    coordinates ``(case index, solver id, replica)`` under the
+    campaign's root seed, so the verdict is a pure function of
+    ``(case, replicas, tolerance, bug)`` — which is exactly what makes
+    whole verdicts cacheable by content address.
+    """
+    tol = tolerance if tolerance is not None else Tolerance()
+    if replicas < 1:
+        raise GeneratorError(f"replicas must be >= 1, got {replicas}")
+    if case.family == "logic":
+        return _run_logic_case(case)
+    return _run_device_case(
+        case, replicas=replicas, tolerance=tol, bug=bug
+    )

@@ -1,0 +1,305 @@
+"""The differential fuzzing campaign: generate, cross-check, shrink.
+
+:func:`run_fuzz` is what ``repro fuzz run`` drives: it draws
+``budget`` cases from the device/logic families
+(:func:`repro.gen.circuits.generate_case`), executes each case's full
+differential check as one shard through
+:func:`repro.parallel.pool.execute_shards` — inline at ``jobs=1``,
+across a retrying process pool otherwise, with whole verdicts cached
+content-addressed in a :class:`repro.campaign.CampaignStore` — and
+greedily shrinks the first failures to minimal reproducer decks.
+
+Determinism contract: the case set is a pure function of
+``(seed, budget, families)`` (each case has its own spawned
+``SeedSequence`` at coordinate ``(index,)``), every verdict is a pure
+function of its case plus the replica/tolerance/bug settings, results
+come back in shard order, and shrinking happens in the parent in case
+order — so the whole report is bit-identical for any ``jobs``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import GeneratorError
+from repro.gen.circuits import DEFAULT_FAMILIES, GeneratedCase, generate_case
+from repro.gen.corpus import write_case
+from repro.gen.differential import CaseVerdict, Tolerance, run_case
+from repro.gen.shrink import ShrinkResult, shrink_case
+from repro.parallel.pool import execute_shards
+
+if TYPE_CHECKING:
+    from repro.campaign.store import CampaignStore
+    from repro.recovery.policy import ExecutionPolicy
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzReport",
+    "generate_cases",
+    "run_fuzz",
+    "write_artifacts",
+]
+
+#: bump when the generator's families/spaces change incompatibly —
+#: part of the campaign-cache workload fingerprint, so stale verdicts
+#: can never be replayed against a newer generator
+GEN_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzConfig:
+    """One campaign's full identity."""
+
+    seed: int = 0
+    budget: int = 25
+    families: tuple[str, ...] = DEFAULT_FAMILIES
+    replicas: int = 3
+    tolerance: Tolerance = dataclasses.field(default_factory=Tolerance)
+    #: seeded-bug fixture (test/CI only); ``None`` fuzzes honest code
+    bug: str | None = None
+    #: how many failures (in case order) to shrink
+    shrink: int = 1
+    shrink_evaluations: int = 40
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise GeneratorError(f"budget must be >= 1, got {self.budget}")
+        if not self.families:
+            raise GeneratorError("families must not be empty")
+
+
+@dataclasses.dataclass(frozen=True)
+class _FuzzPayload:
+    """One shard: a case plus the settings its verdict depends on.
+
+    The payload *is* the cache identity — its pickle is content-hashed
+    by the campaign layer, so a verdict is reused exactly when the
+    case text, replicas, tolerance and bug fixture all match.
+    """
+
+    case: GeneratedCase
+    replicas: int
+    tolerance: Tolerance
+    bug: str | None
+
+
+def _fuzz_worker(payload: _FuzzPayload) -> CaseVerdict:
+    """Run one case's differential check (module-level: pool-picklable)."""
+    return run_case(
+        payload.case,
+        replicas=payload.replicas,
+        tolerance=payload.tolerance,
+        bug=payload.bug,
+    )
+
+
+def generate_cases(config: FuzzConfig) -> list[GeneratedCase]:
+    """The campaign's case set, in case-index order."""
+    return [
+        generate_case(config.seed, index, config.families)
+        for index in range(config.budget)
+    ]
+
+
+@dataclasses.dataclass
+class FuzzReport:
+    """Everything one campaign produced."""
+
+    config: FuzzConfig
+    cases: list[GeneratedCase]
+    verdicts: list[CaseVerdict]
+    shrinks: list[ShrinkResult]
+    cache_hits: int = 0
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out = {"pass": 0, "mismatch": 0, "generator-bug": 0}
+        for verdict in self.verdicts:
+            out[verdict.kind] = out.get(verdict.kind, 0) + 1
+        return out
+
+    @property
+    def failures(self) -> list[CaseVerdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        counts = self.counts
+        by_family: dict[str, int] = {}
+        for case in self.cases:
+            by_family[case.family] = by_family.get(case.family, 0) + 1
+        lines = [
+            f"fuzz campaign: seed={self.config.seed} "
+            f"budget={self.config.budget} replicas={self.config.replicas}"
+            + (f" bug={self.config.bug}" if self.config.bug else ""),
+            "families: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(by_family.items())),
+            f"verdicts: {counts['pass']} pass, {counts['mismatch']} mismatch, "
+            f"{counts['generator-bug']} generator-bug"
+            + (f" ({self.cache_hits} cached)" if self.cache_hits else ""),
+        ]
+        for verdict in self.failures:
+            worst = ""
+            for comparison in verdict.comparisons:
+                for check in comparison.failures[:1]:
+                    worst = (
+                        f" [{comparison.subject} vs {comparison.reference} "
+                        f"@V={check.voltage:.4g}: {check.observed:.3e} vs "
+                        f"{check.reference:.3e}, budget {check.budget:.3e}]"
+                    )
+                    break
+                if worst:
+                    break
+            findings = (
+                f" lint: {'; '.join(verdict.lint_findings)}"
+                if verdict.lint_findings
+                else ""
+            )
+            lines.append(f"  FAIL {verdict.name}: {verdict.kind}{worst}{findings}")
+        for result in self.shrinks:
+            lines.append(
+                f"  shrunk {result.original.name} -> {result.case.name} "
+                f"in {result.evaluations} evaluations: "
+                + (", ".join(result.steps) if result.steps else "(irreducible)")
+            )
+        return "\n".join(lines)
+
+
+def _workload_fingerprint(config: FuzzConfig) -> str:
+    """Campaign-cache workload identity: the generator schema.
+
+    Per-case identity (deck text, replicas, tolerance, bug) lives in
+    each shard's content-hashed payload, so the workload fingerprint
+    only needs to fence off incompatible generator versions.
+    """
+    text = f"repro.gen.fuzz\nschema={GEN_SCHEMA_VERSION}"
+    return hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    *,
+    jobs: int | None = 1,
+    policy: "ExecutionPolicy | None" = None,
+    campaign: "CampaignStore | str | Path | None" = None,
+) -> FuzzReport:
+    """Execute one differential fuzzing campaign (see module docstring)."""
+    cases = generate_cases(config)
+    payloads = [
+        _FuzzPayload(case, config.replicas, config.tolerance, config.bug)
+        for case in cases
+    ]
+    cache = None
+    if campaign is not None:
+        from repro.campaign.store import CampaignStore
+        from repro.monitor.ledger import _detect_code_version
+
+        store = (
+            campaign
+            if isinstance(campaign, CampaignStore)
+            else CampaignStore(Path(campaign))
+        )
+        cache = store.bind(
+            _workload_fingerprint(config),
+            code_version=_detect_code_version(),
+            label="repro.gen.fuzz",
+        )
+        cache.workload.describe(
+            {"kind": "fuzz", "generator_schema": GEN_SCHEMA_VERSION}
+        )
+    hits = 0
+    if cache is not None:
+        # count warm cells before the run: afterwards everything is one
+        probe = cache.begin(_fuzz_worker, payloads)
+        hits = sum(1 for h in probe.hits() if h is not None)
+    verdicts = execute_shards(
+        _fuzz_worker, payloads, jobs=jobs, policy=policy, cache=cache
+    )
+    shrinks: list[ShrinkResult] = []
+    for case, verdict in zip(cases, verdicts):
+        if verdict.ok or len(shrinks) >= config.shrink:
+            continue
+
+        def still_fails(candidate: GeneratedCase) -> bool:
+            return not run_case(
+                candidate,
+                replicas=config.replicas,
+                tolerance=config.tolerance,
+                bug=config.bug,
+            ).ok
+
+        shrinks.append(
+            shrink_case(
+                case, still_fails, max_evaluations=config.shrink_evaluations
+            )
+        )
+    return FuzzReport(
+        config=config,
+        cases=cases,
+        verdicts=list(verdicts),
+        shrinks=shrinks,
+        cache_hits=hits,
+    )
+
+
+def write_artifacts(report: FuzzReport, out: Path | str) -> Path:
+    """Write a campaign's failure corpus + summary under ``out``.
+
+    Every failing case becomes a corpus entry (the shrunk reproducer
+    when one was produced, re-checked so its pinned record matches its
+    own deck), and ``report.json`` summarises the whole campaign.
+    Returns the output directory.
+    """
+    root = Path(out)
+    root.mkdir(parents=True, exist_ok=True)
+    shrunk_by_name = {r.original.name: r for r in report.shrinks}
+    for case, verdict in zip(report.cases, report.verdicts):
+        if verdict.ok:
+            continue
+        steps: tuple[str, ...] = ()
+        entry_case, entry_verdict = case, verdict
+        result = shrunk_by_name.get(case.name)
+        if result is not None and result.changed:
+            entry_case = result.case
+            steps = result.steps
+            entry_verdict = run_case(
+                entry_case,
+                replicas=report.config.replicas,
+                tolerance=report.config.tolerance,
+                bug=report.config.bug,
+            )
+        write_case(
+            root / "corpus",
+            entry_case,
+            entry_verdict,
+            replicas=report.config.replicas,
+            tolerance=report.config.tolerance,
+            bug=report.config.bug,
+            shrink_steps=steps,
+        )
+    summary = {
+        "seed": report.config.seed,
+        "budget": report.config.budget,
+        "families": list(report.config.families),
+        "replicas": report.config.replicas,
+        "bug": report.config.bug,
+        "counts": report.counts,
+        "cache_hits": report.cache_hits,
+        "failures": [v.name for v in report.failures],
+        "shrinks": {
+            r.original.name: {
+                "steps": list(r.steps),
+                "evaluations": r.evaluations,
+            }
+            for r in report.shrinks
+        },
+    }
+    (root / "report.json").write_text(json.dumps(summary, indent=2) + "\n")
+    return root

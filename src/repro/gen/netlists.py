@@ -1,0 +1,165 @@
+"""Random logic-netlist family for the differential fuzzer.
+
+The ``logic`` family draws combinational nSET/pSET gate netlists with
+controlled input-count, gate-count and fanout distributions, rendered
+to the text front-end format (:mod:`repro.netlist.logic_text`) so the
+reproducer *is* a parseable netlist file.  Its differential oracle is
+structural, not statistical: the technology-mapping pass
+(:func:`repro.logic.mapping.decompose`) must preserve the logic
+function on random input vectors, and both the drawn netlist and its
+primitive-gate decomposition must pass the logic lint pass clean.
+
+Construction guarantees well-formedness by design (every gate reads
+only already-driven nets, so the netlist is a DAG with no multi-driver
+nets; every net nobody consumes is declared a primary output) — a draw
+that still fails lint is precisely the generator bug the fuzzer
+exists to catch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gen.circuits import GeneratedCase, case_name
+from repro.gen.spaces import Choice, IntRange, ParamSpace
+from repro.logic.netlist import ARITY, Gate, GateKind, LogicNetlist
+from repro.netlist.logic_text import write_logic
+from repro.parallel.seeds import spawn_seed_at
+
+__all__ = [
+    "LOGIC_SPACE",
+    "build_logic_netlist",
+    "draw_logic_case",
+    "generate_logic_case",
+]
+
+#: gate-kind pools per mix regime
+_KIND_POOLS: dict[str, tuple[GateKind, ...]] = {
+    # the physical target library only
+    "primitive": (GateKind.INV, GateKind.NAND2, GateKind.NOR2),
+    # every 2-input cell plus inverters
+    "mixed": (
+        GateKind.INV,
+        GateKind.BUF,
+        GateKind.NAND2,
+        GateKind.NOR2,
+        GateKind.AND2,
+        GateKind.OR2,
+        GateKind.XOR2,
+        GateKind.XNOR2,
+    ),
+    # include the wide cells the mapper has to decompose
+    "wide": (
+        GateKind.INV,
+        GateKind.NAND2,
+        GateKind.NOR2,
+        GateKind.AND3,
+        GateKind.OR3,
+        GateKind.NAND3,
+        GateKind.NOR3,
+        GateKind.AND4,
+        GateKind.OR4,
+        GateKind.NAND4,
+    ),
+}
+
+LOGIC_SPACE = ParamSpace(
+    {
+        "n_inputs": IntRange(2, 5),
+        "n_gates": IntRange(3, 12),
+        "max_fanout": IntRange(2, 4),
+        "kind_mix": Choice(("primitive", "mixed", "wide"), weights=(2.0, 2.0, 1.0)),
+        "n_vectors": IntRange(8, 16),
+    }
+)
+
+
+def build_logic_netlist(
+    name: str,
+    rng: np.random.Generator,
+    *,
+    n_inputs: int,
+    n_gates: int,
+    max_fanout: int,
+    kind_mix: str,
+) -> LogicNetlist:
+    """Draw one well-formed combinational netlist.
+
+    The scalar knobs come from :data:`LOGIC_SPACE`; the *structure*
+    (gate kinds and wiring) is drawn from ``rng`` gate by gate.  Each
+    gate reads nets that already exist, preferring nets nobody has
+    read yet, then nets under the fanout cap, then a repeat of a net
+    the gate already reads (which adds no fanout) — so
+    ``len(fanout_of(net)) <= max_fanout`` holds for every net,
+    unconditionally.  Fanout counts *consuming gates*, matching
+    :meth:`repro.logic.netlist.LogicNetlist.fanout_of`: a net wired
+    into two slots of one gate is fanout 1, not 2.
+    """
+    inputs = [f"a{i}" for i in range(1, n_inputs + 1)]
+    pool = Choice(tuple(k.value for k in _KIND_POOLS[kind_mix]))
+    nets: list[str] = list(inputs)
+    consumers: dict[str, int] = {net: 0 for net in nets}
+    gates: list[Gate] = []
+    for g in range(n_gates):
+        kind = GateKind(pool.draw(rng))
+        arity = ARITY[kind]
+        chosen: list[str] = []
+        for _slot in range(arity):
+            # the previous gate's output (or, at g=0, every primary
+            # input) is always unconsumed, so `unused` is never empty
+            # on the first slot and `chosen` covers the rest
+            unused = [n for n in nets if consumers[n] == 0 and n not in chosen]
+            light = [
+                n
+                for n in nets
+                if consumers[n] < max_fanout and n not in chosen
+            ]
+            candidates = unused or light or chosen
+            chosen.append(candidates[int(rng.integers(len(candidates)))])
+        for net in dict.fromkeys(chosen):  # distinct, in wiring order
+            consumers[net] += 1
+        out = f"n{g + 1}"
+        gates.append(Gate(f"g{g + 1}", kind, tuple(chosen), out))
+        nets.append(out)
+        consumers[out] = 0
+    outputs = [g.output for g in gates if consumers[g.output] == 0]
+    return LogicNetlist(name, inputs, outputs, gates)
+
+
+def draw_logic_case(
+    rng: np.random.Generator, *, root_seed: int, index: int
+) -> GeneratedCase:
+    """Finish drawing a ``logic`` case from an already-spawned stream."""
+    params = LOGIC_SPACE.draw(rng)
+    name = case_name(root_seed, index, "logic")
+    netlist = build_logic_netlist(
+        name,
+        rng,
+        n_inputs=int(params["n_inputs"]),
+        n_gates=int(params["n_gates"]),
+        max_fanout=int(params["max_fanout"]),
+        kind_mix=str(params["kind_mix"]),
+    )
+    return GeneratedCase(
+        name=name,
+        family="logic",
+        index=index,
+        root_seed=root_seed,
+        params=params,
+        derived={
+            "n_outputs": float(len(netlist.outputs)),
+            "max_observed_fanout": float(
+                max(
+                    (len(netlist.fanout_of(net)) for net in netlist.inputs),
+                    default=0,
+                )
+            ),
+        },
+        deck_text=write_logic(netlist),
+    )
+
+
+def generate_logic_case(root_seed: int, index: int) -> GeneratedCase:
+    """Draw a ``logic`` case directly (tests and corpus tooling)."""
+    rng = np.random.default_rng(spawn_seed_at(root_seed, (index,)))
+    return draw_logic_case(rng, root_seed=root_seed, index=index)

@@ -1,0 +1,224 @@
+"""Greedy deterministic failure shrinking.
+
+When the differential driver flags a case, the raw circuit is rarely
+the story — a 4-junction gated array with per-island charges fails for
+the same reason as some 2-junction core of it.  :func:`shrink_case`
+walks a fixed candidate order (drop a junction, drop a capacitor, drop
+a charge, flatten the sweep, cut the jump budget, round every value to
+two significant digits), keeps any candidate that is still well-formed
+**and still fails the original oracle**, and restarts from the smaller
+case until no candidate helps or the evaluation budget runs out.
+
+Everything is deterministic: candidates are enumerated in a fixed
+order from the deck's own component lists, and the predicate re-runs
+the same seeded differential check — so the same failure always
+shrinks to the same reproducer, which is what makes the shrunk deck
+worth pinning in the golden corpus.
+
+Logic cases shrink structurally instead: prune output gates (while at
+least one output remains) and unused primary inputs.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Callable, Iterator
+
+from repro.gen.circuits import GeneratedCase
+from repro.lint import lint_deck, lint_logic_netlist
+from repro.logic.netlist import LogicNetlist
+from repro.netlist.logic_text import parse_logic, write_logic
+from repro.netlist.semsim import RecordSpec, SemsimDeck, parse_semsim
+from repro.netlist.writer import write_semsim
+
+__all__ = ["ShrinkResult", "shrink_case"]
+
+#: an always-safe floor for the MC budget: far above the warm-up
+#: truncation guard, low enough to make reproducer decks fast
+_MIN_JUMPS = 800
+
+
+@dataclasses.dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    case: GeneratedCase
+    original: GeneratedCase
+    steps: tuple[str, ...]
+    evaluations: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.steps)
+
+
+def _round_sig(value: float, digits: int = 2) -> float:
+    if value == 0.0:
+        return 0.0
+    return float(f"%.{digits}g" % value)
+
+
+def _renumber(deck: SemsimDeck) -> SemsimDeck:
+    """Rename junctions to ``1..n`` and span the record over all of
+    them, so a deck with a dropped junction stays self-consistent."""
+    deck.junctions = [
+        (str(i + 1), a, b, g, c)
+        for i, (_, a, b, g, c) in enumerate(deck.junctions)
+    ]
+    deck.record = RecordSpec(1, len(deck.junctions), 2)
+    return deck
+
+
+def _deck_candidates(deck: SemsimDeck) -> Iterator[tuple[str, SemsimDeck]]:
+    """Smaller decks in decreasing order of expected payoff."""
+    for i, junction in enumerate(deck.junctions):
+        if len(deck.junctions) <= 1:
+            break
+        smaller = copy.deepcopy(deck)
+        del smaller.junctions[i]
+        yield f"drop junction {junction[0]}", _renumber(smaller)
+    for i, (a, b, _) in enumerate(deck.capacitors):
+        smaller = copy.deepcopy(deck)
+        del smaller.capacitors[i]
+        yield f"drop capacitor {a}-{b}", smaller
+    for i, (node, q) in enumerate(deck.charges):
+        if q == 0.0:
+            continue
+        smaller = copy.deepcopy(deck)
+        del smaller.charges[i]
+        yield f"drop charge on {node}", smaller
+    if deck.superconductor is not None:
+        smaller = copy.deepcopy(deck)
+        smaller.superconductor = None
+        yield "drop superconductor", smaller
+    if deck.cotunnel:
+        smaller = copy.deepcopy(deck)
+        smaller.cotunnel = False
+        yield "drop cotunneling", smaller
+    if deck.sweep is not None and deck.sweep.step < deck.sweep.maximum:
+        smaller = copy.deepcopy(deck)
+        assert smaller.sweep is not None
+        smaller.sweep.step = smaller.sweep.maximum
+        yield "flatten sweep to 3 points", smaller
+    if deck.jumps > 2 * _MIN_JUMPS:
+        smaller = copy.deepcopy(deck)
+        smaller.jumps = deck.jumps // 2
+        yield f"halve jumps to {deck.jumps // 2}", smaller
+    rounded = copy.deepcopy(deck)
+    rounded.junctions = [
+        (n, a, b, _round_sig(g), _round_sig(c))
+        for n, a, b, g, c in rounded.junctions
+    ]
+    rounded.capacitors = [
+        (a, b, _round_sig(c)) for a, b, c in rounded.capacitors
+    ]
+    rounded.charges = [(n, _round_sig(q)) for n, q in rounded.charges]
+    rounded.sources = [(n, _round_sig(v)) for n, v in rounded.sources]
+    rounded.temperature = _round_sig(rounded.temperature)
+    if rounded.sweep is not None:
+        rounded.sweep.maximum = _round_sig(rounded.sweep.maximum)
+        rounded.sweep.step = _round_sig(rounded.sweep.step)
+    if write_semsim(rounded, precise=True) != write_semsim(deck, precise=True):
+        yield "round values to 2 significant digits", rounded
+
+
+def _netlist_candidates(
+    netlist: LogicNetlist,
+) -> Iterator[tuple[str, LogicNetlist]]:
+    consumed = {net for g in netlist.gates for net in g.inputs}
+    for gate in netlist.gates:
+        if gate.output in consumed or len(netlist.outputs) <= 1:
+            continue
+        yield (
+            f"drop output gate {gate.name}",
+            LogicNetlist(
+                netlist.name,
+                netlist.inputs,
+                [o for o in netlist.outputs if o != gate.output],
+                [g for g in netlist.gates if g is not gate],
+            ),
+        )
+    for name in netlist.inputs:
+        if name in consumed or len(netlist.inputs) <= 1:
+            continue
+        yield (
+            f"drop unused input {name}",
+            LogicNetlist(
+                netlist.name,
+                [i for i in netlist.inputs if i != name],
+                netlist.outputs,
+                list(netlist.gates),
+            ),
+        )
+
+
+def _device_text_candidates(text: str) -> Iterator[tuple[str, str]]:
+    for label, deck in _deck_candidates(parse_semsim(text)):
+        try:
+            rendered = write_semsim(deck, precise=True)
+            reparsed = parse_semsim(rendered)
+            reparsed.build_circuit()
+            if lint_deck(reparsed).errors:
+                continue
+        except Exception:  # repro: allow[REPRO001]
+            continue  # a malformed candidate is just not a candidate
+        yield label, rendered
+
+
+def _logic_text_candidates(text: str) -> Iterator[tuple[str, str]]:
+    for label, netlist in _netlist_candidates(parse_logic(text)):
+        try:
+            rendered = write_logic(netlist)
+            if lint_logic_netlist(parse_logic(rendered)).errors:
+                continue
+        except Exception:  # repro: allow[REPRO001]
+            continue  # as above: malformed means not a candidate
+        yield label, rendered
+
+
+def shrink_case(
+    case: GeneratedCase,
+    predicate: Callable[[GeneratedCase], bool],
+    *,
+    max_evaluations: int = 150,
+) -> ShrinkResult:
+    """Greedily minimise ``case`` while ``predicate`` keeps holding.
+
+    ``predicate`` receives a candidate case and returns ``True`` when
+    the candidate still exhibits the original failure (the caller
+    typically re-runs :func:`repro.gen.differential.run_case` with the
+    same replicas/tolerance/bug).  The original case is returned
+    untouched in :attr:`ShrinkResult.original`; the shrunk case keeps
+    the original's params/derived record for provenance — its
+    ``deck_text`` is the minimised artifact.
+    """
+    current = case
+    steps: list[str] = []
+    evaluations = 0
+    candidates = (
+        _logic_text_candidates
+        if case.family == "logic"
+        else _device_text_candidates
+    )
+    improved = True
+    while improved and evaluations < max_evaluations:
+        improved = False
+        for label, text in candidates(current.deck_text):
+            if evaluations >= max_evaluations:
+                break
+            candidate = dataclasses.replace(current, deck_text=text)
+            evaluations += 1
+            if predicate(candidate):
+                current = candidate
+                steps.append(label)
+                improved = True
+                break  # restart enumeration from the smaller case
+    if steps:
+        current = dataclasses.replace(current, name=f"{case.name}.shrunk")
+    return ShrinkResult(
+        case=current,
+        original=case,
+        steps=tuple(steps),
+        evaluations=evaluations,
+    )

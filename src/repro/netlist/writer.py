@@ -11,25 +11,35 @@ from repro.constants import EV
 from repro.netlist.semsim import SemsimDeck
 
 
-def write_semsim(deck: SemsimDeck) -> str:
-    """Render a deck as SEMSIM input text."""
+def write_semsim(deck: SemsimDeck, *, precise: bool = False) -> str:
+    """Render a deck as SEMSIM input text.
+
+    With ``precise=True`` every float is rendered with ``repr`` (the
+    shortest string that round-trips to the identical IEEE value)
+    instead of ``%g``; the scenario generator uses this so a reproducer
+    deck *is* its case, bit for bit.
+    """
+    fmt = repr if precise else "{:g}".format
     lines: list[str] = ["#SET component definitions"]
     for name, a, b, conductance, capacitance in deck.junctions:
-        lines.append(f"junc {name} {a} {b} {conductance:g} {capacitance:g}")
+        lines.append(
+            f"junc {name} {a} {b} {fmt(conductance)} {fmt(capacitance)}"
+        )
     for a, b, capacitance in deck.capacitors:
-        lines.append(f"cap {a} {b} {capacitance:g}")
+        lines.append(f"cap {a} {b} {fmt(capacitance)}")
     for node, q in deck.charges:
-        lines.append(f"charge {node} {q:g}")
+        lines.append(f"charge {node} {fmt(q)}")
 
     lines.append("")
     lines.append("#Input source information")
     for node, voltage in deck.sources:
-        lines.append(f"vdc {node} {voltage:g}")
+        lines.append(f"vdc {node} {fmt(voltage)}")
     if deck.symmetric_node is not None:
         lines.append(f"symm {deck.symmetric_node}")
     if deck.superconductor is not None:
         lines.append(
-            f"super {deck.superconductor.delta0 / EV:g} {deck.superconductor.tc:g}"
+            f"super {fmt(deck.superconductor.delta0 / EV)} "
+            f"{fmt(deck.superconductor.tc)}"
         )
 
     lines.append("")
@@ -46,7 +56,7 @@ def write_semsim(deck: SemsimDeck) -> str:
 
     lines.append("")
     lines.append("#Simulation specific information")
-    lines.append(f"temp {deck.temperature:g}")
+    lines.append(f"temp {fmt(deck.temperature)}")
     if deck.cotunnel:
         lines.append("cotunnel")
     if deck.record is not None:
@@ -56,6 +66,9 @@ def write_semsim(deck: SemsimDeck) -> str:
         )
     lines.append(f"jumps {deck.jumps} {deck.runs}")
     if deck.sweep is not None:
-        lines.append(f"sweep {deck.sweep.node} {deck.sweep.maximum:g} {deck.sweep.step:g}")
+        lines.append(
+            f"sweep {deck.sweep.node} {fmt(deck.sweep.maximum)} "
+            f"{fmt(deck.sweep.step)}"
+        )
     lines.append("")
     return "\n".join(lines)

@@ -1,0 +1,557 @@
+"""Tests for ``repro.gen`` — generator, differential oracle, shrinker, corpus.
+
+The fast tier exercises generator determinism and bounds (hypothesis),
+the tolerance model on synthetic curves, the shrinker under cheap
+structural predicates, the corpus round-trip on (fast) logic cases, and
+a small amount of real Monte Carlo: one known-good SET case must pass
+every oracle and the seeded sign-flip bug must be caught with exactly
+the right pairs failing.  The heavy statistical calibration (a 200-case
+clean campaign) and MC-predicate shrinking live behind ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.errors import GeneratorError
+from repro.gen import (
+    DEFAULT_FAMILIES,
+    FAMILY_SPACES,
+    Choice,
+    FuzzConfig,
+    IntRange,
+    LogUniform,
+    OracleCurve,
+    ParamSpace,
+    Tolerance,
+    Uniform,
+    generate_case,
+    iter_corpus,
+    load_case,
+    promote,
+    replay,
+    run_case,
+    run_fuzz,
+    shrink_case,
+    write_artifacts,
+    write_case,
+)
+from repro.gen.differential import _compare
+from repro.lint import lint_deck, lint_logic_netlist
+from repro.netlist import parse_semsim
+from repro.netlist.writer import write_semsim
+
+# stable draw coordinates at seed 0 (asserted below, so a generator
+# change that reshuffles the stream fails loudly instead of silently
+# testing the wrong family)
+SEED = 0
+LOGIC_INDEX = 0
+TRAP_INDEX = 1
+SET_INDEX = 4
+DEGENERATE_SET_INDEX = 5
+DEEP_ARRAY_INDEX = 8
+
+GOLDEN_FUZZ = Path(__file__).resolve().parent / "data" / "golden" / "fuzz"
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+indices = st.integers(min_value=0, max_value=200)
+
+
+def test_pinned_draw_coordinates_still_hold():
+    expected = {
+        LOGIC_INDEX: "logic",
+        TRAP_INDEX: "trap",
+        SET_INDEX: "set",
+        DEGENERATE_SET_INDEX: "set",
+        DEEP_ARRAY_INDEX: "series_array",
+    }
+    for index, family in expected.items():
+        assert generate_case(SEED, index).family == family
+    assert generate_case(SEED, DEGENERATE_SET_INDEX).params["cap_regime"] == (
+        "degenerate"
+    )
+    deep = generate_case(SEED, DEEP_ARRAY_INDEX)
+    assert deep.params["n_junctions"] == 4
+
+
+class TestSpaces:
+    def test_uniform_bounds_and_containment(self, rng):
+        dist = Uniform(-2.0, 3.0)
+        draws = [dist.draw(rng) for _ in range(200)]
+        assert all(-2.0 <= x <= 3.0 for x in draws)
+        assert all(dist.contains(x) for x in draws)
+        assert not dist.contains(3.5)
+
+    def test_loguniform_spans_decades(self, rng):
+        dist = LogUniform(1e-19, 1e-15)
+        draws = [dist.draw(rng) for _ in range(300)]
+        assert all(1e-19 <= x <= 1e-15 for x in draws)
+        assert min(draws) < 1e-17 < max(draws)  # genuinely log-spread
+
+    def test_intrange_inclusive(self, rng):
+        dist = IntRange(2, 4)
+        draws = {dist.draw(rng) for _ in range(100)}
+        assert draws == {2, 3, 4}
+
+    def test_choice_draws_only_members(self, rng):
+        dist = Choice(("a", "b"), weights=(3, 1))
+        assert {dist.draw(rng) for _ in range(50)} <= {"a", "b"}
+        assert not dist.contains("c")
+
+    def test_invalid_distributions_rejected(self):
+        with pytest.raises(GeneratorError):
+            Uniform(2.0, 1.0)
+        with pytest.raises(GeneratorError):
+            LogUniform(0.0, 1.0)
+        with pytest.raises(GeneratorError):
+            IntRange(5, 4)
+        with pytest.raises(GeneratorError):
+            Choice(())
+        with pytest.raises(GeneratorError):
+            Choice(("a", "b"), weights=(1,))
+
+    def test_paramspace_contains_names_violations(self, rng):
+        space = ParamSpace({"r": Uniform(0.0, 1.0), "n": IntRange(1, 3)})
+        params = space.draw(rng)
+        assert space.contains(params) == []
+        assert space.contains({"r": 2.0, "n": 1}) == ["r"]
+        # missing names are allowed (shrunk cases keep a param subset)
+        assert space.contains({"n": 2}) == []
+
+
+class TestGeneratorDeterminism:
+    @given(seed=seeds, index=indices)
+    @settings(max_examples=25, deadline=None)
+    def test_same_coordinates_same_case(self, seed, index):
+        first = generate_case(seed, index)
+        second = generate_case(seed, index)
+        assert first == second  # frozen dataclass: params AND deck text
+
+    def test_neighbouring_indices_differ(self):
+        texts = {generate_case(SEED, i).deck_text for i in range(8)}
+        assert len(texts) == 8
+
+    def test_family_restriction_is_respected(self):
+        for index in range(6):
+            case = generate_case(SEED, index, families=("set",))
+            assert case.family == "set"
+
+    def test_artifact_accessors_guard_family(self):
+        device = generate_case(SEED, SET_INDEX)
+        logic = generate_case(SEED, LOGIC_INDEX)
+        assert device.deck().build_circuit().n_junctions >= 1
+        assert logic.netlist().gates
+        with pytest.raises(GeneratorError):
+            logic.deck()
+        with pytest.raises(GeneratorError):
+            device.netlist()
+
+
+class TestGeneratedDevices:
+    @given(seed=seeds, index=indices)
+    @settings(max_examples=20, deadline=None)
+    def test_device_cases_are_lint_clean_and_in_space(self, seed, index):
+        case = generate_case(
+            seed, index, families=("set", "series_array", "trap")
+        )
+        deck = parse_semsim(case.deck_text)
+        assert not lint_deck(deck).errors
+        assert FAMILY_SPACES[case.family].contains(case.params) == []
+        circuit = deck.build_circuit()
+        assert 1 <= circuit.n_junctions <= 4
+
+    @given(seed=seeds, index=indices)
+    @settings(max_examples=15, deadline=None)
+    def test_deck_text_is_its_own_fixed_point(self, seed, index):
+        """A reproducer deck *is* its case: parse + precise render is
+        the identity, so the corpus artifact round-trips bit-for-bit."""
+        case = generate_case(
+            seed, index, families=("set", "series_array", "trap")
+        )
+        deck = parse_semsim(case.deck_text)
+        assert write_semsim(deck, precise=True) == case.deck_text
+
+
+class TestGeneratedLogic:
+    @given(seed=seeds, index=indices)
+    @settings(max_examples=20, deadline=None)
+    def test_logic_cases_respect_their_parameters(self, seed, index):
+        case = generate_case(seed, index, families=("logic",))
+        net = case.netlist()
+        assert len(net.gates) == case.params["n_gates"]
+        assert len(net.inputs) == case.params["n_inputs"]
+        assert net.outputs  # at least one primary output
+        assert not lint_logic_netlist(net).errors
+        limit = case.params["max_fanout"]
+        for name in list(net.inputs) + [g.output for g in net.gates]:
+            assert len(net.fanout_of(name)) <= limit
+        net.topological_gates()  # a DAG by construction
+
+    @given(seed=seeds, index=indices)
+    @settings(max_examples=8, deadline=None)
+    def test_decompose_preserves_function_on_generated_netlists(
+        self, seed, index
+    ):
+        import numpy as np
+
+        from repro.logic import decompose
+
+        case = generate_case(seed, index, families=("logic",))
+        net = case.netlist()
+        lowered = decompose(net)
+        rng = np.random.default_rng(seed)
+        for _ in range(4):
+            vec = {n: bool(rng.integers(2)) for n in net.inputs}
+            assert net.output_values(vec) == lowered.output_values(vec)
+
+
+class TestToleranceModel:
+    """The statistical acceptance band, on synthetic curves (no MC)."""
+
+    VOLTS = [-0.01, 0.0, 0.01]
+
+    @staticmethod
+    def _curves(ref, obs, sems=None):
+        reference = OracleCurve("master", tuple(ref), (0.0,) * len(ref))
+        observed = OracleCurve(
+            "adaptive", tuple(obs), tuple(sems or [0.0] * len(obs))
+        )
+        return observed, reference
+
+    def test_identical_curves_pass(self):
+        obs, ref = self._curves([1e-9, 0.0, -1e-9], [1e-9, 0.0, -1e-9])
+        assert _compare(obs, ref, self.VOLTS, Tolerance()).ok
+
+    def test_relative_band(self):
+        # scale = 1e-9: budget at the full-scale point is
+        # rel*1e-9 + floor_frac*1e-9 = 1.4e-10 (sems are zero)
+        obs, ref = self._curves([1.1e-9, 0.0, -1e-9], [1e-9, 0.0, -1e-9])
+        assert _compare(obs, ref, self.VOLTS, Tolerance()).ok
+        obs, ref = self._curves([1.2e-9, 0.0, -1e-9], [1e-9, 0.0, -1e-9])
+        comparison = _compare(obs, ref, self.VOLTS, Tolerance())
+        assert not comparison.ok
+        assert [c.index for c in comparison.failures] == [0]
+
+    def test_blockade_floor_absorbs_small_absolute_noise(self):
+        # at a blockade point the reference is 0 but MC noise is not;
+        # the floor_frac * scale term must absorb it
+        obs, ref = self._curves([1e-9, 3e-11, -1e-9], [1e-9, 0.0, -1e-9])
+        assert _compare(obs, ref, self.VOLTS, Tolerance()).ok
+        obs, ref = self._curves([1e-9, 6e-11, -1e-9], [1e-9, 0.0, -1e-9])
+        assert not _compare(obs, ref, self.VOLTS, Tolerance()).ok
+
+    def test_statistical_term_scales_with_sem(self):
+        # a 6.1e-10 deviation fails with sem=0 but passes with
+        # sem=1e-10 (z=6 adds 6e-10 to the budget)
+        ref = [1e-9, 0.0, -1e-9]
+        obs = [1e-9 + 6.1e-10, 0.0, -1e-9]
+        reference = OracleCurve("master", tuple(ref), (0.0, 0.0, 0.0))
+        noiseless = OracleCurve("adaptive", tuple(obs), (0.0, 0.0, 0.0))
+        noisy = OracleCurve("adaptive", tuple(obs), (1e-10, 0.0, 0.0))
+        assert not _compare(noiseless, reference, self.VOLTS, Tolerance()).ok
+        assert _compare(noisy, reference, self.VOLTS, Tolerance()).ok
+
+    def test_deterministic_band_is_much_tighter(self):
+        # 5% off: fine statistically, a hard fail for spice-vs-master
+        obs, ref = self._curves([1.05e-9, 0.0, -1e-9], [1e-9, 0.0, -1e-9])
+        assert _compare(obs, ref, self.VOLTS, Tolerance()).ok
+        assert not _compare(
+            obs, ref, self.VOLTS, Tolerance(), deterministic=True
+        ).ok
+
+    def test_sign_flipped_curve_is_flagged(self):
+        ref = [2e-9, 1e-10, -2e-9]
+        obs, reference = self._curves(ref, [-x for x in ref])
+        comparison = _compare(obs, reference, self.VOLTS, Tolerance())
+        assert not comparison.ok
+        assert len(comparison.failures) >= 2
+
+
+@pytest.fixture(scope="module")
+def set_case():
+    return generate_case(SEED, SET_INDEX)
+
+
+@pytest.fixture(scope="module")
+def good_verdict(set_case):
+    return run_case(set_case, replicas=2)
+
+
+class TestDifferentialMC:
+    def test_known_good_set_passes_every_oracle(self, set_case, good_verdict):
+        assert good_verdict.kind == "pass"
+        assert good_verdict.ok
+        names = {o.name for o in good_verdict.oracles}
+        # a symmetric 2-junction SET maps onto the SPICE compact model
+        assert {"adaptive", "nonadaptive", "master", "spice"} <= names
+        pairs = {(c.subject, c.reference) for c in good_verdict.comparisons}
+        assert {
+            ("adaptive", "master"),
+            ("nonadaptive", "master"),
+            ("adaptive", "nonadaptive"),
+            ("spice", "master"),
+        } == pairs
+
+    def test_event_hash_is_recorded(self, good_verdict):
+        assert good_verdict.event_hash
+        int(good_verdict.event_hash, 16)
+
+    def test_seeded_sign_flip_is_caught_with_the_right_pairs(self, set_case):
+        verdict = run_case(set_case, replicas=2, bug="sign-flip")
+        assert verdict.kind == "mismatch"
+        status = {
+            (c.subject, c.reference): c.ok for c in verdict.comparisons
+        }
+        # the bug lives in the non-adaptive solver only: exactly the
+        # pairs touching it fail, everything else stays green
+        assert status[("nonadaptive", "master")] is False
+        assert status[("adaptive", "nonadaptive")] is False
+        assert status[("adaptive", "master")] is True
+        assert status[("spice", "master")] is True
+
+    def test_unknown_bug_kind_rejected(self, set_case):
+        with pytest.raises(GeneratorError):
+            run_case(set_case, replicas=2, bug="no-such-bug")
+
+    def test_replicas_must_be_positive(self, set_case):
+        with pytest.raises(GeneratorError):
+            run_case(set_case, replicas=0)
+
+
+class TestCorpusRoundTrip:
+    """Corpus mechanics on logic cases (no MC, so tier-1 cheap)."""
+
+    @pytest.fixture()
+    def logic_entry(self, tmp_path):
+        case = generate_case(SEED, LOGIC_INDEX)
+        verdict = run_case(case)
+        entry = write_case(
+            tmp_path / "corpus", case, verdict,
+            replicas=3, tolerance=Tolerance(),
+        )
+        return case, verdict, entry
+
+    def test_write_load_round_trip(self, logic_entry):
+        case, verdict, entry = logic_entry
+        loaded, record = load_case(entry)
+        assert loaded == case
+        assert record["verdict"] == verdict.kind
+        assert record["artifact"] == "case.net"
+
+    def test_replay_reproduces(self, logic_entry):
+        _, _, entry = logic_entry
+        verdict, divergences = replay(entry)
+        assert divergences == []
+        assert verdict.ok
+
+    def test_replay_detects_tampered_record(self, logic_entry):
+        _, _, entry = logic_entry
+        record = json.loads((entry / "record.json").read_text())
+        record["verdict"] = "mismatch"
+        (entry / "record.json").write_text(json.dumps(record))
+        _, divergences = replay(entry)
+        assert divergences
+        assert "verdict" in divergences[0].what
+
+    def test_promote_by_name_and_missing_name(self, logic_entry, tmp_path):
+        case, _, entry = logic_entry
+        pinned = tmp_path / "pinned"
+        promoted = promote(entry.parent, pinned, (case.name,))
+        assert [p.name for p in promoted] == [case.name]
+        assert (pinned / case.name / "record.json").is_file()
+        with pytest.raises(GeneratorError):
+            promote(entry.parent, pinned, ("no-such-entry",))
+
+    def test_iter_corpus_sorted_and_ignores_strays(self, logic_entry):
+        _, _, entry = logic_entry
+        (entry.parent / "stray").mkdir()  # no record.json: not an entry
+        names = [p.name for p in iter_corpus(entry.parent)]
+        assert names == sorted(names)
+        assert "stray" not in names
+
+
+def _report_fingerprint(report):
+    """Everything a campaign produced, in comparable form."""
+    return [
+        (
+            verdict.name,
+            verdict.kind,
+            verdict.event_hash,
+            {
+                oracle.name: [float(c).hex() for c in oracle.currents]
+                for oracle in verdict.oracles
+            },
+        )
+        for verdict in report.verdicts
+    ]
+
+
+class TestFuzzCampaign:
+    def test_case_set_is_a_pure_function_of_config(self):
+        config = FuzzConfig(seed=7, budget=5)
+        from repro.gen import generate_cases
+
+        first = generate_cases(config)
+        second = generate_cases(config)
+        assert first == second
+        assert [c.index for c in first] == list(range(5))
+
+    def test_jobs_invariance(self):
+        config = FuzzConfig(
+            seed=1, budget=3, families=("set", "logic"), replicas=2
+        )
+        serial = run_fuzz(config, jobs=1)
+        pooled = run_fuzz(config, jobs=2)
+        assert _report_fingerprint(serial) == _report_fingerprint(pooled)
+        assert serial.ok and pooled.ok
+
+    def test_campaign_cache_replays_bit_identically(self, tmp_path):
+        config = FuzzConfig(seed=3, budget=4, families=("logic",))
+        cold = run_fuzz(config, campaign=tmp_path / "store")
+        warm = run_fuzz(config, campaign=tmp_path / "store")
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == 4
+        assert _report_fingerprint(cold) == _report_fingerprint(warm)
+
+    def test_bug_campaign_writes_replayable_artifacts(self, tmp_path):
+        config = FuzzConfig(
+            seed=0, budget=1, families=("set",), replicas=2,
+            bug="sign-flip", shrink=0,
+        )
+        report = run_fuzz(config)
+        assert not report.ok
+        assert report.counts["mismatch"] == 1
+        out = write_artifacts(report, tmp_path / "out")
+        summary = json.loads((out / "report.json").read_text())
+        assert summary["failures"] == [report.cases[0].name]
+        entries = list(iter_corpus(out / "corpus"))
+        assert len(entries) == 1
+        _, divergences = replay(entries[0])  # bug recorded => reproduces
+        assert divergences == []
+
+    def test_config_validation(self):
+        with pytest.raises(GeneratorError):
+            FuzzConfig(budget=0)
+        with pytest.raises(GeneratorError):
+            FuzzConfig(families=())
+
+    @pytest.mark.slow
+    def test_jobs_invariance_wide(self):
+        config = FuzzConfig(seed=11, budget=8, replicas=2)
+        reports = [run_fuzz(config, jobs=j) for j in (1, 2, 4)]
+        prints = [_report_fingerprint(r) for r in reports]
+        assert prints[0] == prints[1] == prints[2]
+        assert all(r.ok for r in reports)
+
+    @pytest.mark.slow
+    def test_calibrated_false_positive_rate_on_clean_campaign(self):
+        """The permanent ratchet: 200 honest cases, zero false alarms."""
+        config = FuzzConfig(seed=2026, budget=200, replicas=2)
+        report = run_fuzz(config, jobs=0)
+        assert report.ok, report.format()
+        families = {c.family for c in report.cases}
+        assert families == set(DEFAULT_FAMILIES)
+
+    @pytest.mark.slow
+    def test_seeded_bug_shrinks_to_small_reproducer(self):
+        config = FuzzConfig(
+            seed=0, budget=2, families=("trap",), replicas=2,
+            bug="sign-flip", shrink=1, shrink_evaluations=30,
+        )
+        report = run_fuzz(config)
+        assert not report.ok
+        assert report.shrinks and report.shrinks[0].changed
+        shrunk = parse_semsim(report.shrinks[0].case.deck_text)
+        assert len(shrunk.junctions) <= 4
+        # and the minimised deck still fails its oracle
+        verdict = run_case(
+            report.shrinks[0].case, replicas=2, bug="sign-flip"
+        )
+        assert not verdict.ok
+
+
+class TestShrinkStructural:
+    """Shrinker behaviour under cheap structural predicates (no MC)."""
+
+    def test_shrinks_trap_to_minimal_two_junction_deck(self):
+        case = generate_case(SEED, TRAP_INDEX)
+
+        def predicate(candidate):
+            return len(parse_semsim(candidate.deck_text).junctions) >= 2
+
+        result = shrink_case(case, predicate, max_evaluations=80)
+        assert result.changed
+        final = parse_semsim(result.case.deck_text)
+        assert len(final.junctions) == 2
+        assert not lint_deck(final).errors
+        assert result.case.name.endswith(".shrunk")
+        assert predicate(result.case)
+
+    def test_shrink_is_deterministic(self):
+        case = generate_case(SEED, TRAP_INDEX)
+
+        def predicate(candidate):
+            return len(parse_semsim(candidate.deck_text).junctions) >= 2
+
+        first = shrink_case(case, predicate, max_evaluations=80)
+        second = shrink_case(case, predicate, max_evaluations=80)
+        assert first.steps == second.steps
+        assert first.case.deck_text == second.case.deck_text
+
+    def test_unshrinkable_case_is_returned_untouched(self):
+        case = generate_case(SEED, SET_INDEX)
+        result = shrink_case(case, lambda _: False, max_evaluations=80)
+        assert not result.changed
+        assert result.case == case
+        assert result.evaluations > 0
+
+    def test_logic_shrink_prunes_gates(self):
+        case = generate_case(SEED, LOGIC_INDEX)
+
+        def predicate(candidate):
+            return len(candidate.netlist().gates) >= 2
+
+        result = shrink_case(case, predicate, max_evaluations=80)
+        net = result.case.netlist()
+        assert len(net.gates) >= 2
+        assert net.outputs
+        assert not lint_logic_netlist(net).errors
+
+
+class TestFuzzCli:
+    def test_run_and_replay_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        code = main([
+            "fuzz", "run", "--seed", "5", "--budget", "2",
+            "--families", "logic", "--out", str(out),
+        ])
+        assert code == 0
+        assert (out / "report.json").is_file()
+        assert "2 pass" in capsys.readouterr().out
+
+    def test_replay_missing_corpus_is_an_error(self, tmp_path, capsys):
+        code = main(["fuzz", "replay", str(tmp_path / "nowhere")])
+        assert code == 1
+
+
+GOLDEN_ENTRIES = list(iter_corpus(GOLDEN_FUZZ))
+
+
+def test_golden_fuzz_corpus_is_present():
+    """The pinned reproducer corpus cannot silently disappear."""
+    assert len(GOLDEN_ENTRIES) >= 8
+
+
+@pytest.mark.parametrize(
+    "entry", GOLDEN_ENTRIES, ids=[e.name for e in GOLDEN_ENTRIES]
+)
+def test_golden_fuzz_entry_replays_bit_for_bit(entry):
+    _, divergences = replay(entry)
+    assert divergences == [], [d.what for d in divergences]

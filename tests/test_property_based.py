@@ -1,4 +1,10 @@
-"""Property-based tests (hypothesis) on core invariants."""
+"""Property-based tests (hypothesis) on core invariants.
+
+Circuit-level properties are checked over circuits drawn from the
+``repro.gen`` scenario generator (the same families the differential
+fuzzer sweeps), not an ad-hoc local builder — so every invariant here
+is exercised on exactly the device distribution the fuzzer explores.
+"""
 
 import math
 
@@ -7,8 +13,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.circuit import CircuitBuilder, Electrostatics
+from repro.circuit import Electrostatics
 from repro.constants import E_CHARGE, K_B
+from repro.gen import generate_case
 from repro.physics.bcs import reduced_dos
 from repro.physics.fermi import bose_weight, fermi
 from repro.physics.orthodox import orthodox_rate
@@ -17,8 +24,19 @@ energies = st.floats(
     min_value=-1e-19, max_value=1e-19, allow_nan=False, allow_infinity=False
 )
 temperatures = st.floats(min_value=1e-3, max_value=300.0)
-capacitances = st.floats(min_value=1e-19, max_value=1e-15)
 resistances = st.floats(min_value=2e4, max_value=1e9)
+
+# draw coordinates into the generator's device families; each (seed,
+# index) pair is one deterministic circuit from the fuzzed distribution
+gen_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+gen_indices = st.integers(min_value=0, max_value=100)
+
+DEVICE_FAMILIES = ("set", "series_array", "trap")
+
+
+def _generated_circuit(seed, index):
+    case = generate_case(seed, index, families=DEVICE_FAMILIES)
+    return case.deck().build_circuit()
 
 
 class TestFermiProperties:
@@ -77,25 +95,14 @@ class TestDosProperties:
 
 
 class TestElectrostaticsProperties:
-    @staticmethod
-    def _chain_circuit(c_values):
-        builder = CircuitBuilder()
-        previous = "lead"
-        for i, c in enumerate(c_values):
-            builder.add_junction(f"j{i}", previous, f"n{i}", 1e6, c)
-            builder.add_capacitor(f"g{i}", f"n{i}", "0", 2.0 * c)
-            previous = f"n{i}"
-        builder.add_voltage_source("v", "lead", 0.005)
-        return builder.build()
-
     @given(
-        c_values=st.lists(capacitances, min_size=1, max_size=5),
+        seed=gen_seeds, index=gen_indices,
         occupations=st.lists(st.integers(-3, 3), min_size=5, max_size=5),
     )
     @settings(max_examples=30, deadline=None)
-    def test_free_energy_antisymmetry(self, c_values, occupations):
+    def test_free_energy_antisymmetry(self, seed, index, occupations):
         """dW(a->b) computed from the final state equals -dW(b->a)."""
-        circuit = self._chain_circuit(c_values)
+        circuit = _generated_circuit(seed, index)
         stat = Electrostatics(circuit)
         occ = np.array(occupations[: circuit.n_islands], dtype=np.int64)
         vext = circuit.external_voltages()
@@ -111,22 +118,22 @@ class TestElectrostaticsProperties:
             dw_back = stat.free_energy_change(rj.ref_b, rj.ref_a, v_after, vext)
             assert dw_back == pytest.approx(-dw_fwd, rel=1e-9, abs=1e-30)
 
-    @given(c_values=st.lists(capacitances, min_size=1, max_size=5))
+    @given(seed=gen_seeds, index=gen_indices)
     @settings(max_examples=30, deadline=None)
-    def test_capacitance_matrix_positive_definite(self, c_values):
-        circuit = self._chain_circuit(c_values)
+    def test_capacitance_matrix_positive_definite(self, seed, index):
+        circuit = _generated_circuit(seed, index)
         stat = Electrostatics(circuit)
         eigenvalues = np.linalg.eigvalsh(stat.capacitance_matrix())
         assert np.all(eigenvalues > 0.0)
 
     @given(
-        c_values=st.lists(capacitances, min_size=2, max_size=4),
+        seed=gen_seeds, index=gen_indices,
         occupations=st.lists(st.integers(-2, 2), min_size=4, max_size=4),
     )
     @settings(max_examples=30, deadline=None)
-    def test_potential_update_consistency(self, c_values, occupations):
+    def test_potential_update_consistency(self, seed, index, occupations):
         """Incremental dv equals re-solved potentials for any event."""
-        circuit = self._chain_circuit(c_values)
+        circuit = _generated_circuit(seed, index)
         stat = Electrostatics(circuit)
         occ = np.array(occupations[: circuit.n_islands], dtype=np.int64)
         vext = circuit.external_voltages()
